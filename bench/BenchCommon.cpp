@@ -1,0 +1,91 @@
+//===- BenchCommon.cpp - Shared experiment harness helpers -----------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Support.h"
+
+using namespace gdse;
+using namespace gdse::bench;
+
+PreparedProgram gdse::bench::prepareOriginal(const WorkloadInfo &W) {
+  PreparedProgram P;
+  P.Info = &W;
+  ParseResult R = parseMiniC(W.Source);
+  if (!R.ok()) {
+    P.Error = "parse failed: " + (R.Errors.empty() ? "?" : R.Errors.front());
+    return P;
+  }
+  P.M = std::move(R.M);
+  P.LoopIds = findCandidateLoops(*P.M);
+  P.Ok = true;
+  return P;
+}
+
+PreparedProgram gdse::bench::prepareTransformed(const WorkloadInfo &W,
+                                                const PipelineOptions &Opts) {
+  PreparedProgram P = prepareOriginal(W);
+  if (!P.Ok)
+    return P;
+  for (unsigned LoopId : P.LoopIds) {
+    PipelineResult PR = transformLoop(*P.M, LoopId, Opts);
+    if (!PR.Ok) {
+      P.Ok = false;
+      P.Error = PR.Errors.empty() ? "transformation failed" : PR.Errors.front();
+      return P;
+    }
+    P.Pipelines.push_back(std::move(PR));
+  }
+  return P;
+}
+
+RunResult gdse::bench::execute(PreparedProgram &P, int Threads,
+                               bool SimulateParallel) {
+  InterpOptions IO;
+  IO.NumThreads = Threads;
+  IO.SimulateParallel = SimulateParallel;
+  // The transformed programs are test-verified; skip per-access bounds
+  // checking for faster experiment turnaround.
+  IO.BoundsCheck = false;
+  Interp I(*P.M, IO);
+  return I.run();
+}
+
+uint64_t gdse::bench::loopSimTime(const RunResult &R,
+                                  const std::vector<unsigned> &LoopIds) {
+  uint64_t Total = 0;
+  for (unsigned Id : LoopIds) {
+    auto It = R.Loops.find(Id);
+    if (It != R.Loops.end())
+      Total += It->second.SimTime;
+  }
+  return Total;
+}
+
+uint64_t gdse::bench::loopWorkCycles(const RunResult &R,
+                                     const std::vector<unsigned> &LoopIds) {
+  uint64_t Total = 0;
+  for (unsigned Id : LoopIds) {
+    auto It = R.Loops.find(Id);
+    if (It != R.Loops.end())
+      Total += It->second.WorkCycles;
+  }
+  return Total;
+}
+
+double gdse::bench::harmonicMean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Denom = 0.0;
+  for (double X : Xs)
+    Denom += 1.0 / X;
+  return static_cast<double>(Xs.size()) / Denom;
+}
+
+std::string gdse::bench::ratioStr(double R) {
+  return formatString("%.2fx", R);
+}

@@ -1,0 +1,74 @@
+//===- BenchCommon.h - Shared experiment harness helpers --------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by every table/figure reproduction binary: build the
+/// original and transformed programs for a workload, execute them under the
+/// VM, and collect the simulated metrics the paper reports. All metrics are
+/// deterministic (cycle counts from the cost model), so runs are exactly
+/// reproducible; google-benchmark provides the runner/reporting skeleton and
+/// each binary additionally prints the paper-style table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_BENCH_BENCHCOMMON_H
+#define GDSE_BENCH_BENCHCOMMON_H
+
+#include "frontend/Parser.h"
+#include "interp/Interp.h"
+#include "parallel/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gdse {
+namespace bench {
+
+/// A workload prepared under one transformation configuration.
+struct PreparedProgram {
+  const WorkloadInfo *Info = nullptr;
+  std::unique_ptr<Module> M;
+  /// One pipeline result per candidate loop, in program order.
+  std::vector<PipelineResult> Pipelines;
+  /// Candidate loop ids (valid for both original and transformed modules —
+  /// numbering is deterministic).
+  std::vector<unsigned> LoopIds;
+  bool Ok = false;
+  std::string Error;
+};
+
+/// Parses the workload without transforming it.
+PreparedProgram prepareOriginal(const WorkloadInfo &W);
+
+/// Parses and transforms every candidate loop of the workload.
+PreparedProgram prepareTransformed(const WorkloadInfo &W,
+                                   const PipelineOptions &Opts);
+
+/// Executes a prepared program. \p Threads is the simulated core count;
+/// \p SimulateParallel=false forces sequential execution of parallel-marked
+/// loops (the Figure 9/10 single-core overhead methodology).
+RunResult execute(PreparedProgram &P, int Threads,
+                  bool SimulateParallel = true);
+
+/// Sum of SimTime over the program's candidate loops.
+uint64_t loopSimTime(const RunResult &R, const std::vector<unsigned> &LoopIds);
+/// Sum of WorkCycles over the program's candidate loops.
+uint64_t loopWorkCycles(const RunResult &R,
+                        const std::vector<unsigned> &LoopIds);
+
+/// Harmonic mean of a series (the paper's preferred average).
+double harmonicMean(const std::vector<double> &Xs);
+
+/// Renders a ratio like "1.83x".
+std::string ratioStr(double R);
+
+} // namespace bench
+} // namespace gdse
+
+#endif // GDSE_BENCH_BENCHCOMMON_H

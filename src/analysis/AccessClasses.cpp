@@ -1,0 +1,93 @@
+//===- AccessClasses.cpp - Definition 4/5: classes & privatization ---------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AccessClasses.h"
+
+#include "support/UnionFind.h"
+
+#include <algorithm>
+
+using namespace gdse;
+
+AccessClasses AccessClasses::build(const LoopDepGraph &G) {
+  AccessClasses Result;
+
+  // Dense-index the vertex set.
+  std::vector<AccessId> Verts = G.vertices();
+  std::map<AccessId, uint32_t> DenseIndex;
+  for (uint32_t I = 0; I != Verts.size(); ++I)
+    DenseIndex[Verts[I]] = I;
+
+  // Definition 4: union across loop-independent dependences.
+  UnionFind UF(static_cast<uint32_t>(Verts.size()));
+  for (const DepEdge &E : G.Edges) {
+    if (E.Carried)
+      continue;
+    auto SI = DenseIndex.find(E.Src);
+    auto DI = DenseIndex.find(E.Dst);
+    if (SI != DenseIndex.end() && DI != DenseIndex.end())
+      UF.unite(SI->second, DI->second);
+  }
+
+  // Materialize classes.
+  std::map<uint32_t, unsigned> RootToClass;
+  for (uint32_t I = 0; I != Verts.size(); ++I) {
+    uint32_t Root = UF.find(I);
+    auto [It, Inserted] =
+        RootToClass.emplace(Root, static_cast<unsigned>(Result.Classes.size()));
+    if (Inserted)
+      Result.Classes.emplace_back();
+    Result.Classes[It->second].Members.push_back(Verts[I]);
+    Result.ClassIndex[Verts[I]] = It->second;
+  }
+
+  // Definition 5 verdicts.
+  for (AccessClassInfo &C : Result.Classes) {
+    for (AccessId Id : C.Members) {
+      if (G.UpwardsExposedLoads.count(Id) ||
+          G.DownwardsExposedStores.count(Id))
+        C.HasExposedAccess = true;
+      if (G.involvedInCarried(Id, DepKind::Flow))
+        C.HasCarriedFlow = true;
+      if (G.involvedInCarried(Id, DepKind::Anti) ||
+          G.involvedInCarried(Id, DepKind::Output))
+        C.HasCarriedAntiOrOutput = true;
+    }
+    C.Private =
+        !C.HasExposedAccess && !C.HasCarriedFlow && C.HasCarriedAntiOrOutput;
+    std::sort(C.Members.begin(), C.Members.end());
+  }
+  return Result;
+}
+
+unsigned AccessClasses::classOf(AccessId Id) const {
+  auto It = ClassIndex.find(Id);
+  assert(It != ClassIndex.end() && "access not in any class");
+  return It->second;
+}
+
+std::set<AccessId> AccessClasses::privateAccesses() const {
+  std::set<AccessId> Out;
+  for (const AccessClassInfo &C : Classes)
+    if (C.Private)
+      Out.insert(C.Members.begin(), C.Members.end());
+  return Out;
+}
+
+AccessBreakdown gdse::computeAccessBreakdown(const LoopDepGraph &G,
+                                             const AccessClasses &Classes) {
+  AccessBreakdown B;
+  for (const auto &[Id, Count] : G.DynCount) {
+    if (!G.involvedInAnyCarried(Id))
+      B.FreeOfCarried += Count;
+    else if (Classes.isPrivate(Id))
+      B.Expandable += Count;
+    else
+      B.WithCarried += Count;
+  }
+  return B;
+}

@@ -1,0 +1,98 @@
+//===- AccessClasses.h - Definition 4/5: classes & privatization -*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Access classes (Definition 4) and thread-private classification
+/// (Definition 5).
+///
+/// A loop-independent dependence is treated as an equivalence relation over
+/// memory accesses; its transitive closure partitions the loop's accesses
+/// into classes. This is what makes privatization sound in the presence of
+/// the paper's `if (c) p=&a else p=&b; *p=0; if (c) a[i]=*p;` example:
+/// redirecting only one of the two `*p` occurrences would break the
+/// loop-independent flow between them, so the whole class is privatized or
+/// none of it is.
+///
+/// A class is thread-private (its accesses may be redirected to per-thread
+/// copies) iff:
+///   1. no member is an upwards-exposed load or downwards-exposed store,
+///   2. no member is involved in any loop-carried flow dependence,
+///   3. at least one member is involved in a loop-carried anti or output
+///      dependence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_ANALYSIS_ACCESSCLASSES_H
+#define GDSE_ANALYSIS_ACCESSCLASSES_H
+
+#include "analysis/DepGraph.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gdse {
+
+/// Why a class failed (or passed) Definition 5 — kept for diagnostics and
+/// for the Figure 8 breakdown.
+struct AccessClassInfo {
+  std::vector<AccessId> Members;
+  bool Private = false;
+  bool HasExposedAccess = false;     ///< violates condition 1
+  bool HasCarriedFlow = false;       ///< violates condition 2
+  bool HasCarriedAntiOrOutput = false; ///< satisfies condition 3
+};
+
+/// The partition of one loop's accesses plus the Definition 5 verdicts.
+class AccessClasses {
+public:
+  /// Builds the partition and classifies every class.
+  static AccessClasses build(const LoopDepGraph &G);
+
+  const std::vector<AccessClassInfo> &classes() const { return Classes; }
+
+  /// Index of the class containing \p Id (asserts the access is known).
+  unsigned classOf(AccessId Id) const;
+  bool contains(AccessId Id) const { return ClassIndex.count(Id) != 0; }
+
+  /// True when \p Id belongs to a thread-private class (Definition 5).
+  bool isPrivate(AccessId Id) const {
+    auto It = ClassIndex.find(Id);
+    return It != ClassIndex.end() && Classes[It->second].Private;
+  }
+
+  /// All accesses of thread-private classes.
+  std::set<AccessId> privateAccesses() const;
+
+private:
+  std::vector<AccessClassInfo> Classes;
+  std::map<AccessId, unsigned> ClassIndex;
+};
+
+/// Figure 8's three dynamic-access categories.
+enum class AccessCategory : uint8_t {
+  FreeOfCarriedDep, ///< not involved in any loop-carried dependence
+  Expandable,       ///< thread-private per Definition 5
+  WithCarriedDep,   ///< carried-involved but not privatizable
+};
+
+/// Per-category dynamic access counts for one loop (Figure 8 weights).
+struct AccessBreakdown {
+  uint64_t FreeOfCarried = 0;
+  uint64_t Expandable = 0;
+  uint64_t WithCarried = 0;
+
+  uint64_t total() const { return FreeOfCarried + Expandable + WithCarried; }
+};
+
+/// Categorizes each access of \p G and sums dynamic counts per category.
+AccessBreakdown computeAccessBreakdown(const LoopDepGraph &G,
+                                       const AccessClasses &Classes);
+
+} // namespace gdse
+
+#endif // GDSE_ANALYSIS_ACCESSCLASSES_H

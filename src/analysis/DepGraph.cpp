@@ -1,0 +1,56 @@
+//===- DepGraph.cpp - Loop-level data dependence graph ---------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepGraph.h"
+
+#include "support/Support.h"
+
+#include <sstream>
+
+using namespace gdse;
+
+const char *gdse::depKindName(DepKind K) {
+  switch (K) {
+  case DepKind::Flow:
+    return "flow";
+  case DepKind::Anti:
+    return "anti";
+  case DepKind::Output:
+    return "output";
+  }
+  gdse_unreachable("unknown dep kind");
+}
+
+bool LoopDepGraph::involvedInCarried(AccessId Id, DepKind K) const {
+  for (const DepEdge &E : Edges)
+    if (E.Carried && E.Kind == K && (E.Src == Id || E.Dst == Id))
+      return true;
+  return false;
+}
+
+bool LoopDepGraph::involvedInAnyCarried(AccessId Id) const {
+  for (const DepEdge &E : Edges)
+    if (E.Carried && (E.Src == Id || E.Dst == Id))
+      return true;
+  return false;
+}
+
+std::string LoopDepGraph::str() const {
+  std::ostringstream OS;
+  OS << "loop " << LoopId << ": " << Invocations << " invocation(s), "
+     << Iterations << " iteration(s), " << DynCount.size() << " access(es)\n";
+  for (const DepEdge &E : Edges)
+    OS << "  #" << E.Src << " -> #" << E.Dst << " " << depKindName(E.Kind)
+       << (E.Carried ? " carried" : " independent") << "\n";
+  for (AccessId Id : UpwardsExposedLoads)
+    OS << "  #" << Id << " upwards-exposed\n";
+  for (AccessId Id : DownwardsExposedStores)
+    OS << "  #" << Id << " downwards-exposed\n";
+  if (HasUnmodeled)
+    OS << "  (has unmodeled bulk accesses)\n";
+  return OS.str();
+}

@@ -1,0 +1,94 @@
+//===- DepGraph.h - Loop-level data dependence graph ------------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop-level data dependence graph of Definition 1: vertices are static
+/// memory accesses (AccessIds) that executed inside the target loop, edges
+/// are flow/anti/output dependences observed between them, each either
+/// loop-independent or loop-carried. Also records the two per-access
+/// properties of Definitions 2-3 (upwards-exposed loads, downwards-exposed
+/// stores) and the per-access dynamic execution counts used to weight the
+/// Figure 8 breakdown.
+///
+/// The paper obtains this graph from dependence profiling with programmer
+/// verification (§2); src/profile/DepProfiler.h is our profiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_ANALYSIS_DEPGRAPH_H
+#define GDSE_ANALYSIS_DEPGRAPH_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gdse {
+
+enum class DepKind : uint8_t { Flow, Anti, Output };
+
+const char *depKindName(DepKind K);
+
+struct DepEdge {
+  AccessId Src = InvalidAccessId;
+  AccessId Dst = InvalidAccessId;
+  DepKind Kind = DepKind::Flow;
+  bool Carried = false;
+
+  auto operator<=>(const DepEdge &) const = default;
+};
+
+/// Dependence graph of one loop (one profiling target).
+class LoopDepGraph {
+public:
+  unsigned LoopId = 0;
+  uint64_t Invocations = 0;
+  uint64_t Iterations = 0;
+
+  std::set<DepEdge> Edges;
+  std::set<AccessId> UpwardsExposedLoads;
+  std::set<AccessId> DownwardsExposedStores;
+  /// Dynamic execution count of each access while inside the loop. The key
+  /// set is the vertex set V of Definition 1.
+  std::map<AccessId, uint64_t> DynCount;
+  /// True when the loop executed an access the graph cannot model
+  /// (memcpy/memset/realloc bulk effects inside the loop); the planner must
+  /// then refuse to parallelize.
+  bool HasUnmodeled = false;
+
+  void addEdge(AccessId Src, AccessId Dst, DepKind K, bool Carried) {
+    if (Src == InvalidAccessId || Dst == InvalidAccessId)
+      return;
+    Edges.insert(DepEdge{Src, Dst, K, Carried});
+  }
+
+  bool hasEdge(AccessId Src, AccessId Dst, DepKind K, bool Carried) const {
+    return Edges.count(DepEdge{Src, Dst, K, Carried}) != 0;
+  }
+
+  /// All accesses observed in the loop, ascending.
+  std::vector<AccessId> vertices() const {
+    std::vector<AccessId> V;
+    V.reserve(DynCount.size());
+    for (const auto &[Id, Count] : DynCount)
+      V.push_back(Id);
+    return V;
+  }
+
+  /// True when \p Id is an endpoint of any loop-carried edge of kind \p K.
+  bool involvedInCarried(AccessId Id, DepKind K) const;
+  /// True when \p Id is an endpoint of any loop-carried edge at all.
+  bool involvedInAnyCarried(AccessId Id) const;
+
+  /// Human-readable dump for tests and debugging.
+  std::string str() const;
+};
+
+} // namespace gdse
+
+#endif // GDSE_ANALYSIS_DEPGRAPH_H

@@ -1,0 +1,158 @@
+//===- GraphIO.cpp - Dependence graph serialization & verification ---------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/GraphIO.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace gdse;
+
+std::string gdse::serializeDepGraph(const LoopDepGraph &G) {
+  std::ostringstream OS;
+  OS << "loop " << G.LoopId << "\n";
+  OS << "iterations " << G.Iterations << " invocations " << G.Invocations
+     << "\n";
+  for (const auto &[Id, Count] : G.DynCount)
+    OS << "count " << Id << " " << Count << "\n";
+  for (const DepEdge &E : G.Edges)
+    OS << "edge " << E.Src << " " << E.Dst << " " << depKindName(E.Kind)
+       << " " << (E.Carried ? "carried" : "independent") << "\n";
+  for (AccessId Id : G.UpwardsExposedLoads)
+    OS << "upexposed " << Id << "\n";
+  for (AccessId Id : G.DownwardsExposedStores)
+    OS << "downexposed " << Id << "\n";
+  if (G.HasUnmodeled)
+    OS << "unmodeled\n";
+  return OS.str();
+}
+
+bool gdse::parseDepGraph(const std::string &Text, LoopDepGraph &G,
+                         std::string &Error) {
+  G = LoopDepGraph();
+  std::istringstream IS(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  auto fail = [&](const std::string &Msg) {
+    Error = formatString("line %u: %s", LineNo, Msg.c_str());
+    return false;
+  };
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    // Strip comments and whitespace-only lines.
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line = Line.substr(0, Hash);
+    std::istringstream LS(Line);
+    std::string Kw;
+    if (!(LS >> Kw))
+      continue;
+    if (Kw == "loop") {
+      if (!(LS >> G.LoopId))
+        return fail("expected loop id");
+    } else if (Kw == "iterations") {
+      std::string Inv;
+      if (!(LS >> G.Iterations >> Inv >> G.Invocations) ||
+          Inv != "invocations")
+        return fail("expected 'iterations <n> invocations <m>'");
+    } else if (Kw == "count") {
+      AccessId Id;
+      uint64_t Count;
+      if (!(LS >> Id >> Count))
+        return fail("expected 'count <access> <n>'");
+      G.DynCount[Id] = Count;
+    } else if (Kw == "edge") {
+      AccessId Src, Dst;
+      std::string Kind, Carried;
+      if (!(LS >> Src >> Dst >> Kind >> Carried))
+        return fail("expected 'edge <src> <dst> <kind> <carried>'");
+      DepKind K;
+      if (Kind == "flow")
+        K = DepKind::Flow;
+      else if (Kind == "anti")
+        K = DepKind::Anti;
+      else if (Kind == "output")
+        K = DepKind::Output;
+      else
+        return fail("unknown dependence kind '" + Kind + "'");
+      bool C;
+      if (Carried == "carried")
+        C = true;
+      else if (Carried == "independent")
+        C = false;
+      else
+        return fail("expected 'carried' or 'independent'");
+      G.addEdge(Src, Dst, K, C);
+      // Ensure the endpoints exist as vertices even without counts.
+      G.DynCount.emplace(Src, 0);
+      G.DynCount.emplace(Dst, 0);
+    } else if (Kw == "upexposed") {
+      AccessId Id;
+      if (!(LS >> Id))
+        return fail("expected access id");
+      G.UpwardsExposedLoads.insert(Id);
+    } else if (Kw == "downexposed") {
+      AccessId Id;
+      if (!(LS >> Id))
+        return fail("expected access id");
+      G.DownwardsExposedStores.insert(Id);
+    } else if (Kw == "unmodeled") {
+      G.HasUnmodeled = true;
+    } else {
+      return fail("unknown record '" + Kw + "'");
+    }
+  }
+  if (G.LoopId == 0)
+    return fail("missing 'loop <id>' record");
+  return true;
+}
+
+GraphDiff gdse::diffDepGraphs(const LoopDepGraph &Baseline,
+                              const LoopDepGraph &Observed) {
+  GraphDiff D;
+  std::set_difference(Baseline.Edges.begin(), Baseline.Edges.end(),
+                      Observed.Edges.begin(), Observed.Edges.end(),
+                      std::back_inserter(D.EdgesOnlyInBaseline));
+  std::set_difference(Observed.Edges.begin(), Observed.Edges.end(),
+                      Baseline.Edges.begin(), Baseline.Edges.end(),
+                      std::back_inserter(D.EdgesOnlyInObserved));
+
+  auto exposureSet = [](const LoopDepGraph &G) {
+    std::set<AccessId> S;
+    S.insert(G.UpwardsExposedLoads.begin(), G.UpwardsExposedLoads.end());
+    S.insert(G.DownwardsExposedStores.begin(), G.DownwardsExposedStores.end());
+    return S;
+  };
+  std::set<AccessId> BE = exposureSet(Baseline), OE = exposureSet(Observed);
+  std::set_difference(BE.begin(), BE.end(), OE.begin(), OE.end(),
+                      std::back_inserter(D.ExposureOnlyInBaseline));
+  std::set_difference(OE.begin(), OE.end(), BE.begin(), BE.end(),
+                      std::back_inserter(D.ExposureOnlyInObserved));
+  D.UnmodeledChanged = Baseline.HasUnmodeled != Observed.HasUnmodeled;
+  return D;
+}
+
+std::string GraphDiff::str() const {
+  if (identical())
+    return "graphs identical\n";
+  std::ostringstream OS;
+  for (const DepEdge &E : EdgesOnlyInBaseline)
+    OS << "- edge #" << E.Src << " -> #" << E.Dst << " " << depKindName(E.Kind)
+       << (E.Carried ? " carried" : " independent") << "\n";
+  for (const DepEdge &E : EdgesOnlyInObserved)
+    OS << "+ edge #" << E.Src << " -> #" << E.Dst << " " << depKindName(E.Kind)
+       << (E.Carried ? " carried" : " independent") << "\n";
+  for (AccessId Id : ExposureOnlyInBaseline)
+    OS << "- exposed #" << Id << "\n";
+  for (AccessId Id : ExposureOnlyInObserved)
+    OS << "+ exposed #" << Id << "\n";
+  if (UnmodeledChanged)
+    OS << "! unmodeled flag differs\n";
+  return OS.str();
+}

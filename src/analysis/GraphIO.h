@@ -1,0 +1,77 @@
+//===- GraphIO.h - Dependence graph serialization & verification -*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's workflow (Fig. 7, §2, §6) assumes the loop-level dependence
+/// graph is *verified by the programmer* before the transformation trusts
+/// it. This header provides that interaction surface:
+///
+///  - a stable text format for LoopDepGraph (dump after profiling, check
+///    into the repository, edit, reload);
+///  - a structural diff between two graphs (e.g. a freshly profiled one and
+///    the programmer-verified one), listing edges/exposures that appeared
+///    or disappeared, so re-verification effort is proportional to change.
+///
+/// Format, one record per line ('#' comments allowed):
+///
+///   loop <id>
+///   iterations <n> invocations <m>
+///   count <access> <dyncount>
+///   edge <src> <dst> flow|anti|output carried|independent
+///   upexposed <access>
+///   downexposed <access>
+///   unmodeled
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_ANALYSIS_GRAPHIO_H
+#define GDSE_ANALYSIS_GRAPHIO_H
+
+#include "analysis/DepGraph.h"
+
+#include <string>
+
+namespace gdse {
+
+/// Renders \p G in the stable text format (deterministic ordering).
+std::string serializeDepGraph(const LoopDepGraph &G);
+
+/// Parses the text format. Returns false and fills \p Error on malformed
+/// input; \p G is default-initialized first.
+bool parseDepGraph(const std::string &Text, LoopDepGraph &G,
+                   std::string &Error);
+
+/// Differences between a baseline graph (e.g. the programmer-verified one)
+/// and a newly observed graph (e.g. a fresh profile).
+struct GraphDiff {
+  std::vector<DepEdge> EdgesOnlyInBaseline;
+  std::vector<DepEdge> EdgesOnlyInObserved;
+  std::vector<AccessId> ExposureOnlyInBaseline; ///< up/down merged
+  std::vector<AccessId> ExposureOnlyInObserved;
+  bool UnmodeledChanged = false;
+
+  bool identical() const {
+    return EdgesOnlyInBaseline.empty() && EdgesOnlyInObserved.empty() &&
+           ExposureOnlyInBaseline.empty() && ExposureOnlyInObserved.empty() &&
+           !UnmodeledChanged;
+  }
+  /// True when \p Observed needs no new verification: every observed edge
+  /// and exposure already exists in the baseline (the baseline may be a
+  /// conservative superset).
+  bool observedCoveredByBaseline() const {
+    return EdgesOnlyInObserved.empty() && ExposureOnlyInObserved.empty() &&
+           !UnmodeledChanged;
+  }
+  std::string str() const;
+};
+
+GraphDiff diffDepGraphs(const LoopDepGraph &Baseline,
+                        const LoopDepGraph &Observed);
+
+} // namespace gdse
+
+#endif // GDSE_ANALYSIS_GRAPHIO_H

@@ -1,0 +1,446 @@
+//===- PointsTo.cpp - Inclusion-based points-to analysis -------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PointsTo.h"
+
+#include "ir/IRVisitor.h"
+#include "support/Support.h"
+
+#include <deque>
+
+using namespace gdse;
+
+std::string MemObject::str() const {
+  if (K == Kind::Variable)
+    return "var:" + Var->getName();
+  return formatString("heap:site%u", SiteId);
+}
+
+namespace {
+
+/// Node ids in the constraint graph:
+///   [0, NumObjects)                 content node of object i
+///   [NumObjects, +NumExprs)         expression value nodes
+///   [.., +NumFunctions)             function return nodes
+class ConstraintGraph {
+public:
+  uint32_t addNode() {
+    Pts.emplace_back();
+    Succs.emplace_back();
+    LoadCons.emplace_back();
+    StoreCons.emplace_back();
+    return static_cast<uint32_t>(Pts.size() - 1);
+  }
+
+  void addCopy(uint32_t From, uint32_t To) {
+    if (From == To)
+      return;
+    if (Succs[From].insert(To).second && !Pts[From].empty())
+      Work.push_back(From);
+  }
+
+  void addPointee(uint32_t Node, uint32_t Obj) {
+    if (Pts[Node].insert(Obj).second)
+      Work.push_back(Node);
+  }
+
+  /// dst ⊇ content(o) for each o in pts(src)
+  void addLoad(uint32_t Src, uint32_t Dst) {
+    LoadCons[Src].insert(Dst);
+    if (!Pts[Src].empty())
+      Work.push_back(Src);
+  }
+
+  /// content(o) ⊇ src for each o in pts(dstPtr)
+  void addStore(uint32_t DstPtr, uint32_t Src) {
+    StoreCons[DstPtr].insert(Src);
+    if (!Pts[DstPtr].empty())
+      Work.push_back(DstPtr);
+  }
+
+  /// Worklist solve to fixpoint. ContentNodeOf maps object id -> node id
+  /// (identity here, objects occupy the first node indices).
+  void solve() {
+    while (!Work.empty()) {
+      uint32_t N = Work.front();
+      Work.pop_front();
+      // Resolve complex constraints against the current pts set.
+      for (uint32_t Dst : LoadCons[N])
+        for (uint32_t Obj : Pts[N])
+          addCopy(Obj, Dst); // content node id == object id
+      for (uint32_t Src : StoreCons[N])
+        for (uint32_t Obj : Pts[N])
+          addCopy(Src, Obj);
+      // Propagate along copy edges.
+      for (uint32_t Succ : Succs[N]) {
+        bool Changed = false;
+        for (uint32_t Obj : Pts[N])
+          if (Pts[Succ].insert(Obj).second)
+            Changed = true;
+        if (Changed)
+          Work.push_back(Succ);
+      }
+    }
+  }
+
+  std::vector<std::set<uint32_t>> Pts;
+  std::vector<std::set<uint32_t>> Succs;
+  std::vector<std::set<uint32_t>> LoadCons;
+  std::vector<std::set<uint32_t>> StoreCons;
+  std::deque<uint32_t> Work;
+};
+
+} // namespace
+
+namespace gdse {
+
+class PointsToBuilder {
+public:
+  explicit PointsToBuilder(Module &M) : M(M) {}
+
+  PointsTo run() {
+    // Objects: all variables first, then heap sites discovered on the walk.
+    for (uint32_t Id = 1; Id <= M.getNumVarDecls(); ++Id)
+      varObject(M.getVarDecl(Id));
+    for (Function *F : M.getFunctions())
+      walkFunctionSites(F);
+
+    // Content nodes occupy [0, NumObjects).
+    for (uint32_t I = 0; I != Result.Objects.size(); ++I)
+      G.addNode();
+
+    for (Function *F : M.getFunctions())
+      RetNode[F] = G.addNode();
+
+    for (Function *F : M.getFunctions())
+      if (F->getBody())
+        collectStmt(F, F->getBody());
+    G.solve();
+
+    // Publish.
+    Result.ContentPts.resize(Result.Objects.size());
+    for (uint32_t I = 0; I != Result.Objects.size(); ++I)
+      Result.ContentPts[I] = G.Pts[I];
+    for (auto &[E, N] : ExprNode)
+      Result.ExprPts[E] = G.Pts[N];
+    return std::move(Result);
+  }
+
+private:
+  uint32_t varObject(const VarDecl *D) {
+    auto It = Result.VarObj.find(D);
+    if (It != Result.VarObj.end())
+      return It->second;
+    MemObject O;
+    O.K = MemObject::Kind::Variable;
+    O.Var = const_cast<VarDecl *>(D);
+    uint32_t Id = static_cast<uint32_t>(Result.Objects.size());
+    Result.Objects.push_back(O);
+    Result.VarObj[D] = Id;
+    return Id;
+  }
+
+  uint32_t siteObject(CallExpr *C) {
+    auto It = Result.SiteObj.find(C->getSiteId());
+    if (It != Result.SiteObj.end())
+      return It->second;
+    MemObject O;
+    O.K = MemObject::Kind::HeapSite;
+    O.SiteId = C->getSiteId();
+    O.Site = C;
+    uint32_t Id = static_cast<uint32_t>(Result.Objects.size());
+    Result.Objects.push_back(O);
+    Result.SiteObj[C->getSiteId()] = Id;
+    return Id;
+  }
+
+  void walkFunctionSites(Function *F) {
+    walkExprs(F, [&](Expr *E) {
+      if (auto *C = dyn_cast<CallExpr>(E))
+        if (C->isBuiltin() && isAllocationBuiltin(C->getBuiltin()))
+          siteObject(C);
+    });
+  }
+
+  uint32_t exprNode(const Expr *E) {
+    auto It = ExprNode.find(E);
+    if (It != ExprNode.end())
+      return It->second;
+    uint32_t N = G.addNode();
+    ExprNode[E] = N;
+    return N;
+  }
+
+  /// Returns the node holding the pointer *value* of r-value \p E, emitting
+  /// the constraints that feed it.
+  uint32_t valueNode(const Expr *E) {
+    uint32_t N = exprNode(E);
+    if (!Visited.insert(E).second)
+      return N;
+    switch (E->getKind()) {
+    case Expr::Kind::Load: {
+      const Expr *LV = cast<LoadExpr>(E)->getLocation();
+      emitLoadFromLValue(LV, N);
+      return N;
+    }
+    case Expr::Kind::AddrOf:
+      emitAddressOfLValue(cast<AddrOfExpr>(E)->getLocation(), N);
+      return N;
+    case Expr::Kind::Decay:
+      emitAddressOfLValue(cast<DecayExpr>(E)->getArrayLocation(), N);
+      return N;
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      if (C->isBuiltin()) {
+        if (isAllocationBuiltin(C->getBuiltin()))
+          G.addPointee(N, siteObject(const_cast<CallExpr *>(C)));
+        // realloc may also return (a copy of) the original object's data,
+        // but as a fresh object; memcpy returns dst.
+        if (C->getBuiltin() == Builtin::MemcpyFn ||
+            C->getBuiltin() == Builtin::MemsetFn)
+          G.addCopy(valueNode(C->getArg(0)), N);
+        if (C->getBuiltin() == Builtin::RtPrivPtr)
+          G.addCopy(valueNode(C->getArg(0)), N);
+        // Arguments may still carry pointers (e.g. free(p)); visit them.
+        for (const Expr *A : C->getArgs())
+          valueNode(A);
+        return N;
+      }
+      Function *Callee = C->getCallee();
+      // Bind arguments to parameter variables.
+      for (unsigned I = 0, NumP = Callee->getFunctionType()->getNumParams();
+           I != NumP && I != C->getNumArgs(); ++I) {
+        uint32_t ArgN = valueNode(C->getArg(I));
+        uint32_t ParamObj = varObject(Callee->getParam(I));
+        G.addCopy(ArgN, ParamObj); // store into the parameter's content
+      }
+      G.addCopy(RetNode.at(Callee), N);
+      return N;
+    }
+    case Expr::Kind::Cast:
+      G.addCopy(valueNode(cast<CastExpr>(E)->getSub()), N);
+      return N;
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      // Pointer arithmetic keeps pointing into the same objects.
+      G.addCopy(valueNode(B->getLHS()), N);
+      G.addCopy(valueNode(B->getRHS()), N);
+      return N;
+    }
+    case Expr::Kind::Unary:
+      G.addCopy(valueNode(cast<UnaryExpr>(E)->getSub()), N);
+      return N;
+    case Expr::Kind::Cond: {
+      const auto *C = cast<CondExpr>(E);
+      valueNode(C->getCond());
+      G.addCopy(valueNode(C->getThen()), N);
+      G.addCopy(valueNode(C->getElse()), N);
+      return N;
+    }
+    case Expr::Kind::IntLit:
+    case Expr::Kind::FloatLit:
+    case Expr::Kind::SizeofType:
+    case Expr::Kind::ThreadId:
+    case Expr::Kind::NumThreads:
+      return N;
+    case Expr::Kind::VarRef:
+    case Expr::Kind::Deref:
+    case Expr::Kind::ArrayIndex:
+    case Expr::Kind::FieldAccess:
+      // Bare l-values only occur under Load/AddrOf/Decay/Assign.
+      return N;
+    }
+    gdse_unreachable("unknown expr kind");
+  }
+
+  /// Emits constraints for reading a (pointer) value out of l-value \p LV
+  /// into node \p Dst.
+  void emitLoadFromLValue(const Expr *LV, uint32_t Dst) {
+    switch (LV->getKind()) {
+    case Expr::Kind::VarRef:
+      // Load from variable storage: copy its content node.
+      G.addCopy(varObject(cast<VarRefExpr>(LV)->getDecl()), Dst);
+      return;
+    case Expr::Kind::Deref:
+      G.addLoad(valueNode(cast<DerefExpr>(LV)->getPtr()), Dst);
+      return;
+    case Expr::Kind::ArrayIndex: {
+      const auto *A = cast<ArrayIndexExpr>(LV);
+      valueNode(A->getIndex());
+      G.addLoad(valueNode(A->getBase()), Dst);
+      return;
+    }
+    case Expr::Kind::FieldAccess:
+      // Field-insensitive: load from the base object.
+      emitLoadFromLValue(cast<FieldAccessExpr>(LV)->getBase(), Dst);
+      return;
+    default:
+      gdse_unreachable("not an l-value");
+    }
+  }
+
+  /// Emits constraints making node \p Dst hold the address of l-value \p LV.
+  void emitAddressOfLValue(const Expr *LV, uint32_t Dst) {
+    switch (LV->getKind()) {
+    case Expr::Kind::VarRef:
+      G.addPointee(Dst, varObject(cast<VarRefExpr>(LV)->getDecl()));
+      return;
+    case Expr::Kind::Deref:
+      // &*p aliases p.
+      G.addCopy(valueNode(cast<DerefExpr>(LV)->getPtr()), Dst);
+      return;
+    case Expr::Kind::ArrayIndex: {
+      const auto *A = cast<ArrayIndexExpr>(LV);
+      valueNode(A->getIndex());
+      G.addCopy(valueNode(A->getBase()), Dst);
+      return;
+    }
+    case Expr::Kind::FieldAccess:
+      emitAddressOfLValue(cast<FieldAccessExpr>(LV)->getBase(), Dst);
+      return;
+    default:
+      gdse_unreachable("not an l-value");
+    }
+  }
+
+  /// Emits constraints for storing node \p Src into l-value \p LV.
+  void emitStoreToLValue(const Expr *LV, uint32_t Src) {
+    switch (LV->getKind()) {
+    case Expr::Kind::VarRef:
+      G.addCopy(Src, varObject(cast<VarRefExpr>(LV)->getDecl()));
+      return;
+    case Expr::Kind::Deref:
+      G.addStore(valueNode(cast<DerefExpr>(LV)->getPtr()), Src);
+      return;
+    case Expr::Kind::ArrayIndex: {
+      const auto *A = cast<ArrayIndexExpr>(LV);
+      valueNode(A->getIndex());
+      G.addStore(valueNode(A->getBase()), Src);
+      return;
+    }
+    case Expr::Kind::FieldAccess:
+      emitStoreToLValue(cast<FieldAccessExpr>(LV)->getBase(), Src);
+      return;
+    default:
+      gdse_unreachable("not an l-value");
+    }
+  }
+
+  void collectStmt(Function *F, Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Block:
+      for (Stmt *Sub : cast<BlockStmt>(S)->getStmts())
+        collectStmt(F, Sub);
+      return;
+    case Stmt::Kind::ExprStmt:
+      valueNode(cast<ExprStmt>(S)->getExpr());
+      return;
+    case Stmt::Kind::Assign: {
+      auto *A = cast<AssignStmt>(S);
+      if (A->getLHS()->getType()->isAggregate()) {
+        // Aggregate copy: content of dst objects absorbs content of src
+        // objects. RHS is a LoadExpr of the source l-value.
+        uint32_t Tmp = exprNode(A->getRHS());
+        if (auto *RL = dyn_cast<LoadExpr>(A->getRHS()))
+          emitLoadFromLValue(RL->getLocation(), Tmp);
+        emitStoreToLValue(A->getLHS(), Tmp);
+        return;
+      }
+      uint32_t Src = valueNode(A->getRHS());
+      emitStoreToLValue(A->getLHS(), Src);
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      valueNode(I->getCond());
+      collectStmt(F, I->getThen());
+      if (I->getElse())
+        collectStmt(F, I->getElse());
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto *W = cast<WhileStmt>(S);
+      valueNode(W->getCond());
+      collectStmt(F, W->getBody());
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto *FS = cast<ForStmt>(S);
+      valueNode(FS->getInit());
+      valueNode(FS->getLimit());
+      valueNode(FS->getStep());
+      collectStmt(F, FS->getBody());
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto *R = cast<ReturnStmt>(S);
+      if (R->getValue())
+        G.addCopy(valueNode(R->getValue()), RetNode.at(F));
+      return;
+    }
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+      return;
+    case Stmt::Kind::Ordered:
+      collectStmt(F, cast<OrderedStmt>(S)->getBody());
+      return;
+    }
+    gdse_unreachable("unknown stmt kind");
+  }
+
+  Module &M;
+  PointsTo Result;
+  ConstraintGraph G;
+  std::map<const Expr *, uint32_t> ExprNode;
+  std::map<const Function *, uint32_t> RetNode;
+  std::set<const Expr *> Visited;
+};
+
+} // namespace gdse
+
+PointsTo PointsTo::compute(Module &M) { return PointsToBuilder(M).run(); }
+
+const std::set<uint32_t> &PointsTo::valueObjects(const Expr *E) const {
+  static const std::set<uint32_t> Empty;
+  auto It = ExprPts.find(E);
+  return It == ExprPts.end() ? Empty : It->second;
+}
+
+std::set<uint32_t> PointsTo::lvalueRootObjects(const Expr *LV) const {
+  switch (LV->getKind()) {
+  case Expr::Kind::VarRef:
+    return {objectOfVar(cast<VarRefExpr>(LV)->getDecl())};
+  case Expr::Kind::Deref:
+    return valueObjects(cast<DerefExpr>(LV)->getPtr());
+  case Expr::Kind::ArrayIndex:
+    return valueObjects(cast<ArrayIndexExpr>(LV)->getBase());
+  case Expr::Kind::FieldAccess:
+    return lvalueRootObjects(cast<FieldAccessExpr>(LV)->getBase());
+  default:
+    gdse_unreachable("not an l-value");
+  }
+}
+
+const std::set<uint32_t> &PointsTo::contentObjects(const VarDecl *D) const {
+  static const std::set<uint32_t> Empty;
+  auto It = VarObj.find(D);
+  if (It == VarObj.end())
+    return Empty;
+  return ContentPts[It->second];
+}
+
+uint32_t PointsTo::objectOfVar(const VarDecl *D) const {
+  auto It = VarObj.find(D);
+  assert(It != VarObj.end() && "variable without object");
+  return It->second;
+}
+
+uint32_t PointsTo::objectOfSite(uint32_t SiteId) const {
+  auto It = SiteObj.find(SiteId);
+  assert(It != SiteObj.end() && "unknown allocation site");
+  return It->second;
+}

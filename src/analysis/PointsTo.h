@@ -1,0 +1,99 @@
+//===- PointsTo.h - Inclusion-based points-to analysis ----------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A whole-program, flow- and context-insensitive, field-insensitive
+/// inclusion-based (Andersen-style) points-to analysis.
+///
+/// The expansion pipeline uses it for the paper's §3.4 memory-overhead
+/// optimization: "we perform alias analysis in the compiler to find out
+/// whether a data structure gets referenced by private memory accesses ...
+/// If not, the data structure will not be expanded", and symmetrically to
+/// decide which pointers must be promoted to fat pointers (only those that
+/// may reference an expanded structure).
+///
+/// Abstract objects: one per variable (its storage) and one per heap
+/// allocation site (malloc/calloc/realloc call). Each object has a single
+/// content node summarizing every pointer stored anywhere inside it
+/// (field-insensitive); pointer values reaching an expression are summarized
+/// per expression node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_ANALYSIS_POINTSTO_H
+#define GDSE_ANALYSIS_POINTSTO_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace gdse {
+
+/// An abstract memory object.
+struct MemObject {
+  enum class Kind : uint8_t { Variable, HeapSite };
+  Kind K = Kind::Variable;
+  /// Valid when K == Variable.
+  VarDecl *Var = nullptr;
+  /// Valid when K == HeapSite: the allocation CallExpr's site id.
+  uint32_t SiteId = 0;
+  /// The allocation call itself (HeapSite only).
+  CallExpr *Site = nullptr;
+
+  std::string str() const;
+};
+
+/// Result of the analysis. Object ids are dense indices into objects().
+class PointsTo {
+public:
+  /// Runs the analysis over every function in \p M.
+  static PointsTo compute(Module &M);
+
+  const std::vector<MemObject> &objects() const { return Objects; }
+  const MemObject &object(uint32_t Id) const {
+    assert(Id < Objects.size() && "bad object id");
+    return Objects[Id];
+  }
+
+  /// Objects the pointer value produced by \p E may point to. \p E must be
+  /// an expression that occurred in the analyzed module.
+  const std::set<uint32_t> &valueObjects(const Expr *E) const;
+
+  /// Objects in which the storage denoted by l-value \p LV may reside
+  /// (e.g. for `p->next` this is everything `p` may point to; for a
+  /// variable reference it is that variable's object).
+  std::set<uint32_t> lvalueRootObjects(const Expr *LV) const;
+
+  /// Objects that pointers stored inside variable \p D may point to.
+  const std::set<uint32_t> &contentObjects(const VarDecl *D) const;
+
+  /// Object id of variable \p D.
+  uint32_t objectOfVar(const VarDecl *D) const;
+  /// Object id of heap site \p SiteId (asserts it exists).
+  uint32_t objectOfSite(uint32_t SiteId) const;
+  /// True when \p SiteId is a known allocation site.
+  bool hasSite(uint32_t SiteId) const {
+    return SiteObj.count(SiteId) != 0;
+  }
+
+private:
+  std::vector<MemObject> Objects;
+  std::map<const VarDecl *, uint32_t> VarObj;
+  std::map<uint32_t, uint32_t> SiteObj;
+  /// Final points-to sets of expression value nodes.
+  std::map<const Expr *, std::set<uint32_t>> ExprPts;
+  /// Final points-to sets of object content nodes (indexed by object id).
+  std::vector<std::set<uint32_t>> ContentPts;
+
+  friend class PointsToBuilder;
+};
+
+} // namespace gdse
+
+#endif // GDSE_ANALYSIS_POINTSTO_H

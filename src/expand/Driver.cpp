@@ -1,0 +1,399 @@
+//===- Driver.cpp - Expansion pipeline orchestration -----------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Makes every decision on the ORIGINAL module (expansion targets, fat
+// slots, per-access plans, constant spans), then runs the rewriting passes
+// and re-verifies the module.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expand/ExpansionImpl.h"
+
+#include "ir/IRVisitor.h"
+#include "ir/Verifier.h"
+#include "support/Support.h"
+
+using namespace gdse;
+
+namespace {
+
+/// sizeof under the ORIGINAL (pre-translation) layout; used while fat slots
+/// are still being chosen.
+std::optional<int64_t> evalConstSizeOrig(TypeContext &Ctx, const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(E)->getValue();
+  case Expr::Kind::SizeofType:
+    return static_cast<int64_t>(
+        Ctx.getLayout(cast<SizeofTypeExpr>(E)->getQueriedType()).Size);
+  case Expr::Kind::Cast:
+    if (E->getType()->isInt())
+      return evalConstSizeOrig(Ctx, cast<CastExpr>(E)->getSub());
+    return std::nullopt;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    auto L = evalConstSizeOrig(Ctx, B->getLHS());
+    auto R = evalConstSizeOrig(Ctx, B->getRHS());
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->getOp()) {
+    case BinaryOp::Add:
+      return *L + *R;
+    case BinaryOp::Sub:
+      return *L - *R;
+    case BinaryOp::Mul:
+      return *L * *R;
+    default:
+      return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+/// The byte-size expression of an allocation call (before any expansion):
+/// malloc(n) -> n, calloc(n,s) -> n*s, realloc(p,n) -> n.
+std::optional<int64_t> constSiteSize(ExpansionContext &Cx, const CallExpr *C,
+                                     bool Translated) {
+  auto eval = [&](const Expr *E) -> std::optional<int64_t> {
+    return Translated ? Cx.evalConstSize(E)
+                      : evalConstSizeOrig(Cx.types(), E);
+  };
+  switch (C->getBuiltin()) {
+  case Builtin::MallocFn:
+    return eval(C->getArg(0));
+  case Builtin::CallocFn: {
+    auto A = eval(C->getArg(0));
+    auto B = eval(C->getArg(1));
+    if (A && B)
+      return *A * *B;
+    return std::nullopt;
+  }
+  case Builtin::ReallocFn:
+    return eval(C->getArg(1));
+  default:
+    return std::nullopt;
+  }
+}
+
+/// Common constant size of a set of objects; nullopt when any is unknown or
+/// they disagree.
+std::optional<int64_t> commonConstSize(ExpansionContext &Cx, const PointsTo &PT,
+                                       const std::set<uint32_t> &Objs,
+                                       bool Translated) {
+  std::optional<int64_t> Common;
+  for (uint32_t Id : Objs) {
+    const MemObject &O = PT.object(Id);
+    std::optional<int64_t> Size;
+    if (O.K == MemObject::Kind::Variable) {
+      Type *T = O.Var->getType();
+      if (Translated)
+        T = Cx.translateType(T);
+      Size = static_cast<int64_t>(Cx.types().getLayout(T).Size);
+    } else {
+      Size = constSiteSize(Cx, O.Site, Translated);
+    }
+    if (!Size)
+      return std::nullopt;
+    if (Common && *Common != *Size)
+      return std::nullopt;
+    Common = Size;
+  }
+  return Common;
+}
+
+std::set<uint32_t> intersect(const std::set<uint32_t> &A,
+                             const std::set<uint32_t> &B) {
+  std::set<uint32_t> Out;
+  for (uint32_t X : A)
+    if (B.count(X))
+      Out.insert(X);
+  return Out;
+}
+
+} // namespace
+
+ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
+                                 const LoopDepGraph &G,
+                                 const ExpansionOptions &Opts) {
+  ExpansionResult Result;
+  ExpansionContext Cx(M, G, Opts, Result);
+
+  AccessNumbering Num = AccessNumbering::compute(M);
+  if (LoopId == 0 || LoopId > Num.numLoops()) {
+    Cx.error(formatString("unknown loop id %u", LoopId));
+    return Result;
+  }
+  const LoopDesc &LD = Num.loop(LoopId);
+  Cx.TargetLoop = dyn_cast<ForStmt>(LD.LoopStmt);
+  Cx.LoopFunction = LD.InFunction;
+  if (!Cx.TargetLoop) {
+    Cx.error("target loop is not a canonical counted for-loop");
+    return Result;
+  }
+  if (G.LoopId != LoopId) {
+    Cx.error("dependence graph was profiled for a different loop");
+    return Result;
+  }
+
+  PointsTo PT = PointsTo::compute(M);
+  AccessClasses Classes = AccessClasses::build(G);
+  Result.PrivateAccesses = Classes.privateAccesses();
+
+  // --- Per-access root objects, and the expansion-target closure. --------
+  std::map<AccessId, std::set<uint32_t>> Roots;
+  for (const AccessDesc &D : Num.accesses())
+    Roots[D.Id] = PT.lvalueRootObjects(D.location());
+
+  std::set<uint32_t> &E = Cx.ExpandedObjs;
+  for (AccessId Id : Result.PrivateAccesses) {
+    const auto &R = Roots[Id];
+    E.insert(R.begin(), R.end());
+  }
+  bool Grew = true;
+  while (Grew) {
+    Grew = false;
+    for (const auto &[Id, R] : Roots) {
+      if (R.empty() || intersect(R, E).empty() ||
+          std::includes(E.begin(), E.end(), R.begin(), R.end()))
+        continue;
+      E.insert(R.begin(), R.end());
+      Grew = true;
+    }
+  }
+
+  // --- Scalar privatization exclusion. ------------------------------------
+  // Non-address-taken scalar/pointer locals need no data structure
+  // expansion: the parallel runtime's loop outlining already gives each
+  // worker its own copy (classic scalar privatization — OpenMP `private`).
+  // The paper's technique exists for the structures this cannot handle.
+  // Such variables cannot be aliased (their address is never taken), so
+  // removing them from the target set never breaks the closure.
+  {
+    std::set<const VarDecl *> AddressTaken;
+    for (Function *F : M.getFunctions()) {
+      walkExprs(F, [&](Expr *Ex) {
+        const Expr *Loc = nullptr;
+        if (auto *A = dyn_cast<AddrOfExpr>(Ex))
+          Loc = A->getLocation();
+        else if (auto *D = dyn_cast<DecayExpr>(Ex))
+          Loc = D->getArrayLocation();
+        while (Loc) {
+          if (auto *FA = dyn_cast<FieldAccessExpr>(Loc)) {
+            Loc = FA->getBase();
+            continue;
+          }
+          if (auto *V = dyn_cast<VarRefExpr>(Loc))
+            AddressTaken.insert(V->getDecl());
+          break;
+        }
+      });
+    }
+    for (auto It = E.begin(); It != E.end();) {
+      const MemObject &O = PT.object(*It);
+      bool RuntimePrivatizable =
+          O.K == MemObject::Kind::Variable && O.Var->isLocal() &&
+          (O.Var->getType()->isScalar() || O.Var->getType()->isPointer()) &&
+          !AddressTaken.count(O.Var);
+      if (RuntimePrivatizable)
+        It = E.erase(It);
+      else
+        ++It;
+    }
+  }
+
+  // --- Resolve and validate the targets. ---------------------------------
+  VarDecl *IV = Cx.TargetLoop->getInductionVar();
+  for (uint32_t Obj : E) {
+    const MemObject &O = PT.object(Obj);
+    if (O.K == MemObject::Kind::Variable) {
+      if (O.Var->isParam()) {
+        Cx.error("cannot expand parameter storage '" + O.Var->getName() +
+                 "'");
+        return Result;
+      }
+      if (O.Var == IV) {
+        Cx.error("the loop induction variable must not require expansion");
+        return Result;
+      }
+      Cx.ExpandedVars.insert(O.Var);
+    } else {
+      if (O.Site->getBuiltin() == Builtin::ReallocFn) {
+        Cx.error("realloc of an expanded structure is unsupported (grown "
+                 "bonded copies would interleave stale data)");
+        return Result;
+      }
+      Cx.ExpandedSites.insert(O.Site);
+    }
+  }
+
+  // Interleaved layout: reject recast structures (the paper's bzip2 zptr
+  // argument for bonded mode).
+  if (Opts.Layout == LayoutMode::Interleaved) {
+    for (Function *F : M.getFunctions()) {
+      walkExprs(F, [&](Expr *Ex) {
+        auto *C = dyn_cast<CastExpr>(Ex);
+        if (!C || !C->getType()->isPointer() ||
+            !C->getSub()->getType()->isPointer())
+          return;
+        Type *ToP = cast<PointerType>(C->getType())->getPointee();
+        Type *FromP = cast<PointerType>(C->getSub()->getType())->getPointee();
+        if (ToP->isVoid() || FromP->isVoid())
+          return;
+        if (Cx.types().getLayout(ToP).Size == Cx.types().getLayout(FromP).Size)
+          return;
+        if (!intersect(PT.valueObjects(C->getSub()), E).empty())
+          Cx.error("interleaved layout cannot expand a structure recast "
+                   "between different-sized element types");
+      });
+    }
+    if (Cx.failed())
+      return Result;
+  }
+
+  // --- Fat pointer slots (§3.4 selective promotion / constant spans). ----
+  auto slotNeedsSpan = [&](const std::set<uint32_t> &PointeeObjs) -> bool {
+    std::set<uint32_t> Hits = intersect(PointeeObjs, E);
+    if (Opts.SelectivePromotion && Hits.empty())
+      return false;
+    if (!Opts.SelectivePromotion && PointeeObjs.empty() && Hits.empty()) {
+      // Unoptimized mode promotes every pointer slot regardless.
+      return true;
+    }
+    if (Opts.SpanConstantPropagation) {
+      const std::set<uint32_t> &ForConst = Hits.empty() ? PointeeObjs : Hits;
+      if (!ForConst.empty() &&
+          commonConstSize(Cx, PT, ForConst, /*Translated=*/false))
+        return false;
+    }
+    if (!Opts.SelectivePromotion)
+      return true;
+    return !Hits.empty();
+  };
+
+  // Variable slots.
+  for (uint32_t Id = 1; Id <= M.getNumVarDecls(); ++Id) {
+    VarDecl *V = M.getVarDecl(Id);
+    if (!V->getType()->isPointer())
+      continue;
+    if (slotNeedsSpan(PT.contentObjects(V))) {
+      PointerSlot Slot;
+      Slot.Var = V;
+      Cx.FatSlots.insert(Slot);
+    }
+  }
+  // Field slots: gather stored-value objects per (struct, field).
+  std::map<std::pair<StructType *, unsigned>, std::set<uint32_t>> FieldPts;
+  std::set<std::pair<StructType *, unsigned>> PtrFields;
+  for (StructType *S : M.getTypes().getStructs()) {
+    if (S->isOpaque())
+      continue;
+    for (unsigned I = 0, NumF = S->getNumFields(); I != NumF; ++I)
+      if (S->getField(I).Ty->isPointer())
+        PtrFields.insert({S, I});
+  }
+  for (Function *F : M.getFunctions()) {
+    if (!F->getBody())
+      continue;
+    walkStmts(F->getBody(), [&](Stmt *S) {
+      auto *A = dyn_cast<AssignStmt>(S);
+      if (!A || !A->getLHS()->getType()->isPointer())
+        return;
+      auto *FA = dyn_cast<FieldAccessExpr>(A->getLHS());
+      if (!FA)
+        return;
+      auto *ST = cast<StructType>(FA->getBase()->getType());
+      auto &Set = FieldPts[{ST, FA->getFieldIndex()}];
+      const auto &VO = PT.valueObjects(A->getRHS());
+      Set.insert(VO.begin(), VO.end());
+    });
+  }
+  for (const auto &Key : PtrFields) {
+    auto It = FieldPts.find(Key);
+    std::set<uint32_t> Objs =
+        It == FieldPts.end() ? std::set<uint32_t>() : It->second;
+    if (slotNeedsSpan(Objs)) {
+      PointerSlot Slot;
+      Slot.Struct = Key.first;
+      Slot.FieldIdx = Key.second;
+      Cx.FatSlots.insert(Slot);
+    }
+  }
+
+  // Translation tables become valid from here on.
+  Cx.computeChangingStructs();
+
+  // --- Per-access plans. --------------------------------------------------
+  for (const AccessDesc &D : Num.accesses()) {
+    const auto &R = Roots[D.Id];
+    if (R.empty() || intersect(R, E).empty())
+      continue;
+    AccessPlan Plan;
+    Plan.Redirect = true;
+    Plan.Private = Result.PrivateAccesses.count(D.Id) != 0;
+    if (auto C = commonConstSize(Cx, PT, R, /*Translated=*/true))
+      Plan.ConstSpan = *C;
+    Cx.Plans[D.Id] = Plan;
+  }
+
+  // --- Fallback constant spans for pointer definitions. ------------------
+  for (Function *F : M.getFunctions()) {
+    if (!F->getBody())
+      continue;
+    walkStmts(F->getBody(), [&](Stmt *S) {
+      auto *A = dyn_cast<AssignStmt>(S);
+      if (!A || !A->getRHS()->getType()->isPointer())
+        return;
+      const auto &Objs = PT.valueObjects(A->getRHS());
+      std::set<uint32_t> Rel = intersect(Objs, E);
+      if (Rel.empty())
+        Rel = Objs;
+      if (Rel.empty())
+        return;
+      if (auto C = commonConstSize(Cx, PT, Rel, /*Translated=*/true))
+        Cx.AssignConstSpan[A] = *C;
+    });
+    walkExprs(F, [&](Expr *Ex) {
+      auto *C = dyn_cast<CallExpr>(Ex);
+      if (!C || C->isBuiltin())
+        return;
+      for (unsigned I = 0, NumA = C->getNumArgs(); I != NumA; ++I) {
+        if (!C->getArg(I)->getType()->isPointer())
+          continue;
+        const auto &Objs = PT.valueObjects(C->getArg(I));
+        std::set<uint32_t> Rel = intersect(Objs, E);
+        if (Rel.empty())
+          Rel = Objs;
+        if (Rel.empty())
+          continue;
+        if (auto CS = commonConstSize(Cx, PT, Rel, /*Translated=*/true))
+          Cx.CallArgConstSpan[{C, I}] = *CS;
+      }
+    });
+  }
+
+  // --- Rewrite. -----------------------------------------------------------
+  Cx.runPromotion();
+  if (Cx.failed())
+    return Result;
+  Cx.runExpansionAndRedirection();
+  if (Cx.failed())
+    return Result;
+
+  std::vector<std::string> VerifyErrs = verifyModule(M);
+  for (const std::string &Err : VerifyErrs)
+    Cx.error("post-expansion verification: " + Err);
+  if (Cx.failed())
+    return Result;
+
+  // NOTE: access ids are deliberately NOT renumbered: the surviving nodes
+  // keep the ids of the profiled module, so the planner can match the
+  // dependence graph's vertices against the transformed loop body.
+  Result.Ok = true;
+  return Result;
+}

@@ -1,0 +1,686 @@
+//===- Promote.cpp - Pointer promotion and span insertion ------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Implements §3.3.1-3.3.2 of the paper:
+//  - type translation: struct types whose (possibly nested) pointer members
+//    are promoted get rewritten bodies; pointee types translate recursively
+//    (the promote() function of Fig. 6, applied per Fig. 5 to globals,
+//    locals, parameters, fields and heap allocations);
+//  - fat-pointer slots: a promoted pointer variable/field becomes
+//    struct { T* pointer; long span; }. References are rewritten so pointer
+//    *values* stay plain (loads read .pointer, stores write .pointer);
+//  - promoted parameters are unbundled into (pointer, span) argument pairs
+//    with a prologue that reassembles the fat local — functions cannot
+//    return aggregates in MiniC, so promoted *return* types are rejected
+//    with a diagnostic (the paper's GCC implementation does not have this
+//    restriction; our benchmarks pass results through parameters);
+//  - Table 3: after every store to a promoted pointer, a span-computation
+//    statement is inserted (malloc size, copied span, address-taken sizeof,
+//    pointer arithmetic preservation). The "p.span = p.span" stores that
+//    p = p + 1 would generate are elided when DeadSpanStoreElimination is
+//    on (§3.4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "expand/ExpansionImpl.h"
+
+#include "ir/IRClone.h"
+#include "ir/IRVisitor.h"
+#include "support/Support.h"
+
+using namespace gdse;
+
+static constexpr unsigned FatPointerField = 0;
+static constexpr unsigned FatSpanField = 1;
+
+//===----------------------------------------------------------------------===//
+// Type translation
+//===----------------------------------------------------------------------===//
+
+void ExpansionContext::computeChangingStructs() {
+  // Seed: structs with at least one fat field slot.
+  for (const PointerSlot &S : FatSlots)
+    if (S.isField())
+      ChangingStructs.insert(S.Struct);
+
+  // Fixpoint: a struct changes when any field type mentions a changing
+  // struct (by value, pointer, or array).
+  std::function<bool(Type *)> mentionsChanging = [&](Type *T) -> bool {
+    switch (T->getKind()) {
+    case Type::Kind::Pointer:
+      return mentionsChanging(cast<PointerType>(T)->getPointee());
+    case Type::Kind::Array:
+      return mentionsChanging(cast<ArrayType>(T)->getElement());
+    case Type::Kind::Struct:
+      return ChangingStructs.count(cast<StructType>(T)) != 0;
+    default:
+      return false;
+    }
+  };
+
+  bool Changed = true;
+  std::vector<StructType *> All = types().getStructs();
+  while (Changed) {
+    Changed = false;
+    for (StructType *S : All) {
+      if (S->isOpaque() || ChangingStructs.count(S))
+        continue;
+      for (const StructField &F : S->getFields()) {
+        if (mentionsChanging(F.Ty)) {
+          ChangingStructs.insert(S);
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+StructType *ExpansionContext::fatStructFor(Type *TranslatedPtrTy) {
+  assert(TranslatedPtrTy->isPointer() && "fat struct needs a pointer type");
+  auto It = FatStructs.find(TranslatedPtrTy);
+  if (It != FatStructs.end())
+    return It->second;
+  StructType *Fat = types().createStruct("fat");
+  Fat->setFields({{"pointer", TranslatedPtrTy}, {"span", types().getInt64()}});
+  FatStructs[TranslatedPtrTy] = Fat;
+  return Fat;
+}
+
+bool ExpansionContext::isFatStruct(Type *T) const {
+  auto *ST = dyn_cast<StructType>(T);
+  if (!ST)
+    return false;
+  for (const auto &[PtrTy, Fat] : FatStructs)
+    if (Fat == ST)
+      return true;
+  return false;
+}
+
+Type *ExpansionContext::translateType(Type *T) {
+  auto It = TranslateMemo.find(T);
+  if (It != TranslateMemo.end())
+    return It->second;
+  Type *Result = T;
+  switch (T->getKind()) {
+  case Type::Kind::Void:
+  case Type::Kind::Int:
+  case Type::Kind::Float:
+  case Type::Kind::Function:
+    break;
+  case Type::Kind::Pointer:
+    Result =
+        types().getPointerType(translateType(cast<PointerType>(T)->getPointee()));
+    break;
+  case Type::Kind::Array: {
+    auto *AT = cast<ArrayType>(T);
+    Result = types().getArrayType(translateType(AT->getElement()),
+                                  AT->getNumElements());
+    break;
+  }
+  case Type::Kind::Struct: {
+    auto *ST = cast<StructType>(T);
+    if (!ChangingStructs.count(ST))
+      break;
+    StructType *NewST = types().createStruct(ST->getName() + "$p");
+    TranslateMemo[T] = NewST; // pre-memo for recursive types
+    std::vector<StructField> Fields;
+    for (unsigned I = 0, E = ST->getNumFields(); I != E; ++I) {
+      const StructField &F = ST->getField(I);
+      PointerSlot Slot;
+      Slot.Struct = ST;
+      Slot.FieldIdx = I;
+      Type *NewFT;
+      if (FatSlots.count(Slot)) {
+        assert(F.Ty->isPointer() && "fat slot on non-pointer field");
+        NewFT = fatStructFor(translateType(F.Ty));
+      } else {
+        NewFT = translateType(F.Ty);
+      }
+      Fields.push_back({F.Name, NewFT});
+    }
+    NewST->setFields(std::move(Fields));
+    return NewST;
+  }
+  }
+  TranslateMemo[T] = Result;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers: constant sizes and span expressions
+//===----------------------------------------------------------------------===//
+
+std::optional<int64_t> ExpansionContext::evalConstSize(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(E)->getValue();
+  case Expr::Kind::SizeofType: {
+    Type *T = translateType(cast<SizeofTypeExpr>(E)->getQueriedType());
+    return static_cast<int64_t>(types().getLayout(T).Size);
+  }
+  case Expr::Kind::Cast:
+    if (E->getType()->isInt())
+      return evalConstSize(cast<CastExpr>(E)->getSub());
+    return std::nullopt;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    auto L = evalConstSize(B->getLHS());
+    auto R = evalConstSize(B->getRHS());
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->getOp()) {
+    case BinaryOp::Add:
+      return *L + *R;
+    case BinaryOp::Sub:
+      return *L - *R;
+    case BinaryOp::Mul:
+      return *L * *R;
+    default:
+      return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+/// Size (bytes) of the structure containing l-value \p LV, walking to the
+/// allocation root (the "Address taken 2" rule fetches the whole struct).
+static Expr *spanOfLValueRoot(ExpansionContext &Cx, Expr *LV,
+                              int64_t Fallback) {
+  switch (LV->getKind()) {
+  case Expr::Kind::VarRef:
+    return Cx.B.longLit(static_cast<int64_t>(
+        Cx.types().getLayout(cast<VarRefExpr>(LV)->getDecl()->getType()).Size));
+  case Expr::Kind::FieldAccess:
+    return spanOfLValueRoot(Cx, cast<FieldAccessExpr>(LV)->getBase(), Fallback);
+  case Expr::Kind::ArrayIndex:
+    return Cx.spanExprForValue(cast<ArrayIndexExpr>(LV)->getBase(), Fallback);
+  case Expr::Kind::Deref:
+    return Cx.spanExprForValue(cast<DerefExpr>(LV)->getPtr(), Fallback);
+  default:
+    return nullptr;
+  }
+}
+
+Expr *ExpansionContext::spanExprForValue(Expr *V, int64_t Fallback) {
+  switch (V->getKind()) {
+  case Expr::Kind::Load: {
+    auto *VL = cast<LoadExpr>(V);
+    Expr *Loc = VL->getLocation();
+    // Load of a fat pointer's .pointer field: span is the sibling field.
+    if (auto *FA = dyn_cast<FieldAccessExpr>(Loc)) {
+      if (FA->getFieldIndex() == FatPointerField &&
+          isFatStruct(FA->getBase()->getType())) {
+        Expr *BaseClone = cloneExpr(M, FA->getBase());
+        LoadExpr *SpanLoad = B.load(B.field(BaseClone, FatSpanField));
+        // The span read shares the pointer read's access id so a later
+        // redirection treats both identically.
+        SpanLoad->setAccessId(VL->getAccessId());
+        return SpanLoad;
+      }
+    }
+    break;
+  }
+  case Expr::Kind::Binary: {
+    auto *Bin = cast<BinaryExpr>(V);
+    // Pointer arithmetic rule 1: p +/- i keeps p's span.
+    if (Bin->getType()->isPointer())
+      return spanExprForValue(Bin->getLHS(), Fallback);
+    break;
+  }
+  case Expr::Kind::Cast: {
+    auto *C = cast<CastExpr>(V);
+    // Recasts (the bzip2 zptr pattern) keep the span: bonded copies are
+    // replicated whole regardless of the viewed element type.
+    if (C->getSub()->getType()->isPointer())
+      return spanExprForValue(C->getSub(), Fallback);
+    if (C->getSub()->getType()->isInt())
+      return spanExprForValue(C->getSub(), Fallback);
+    break;
+  }
+  case Expr::Kind::IntLit:
+    // Null (or integer) constants: span 0.
+    return B.longLit(0);
+  case Expr::Kind::Call: {
+    auto *C = cast<CallExpr>(V);
+    // Allocation rules: malloc(n) -> n; calloc(n,s) -> n*s; realloc -> n.
+    if (C->isBuiltin()) {
+      switch (C->getBuiltin()) {
+      case Builtin::MallocFn:
+        return B.convert(cloneExpr(M, C->getArg(0)), types().getInt64());
+      case Builtin::CallocFn:
+        return B.mul(B.convert(cloneExpr(M, C->getArg(0)), types().getInt64()),
+                     B.convert(cloneExpr(M, C->getArg(1)), types().getInt64()));
+      case Builtin::ReallocFn:
+        return B.convert(cloneExpr(M, C->getArg(1)), types().getInt64());
+      case Builtin::MemcpyFn:
+      case Builtin::MemsetFn:
+        return spanExprForValue(C->getArg(0), Fallback);
+      default:
+        break;
+      }
+    }
+    break;
+  }
+  case Expr::Kind::AddrOf:
+    return spanOfLValueRoot(*this, cast<AddrOfExpr>(V)->getLocation(),
+                            Fallback);
+  case Expr::Kind::Decay:
+    return spanOfLValueRoot(*this, cast<DecayExpr>(V)->getArrayLocation(),
+                            Fallback);
+  case Expr::Kind::Cond: {
+    auto *C = cast<CondExpr>(V);
+    Expr *T = spanExprForValue(C->getThen(), Fallback);
+    Expr *E = spanExprForValue(C->getElse(), Fallback);
+    if (T && E)
+      return M.create<CondExpr>(cloneExpr(M, C->getCond()), T, E,
+                                types().getInt64());
+    break;
+  }
+  default:
+    break;
+  }
+  if (Fallback >= 0)
+    return B.longLit(Fallback);
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Reference rewriting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True when two l-values are structurally identical simple chains
+/// (variable / field chains) — used for dead span-store detection.
+bool sameSimpleLValue(const Expr *A, const Expr *B) {
+  if (A->getKind() != B->getKind())
+    return false;
+  switch (A->getKind()) {
+  case Expr::Kind::VarRef:
+    return cast<VarRefExpr>(A)->getDecl() == cast<VarRefExpr>(B)->getDecl();
+  case Expr::Kind::FieldAccess: {
+    const auto *FA = cast<FieldAccessExpr>(A);
+    const auto *FB = cast<FieldAccessExpr>(B);
+    return FA->getFieldIndex() == FB->getFieldIndex() &&
+           sameSimpleLValue(FA->getBase(), FB->getBase());
+  }
+  default:
+    return false;
+  }
+}
+
+class PromoteRewriter : public IRRewriter {
+public:
+  PromoteRewriter(ExpansionContext &Cx) : IRRewriter(Cx.M), Cx(Cx) {}
+
+  void runOnFunction(Function *F) {
+    CurFn = F;
+    SpanTemp = nullptr;
+    run(F);
+  }
+
+protected:
+  Expr *transformExpr(Expr *E) override {
+    switch (E->getKind()) {
+    case Expr::Kind::VarRef: {
+      auto *V = cast<VarRefExpr>(E);
+      V->setDecl(V->getDecl()); // refresh type from the (retyped) decl
+      return V;
+    }
+    case Expr::Kind::FieldAccess: {
+      auto *F = cast<FieldAccessExpr>(E);
+      auto *ST = cast<StructType>(F->getBase()->getType());
+      F->setType(ST->getField(F->getFieldIndex()).Ty);
+      return F;
+    }
+    case Expr::Kind::Load: {
+      auto *L = cast<LoadExpr>(E);
+      // Pointer storage became fat: read its .pointer field. The LoadExpr
+      // node (and its AccessId) is preserved.
+      if (Cx.isFatStruct(L->getLocation()->getType()))
+        L->setLocation(Cx.B.field(L->getLocation(), FatPointerField));
+      L->setType(L->getLocation()->getType());
+      return L;
+    }
+    case Expr::Kind::Deref: {
+      auto *D = cast<DerefExpr>(E);
+      D->setType(cast<PointerType>(D->getPtr()->getType())->getPointee());
+      return D;
+    }
+    case Expr::Kind::ArrayIndex: {
+      auto *A = cast<ArrayIndexExpr>(E);
+      A->setType(cast<PointerType>(A->getBase()->getType())->getPointee());
+      return A;
+    }
+    case Expr::Kind::AddrOf: {
+      auto *A = cast<AddrOfExpr>(E);
+      A->setType(Cx.types().getPointerType(A->getLocation()->getType()));
+      return A;
+    }
+    case Expr::Kind::Decay: {
+      auto *D = cast<DecayExpr>(E);
+      auto *AT = cast<ArrayType>(D->getArrayLocation()->getType());
+      D->setType(Cx.types().getPointerType(AT->getElement()));
+      return D;
+    }
+    case Expr::Kind::Cast: {
+      E->setType(Cx.translateType(E->getType()));
+      return E;
+    }
+    case Expr::Kind::SizeofType: {
+      auto *S = cast<SizeofTypeExpr>(E);
+      S->setQueriedType(Cx.translateType(S->getQueriedType()));
+      return E;
+    }
+    case Expr::Kind::Call:
+      return rewriteCall(cast<CallExpr>(E));
+    case Expr::Kind::Binary: {
+      auto *Bn = cast<BinaryExpr>(E);
+      // Pointer arithmetic result follows the (translated) pointer operand.
+      if (E->getType()->isPointer()) {
+        if (Bn->getLHS()->getType()->isPointer())
+          E->setType(Bn->getLHS()->getType());
+        else
+          E->setType(Bn->getRHS()->getType());
+      }
+      return E;
+    }
+    case Expr::Kind::Cond: {
+      auto *C = cast<CondExpr>(E);
+      if (E->getType()->isPointer())
+        E->setType(C->getThen()->getType());
+      return E;
+    }
+    default:
+      return E;
+    }
+  }
+
+  Stmt *transformStmt(Stmt *S) override {
+    auto *A = dyn_cast<AssignStmt>(S);
+    if (!A)
+      return S;
+    // Store into fat pointer storage: write the .pointer field and insert
+    // the Table 3 span statement right after.
+    if (Cx.isFatStruct(A->getLHS()->getType()) &&
+        A->getRHS()->getType()->isPointer()) {
+      Expr *FatLValue = A->getLHS();
+      A->setLHS(Cx.B.field(FatLValue, FatPointerField));
+
+      int64_t Fallback = -1;
+      auto It = Cx.AssignConstSpan.find(A);
+      if (It != Cx.AssignConstSpan.end())
+        Fallback = It->second;
+      Expr *SpanValue = Cx.spanExprForValue(A->getRHS(), Fallback);
+      if (!SpanValue) {
+        Cx.error("cannot compute span for pointer assignment (spans flow "
+                 "through allocations, address-of, pointer copies and "
+                 "arithmetic; pointer-returning calls need the result "
+                 "passed through a parameter instead)");
+        return S;
+      }
+      // §3.4 dead span-store elimination: p.span = p.span.
+      if (Cx.Opts.DeadSpanStoreElimination) {
+        if (auto *SpanLoad = dyn_cast<LoadExpr>(SpanValue)) {
+          if (auto *FA = dyn_cast<FieldAccessExpr>(SpanLoad->getLocation())) {
+            if (FA->getFieldIndex() == FatSpanField &&
+                sameSimpleLValue(FA->getBase(), FatLValue)) {
+              ++Cx.Result.Stats.SpanStoresEliminated;
+              return S;
+            }
+          }
+        }
+      }
+      Expr *SpanLValue = Cx.B.field(cloneExpr(Cx.M, FatLValue), FatSpanField);
+      ++Cx.Result.Stats.SpanStoresInserted;
+
+      if (!spanMayReadThroughLValue(SpanValue, FatLValue)) {
+        auto *SpanStore = Cx.M.create<AssignStmt>(SpanLValue, SpanValue);
+        // The span store shares the pointer store's access id so a later
+        // redirection treats both identically (same copy index).
+        SpanStore->setAccessId(A->getAccessId());
+        emitAfter(SpanStore);
+        return S;
+      }
+      // Self-referential update (e.g. cur = cur->next): the span must be
+      // evaluated BEFORE the pointer store clobbers the state it reads.
+      // At GIMPLE level a temporary exists anyway; materialize one here:
+      //   span$tmp = <span of RHS>;  X.pointer = RHS;  X.span = span$tmp;
+      if (!SpanTemp) {
+        SpanTemp = Cx.M.createVar("span$tmp", Cx.types().getInt64(),
+                                  VarDecl::Storage::Local);
+        CurFn->addLocal(SpanTemp);
+      }
+      auto *SaveSpan =
+          Cx.M.create<AssignStmt>(Cx.B.varRef(SpanTemp), SpanValue);
+      auto *SpanStore = Cx.M.create<AssignStmt>(
+          SpanLValue, Cx.B.loadVar(SpanTemp));
+      SpanStore->setAccessId(A->getAccessId());
+      return Cx.B.block({SaveSpan, S, SpanStore});
+    }
+    return S;
+  }
+
+private:
+  /// Conservative: does the span expression read memory through the same
+  /// storage the pointer store writes? True forces a pre-store temporary.
+  bool spanMayReadThroughLValue(Expr *SpanValue, Expr *FatLValue) {
+    // Only simple variable/field chains can be compared reliably; anything
+    // else (derefs, subscripts) is treated as potentially aliasing.
+    std::function<bool(const Expr *)> IsSimpleChain =
+        [&](const Expr *E) -> bool {
+      if (isa<VarRefExpr>(E))
+        return true;
+      if (const auto *F = dyn_cast<FieldAccessExpr>(E))
+        return IsSimpleChain(F->getBase());
+      return false;
+    };
+    bool Conservative = !IsSimpleChain(FatLValue);
+    bool Reads = false;
+    walkExpr(SpanValue, [&](Expr *E) {
+      auto *L = dyn_cast<LoadExpr>(E);
+      if (!L)
+        return;
+      const Expr *Loc = L->getLocation();
+      if (Conservative) {
+        // Any load through non-trivial locations may alias.
+        if (!IsSimpleChain(Loc))
+          Reads = true;
+        return;
+      }
+      // Simple chains: alias only when rooted at the same chain.
+      const Expr *Root = Loc;
+      while (const auto *F = dyn_cast<FieldAccessExpr>(Root))
+        Root = F->getBase();
+      (void)Root;
+      if (!IsSimpleChain(Loc))
+        Reads = true;
+      else if (sameSimpleLValue(stripLastField(Loc), FatLValue))
+        Reads = true;
+    });
+    return Reads;
+  }
+
+  static const Expr *stripLastField(const Expr *Loc) {
+    if (const auto *F = dyn_cast<FieldAccessExpr>(Loc))
+      return F->getBase();
+    return Loc;
+  }
+
+  Expr *rewriteCall(CallExpr *C) {
+    if (C->isBuiltin()) {
+      C->setType(Cx.translateType(C->getType()));
+      return C;
+    }
+    Function *Callee = C->getCallee();
+    C->setType(Cx.translateType(C->getType()));
+    auto It = Cx.FatParamsOf.find(Callee);
+    if (It == Cx.FatParamsOf.end() || It->second.empty())
+      return C;
+    // Unbundle fat parameters: each promoted argument becomes a
+    // (pointer, span) pair, in the rewritten parameter order.
+    const std::set<unsigned> &FatIdx = It->second;
+    std::vector<Expr *> NewArgs;
+    for (unsigned I = 0, E = C->getNumArgs(); I != E; ++I) {
+      Expr *V = C->getArg(I);
+      NewArgs.push_back(V);
+      if (!FatIdx.count(I))
+        continue;
+      int64_t Fallback = -1;
+      auto FIt = Cx.CallArgConstSpan.find({C, I});
+      if (FIt != Cx.CallArgConstSpan.end())
+        Fallback = FIt->second;
+      Expr *Span = Cx.spanExprForValue(V, Fallback);
+      if (!Span) {
+        Cx.error("cannot compute span for argument of call to '" +
+                 Callee->getName() + "'");
+        Span = Cx.B.longLit(0);
+      }
+      NewArgs.push_back(Span);
+    }
+    C->setArgs(std::move(NewArgs));
+    return C;
+  }
+
+  ExpansionContext &Cx;
+  Function *CurFn = nullptr;
+  VarDecl *SpanTemp = nullptr;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Declaration promotion driver
+//===----------------------------------------------------------------------===//
+
+void ExpansionContext::runPromotion() {
+  computeChangingStructs();
+
+  // Globals.
+  for (VarDecl *G : M.getGlobals()) {
+    PointerSlot Slot;
+    Slot.Var = G;
+    if (FatSlots.count(Slot)) {
+      G->setType(fatStructFor(translateType(G->getType())));
+      ++Result.Stats.PromotedPointerSlots;
+    } else {
+      G->setType(translateType(G->getType()));
+    }
+  }
+  for (const PointerSlot &S : FatSlots)
+    if (S.isField())
+      ++Result.Stats.PromotedPointerSlots;
+
+  // Functions: returns, parameters (with unbundling), locals.
+  for (Function *F : M.getFunctions()) {
+    Type *NewRet = translateType(F->getReturnType());
+    if (NewRet->isAggregate()) {
+      error("function '" + F->getName() +
+            "' would return a promoted aggregate; pass the result through a "
+            "parameter instead");
+      return;
+    }
+
+    std::set<unsigned> FatParamIdx;
+    for (unsigned I = 0, E = static_cast<unsigned>(F->getParams().size());
+         I != E; ++I) {
+      PointerSlot Slot;
+      Slot.Var = F->getParam(I);
+      if (FatSlots.count(Slot))
+        FatParamIdx.insert(I);
+    }
+    FatParamsOf[F] = FatParamIdx;
+
+    std::vector<VarDecl *> NewParams;
+    std::vector<Stmt *> Prologue;
+    std::map<VarDecl *, VarDecl *> ParamReplacement;
+    for (unsigned I = 0, E = static_cast<unsigned>(F->getParams().size());
+         I != E; ++I) {
+      VarDecl *P = F->getParam(I);
+      if (!FatParamIdx.count(I)) {
+        P->setType(translateType(P->getType()));
+        NewParams.push_back(P);
+        continue;
+      }
+      // Promoted parameter: p becomes a fat local assembled from the two
+      // incoming values p$ptr / p$span.
+      Type *PlainTy = translateType(P->getType());
+      StructType *FatTy = fatStructFor(PlainTy);
+      VarDecl *PtrParam = M.createVar(P->getName() + "$ptr", PlainTy,
+                                      VarDecl::Storage::Param);
+      VarDecl *SpanParam = M.createVar(P->getName() + "$span",
+                                       types().getInt64(),
+                                       VarDecl::Storage::Param);
+      NewParams.push_back(PtrParam);
+      NewParams.push_back(SpanParam);
+      VarDecl *FatLocal =
+          M.createVar(P->getName(), FatTy, VarDecl::Storage::Local);
+      F->addLocal(FatLocal);
+      ParamReplacement[P] = FatLocal;
+      ++Result.Stats.PromotedPointerSlots;
+      if (F->getBody()) {
+        Prologue.push_back(M.create<AssignStmt>(
+            B.field(B.varRef(FatLocal), FatPointerField),
+            B.load(B.varRef(PtrParam))));
+        Prologue.push_back(M.create<AssignStmt>(
+            B.field(B.varRef(FatLocal), FatSpanField),
+            B.load(B.varRef(SpanParam))));
+      }
+    }
+
+    for (VarDecl *L : F->getLocals()) {
+      if (ParamReplacement.count(L))
+        continue; // fresh fat locals are already correctly typed
+      bool IsFreshFatLocal = false;
+      for (auto &[OldP, FatL] : ParamReplacement)
+        if (FatL == L)
+          IsFreshFatLocal = true;
+      if (IsFreshFatLocal)
+        continue;
+      PointerSlot Slot;
+      Slot.Var = L;
+      if (FatSlots.count(Slot)) {
+        L->setType(fatStructFor(translateType(L->getType())));
+        ++Result.Stats.PromotedPointerSlots;
+      } else {
+        L->setType(translateType(L->getType()));
+      }
+    }
+
+    std::vector<Type *> ParamTys;
+    ParamTys.reserve(NewParams.size());
+    for (VarDecl *P : NewParams)
+      ParamTys.push_back(P->getType());
+    F->setFunctionType(types().getFunctionType(NewRet, std::move(ParamTys)));
+    F->replaceParams(NewParams);
+
+    if (!Prologue.empty() && F->getBody()) {
+      auto &Stmts = F->getBody()->getStmts();
+      Stmts.insert(Stmts.begin(), Prologue.begin(), Prologue.end());
+    }
+    if (F->getBody() && !ParamReplacement.empty()) {
+      walkExprs(F, [&](Expr *E) {
+        if (auto *V = dyn_cast<VarRefExpr>(E)) {
+          auto It = ParamReplacement.find(V->getDecl());
+          if (It != ParamReplacement.end())
+            V->setDecl(It->second);
+        }
+      });
+    }
+  }
+
+  if (failed())
+    return;
+
+  // Bodies.
+  PromoteRewriter RW(*this);
+  for (Function *F : M.getFunctions())
+    RW.runOnFunction(F);
+}

@@ -1,0 +1,454 @@
+//===- Lexer.cpp - MiniC tokenizer -----------------------------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Support.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace gdse;
+
+const char *gdse::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::FloatLiteral:
+    return "float literal";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwChar:
+    return "'char'";
+  case TokKind::KwShort:
+    return "'short'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwLong:
+    return "'long'";
+  case TokKind::KwFloat:
+    return "'float'";
+  case TokKind::KwDouble:
+    return "'double'";
+  case TokKind::KwUnsigned:
+    return "'unsigned'";
+  case TokKind::KwStruct:
+    return "'struct'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::KwSizeof:
+    return "'sizeof'";
+  case TokKind::KwTid:
+    return "'__tid'";
+  case TokKind::KwNumThreads:
+    return "'__nthreads'";
+  case TokKind::AtCandidate:
+    return "'@candidate'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  case TokKind::StarAssign:
+    return "'*='";
+  case TokKind::SlashAssign:
+    return "'/='";
+  case TokKind::PercentAssign:
+    return "'%='";
+  case TokKind::AmpAssign:
+    return "'&='";
+  case TokKind::PipeAssign:
+    return "'|='";
+  case TokKind::CaretAssign:
+    return "'^='";
+  case TokKind::ShlAssign:
+    return "'<<='";
+  case TokKind::ShrAssign:
+    return "'>>='";
+  case TokKind::PlusPlus:
+    return "'++'";
+  case TokKind::MinusMinus:
+    return "'--'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  }
+  gdse_unreachable("unknown token kind");
+}
+
+namespace {
+
+const std::map<std::string, TokKind> &keywordTable() {
+  static const std::map<std::string, TokKind> Table = {
+      {"void", TokKind::KwVoid},       {"char", TokKind::KwChar},
+      {"short", TokKind::KwShort},     {"int", TokKind::KwInt},
+      {"long", TokKind::KwLong},       {"float", TokKind::KwFloat},
+      {"double", TokKind::KwDouble},   {"unsigned", TokKind::KwUnsigned},
+      {"struct", TokKind::KwStruct},   {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+      {"for", TokKind::KwFor},         {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},     {"continue", TokKind::KwContinue},
+      {"sizeof", TokKind::KwSizeof},   {"__tid", TokKind::KwTid},
+      {"__nthreads", TokKind::KwNumThreads},
+  };
+  return Table;
+}
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Source, std::vector<std::string> &Errors)
+      : Src(Source), Errors(Errors) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Toks;
+    while (true) {
+      skipWhitespaceAndComments();
+      Token T = next();
+      Toks.push_back(T);
+      if (T.Kind == TokKind::Eof)
+        break;
+    }
+    return Toks;
+  }
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    size_t Idx = Pos + Ahead;
+    return Idx < Src.size() ? Src[Idx] : '\0';
+  }
+
+  char advance() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  bool match(char C) {
+    if (peek() != C)
+      return false;
+    advance();
+    return true;
+  }
+
+  void error(const std::string &Msg) {
+    Errors.push_back(formatString("%u:%u: %s", Line, Col, Msg.c_str()));
+  }
+
+  void skipWhitespaceAndComments() {
+    while (true) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (peek() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (peek() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (!peek())
+          error("unterminated block comment");
+        else {
+          advance();
+          advance();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokKind K) {
+    Token T;
+    T.Kind = K;
+    T.Line = TokLine;
+    T.Col = TokCol;
+    return T;
+  }
+
+  Token next() {
+    TokLine = Line;
+    TokCol = Col;
+    char C = peek();
+    if (!C && Pos >= Src.size())
+      return make(TokKind::Eof);
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return identifier();
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return number();
+
+    advance();
+    switch (C) {
+    case '(':
+      return make(TokKind::LParen);
+    case ')':
+      return make(TokKind::RParen);
+    case '{':
+      return make(TokKind::LBrace);
+    case '}':
+      return make(TokKind::RBrace);
+    case '[':
+      return make(TokKind::LBracket);
+    case ']':
+      return make(TokKind::RBracket);
+    case ';':
+      return make(TokKind::Semi);
+    case ',':
+      return make(TokKind::Comma);
+    case '.':
+      return make(TokKind::Dot);
+    case '~':
+      return make(TokKind::Tilde);
+    case '?':
+      return make(TokKind::Question);
+    case ':':
+      return make(TokKind::Colon);
+    case '+':
+      if (match('='))
+        return make(TokKind::PlusAssign);
+      if (match('+'))
+        return make(TokKind::PlusPlus);
+      return make(TokKind::Plus);
+    case '-':
+      if (match('='))
+        return make(TokKind::MinusAssign);
+      if (match('-'))
+        return make(TokKind::MinusMinus);
+      if (match('>'))
+        return make(TokKind::Arrow);
+      return make(TokKind::Minus);
+    case '*':
+      if (match('='))
+        return make(TokKind::StarAssign);
+      return make(TokKind::Star);
+    case '/':
+      if (match('='))
+        return make(TokKind::SlashAssign);
+      return make(TokKind::Slash);
+    case '%':
+      if (match('='))
+        return make(TokKind::PercentAssign);
+      return make(TokKind::Percent);
+    case '&':
+      if (match('&'))
+        return make(TokKind::AmpAmp);
+      if (match('='))
+        return make(TokKind::AmpAssign);
+      return make(TokKind::Amp);
+    case '|':
+      if (match('|'))
+        return make(TokKind::PipePipe);
+      if (match('='))
+        return make(TokKind::PipeAssign);
+      return make(TokKind::Pipe);
+    case '^':
+      if (match('='))
+        return make(TokKind::CaretAssign);
+      return make(TokKind::Caret);
+    case '!':
+      if (match('='))
+        return make(TokKind::NotEq);
+      return make(TokKind::Bang);
+    case '=':
+      if (match('='))
+        return make(TokKind::EqEq);
+      return make(TokKind::Assign);
+    case '<':
+      if (match('='))
+        return make(TokKind::LessEq);
+      if (match('<')) {
+        if (match('='))
+          return make(TokKind::ShlAssign);
+        return make(TokKind::Shl);
+      }
+      return make(TokKind::Less);
+    case '>':
+      if (match('='))
+        return make(TokKind::GreaterEq);
+      if (match('>')) {
+        if (match('='))
+          return make(TokKind::ShrAssign);
+        return make(TokKind::Shr);
+      }
+      return make(TokKind::Greater);
+    case '@': {
+      std::string Word;
+      while (std::isalpha(static_cast<unsigned char>(peek())) || peek() == '_')
+        Word += advance();
+      if (Word == "candidate")
+        return make(TokKind::AtCandidate);
+      error("unknown annotation '@" + Word + "'");
+      return next();
+    }
+    default:
+      error(formatString("unexpected character '%c'", C));
+      return next();
+    }
+  }
+
+  Token identifier() {
+    std::string Word;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Word += advance();
+    auto It = keywordTable().find(Word);
+    if (It != keywordTable().end())
+      return make(It->second);
+    Token T = make(TokKind::Identifier);
+    T.Text = std::move(Word);
+    return T;
+  }
+
+  Token number() {
+    std::string Digits;
+    bool IsHex = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      Digits += advance();
+      Digits += advance();
+      IsHex = true;
+      while (std::isxdigit(static_cast<unsigned char>(peek())))
+        Digits += advance();
+      Token T = make(TokKind::IntLiteral);
+      T.IntValue = static_cast<int64_t>(std::strtoull(Digits.c_str(), nullptr, 16));
+      return T;
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits += advance();
+    bool IsFloat = false;
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      Digits += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Digits += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char Sign = peek(1);
+      if (std::isdigit(static_cast<unsigned char>(Sign)) ||
+          ((Sign == '+' || Sign == '-') &&
+           std::isdigit(static_cast<unsigned char>(peek(2))))) {
+        IsFloat = true;
+        Digits += advance();
+        if (peek() == '+' || peek() == '-')
+          Digits += advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          Digits += advance();
+      }
+    }
+    (void)IsHex;
+    if (IsFloat) {
+      Token T = make(TokKind::FloatLiteral);
+      T.FloatValue = std::strtod(Digits.c_str(), nullptr);
+      return T;
+    }
+    Token T = make(TokKind::IntLiteral);
+    T.IntValue = static_cast<int64_t>(std::strtoull(Digits.c_str(), nullptr, 10));
+    return T;
+  }
+
+  const std::string &Src;
+  std::vector<std::string> &Errors;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+  unsigned TokLine = 1, TokCol = 1;
+};
+
+} // namespace
+
+std::vector<Token> gdse::lex(const std::string &Source,
+                             std::vector<std::string> &Errors) {
+  return LexerImpl(Source, Errors).run();
+}

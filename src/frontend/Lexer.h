@@ -1,0 +1,118 @@
+//===- Lexer.h - MiniC tokenizer --------------------------------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MiniC, the C subset the benchmark kernels and tests are
+/// written in. Supports line and block comments, decimal/hex integer
+/// literals, floating-point literals, the full C operator set MiniC uses,
+/// and the "@candidate" loop annotation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_FRONTEND_LEXER_H
+#define GDSE_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gdse {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwVoid,
+  KwChar,
+  KwShort,
+  KwInt,
+  KwLong,
+  KwFloat,
+  KwDouble,
+  KwUnsigned,
+  KwStruct,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSizeof,
+  KwTid,        // __tid
+  KwNumThreads, // __nthreads
+  AtCandidate,  // @candidate
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Arrow,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Question,
+  Colon,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PercentAssign,
+  AmpAssign,
+  PipeAssign,
+  CaretAssign,
+  ShlAssign,
+  ShrAssign,
+  PlusPlus,
+  MinusMinus,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Shl,
+  Shr,
+  AmpAmp,
+  PipePipe,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;    ///< identifier spelling
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Returns a printable name for diagnostics.
+const char *tokKindName(TokKind K);
+
+/// Tokenizes \p Source. Lexical errors are appended to \p Errors as
+/// "line:col: message"; scanning continues after each error.
+std::vector<Token> lex(const std::string &Source,
+                       std::vector<std::string> &Errors);
+
+} // namespace gdse
+
+#endif // GDSE_FRONTEND_LEXER_H

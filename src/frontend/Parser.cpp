@@ -1,0 +1,1292 @@
+//===- Parser.cpp - MiniC parser and semantic analysis ---------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRClone.h"
+#include "ir/Verifier.h"
+#include "support/Support.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+using namespace gdse;
+
+namespace {
+
+/// One lexical scope: source name -> declaration.
+using Scope = std::map<std::string, VarDecl *>;
+
+class ParserImpl {
+public:
+  ParserImpl(std::vector<Token> Toks, std::vector<std::string> &Errors)
+      : Toks(std::move(Toks)), Errors(Errors), M(std::make_unique<Module>()),
+        B(*M) {}
+
+  std::unique_ptr<Module> run() {
+    while (!at(TokKind::Eof)) {
+      size_t Before = Pos;
+      parseTopLevel();
+      if (Pos == Before) {
+        // Defensive: never loop without progress.
+        error("cannot make progress; giving up");
+        break;
+      }
+      if (Errors.size() > 50)
+        break;
+    }
+    if (!Errors.empty())
+      return nullptr;
+    std::vector<std::string> VerifyErrs = verifyModule(*M);
+    for (const std::string &E : VerifyErrs)
+      Errors.push_back("verifier: " + E);
+    if (!Errors.empty())
+      return nullptr;
+    return std::move(M);
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Token stream helpers
+  //===------------------------------------------------------------------===//
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(unsigned Ahead = 1) const {
+    size_t Idx = std::min(Pos + Ahead, Toks.size() - 1);
+    return Toks[Idx];
+  }
+  bool at(TokKind K) const { return cur().Kind == K; }
+  Token advance() { return Toks[at(TokKind::Eof) ? Pos : Pos++]; }
+
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokKind K, const char *Context) {
+    if (accept(K))
+      return true;
+    error(formatString("expected %s %s, found %s", tokKindName(K), Context,
+                       tokKindName(cur().Kind)));
+    return false;
+  }
+
+  void error(const std::string &Msg) {
+    Errors.push_back(
+        formatString("%u:%u: %s", cur().Line, cur().Col, Msg.c_str()));
+  }
+
+  /// Skips tokens until a likely statement/declaration boundary.
+  void synchronize() {
+    unsigned Depth = 0;
+    while (!at(TokKind::Eof)) {
+      if (at(TokKind::Semi) && Depth == 0) {
+        advance();
+        return;
+      }
+      if (at(TokKind::LBrace))
+        ++Depth;
+      if (at(TokKind::RBrace)) {
+        if (Depth == 0)
+          return;
+        --Depth;
+      }
+      advance();
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Types
+  //===------------------------------------------------------------------===//
+
+  bool atTypeStart() const {
+    switch (cur().Kind) {
+    case TokKind::KwVoid:
+    case TokKind::KwChar:
+    case TokKind::KwShort:
+    case TokKind::KwInt:
+    case TokKind::KwLong:
+    case TokKind::KwFloat:
+    case TokKind::KwDouble:
+    case TokKind::KwUnsigned:
+    case TokKind::KwStruct:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// type-spec: void|char|short|int|long|float|double|unsigned <int>|struct ID
+  Type *parseTypeSpec() {
+    TypeContext &Ctx = M->getTypes();
+    switch (cur().Kind) {
+    case TokKind::KwVoid:
+      advance();
+      return Ctx.getVoidType();
+    case TokKind::KwChar:
+      advance();
+      return Ctx.getInt8();
+    case TokKind::KwShort:
+      advance();
+      return Ctx.getInt16();
+    case TokKind::KwInt:
+      advance();
+      return Ctx.getInt32();
+    case TokKind::KwLong:
+      advance();
+      return Ctx.getInt64();
+    case TokKind::KwFloat:
+      advance();
+      return Ctx.getFloat32();
+    case TokKind::KwDouble:
+      advance();
+      return Ctx.getFloat64();
+    case TokKind::KwUnsigned: {
+      advance();
+      unsigned Bits = 32;
+      if (accept(TokKind::KwChar))
+        Bits = 8;
+      else if (accept(TokKind::KwShort))
+        Bits = 16;
+      else if (accept(TokKind::KwLong))
+        Bits = 64;
+      else
+        accept(TokKind::KwInt);
+      return Ctx.getIntType(Bits, /*Signed=*/false);
+    }
+    case TokKind::KwStruct: {
+      advance();
+      if (!at(TokKind::Identifier)) {
+        error("expected struct name");
+        return Ctx.getInt32();
+      }
+      std::string Name = advance().Text;
+      StructType *ST = Ctx.getStructByName(Name);
+      if (!ST) {
+        error("unknown struct '" + Name + "'");
+        return Ctx.getInt32();
+      }
+      return ST;
+    }
+    default:
+      error("expected a type");
+      return Ctx.getInt32();
+    }
+  }
+
+  /// Wraps \p Base in pointers for each '*'.
+  Type *parsePointerSuffix(Type *Base) {
+    while (accept(TokKind::Star))
+      Base = M->getTypes().getPointerType(Base);
+    return Base;
+  }
+
+  /// Array suffixes after a declarator name: [N][M]...
+  Type *parseArraySuffix(Type *ElemTy) {
+    if (!accept(TokKind::LBracket))
+      return ElemTy;
+    if (!at(TokKind::IntLiteral)) {
+      error("array bound must be an integer literal");
+      synchronize();
+      return ElemTy;
+    }
+    int64_t N = advance().IntValue;
+    expect(TokKind::RBracket, "after array bound");
+    Type *Inner = parseArraySuffix(ElemTy);
+    if (N <= 0) {
+      error("array bound must be positive");
+      N = 1;
+    }
+    return M->getTypes().getArrayType(Inner, static_cast<uint64_t>(N));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Scopes
+  //===------------------------------------------------------------------===//
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  VarDecl *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return nullptr;
+  }
+
+  VarDecl *declareLocal(const std::string &Name, Type *Ty) {
+    assert(CurFn && "local outside function");
+    if (Scopes.back().count(Name))
+      error("redeclaration of '" + Name + "' in the same scope");
+    // Hoist to function scope under a unique storage name.
+    std::string Unique = Name;
+    while (UsedLocalNames.count(Unique))
+      Unique = formatString("%s.%u", Name.c_str(), ++ShadowCounter);
+    UsedLocalNames.insert(Unique);
+    VarDecl *D = M->createVar(Unique, Ty, VarDecl::Storage::Local);
+    CurFn->addLocal(D);
+    Scopes.back()[Name] = D;
+    return D;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Top level
+  //===------------------------------------------------------------------===//
+
+  void parseTopLevel() {
+    if (at(TokKind::KwStruct) && peek().Kind == TokKind::Identifier &&
+        peek(2).Kind == TokKind::LBrace) {
+      parseStructDef();
+      return;
+    }
+    if (!atTypeStart()) {
+      error(formatString("expected declaration, found %s",
+                         tokKindName(cur().Kind)));
+      synchronize();
+      return;
+    }
+    Type *Base = parseTypeSpec();
+    Type *Ty = parsePointerSuffix(Base);
+    if (!at(TokKind::Identifier)) {
+      error("expected declarator name");
+      synchronize();
+      return;
+    }
+    std::string Name = advance().Text;
+    if (at(TokKind::LParen)) {
+      parseFunctionRest(Ty, Name);
+      return;
+    }
+    // Global variable.
+    Ty = parseArraySuffix(Ty);
+    if (Ty->isVoid()) {
+      error("global '" + Name + "' has void type");
+      Ty = M->getTypes().getInt32();
+    }
+    if (GlobalScope.count(Name))
+      error("redeclaration of global '" + Name + "'");
+    VarDecl *G = M->addGlobal(Name, Ty);
+    GlobalScope[Name] = G;
+    if (at(TokKind::Assign))
+      error("global initializers are unsupported; assign in main");
+    expect(TokKind::Semi, "after global declaration");
+  }
+
+  void parseStructDef() {
+    advance(); // struct
+    std::string Name = advance().Text;
+    if (M->getTypes().getStructByName(Name))
+      error("redefinition of struct '" + Name + "'");
+    StructType *ST = M->getTypes().createStruct(Name);
+    expect(TokKind::LBrace, "after struct name");
+    std::vector<StructField> Fields;
+    while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+      Type *FT = parsePointerSuffix(parseTypeSpec());
+      if (!at(TokKind::Identifier)) {
+        error("expected field name");
+        synchronize();
+        continue;
+      }
+      std::string FName = advance().Text;
+      FT = parseArraySuffix(FT);
+      if (FT->isVoid()) {
+        error("field '" + FName + "' has void type");
+        FT = M->getTypes().getInt32();
+      }
+      for (const StructField &F : Fields)
+        if (F.Name == FName)
+          error("duplicate field '" + FName + "'");
+      Fields.push_back({FName, FT});
+      expect(TokKind::Semi, "after field");
+    }
+    expect(TokKind::RBrace, "at end of struct");
+    expect(TokKind::Semi, "after struct definition");
+    if (Fields.empty()) {
+      error("struct '" + Name + "' has no fields");
+      Fields.push_back({"dummy", M->getTypes().getInt32()});
+    }
+    ST->setFields(std::move(Fields));
+  }
+
+  void parseFunctionRest(Type *RetTy, const std::string &Name) {
+    if (RetTy->isAggregate()) {
+      error("function '" + Name +
+            "' must return a scalar or pointer (return structs by pointer)");
+      RetTy = M->getTypes().getInt32();
+    }
+    advance(); // (
+    std::vector<std::pair<std::string, Type *>> Params;
+    if (!at(TokKind::RParen)) {
+      do {
+        Type *PT = parsePointerSuffix(parseTypeSpec());
+        if (PT->isVoid() && Params.empty() && at(TokKind::RParen))
+          break; // f(void)
+        if (!at(TokKind::Identifier)) {
+          error("expected parameter name");
+          break;
+        }
+        std::string PName = advance().Text;
+        // Array parameters decay to pointers, as in C.
+        if (at(TokKind::LBracket)) {
+          Type *AT = parseArraySuffix(PT);
+          while (auto *A = dyn_cast<ArrayType>(AT))
+            AT = A->getElement();
+          PT = M->getTypes().getPointerType(
+              cast<ArrayType>(parseArraySuffixDummy(PT))->getElement());
+          (void)AT;
+        }
+        if (PT->isVoid() || PT->isStruct()) {
+          error("parameter '" + PName +
+                "' must be scalar or pointer (pass structs by pointer)");
+          PT = M->getTypes().getInt32();
+        }
+        Params.push_back({PName, PT});
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "after parameters");
+
+    std::vector<Type *> ParamTys;
+    for (auto &[N, T] : Params)
+      ParamTys.push_back(T);
+    FunctionType *FT =
+        M->getTypes().getFunctionType(RetTy, std::move(ParamTys));
+
+    Function *F = M->getFunction(Name);
+    if (F) {
+      if (F->getFunctionType() != FT) {
+        error("conflicting declaration of '" + Name + "'");
+        synchronize();
+        return;
+      }
+      if (F->isDefinition() && at(TokKind::LBrace)) {
+        error("redefinition of '" + Name + "'");
+        synchronize();
+        return;
+      }
+    } else {
+      F = M->createFunction(Name, FT);
+      for (auto &[PName, PT] : Params)
+        F->addParam(M->createVar(PName, PT, VarDecl::Storage::Param));
+    }
+
+    if (accept(TokKind::Semi))
+      return; // prototype
+
+    CurFn = F;
+    UsedLocalNames.clear();
+    ShadowCounter = 0;
+    for (VarDecl *L : F->getLocals())
+      UsedLocalNames.insert(L->getName());
+    pushScope();
+    for (VarDecl *P : F->getParams()) {
+      Scopes.back()[P->getName()] = P;
+      UsedLocalNames.insert(P->getName());
+    }
+    BlockStmt *Body = parseBlock();
+    popScope();
+    // Implicit trailing return for void functions and for main, unless the
+    // body already ends in one.
+    bool EndsInReturn =
+        !Body->getStmts().empty() && isa<ReturnStmt>(Body->getStmts().back());
+    if (!EndsInReturn) {
+      if (RetTy->isVoid())
+        Body->getStmts().push_back(B.ret());
+      else if (Name == "main")
+        Body->getStmts().push_back(
+            B.ret(B.intLit(0, RetTy->isInt() ? RetTy : nullptr)));
+    }
+    F->setBody(Body);
+    CurFn = nullptr;
+  }
+
+  // Helper for array-typed parameters (rarely used; keeps parse simple).
+  Type *parseArraySuffixDummy(Type *T) {
+    return M->getTypes().getArrayType(T, 1);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  BlockStmt *parseBlock() {
+    expect(TokKind::LBrace, "to open block");
+    pushScope();
+    std::vector<Stmt *> Stmts;
+    while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+      size_t Before = Pos;
+      if (Stmt *S = parseStmt())
+        Stmts.push_back(S);
+      if (Pos == Before)
+        synchronize();
+      if (Errors.size() > 50)
+        break;
+    }
+    expect(TokKind::RBrace, "to close block");
+    popScope();
+    return B.block(std::move(Stmts));
+  }
+
+  Stmt *parseStmt() {
+    switch (cur().Kind) {
+    case TokKind::LBrace:
+      return parseBlock();
+    case TokKind::KwIf:
+      return parseIf();
+    case TokKind::KwWhile:
+      return parseWhile();
+    case TokKind::AtCandidate:
+    case TokKind::KwFor:
+      return parseFor();
+    case TokKind::KwReturn:
+      return parseReturn();
+    case TokKind::KwBreak:
+      advance();
+      expect(TokKind::Semi, "after break");
+      return M->create<BreakStmt>();
+    case TokKind::KwContinue:
+      advance();
+      expect(TokKind::Semi, "after continue");
+      return M->create<ContinueStmt>();
+    case TokKind::Semi:
+      advance();
+      return nullptr;
+    default:
+      if (atTypeStart())
+        return parseDeclStmt();
+      return parseExprOrAssignStmt();
+    }
+  }
+
+  Stmt *parseDeclStmt() {
+    Type *Ty = parsePointerSuffix(parseTypeSpec());
+    if (!at(TokKind::Identifier)) {
+      error("expected variable name");
+      synchronize();
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    Ty = parseArraySuffix(Ty);
+    if (Ty->isVoid()) {
+      error("variable '" + Name + "' has void type");
+      Ty = M->getTypes().getInt32();
+    }
+    VarDecl *D = declareLocal(Name, Ty);
+    Stmt *InitStmt = nullptr;
+    if (accept(TokKind::Assign)) {
+      Expr *Init = rvalue(parseExpr());
+      if (Init)
+        InitStmt = makeAssign(B.varRef(D), Init);
+    }
+    expect(TokKind::Semi, "after declaration");
+    return InitStmt;
+  }
+
+  Stmt *parseIf() {
+    advance();
+    expect(TokKind::LParen, "after if");
+    Expr *Cond = rvalue(parseExpr());
+    expect(TokKind::RParen, "after condition");
+    Stmt *Then = parseStmtAsBlock();
+    Stmt *Else = nullptr;
+    if (accept(TokKind::KwElse))
+      Else = parseStmtAsBlock();
+    if (!Cond)
+      return nullptr;
+    return B.ifStmt(Cond, Then, Else);
+  }
+
+  Stmt *parseStmtAsBlock() {
+    Stmt *S = parseStmt();
+    if (!S)
+      return B.block({});
+    if (isa<BlockStmt>(S))
+      return S;
+    return B.block({S});
+  }
+
+  Stmt *parseWhile() {
+    advance();
+    expect(TokKind::LParen, "after while");
+    Expr *Cond = rvalue(parseExpr());
+    expect(TokKind::RParen, "after condition");
+    Stmt *Body = parseStmtAsBlock();
+    if (!Cond)
+      return nullptr;
+    return B.whileStmt(Cond, Body);
+  }
+
+  /// Canonical for-loop: for (iv = lo; iv < hi; iv = iv + s | iv += s | iv++)
+  Stmt *parseFor() {
+    bool Candidate = accept(TokKind::AtCandidate);
+    if (!at(TokKind::KwFor)) {
+      error("@candidate must precede a for loop");
+      return nullptr;
+    }
+    advance();
+    expect(TokKind::LParen, "after for");
+
+    pushScope();
+    VarDecl *IV = nullptr;
+    if (atTypeStart()) {
+      Type *Ty = parsePointerSuffix(parseTypeSpec());
+      if (!Ty->isInt()) {
+        error("for induction variable must be an integer");
+        Ty = M->getTypes().getInt32();
+      }
+      if (!at(TokKind::Identifier)) {
+        error("expected induction variable name");
+        popScope();
+        return nullptr;
+      }
+      IV = declareLocal(advance().Text, Ty);
+    } else {
+      if (!at(TokKind::Identifier)) {
+        error("expected induction variable");
+        popScope();
+        return nullptr;
+      }
+      IV = lookup(cur().Text);
+      if (!IV) {
+        error("unknown variable '" + cur().Text + "'");
+        popScope();
+        return nullptr;
+      }
+      if (!IV->getType()->isInt())
+        error("for induction variable must be an integer");
+      advance();
+    }
+    expect(TokKind::Assign, "in for init");
+    Expr *Init = rvalue(parseExpr());
+    expect(TokKind::Semi, "after for init");
+
+    if (!at(TokKind::Identifier) || lookup(cur().Text) != IV)
+      error("for condition must test the induction variable");
+    else
+      advance();
+    expect(TokKind::Less, "in for condition (canonical 'iv < limit')");
+    Expr *Limit = rvalue(parseExpr());
+    expect(TokKind::Semi, "after for condition");
+
+    Expr *Step = nullptr;
+    if (at(TokKind::Identifier) && lookup(cur().Text) == IV) {
+      advance();
+      if (accept(TokKind::PlusPlus)) {
+        Step = B.intLit(1);
+      } else if (accept(TokKind::PlusAssign)) {
+        Step = rvalue(parseExpr());
+      } else if (accept(TokKind::Assign)) {
+        // iv = iv + step
+        if (!at(TokKind::Identifier) || lookup(cur().Text) != IV) {
+          error("for increment must be 'iv = iv + step'");
+        } else {
+          advance();
+          expect(TokKind::Plus, "in for increment");
+          Step = rvalue(parseExpr());
+        }
+      } else {
+        error("unsupported for increment");
+      }
+    } else {
+      error("for increment must update the induction variable");
+    }
+    expect(TokKind::RParen, "after for header");
+
+    Stmt *Body = parseStmtAsBlock();
+    popScope();
+    if (!Init || !Limit || !Step)
+      return nullptr;
+    ForStmt *F = B.forStmt(IV, Init, Limit, Step, Body);
+    F->setCandidate(Candidate);
+    return F;
+  }
+
+  Stmt *parseReturn() {
+    advance();
+    Expr *Value = nullptr;
+    if (!at(TokKind::Semi)) {
+      Value = rvalue(parseExpr());
+      if (Value && CurFn && !CurFn->getReturnType()->isVoid())
+        Value = convertForAssign(Value, CurFn->getReturnType());
+    }
+    expect(TokKind::Semi, "after return");
+    if (CurFn && CurFn->getReturnType()->isVoid() && Value)
+      error("returning a value from a void function");
+    return B.ret(Value);
+  }
+
+  Stmt *parseExprOrAssignStmt() {
+    Expr *LHS = parseExpr();
+    if (!LHS)
+      return nullptr;
+
+    if (accept(TokKind::Assign)) {
+      Expr *RHS = rvalue(parseExpr());
+      expect(TokKind::Semi, "after assignment");
+      if (!RHS)
+        return nullptr;
+      return makeAssign(LHS, RHS);
+    }
+    if (at(TokKind::PlusAssign) || at(TokKind::MinusAssign) ||
+        at(TokKind::StarAssign) || at(TokKind::SlashAssign) ||
+        at(TokKind::PercentAssign) || at(TokKind::AmpAssign) ||
+        at(TokKind::PipeAssign) || at(TokKind::CaretAssign) ||
+        at(TokKind::ShlAssign) || at(TokKind::ShrAssign)) {
+      TokKind K = advance().Kind;
+      Expr *RHS = rvalue(parseExpr());
+      expect(TokKind::Semi, "after compound assignment");
+      if (!RHS)
+        return nullptr;
+      BinaryOp Op = K == TokKind::PlusAssign      ? BinaryOp::Add
+                    : K == TokKind::MinusAssign   ? BinaryOp::Sub
+                    : K == TokKind::StarAssign    ? BinaryOp::Mul
+                    : K == TokKind::SlashAssign   ? BinaryOp::Div
+                    : K == TokKind::PercentAssign ? BinaryOp::Rem
+                    : K == TokKind::AmpAssign     ? BinaryOp::BitAnd
+                    : K == TokKind::PipeAssign    ? BinaryOp::BitOr
+                    : K == TokKind::CaretAssign   ? BinaryOp::BitXor
+                    : K == TokKind::ShlAssign     ? BinaryOp::Shl
+                                                  : BinaryOp::Shr;
+      return compoundAssign(LHS, Op, RHS);
+    }
+    if (accept(TokKind::PlusPlus)) {
+      expect(TokKind::Semi, "after ++");
+      return compoundAssign(LHS, BinaryOp::Add, B.intLit(1));
+    }
+    if (accept(TokKind::MinusMinus)) {
+      expect(TokKind::Semi, "after --");
+      return compoundAssign(LHS, BinaryOp::Sub, B.intLit(1));
+    }
+
+    expect(TokKind::Semi, "after expression");
+    if (isa<CallExpr>(LHS))
+      return B.exprStmt(LHS);
+    if (LHS->isLValue()) {
+      error("expression statement has no effect");
+      return nullptr;
+    }
+    return B.exprStmt(LHS);
+  }
+
+  Stmt *makeAssign(Expr *LHS, Expr *RHS) {
+    if (!LHS->isLValue()) {
+      error("assignment target is not an l-value");
+      return nullptr;
+    }
+    RHS = convertForAssign(RHS, LHS->getType());
+    if (!RHS)
+      return nullptr;
+    return B.assign(LHS, RHS);
+  }
+
+  Stmt *compoundAssign(Expr *LHS, BinaryOp Op, Expr *RHS) {
+    if (!LHS->isLValue()) {
+      error("compound assignment target is not an l-value");
+      return nullptr;
+    }
+    Expr *LoadedLHS = B.load(cloneExpr(*M, LHS));
+    Expr *Combined = B.binary(Op, LoadedLHS, RHS);
+    return makeAssign(LHS, Combined);
+  }
+
+  /// Assignment-context conversion: implicit scalar conversions, void*
+  /// adoption, and integer-to-pointer for null constants.
+  Expr *convertForAssign(Expr *E, Type *To) {
+    Type *From = E->getType();
+    if (From == To)
+      return E;
+    if (To->isPointer() && From->isInt())
+      return B.castTo(E, To); // p = 0 and friends
+    if (To->isAggregate() || From->isAggregate()) {
+      if (To != From) {
+        error("incompatible aggregate assignment");
+        return nullptr;
+      }
+      return E;
+    }
+    if (!IRBuilder::isImplicitlyConvertible(From, To)) {
+      error("cannot convert " + From->str() + " to " + To->str());
+      return nullptr;
+    }
+    return B.convert(E, To);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===------------------------------------------------------------------===//
+
+  /// Converts a possibly-lvalue parse result into an r-value: arrays decay,
+  /// other l-values load.
+  Expr *rvalue(Expr *E) {
+    if (!E)
+      return nullptr;
+    if (!E->isLValue())
+      return E;
+    if (E->getType()->isArray())
+      return B.decay(E);
+    return B.load(E);
+  }
+
+  Expr *parseExpr() { return parseConditional(); }
+
+  Expr *parseConditional() {
+    Expr *Cond = parseBinary(0);
+    if (!Cond || !at(TokKind::Question))
+      return Cond;
+    advance();
+    Expr *Then = rvalue(parseConditional());
+    expect(TokKind::Colon, "in conditional expression");
+    Expr *Else = rvalue(parseConditional());
+    if (!Then || !Else)
+      return nullptr;
+    Cond = rvalue(Cond);
+    if (Then->getType() != Else->getType() &&
+        !(Then->getType()->isScalar() && Else->getType()->isScalar())) {
+      error("incompatible ?: operand types");
+      return nullptr;
+    }
+    return B.cond(Cond, Then, Else);
+  }
+
+  static int precedenceOf(TokKind K) {
+    switch (K) {
+    case TokKind::PipePipe:
+      return 1;
+    case TokKind::AmpAmp:
+      return 2;
+    case TokKind::Pipe:
+      return 3;
+    case TokKind::Caret:
+      return 4;
+    case TokKind::Amp:
+      return 5;
+    case TokKind::EqEq:
+    case TokKind::NotEq:
+      return 6;
+    case TokKind::Less:
+    case TokKind::LessEq:
+    case TokKind::Greater:
+    case TokKind::GreaterEq:
+      return 7;
+    case TokKind::Shl:
+    case TokKind::Shr:
+      return 8;
+    case TokKind::Plus:
+    case TokKind::Minus:
+      return 9;
+    case TokKind::Star:
+    case TokKind::Slash:
+    case TokKind::Percent:
+      return 10;
+    default:
+      return -1;
+    }
+  }
+
+  static BinaryOp binOpFor(TokKind K) {
+    switch (K) {
+    case TokKind::PipePipe:
+      return BinaryOp::LogicalOr;
+    case TokKind::AmpAmp:
+      return BinaryOp::LogicalAnd;
+    case TokKind::Pipe:
+      return BinaryOp::BitOr;
+    case TokKind::Caret:
+      return BinaryOp::BitXor;
+    case TokKind::Amp:
+      return BinaryOp::BitAnd;
+    case TokKind::EqEq:
+      return BinaryOp::Eq;
+    case TokKind::NotEq:
+      return BinaryOp::Ne;
+    case TokKind::Less:
+      return BinaryOp::Lt;
+    case TokKind::LessEq:
+      return BinaryOp::Le;
+    case TokKind::Greater:
+      return BinaryOp::Gt;
+    case TokKind::GreaterEq:
+      return BinaryOp::Ge;
+    case TokKind::Shl:
+      return BinaryOp::Shl;
+    case TokKind::Shr:
+      return BinaryOp::Shr;
+    case TokKind::Plus:
+      return BinaryOp::Add;
+    case TokKind::Minus:
+      return BinaryOp::Sub;
+    case TokKind::Star:
+      return BinaryOp::Mul;
+    case TokKind::Slash:
+      return BinaryOp::Div;
+    case TokKind::Percent:
+      return BinaryOp::Rem;
+    default:
+      gdse_unreachable("not a binary operator token");
+    }
+  }
+
+  Expr *parseBinary(int MinPrec) {
+    Expr *LHS = parseUnary();
+    while (LHS) {
+      int Prec = precedenceOf(cur().Kind);
+      if (Prec < MinPrec || Prec < 0)
+        break;
+      TokKind OpTok = advance().Kind;
+      Expr *RHS = parseBinary(Prec + 1);
+      if (!RHS)
+        return nullptr;
+      Expr *L = rvalue(LHS);
+      Expr *R = rvalue(RHS);
+      BinaryOp Op = binOpFor(OpTok);
+      // Validate operand categories before delegating to the builder.
+      Type *LT = L->getType(), *RT = R->getType();
+      bool PtrInvolved = LT->isPointer() || RT->isPointer();
+      if (PtrInvolved) {
+        bool IsCmp = Op == BinaryOp::Eq || Op == BinaryOp::Ne ||
+                     Op == BinaryOp::Lt || Op == BinaryOp::Le ||
+                     Op == BinaryOp::Gt || Op == BinaryOp::Ge;
+        bool IsAddSub = Op == BinaryOp::Add || Op == BinaryOp::Sub;
+        bool IsLogical =
+            Op == BinaryOp::LogicalAnd || Op == BinaryOp::LogicalOr;
+        if (!IsCmp && !IsAddSub && !IsLogical) {
+          error("invalid operands to binary operator");
+          return nullptr;
+        }
+        if (IsAddSub && LT->isPointer() && RT->isPointer() &&
+            Op == BinaryOp::Add) {
+          error("cannot add two pointers");
+          return nullptr;
+        }
+        if (IsAddSub && Op == BinaryOp::Sub && !LT->isPointer()) {
+          error("cannot subtract a pointer from an integer");
+          return nullptr;
+        }
+        if (IsAddSub && LT->isPointer() && RT->isPointer() &&
+            LT != RT) {
+          error("pointer difference requires matching pointer types");
+          return nullptr;
+        }
+      } else if (!LT->isScalar() || !RT->isScalar()) {
+        error("invalid operands to binary operator");
+        return nullptr;
+      }
+      LHS = B.binary(Op, L, R);
+    }
+    return LHS;
+  }
+
+  Expr *parseUnary() {
+    switch (cur().Kind) {
+    case TokKind::Minus: {
+      advance();
+      Expr *Sub = rvalue(parseUnary());
+      if (!Sub)
+        return nullptr;
+      if (!Sub->getType()->isScalar()) {
+        error("negation of non-scalar");
+        return nullptr;
+      }
+      return B.unary(UnaryOp::Neg, Sub);
+    }
+    case TokKind::Tilde: {
+      advance();
+      Expr *Sub = rvalue(parseUnary());
+      if (!Sub)
+        return nullptr;
+      if (!Sub->getType()->isInt()) {
+        error("~ requires an integer");
+        return nullptr;
+      }
+      return B.unary(UnaryOp::BitNot, Sub);
+    }
+    case TokKind::Bang: {
+      advance();
+      Expr *Sub = rvalue(parseUnary());
+      if (!Sub)
+        return nullptr;
+      return B.unary(UnaryOp::LogicalNot, B.asCondition(Sub));
+    }
+    case TokKind::Star: {
+      advance();
+      Expr *Ptr = rvalue(parseUnary());
+      if (!Ptr)
+        return nullptr;
+      auto *PT = dyn_cast<PointerType>(Ptr->getType());
+      if (!PT || PT->getPointee()->isVoid()) {
+        error("cannot dereference this expression");
+        return nullptr;
+      }
+      return B.deref(Ptr);
+    }
+    case TokKind::Amp: {
+      advance();
+      Expr *Loc = parseUnary();
+      if (!Loc)
+        return nullptr;
+      if (!Loc->isLValue()) {
+        error("& requires an l-value");
+        return nullptr;
+      }
+      return B.addrOf(Loc);
+    }
+    case TokKind::KwSizeof: {
+      advance();
+      expect(TokKind::LParen, "after sizeof");
+      Type *T = nullptr;
+      if (atTypeStart()) {
+        T = parsePointerSuffix(parseTypeSpec());
+      } else {
+        Expr *E = parseExpr();
+        if (!E)
+          return nullptr;
+        T = E->getType();
+      }
+      expect(TokKind::RParen, "after sizeof operand");
+      if (T->isVoid()) {
+        error("sizeof(void) is invalid");
+        return nullptr;
+      }
+      return B.sizeofType(T);
+    }
+    case TokKind::LParen:
+      // Cast?
+      if (atTypeStartAhead(1)) {
+        advance();
+        Type *To = parsePointerSuffix(parseTypeSpec());
+        expect(TokKind::RParen, "after cast type");
+        Expr *Sub = rvalue(parseUnary());
+        if (!Sub)
+          return nullptr;
+        if (To->isVoid()) {
+          error("cast to void is unsupported");
+          return nullptr;
+        }
+        bool FromOk =
+            Sub->getType()->isScalar() || Sub->getType()->isPointer();
+        bool ToOk = To->isScalar() || To->isPointer();
+        if (!FromOk || !ToOk ||
+            (Sub->getType()->isFloat() && To->isPointer()) ||
+            (Sub->getType()->isPointer() && To->isFloat())) {
+          error("invalid cast");
+          return nullptr;
+        }
+        return B.castTo(Sub, To);
+      }
+      return parsePostfix();
+    default:
+      return parsePostfix();
+    }
+  }
+
+  bool atTypeStartAhead(unsigned Ahead) const {
+    switch (peek(Ahead).Kind) {
+    case TokKind::KwVoid:
+    case TokKind::KwChar:
+    case TokKind::KwShort:
+    case TokKind::KwInt:
+    case TokKind::KwLong:
+    case TokKind::KwFloat:
+    case TokKind::KwDouble:
+    case TokKind::KwUnsigned:
+    case TokKind::KwStruct:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  Expr *parsePostfix() {
+    Expr *E = parsePrimary();
+    while (E) {
+      if (accept(TokKind::LBracket)) {
+        Expr *Idx = rvalue(parseExpr());
+        expect(TokKind::RBracket, "after index");
+        if (!Idx)
+          return nullptr;
+        if (!Idx->getType()->isInt()) {
+          error("array index must be an integer");
+          return nullptr;
+        }
+        Expr *Base = rvalue(E); // decays arrays, loads pointer variables
+        auto *PT = dyn_cast<PointerType>(Base->getType());
+        if (!PT || PT->getPointee()->isVoid()) {
+          error("subscripted value is not a pointer/array");
+          return nullptr;
+        }
+        E = B.index(Base, Idx);
+        continue;
+      }
+      if (accept(TokKind::Dot)) {
+        if (!at(TokKind::Identifier)) {
+          error("expected field name after '.'");
+          return nullptr;
+        }
+        std::string FName = advance().Text;
+        E = fieldAccess(E, FName);
+        continue;
+      }
+      if (accept(TokKind::Arrow)) {
+        if (!at(TokKind::Identifier)) {
+          error("expected field name after '->'");
+          return nullptr;
+        }
+        std::string FName = advance().Text;
+        Expr *Ptr = rvalue(E);
+        auto *PT = dyn_cast<PointerType>(Ptr->getType());
+        if (!PT || !PT->getPointee()->isStruct()) {
+          error("-> requires a pointer to a struct");
+          return nullptr;
+        }
+        E = fieldAccess(B.deref(Ptr), FName);
+        continue;
+      }
+      break;
+    }
+    return E;
+  }
+
+  Expr *fieldAccess(Expr *Base, const std::string &FName) {
+    if (!Base)
+      return nullptr;
+    if (!Base->isLValue()) {
+      error("field access requires an l-value base");
+      return nullptr;
+    }
+    auto *ST = dyn_cast<StructType>(Base->getType());
+    if (!ST || ST->isOpaque()) {
+      error("field access on non-struct");
+      return nullptr;
+    }
+    int Idx = ST->getFieldIndex(FName);
+    if (Idx < 0) {
+      error("struct " + ST->getName() + " has no field '" + FName + "'");
+      return nullptr;
+    }
+    return B.field(Base, static_cast<unsigned>(Idx));
+  }
+
+  Expr *parsePrimary() {
+    switch (cur().Kind) {
+    case TokKind::IntLiteral: {
+      int64_t V = advance().IntValue;
+      // Fits in int? Use int32, else long.
+      if (V >= INT32_MIN && V <= INT32_MAX)
+        return B.intLit(V);
+      return B.longLit(V);
+    }
+    case TokKind::FloatLiteral:
+      return B.floatLit(advance().FloatValue);
+    case TokKind::KwTid:
+      advance();
+      return B.threadId();
+    case TokKind::KwNumThreads:
+      advance();
+      return B.numThreads();
+    case TokKind::LParen: {
+      advance();
+      Expr *E = parseExpr();
+      expect(TokKind::RParen, "after parenthesized expression");
+      return E;
+    }
+    case TokKind::Identifier: {
+      std::string Name = advance().Text;
+      if (at(TokKind::LParen))
+        return parseCall(Name);
+      VarDecl *D = lookup(Name);
+      if (!D) {
+        auto It = GlobalScope.find(Name);
+        D = It == GlobalScope.end() ? nullptr : It->second;
+      }
+      if (!D) {
+        error("unknown variable '" + Name + "'");
+        return nullptr;
+      }
+      return B.varRef(D);
+    }
+    default:
+      error(formatString("expected an expression, found %s",
+                         tokKindName(cur().Kind)));
+      return nullptr;
+    }
+  }
+
+  Expr *parseCall(const std::string &Name) {
+    advance(); // (
+    std::vector<Expr *> Args;
+    if (!at(TokKind::RParen)) {
+      do {
+        Expr *A = rvalue(parseExpr());
+        if (!A)
+          return nullptr;
+        Args.push_back(A);
+      } while (accept(TokKind::Comma));
+    }
+    expect(TokKind::RParen, "after call arguments");
+
+    Builtin Bi = lookupBuiltin(Name);
+    if (Bi != Builtin::None)
+      return buildBuiltinCall(Bi, std::move(Args));
+
+    Function *F = M->getFunction(Name);
+    if (!F) {
+      error("call to undeclared function '" + Name + "'");
+      return nullptr;
+    }
+    FunctionType *FT = F->getFunctionType();
+    if (Args.size() != FT->getNumParams()) {
+      error(formatString("'%s' expects %u arguments, got %zu", Name.c_str(),
+                         FT->getNumParams(), Args.size()));
+      return nullptr;
+    }
+    for (unsigned I = 0, E = FT->getNumParams(); I != E; ++I) {
+      Args[I] = convertForAssign(Args[I], FT->getParam(I));
+      if (!Args[I])
+        return nullptr;
+    }
+    return B.call(F, std::move(Args));
+  }
+
+  Expr *buildBuiltinCall(Builtin Bi, std::vector<Expr *> Args) {
+    TypeContext &Ctx = M->getTypes();
+    Type *VoidPtr = Ctx.getPointerType(Ctx.getVoidType());
+    auto wantArgs = [&](unsigned N) {
+      if (Args.size() != N) {
+        error(formatString("%s expects %u arguments", getBuiltinName(Bi), N));
+        return false;
+      }
+      return true;
+    };
+    auto intArg = [&](unsigned I) -> bool {
+      if (!Args[I]->getType()->isInt()) {
+        error(formatString("argument %u of %s must be an integer", I + 1,
+                           getBuiltinName(Bi)));
+        return false;
+      }
+      Args[I] = B.convert(Args[I], Ctx.getInt64());
+      return true;
+    };
+    auto ptrArg = [&](unsigned I) -> bool {
+      if (!Args[I]->getType()->isPointer()) {
+        error(formatString("argument %u of %s must be a pointer", I + 1,
+                           getBuiltinName(Bi)));
+        return false;
+      }
+      return true;
+    };
+    switch (Bi) {
+    case Builtin::MallocFn:
+      if (!wantArgs(1) || !intArg(0))
+        return nullptr;
+      return B.callBuiltin(Bi, std::move(Args), VoidPtr);
+    case Builtin::CallocFn:
+      if (!wantArgs(2) || !intArg(0) || !intArg(1))
+        return nullptr;
+      return B.callBuiltin(Bi, std::move(Args), VoidPtr);
+    case Builtin::ReallocFn:
+      if (!wantArgs(2) || !ptrArg(0) || !intArg(1))
+        return nullptr;
+      return B.callBuiltin(Bi, std::move(Args), VoidPtr);
+    case Builtin::FreeFn:
+      if (!wantArgs(1) || !ptrArg(0))
+        return nullptr;
+      return B.callBuiltin(Bi, std::move(Args), Ctx.getVoidType());
+    case Builtin::MemcpyFn:
+      if (!wantArgs(3) || !ptrArg(0) || !ptrArg(1) || !intArg(2))
+        return nullptr;
+      return B.callBuiltin(Bi, std::move(Args), VoidPtr);
+    case Builtin::MemsetFn:
+      if (!wantArgs(3) || !ptrArg(0) || !intArg(1) || !intArg(2))
+        return nullptr;
+      return B.callBuiltin(Bi, std::move(Args), VoidPtr);
+    case Builtin::PrintInt:
+      if (!wantArgs(1) || !intArg(0))
+        return nullptr;
+      return B.callBuiltin(Bi, std::move(Args), Ctx.getVoidType());
+    case Builtin::PrintFloat:
+      if (!wantArgs(1))
+        return nullptr;
+      if (!Args[0]->getType()->isFloat()) {
+        error("print_float argument must be a float");
+        return nullptr;
+      }
+      Args[0] = B.convert(Args[0], Ctx.getFloat64());
+      return B.callBuiltin(Bi, std::move(Args), Ctx.getVoidType());
+    case Builtin::AbsFn:
+      if (!wantArgs(1) || !intArg(0))
+        return nullptr;
+      return B.callBuiltin(Bi, std::move(Args), Ctx.getInt64());
+    case Builtin::FabsFn:
+    case Builtin::SqrtFn:
+      if (!wantArgs(1))
+        return nullptr;
+      if (!Args[0]->getType()->isScalar()) {
+        error("fabs/sqrt argument must be numeric");
+        return nullptr;
+      }
+      Args[0] = B.convert(Args[0], Ctx.getFloat64());
+      return B.callBuiltin(Bi, std::move(Args), Ctx.getFloat64());
+    case Builtin::ExitFn:
+      if (!wantArgs(1) || !intArg(0))
+        return nullptr;
+      return B.callBuiltin(Bi, std::move(Args), Ctx.getVoidType());
+    case Builtin::RtPrivPtr: {
+      if (!wantArgs(2) || !ptrArg(0) || !intArg(1))
+        return nullptr;
+      Type *ResultTy = Args[0]->getType();
+      return B.callBuiltin(Bi, std::move(Args), ResultTy);
+    }
+    case Builtin::None:
+      break;
+    }
+    gdse_unreachable("unhandled builtin");
+  }
+
+  //===------------------------------------------------------------------===//
+  // State
+  //===------------------------------------------------------------------===//
+
+  std::vector<Token> Toks;
+  std::vector<std::string> &Errors;
+  std::unique_ptr<Module> M;
+  IRBuilder B;
+  size_t Pos = 0;
+  Function *CurFn = nullptr;
+  std::vector<Scope> Scopes;
+  Scope GlobalScope;
+  std::set<std::string> UsedLocalNames;
+  unsigned ShadowCounter = 0;
+};
+
+} // namespace
+
+ParseResult gdse::parseMiniC(const std::string &Source) {
+  ParseResult Result;
+  std::vector<Token> Toks = lex(Source, Result.Errors);
+  if (!Result.Errors.empty())
+    return Result;
+  ParserImpl P(std::move(Toks), Result.Errors);
+  Result.M = P.run();
+  return Result;
+}
+
+std::unique_ptr<Module> gdse::parseMiniCOrDie(const std::string &Source,
+                                              const char *What) {
+  ParseResult R = parseMiniC(Source);
+  if (R.ok())
+    return std::move(R.M);
+  std::fprintf(stderr, "MiniC parse of %s failed:\n", What);
+  for (const std::string &E : R.Errors)
+    std::fprintf(stderr, "  %s\n", E.c_str());
+  reportFatalError("parse failed");
+}

@@ -1,0 +1,53 @@
+//===- Parser.h - MiniC parser and semantic analysis ------------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser with integrated type checking that turns MiniC
+/// source into a verified gdse::Module.
+///
+/// MiniC is the C subset the paper's transforms need to be exercised on:
+/// structs, pointers (with & and pointer arithmetic), fixed arrays, heap
+/// allocation (malloc/calloc/realloc/free), functions, the usual statement
+/// and operator set, plus the "@candidate" annotation marking a for-loop as
+/// a parallelization candidate. Restrictions: one declarator per
+/// declaration, canonical counted for-loops (iv = lo; iv < hi; iv += step),
+/// no typedef/union/switch/goto, no struct-by-value parameters, and the
+/// l-value of compound assignments must be side-effect free (it is
+/// duplicated).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_FRONTEND_PARSER_H
+#define GDSE_FRONTEND_PARSER_H
+
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gdse {
+
+struct ParseResult {
+  /// The parsed program; null when any error was reported.
+  std::unique_ptr<Module> M;
+  std::vector<std::string> Errors;
+
+  bool ok() const { return M != nullptr && Errors.empty(); }
+};
+
+/// Parses and type-checks a MiniC translation unit.
+ParseResult parseMiniC(const std::string &Source);
+
+/// Like parseMiniC, but aborts with the diagnostics on failure. For
+/// workloads and tests whose source is known-good.
+std::unique_ptr<Module> parseMiniCOrDie(const std::string &Source,
+                                        const char *What = "input");
+
+} // namespace gdse
+
+#endif // GDSE_FRONTEND_PARSER_H

@@ -1,0 +1,59 @@
+//===- CostModel.h - VM cycle cost model ------------------------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic cycle costs charged by the VM. The paper measured wall-clock
+/// time on an 8-core Opteron; this host has a single core, so speedups are
+/// produced by a simulated multicore timeline over these per-operation costs
+/// (see DESIGN.md, substitution table). Constants are centralized so the
+/// ablation benches can vary them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_INTERP_COSTMODEL_H
+#define GDSE_INTERP_COSTMODEL_H
+
+#include <cstdint>
+
+namespace gdse {
+
+/// Cycle costs for one simulated core.
+struct CostModel {
+  /// Charged per expression node evaluated.
+  uint64_t ExprBase = 1;
+  /// Extra cost of a memory load / store (beyond ExprBase).
+  uint64_t Load = 3;
+  uint64_t Store = 3;
+  /// Extra cost of integer division/remainder and of sqrt.
+  uint64_t DivRem = 12;
+  /// Call/return bookkeeping of a user function call.
+  uint64_t Call = 12;
+  /// Allocator costs.
+  uint64_t Alloc = 60;
+  uint64_t Free = 30;
+  /// Per-byte cost of memcpy/memset/calloc-zeroing.
+  uint64_t PerByteCopy = 1;
+  /// Parallel runtime: one-time fork/join of a team (GOMP-like).
+  uint64_t ForkJoin = 2000;
+  /// DOALL static chunk startup per thread.
+  uint64_t ChunkStartup = 150;
+  /// DOACROSS dynamic self-scheduling cost charged per iteration dispatch
+  /// (chunk size one, as in the paper §4.3).
+  uint64_t IterDispatch = 120;
+  /// Entry/exit bookkeeping of an ordered (cross-iteration sync) region,
+  /// charged in addition to any stall time.
+  uint64_t OrderedEnter = 40;
+
+  static const CostModel &defaults() {
+    static const CostModel CM;
+    return CM;
+  }
+};
+
+} // namespace gdse
+
+#endif // GDSE_INTERP_COSTMODEL_H

@@ -1,0 +1,1301 @@
+//===- Interp.cpp - The GDSE VM and multicore simulator --------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "ir/IRPrinter.h"
+#include "ir/IRVisitor.h"
+#include "support/Support.h"
+
+#include <cmath>
+#include <cstring>
+#include <set>
+
+using namespace gdse;
+
+InterpObserver::~InterpObserver() = default;
+
+namespace {
+
+/// A scalar or pointer runtime value. The interpreter knows from the static
+/// expression type which member is meaningful.
+struct Value {
+  int64_t I = 0;
+  double F = 0.0;
+
+  static Value ofInt(int64_t V) {
+    Value R;
+    R.I = V;
+    return R;
+  }
+  static Value ofFloat(double V) {
+    Value R;
+    R.F = V;
+    return R;
+  }
+};
+
+enum class Flow : uint8_t { Normal, Break, Continue, Return, Halt };
+
+struct FrameLayout {
+  uint64_t Size = 0;
+  std::map<const VarDecl *, uint64_t> Offsets;
+};
+
+struct Frame {
+  const Function *F = nullptr;
+  uint64_t Base = 0;
+  const FrameLayout *Layout = nullptr;
+};
+
+/// One ordered-region entry/exit observed during an iteration, as work-cycle
+/// offsets from the iteration start.
+struct OrderedEvent {
+  unsigned RegionId = 0;
+  uint64_t EntryOff = 0;
+  uint64_t ExitOff = 0;
+};
+
+} // namespace
+
+struct Interp::Impl {
+  Module &M;
+  TypeContext &Ctx;
+  InterpOptions Opts;
+  InterpObserver *Obs = nullptr;
+  VMMemory Mem;
+
+  std::map<const Function *, FrameLayout> Layouts;
+  std::map<const VarDecl *, uint64_t> GlobalAddrs;
+  std::vector<Frame> Frames;
+
+  uint64_t Cycles = 0;    ///< pure work cycles
+  int64_t TimeAdjust = 0; ///< SimTime - work inside parallel loops (signed)
+  int CurTid = 0;
+  bool InParallelLoop = false;
+
+  bool Trapped = false;
+  bool Halted = false;
+  std::string TrapMessage;
+  int64_t ExitCode = 0;
+  Value ReturnValue;
+  std::string Output;
+  unsigned CallDepth = 0;
+
+  std::map<unsigned, LoopStats> Loops;
+
+  // Ordered-region event recording (active during DOACROSS simulation).
+  bool RecordOrdered = false;
+  uint64_t IterStartCycles = 0;
+  std::vector<OrderedEvent> OrderedEvents;
+
+  // Runtime privatization (SpiceC-style baseline).
+  std::vector<uint64_t> GlobalBlocks;
+  std::map<std::pair<int, uint64_t>, uint64_t> RtShadow;
+  uint64_t RtPrivTranslations = 0;
+  uint64_t RtPrivBytesCopied = 0;
+
+  /// Locals/params that a compiling backend would keep in registers:
+  /// scalar or pointer typed and never address-taken. Accesses to them are
+  /// free in the cost model (the VM still goes through frame memory).
+  std::set<const VarDecl *> RegisterVars;
+
+  Impl(Module &M, InterpOptions Opts)
+      : M(M), Ctx(M.getTypes()), Opts(std::move(Opts)) {
+    computeRegisterVars();
+  }
+
+  void computeRegisterVars() {
+    std::set<const VarDecl *> AddressTaken;
+    for (Function *F : M.getFunctions()) {
+      walkExprs(F, [&](Expr *E) {
+        const Expr *Loc = nullptr;
+        if (auto *A = dyn_cast<AddrOfExpr>(E))
+          Loc = A->getLocation();
+        else if (auto *D = dyn_cast<DecayExpr>(E))
+          Loc = D->getArrayLocation();
+        while (Loc) {
+          if (auto *F = dyn_cast<FieldAccessExpr>(Loc)) {
+            Loc = F->getBase();
+            continue;
+          }
+          if (auto *V = dyn_cast<VarRefExpr>(Loc))
+            AddressTaken.insert(V->getDecl());
+          break;
+        }
+      });
+      for (const VarDecl *D : F->getParams())
+        if (!D->getType()->isArray())
+          RegisterVars.insert(D);
+      for (const VarDecl *D : F->getLocals())
+        if (!D->getType()->isArray())
+          RegisterVars.insert(D);
+    }
+    for (const VarDecl *D : AddressTaken)
+      RegisterVars.erase(D);
+  }
+
+  /// True when the l-value is a direct reference to a register-like local,
+  /// or a field chain over a non-address-taken local aggregate (which SROA
+  /// would scalarize into registers).
+  bool isRegisterAccess(const Expr *Loc) const {
+    while (auto *F = dyn_cast<FieldAccessExpr>(Loc))
+      Loc = F->getBase();
+    if (auto *V = dyn_cast<VarRefExpr>(Loc))
+      return RegisterVars.count(V->getDecl()) != 0;
+    return false;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Diagnostics
+  //===------------------------------------------------------------------===//
+
+  void trap(const std::string &Msg) {
+    if (Trapped)
+      return;
+    Trapped = true;
+    TrapMessage = Msg;
+  }
+
+  bool dead() const { return Trapped || Halted; }
+
+  void charge(uint64_t C) { Cycles += C; }
+
+  bool checkBudget() {
+    if (Opts.MaxCycles && Cycles > Opts.MaxCycles) {
+      trap("cycle budget exceeded (runaway loop?)");
+      return false;
+    }
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Addressing and raw memory
+  //===------------------------------------------------------------------===//
+
+  const FrameLayout &layoutOf(const Function *F) {
+    auto It = Layouts.find(F);
+    if (It != Layouts.end())
+      return It->second;
+    FrameLayout L;
+    uint64_t Offset = 0;
+    auto place = [&](const VarDecl *D) {
+      const TypeLayout &TL = Ctx.getLayout(D->getType());
+      Offset = (Offset + TL.Align - 1) / TL.Align * TL.Align;
+      L.Offsets[D] = Offset;
+      Offset += TL.Size;
+    };
+    for (const VarDecl *P : F->getParams())
+      place(P);
+    for (const VarDecl *V : F->getLocals())
+      place(V);
+    L.Size = std::max<uint64_t>(Offset, 1);
+    return Layouts.emplace(F, std::move(L)).first->second;
+  }
+
+  uint64_t addrOfVar(const VarDecl *D) {
+    if (D->isGlobal()) {
+      auto It = GlobalAddrs.find(D);
+      if (It == GlobalAddrs.end()) {
+        trap("reference to unallocated global '" + D->getName() + "'");
+        return 0;
+      }
+      return It->second;
+    }
+    assert(!Frames.empty() && "local access outside any frame");
+    const Frame &Fr = Frames.back();
+    auto It = Fr.Layout->Offsets.find(D);
+    if (It == Fr.Layout->Offsets.end()) {
+      trap("variable '" + D->getName() + "' has no slot in frame of " +
+           Fr.F->getName());
+      return 0;
+    }
+    return Fr.Base + It->second;
+  }
+
+  bool checkAccess(uint64_t Addr, uint64_t Size, const char *What) {
+    if (!Opts.BoundsCheck)
+      return true;
+    if (Addr == 0) {
+      trap(formatString("null %s of %llu bytes", What,
+                        static_cast<unsigned long long>(Size)));
+      return false;
+    }
+    if (!Mem.inBounds(Addr, Size)) {
+      trap(formatString("out-of-bounds %s of %llu bytes at 0x%llx", What,
+                        static_cast<unsigned long long>(Size),
+                        static_cast<unsigned long long>(Addr)));
+      return false;
+    }
+    return true;
+  }
+
+  static int64_t normalizeInt(int64_t V, const IntType *T) {
+    unsigned Bits = T->getBits();
+    if (Bits == 64)
+      return V;
+    uint64_t Mask = (uint64_t(1) << Bits) - 1;
+    uint64_t U = static_cast<uint64_t>(V) & Mask;
+    if (T->isSigned() && (U >> (Bits - 1)))
+      U |= ~Mask;
+    return static_cast<int64_t>(U);
+  }
+
+  Value loadScalar(uint64_t Addr, Type *T) {
+    Value V;
+    switch (T->getKind()) {
+    case Type::Kind::Int: {
+      const auto *IT = cast<IntType>(T);
+      int64_t Raw = 0;
+      std::memcpy(&Raw, reinterpret_cast<void *>(Addr), IT->getBits() / 8);
+      V.I = normalizeInt(Raw, IT);
+      return V;
+    }
+    case Type::Kind::Float: {
+      if (cast<FloatType>(T)->getBits() == 32) {
+        float F32;
+        std::memcpy(&F32, reinterpret_cast<void *>(Addr), 4);
+        V.F = F32;
+      } else {
+        std::memcpy(&V.F, reinterpret_cast<void *>(Addr), 8);
+      }
+      return V;
+    }
+    case Type::Kind::Pointer: {
+      uint64_t P;
+      std::memcpy(&P, reinterpret_cast<void *>(Addr), 8);
+      V.I = static_cast<int64_t>(P);
+      return V;
+    }
+    default:
+      trap("scalar load of aggregate type " + T->str());
+      return V;
+    }
+  }
+
+  void storeScalar(uint64_t Addr, Type *T, Value V) {
+    switch (T->getKind()) {
+    case Type::Kind::Int: {
+      const auto *IT = cast<IntType>(T);
+      int64_t Norm = normalizeInt(V.I, IT);
+      std::memcpy(reinterpret_cast<void *>(Addr), &Norm, IT->getBits() / 8);
+      return;
+    }
+    case Type::Kind::Float: {
+      if (cast<FloatType>(T)->getBits() == 32) {
+        float F32 = static_cast<float>(V.F);
+        std::memcpy(reinterpret_cast<void *>(Addr), &F32, 4);
+      } else {
+        std::memcpy(reinterpret_cast<void *>(Addr), &V.F, 8);
+      }
+      return;
+    }
+    case Type::Kind::Pointer: {
+      uint64_t P = static_cast<uint64_t>(V.I);
+      std::memcpy(reinterpret_cast<void *>(Addr), &P, 8);
+      return;
+    }
+    default:
+      trap("scalar store of aggregate type " + T->str());
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expression evaluation
+  //===------------------------------------------------------------------===//
+
+  uint64_t evalLValue(const Expr *E) {
+    if (dead())
+      return 0;
+    // Address computation folds into addressing modes: no charge.
+    switch (E->getKind()) {
+    case Expr::Kind::VarRef:
+      return addrOfVar(cast<VarRefExpr>(E)->getDecl());
+    case Expr::Kind::Deref:
+      return static_cast<uint64_t>(evalExpr(cast<DerefExpr>(E)->getPtr()).I);
+    case Expr::Kind::ArrayIndex: {
+      const auto *A = cast<ArrayIndexExpr>(E);
+      uint64_t Base = static_cast<uint64_t>(evalExpr(A->getBase()).I);
+      int64_t Idx = evalExpr(A->getIndex()).I;
+      uint64_t ElemSize = Ctx.getLayout(A->getType()).Size;
+      return Base + static_cast<uint64_t>(Idx * static_cast<int64_t>(ElemSize));
+    }
+    case Expr::Kind::FieldAccess: {
+      const auto *F = cast<FieldAccessExpr>(E);
+      uint64_t Base = evalLValue(F->getBase());
+      auto *ST = cast<StructType>(F->getBase()->getType());
+      const TypeLayout &L = Ctx.getLayout(ST);
+      return Base + L.FieldOffsets[F->getFieldIndex()];
+    }
+    default:
+      trap("evalLValue of non-lvalue " + printExpr(E));
+      return 0;
+    }
+  }
+
+  Value evalExpr(const Expr *E) {
+    if (dead())
+      return Value();
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::FloatLit:
+    case Expr::Kind::SizeofType:
+    case Expr::Kind::ThreadId:
+    case Expr::Kind::NumThreads:
+      break; // immediates: free
+    default:
+      charge(Opts.Costs.ExprBase);
+      break;
+    }
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+      return Value::ofInt(cast<IntLitExpr>(E)->getValue());
+    case Expr::Kind::FloatLit:
+      return Value::ofFloat(cast<FloatLitExpr>(E)->getValue());
+    case Expr::Kind::VarRef:
+    case Expr::Kind::Deref:
+    case Expr::Kind::ArrayIndex:
+    case Expr::Kind::FieldAccess:
+      trap("r-value evaluation of bare l-value " + printExpr(E));
+      return Value();
+    case Expr::Kind::Load: {
+      const auto *L = cast<LoadExpr>(E);
+      if (L->getType()->isAggregate()) {
+        trap("aggregate load outside assignment: " + printExpr(E));
+        return Value();
+      }
+      uint64_t Addr = evalLValue(L->getLocation());
+      uint64_t Size = Ctx.getLayout(L->getType()).Size;
+      if (!checkAccess(Addr, Size, "load"))
+        return Value();
+      if (!isRegisterAccess(L->getLocation()))
+        charge(Opts.Costs.Load);
+      if (Obs)
+        Obs->onLoad(L->getAccessId(), Addr, Size);
+      return loadScalar(Addr, L->getType());
+    }
+    case Expr::Kind::Unary:
+      return evalUnary(cast<UnaryExpr>(E));
+    case Expr::Kind::Binary:
+      return evalBinary(cast<BinaryExpr>(E));
+    case Expr::Kind::AddrOf:
+      return Value::ofInt(
+          static_cast<int64_t>(evalLValue(cast<AddrOfExpr>(E)->getLocation())));
+    case Expr::Kind::Decay:
+      return Value::ofInt(static_cast<int64_t>(
+          evalLValue(cast<DecayExpr>(E)->getArrayLocation())));
+    case Expr::Kind::Call:
+      return evalCall(cast<CallExpr>(E));
+    case Expr::Kind::Cast:
+      return evalCast(cast<CastExpr>(E));
+    case Expr::Kind::SizeofType:
+      return Value::ofInt(static_cast<int64_t>(
+          Ctx.getLayout(cast<SizeofTypeExpr>(E)->getQueriedType()).Size));
+    case Expr::Kind::ThreadId:
+      return Value::ofInt(CurTid);
+    case Expr::Kind::NumThreads:
+      return Value::ofInt(Opts.NumThreads);
+    case Expr::Kind::Cond: {
+      const auto *C = cast<CondExpr>(E);
+      Value CV = evalExpr(C->getCond());
+      return evalExpr(CV.I ? C->getThen() : C->getElse());
+    }
+    }
+    gdse_unreachable("unknown expr kind");
+  }
+
+  Value evalUnary(const UnaryExpr *U) {
+    Value S = evalExpr(U->getSub());
+    Type *T = U->getType();
+    switch (U->getOp()) {
+    case UnaryOp::Neg:
+      if (T->isFloat())
+        return Value::ofFloat(-S.F);
+      return Value::ofInt(normalizeInt(-S.I, cast<IntType>(T)));
+    case UnaryOp::BitNot:
+      return Value::ofInt(normalizeInt(~S.I, cast<IntType>(T)));
+    case UnaryOp::LogicalNot: {
+      Type *ST = U->getSub()->getType();
+      bool Truthy = ST->isFloat() ? (S.F != 0.0) : (S.I != 0);
+      return Value::ofInt(Truthy ? 0 : 1);
+    }
+    }
+    gdse_unreachable("unknown unary op");
+  }
+
+  Value evalBinary(const BinaryExpr *B) {
+    BinaryOp Op = B->getOp();
+    // Short-circuit forms.
+    if (Op == BinaryOp::LogicalAnd || Op == BinaryOp::LogicalOr) {
+      Value L = evalExpr(B->getLHS());
+      bool LTrue = L.I != 0;
+      if (Op == BinaryOp::LogicalAnd && !LTrue)
+        return Value::ofInt(0);
+      if (Op == BinaryOp::LogicalOr && LTrue)
+        return Value::ofInt(1);
+      Value R = evalExpr(B->getRHS());
+      return Value::ofInt(R.I != 0 ? 1 : 0);
+    }
+
+    Value L = evalExpr(B->getLHS());
+    Value R = evalExpr(B->getRHS());
+    if (dead())
+      return Value();
+    Type *LT = B->getLHS()->getType();
+    Type *RT = B->getRHS()->getType();
+
+    // Pointer arithmetic.
+    if (LT->isPointer() && RT->isPointer()) {
+      uint64_t Size = Ctx.getLayout(cast<PointerType>(LT)->getPointee()).Size;
+      switch (Op) {
+      case BinaryOp::Sub:
+        return Value::ofInt((L.I - R.I) / static_cast<int64_t>(Size));
+      case BinaryOp::Eq:
+        return Value::ofInt(L.I == R.I);
+      case BinaryOp::Ne:
+        return Value::ofInt(L.I != R.I);
+      case BinaryOp::Lt:
+        return Value::ofInt(static_cast<uint64_t>(L.I) <
+                            static_cast<uint64_t>(R.I));
+      case BinaryOp::Le:
+        return Value::ofInt(static_cast<uint64_t>(L.I) <=
+                            static_cast<uint64_t>(R.I));
+      case BinaryOp::Gt:
+        return Value::ofInt(static_cast<uint64_t>(L.I) >
+                            static_cast<uint64_t>(R.I));
+      case BinaryOp::Ge:
+        return Value::ofInt(static_cast<uint64_t>(L.I) >=
+                            static_cast<uint64_t>(R.I));
+      default:
+        trap("invalid pointer-pair operation");
+        return Value();
+      }
+    }
+    if (LT->isPointer()) {
+      uint64_t Size = Ctx.getLayout(cast<PointerType>(LT)->getPointee()).Size;
+      int64_t Off = R.I * static_cast<int64_t>(Size);
+      if (Op == BinaryOp::Add)
+        return Value::ofInt(L.I + Off);
+      if (Op == BinaryOp::Sub)
+        return Value::ofInt(L.I - Off);
+      trap("invalid pointer arithmetic operator");
+      return Value();
+    }
+
+    // Comparisons over scalars (operands share a type after conversions).
+    bool IsCmp = Op == BinaryOp::Eq || Op == BinaryOp::Ne ||
+                 Op == BinaryOp::Lt || Op == BinaryOp::Le ||
+                 Op == BinaryOp::Gt || Op == BinaryOp::Ge;
+    if (IsCmp) {
+      int C;
+      if (LT->isFloat())
+        C = L.F < R.F ? -1 : (L.F > R.F ? 1 : 0);
+      else if (cast<IntType>(LT)->isSigned())
+        C = L.I < R.I ? -1 : (L.I > R.I ? 1 : 0);
+      else {
+        uint64_t UL = static_cast<uint64_t>(L.I),
+                 UR = static_cast<uint64_t>(R.I);
+        C = UL < UR ? -1 : (UL > UR ? 1 : 0);
+      }
+      switch (Op) {
+      case BinaryOp::Eq:
+        return Value::ofInt(C == 0);
+      case BinaryOp::Ne:
+        return Value::ofInt(C != 0);
+      case BinaryOp::Lt:
+        return Value::ofInt(C < 0);
+      case BinaryOp::Le:
+        return Value::ofInt(C <= 0);
+      case BinaryOp::Gt:
+        return Value::ofInt(C > 0);
+      default:
+        return Value::ofInt(C >= 0);
+      }
+    }
+
+    Type *T = B->getType();
+    if (T->isFloat()) {
+      switch (Op) {
+      case BinaryOp::Add:
+        return Value::ofFloat(L.F + R.F);
+      case BinaryOp::Sub:
+        return Value::ofFloat(L.F - R.F);
+      case BinaryOp::Mul:
+        return Value::ofFloat(L.F * R.F);
+      case BinaryOp::Div:
+        charge(Opts.Costs.DivRem);
+        return Value::ofFloat(L.F / R.F);
+      default:
+        trap("invalid float operator");
+        return Value();
+      }
+    }
+
+    const auto *IT = cast<IntType>(T);
+    auto norm = [&](int64_t V) { return normalizeInt(V, IT); };
+    switch (Op) {
+    case BinaryOp::Add:
+      return Value::ofInt(
+          norm(static_cast<int64_t>(static_cast<uint64_t>(L.I) +
+                                    static_cast<uint64_t>(R.I))));
+    case BinaryOp::Sub:
+      return Value::ofInt(
+          norm(static_cast<int64_t>(static_cast<uint64_t>(L.I) -
+                                    static_cast<uint64_t>(R.I))));
+    case BinaryOp::Mul:
+      return Value::ofInt(
+          norm(static_cast<int64_t>(static_cast<uint64_t>(L.I) *
+                                    static_cast<uint64_t>(R.I))));
+    case BinaryOp::Div:
+      // Constant divisors are strength-reduced by compilers (mul+shift).
+      charge(isa<IntLitExpr>(B->getRHS()) ? 2 : Opts.Costs.DivRem);
+      if (R.I == 0) {
+        trap("integer division by zero");
+        return Value();
+      }
+      if (IT->isSigned())
+        return Value::ofInt(norm(L.I / R.I));
+      return Value::ofInt(norm(static_cast<int64_t>(
+          static_cast<uint64_t>(L.I) / static_cast<uint64_t>(R.I))));
+    case BinaryOp::Rem:
+      charge(Opts.Costs.DivRem);
+      if (R.I == 0) {
+        trap("integer remainder by zero");
+        return Value();
+      }
+      if (IT->isSigned())
+        return Value::ofInt(norm(L.I % R.I));
+      return Value::ofInt(norm(static_cast<int64_t>(
+          static_cast<uint64_t>(L.I) % static_cast<uint64_t>(R.I))));
+    case BinaryOp::BitAnd:
+      return Value::ofInt(norm(L.I & R.I));
+    case BinaryOp::BitOr:
+      return Value::ofInt(norm(L.I | R.I));
+    case BinaryOp::BitXor:
+      return Value::ofInt(norm(L.I ^ R.I));
+    case BinaryOp::Shl: {
+      unsigned Sh = static_cast<unsigned>(R.I) & 63;
+      return Value::ofInt(
+          norm(static_cast<int64_t>(static_cast<uint64_t>(L.I) << Sh)));
+    }
+    case BinaryOp::Shr: {
+      unsigned Sh = static_cast<unsigned>(R.I) & 63;
+      if (IT->isSigned())
+        return Value::ofInt(norm(L.I >> Sh));
+      // Value is zero-extended in I for unsigned types after normalize.
+      uint64_t Mask = IT->getBits() == 64
+                          ? ~uint64_t(0)
+                          : ((uint64_t(1) << IT->getBits()) - 1);
+      return Value::ofInt(
+          norm(static_cast<int64_t>((static_cast<uint64_t>(L.I) & Mask) >> Sh)));
+    }
+    default:
+      gdse_unreachable("unhandled integer binary op");
+    }
+  }
+
+  Value evalCast(const CastExpr *C) {
+    Value S = evalExpr(C->getSub());
+    Type *From = C->getSub()->getType();
+    Type *To = C->getType();
+    if (To->isFloat()) {
+      if (From->isFloat()) {
+        double V = S.F;
+        if (cast<FloatType>(To)->getBits() == 32)
+          V = static_cast<float>(V);
+        return Value::ofFloat(V);
+      }
+      const auto *IT = cast<IntType>(From);
+      double V = IT->isSigned()
+                     ? static_cast<double>(S.I)
+                     : static_cast<double>(static_cast<uint64_t>(S.I));
+      if (cast<FloatType>(To)->getBits() == 32)
+        V = static_cast<float>(V);
+      return Value::ofFloat(V);
+    }
+    if (To->isInt()) {
+      const auto *IT = cast<IntType>(To);
+      if (From->isFloat())
+        return Value::ofInt(normalizeInt(static_cast<int64_t>(S.F), IT));
+      return Value::ofInt(normalizeInt(S.I, IT)); // int or pointer source
+    }
+    // Pointer destination: int or pointer source passes through.
+    return Value::ofInt(S.I);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Calls and builtins
+  //===------------------------------------------------------------------===//
+
+  Value evalCall(const CallExpr *C) {
+    if (C->isBuiltin())
+      return evalBuiltin(C);
+
+    if (CallDepth > 4000) {
+      trap("call stack overflow");
+      return Value();
+    }
+    Function *F = C->getCallee();
+    if (!F->isDefinition()) {
+      trap("call to undefined function '" + F->getName() + "'");
+      return Value();
+    }
+    charge(Opts.Costs.Call);
+    std::vector<Value> Args;
+    Args.reserve(C->getNumArgs());
+    for (const Expr *A : C->getArgs())
+      Args.push_back(evalExpr(A));
+    if (dead())
+      return Value();
+
+    const FrameLayout &L = layoutOf(F);
+    Frame Fr;
+    Fr.F = F;
+    Fr.Layout = &L;
+    Fr.Base = Mem.allocate(L.Size, AllocKind::Frame, 0);
+    if (Obs)
+      Obs->onAlloc(*Mem.byBase(Fr.Base));
+    Frames.push_back(Fr);
+    ++CallDepth;
+    for (unsigned I = 0, E = static_cast<unsigned>(Args.size()); I != E; ++I) {
+      const VarDecl *P = F->getParam(I);
+      storeScalar(Fr.Base + L.Offsets.at(P), P->getType(), Args[I]);
+    }
+    ReturnValue = Value();
+    Flow FL = execStmt(F->getBody());
+    if (FL == Flow::Break || FL == Flow::Continue)
+      trap("break/continue escaped function body");
+    Value RV = ReturnValue;
+    --CallDepth;
+    if (Obs)
+      Obs->onFree(*Mem.byBase(Frames.back().Base));
+    Mem.deallocate(Frames.back().Base);
+    Frames.pop_back();
+    return RV;
+  }
+
+  Value evalBuiltin(const CallExpr *C) {
+    auto arg = [&](unsigned I) { return evalExpr(C->getArg(I)); };
+    switch (C->getBuiltin()) {
+    case Builtin::MallocFn: {
+      int64_t N = arg(0).I;
+      if (N < 0 || N > (int64_t(1) << 34)) {
+        trap(formatString("malloc of invalid size %lld",
+                          static_cast<long long>(N)));
+        return Value();
+      }
+      charge(Opts.Costs.Alloc);
+      uint64_t Base =
+          Mem.allocate(static_cast<uint64_t>(N), AllocKind::Heap,
+                       C->getSiteId());
+      if (Obs)
+        Obs->onAlloc(*Mem.byBase(Base));
+      return Value::ofInt(static_cast<int64_t>(Base));
+    }
+    case Builtin::CallocFn: {
+      int64_t N = arg(0).I, Sz = arg(1).I;
+      if (N < 0 || Sz < 0 || N * Sz > (int64_t(1) << 34)) {
+        trap("calloc of invalid size");
+        return Value();
+      }
+      uint64_t Size = static_cast<uint64_t>(N * Sz);
+      charge(Opts.Costs.Alloc + Size * Opts.Costs.PerByteCopy);
+      uint64_t Base = Mem.allocate(Size, AllocKind::Heap, C->getSiteId());
+      if (Obs) {
+        Obs->onAlloc(*Mem.byBase(Base));
+        Obs->onBulkAccess(/*IsWrite=*/true, Base, Size, C->getBuiltin(),
+                          C->getSiteId());
+      }
+      return Value::ofInt(static_cast<int64_t>(Base));
+    }
+    case Builtin::ReallocFn: {
+      uint64_t Old = static_cast<uint64_t>(arg(0).I);
+      int64_t N = arg(1).I;
+      if (N < 0 || N > (int64_t(1) << 34)) {
+        trap("realloc of invalid size");
+        return Value();
+      }
+      uint64_t Size = static_cast<uint64_t>(N);
+      if (!Old) {
+        charge(Opts.Costs.Alloc);
+        uint64_t Base = Mem.allocate(Size, AllocKind::Heap, C->getSiteId());
+        if (Obs)
+          Obs->onAlloc(*Mem.byBase(Base));
+        return Value::ofInt(static_cast<int64_t>(Base));
+      }
+      const Allocation *A = Mem.byBase(Old);
+      if (!A || A->Kind != AllocKind::Heap) {
+        trap("realloc of a non-heap or non-base pointer");
+        return Value();
+      }
+      uint64_t CopySize = std::min(A->Size, Size);
+      charge(Opts.Costs.Alloc + Opts.Costs.Free +
+             CopySize * Opts.Costs.PerByteCopy);
+      uint64_t Base = Mem.allocate(Size, AllocKind::Heap, C->getSiteId());
+      std::memcpy(reinterpret_cast<void *>(Base),
+                  reinterpret_cast<void *>(Old), CopySize);
+      if (Obs) {
+        Obs->onAlloc(*Mem.byBase(Base));
+        Obs->onBulkAccess(/*IsWrite=*/false, Old, CopySize, C->getBuiltin(),
+                          C->getSiteId());
+        Obs->onBulkAccess(/*IsWrite=*/true, Base, CopySize, C->getBuiltin(),
+                          C->getSiteId());
+        Obs->onFree(*Mem.byBase(Old));
+      }
+      Mem.deallocate(Old);
+      return Value::ofInt(static_cast<int64_t>(Base));
+    }
+    case Builtin::FreeFn: {
+      uint64_t P = static_cast<uint64_t>(arg(0).I);
+      if (!P)
+        return Value();
+      const Allocation *A = Mem.byBase(P);
+      if (!A || A->Kind != AllocKind::Heap) {
+        trap(formatString("invalid free of 0x%llx",
+                          static_cast<unsigned long long>(P)));
+        return Value();
+      }
+      charge(Opts.Costs.Free);
+      if (Obs)
+        Obs->onFree(*A);
+      Mem.deallocate(P);
+      return Value();
+    }
+    case Builtin::MemcpyFn: {
+      uint64_t D = static_cast<uint64_t>(arg(0).I);
+      uint64_t S = static_cast<uint64_t>(arg(1).I);
+      int64_t N = arg(2).I;
+      if (N < 0) {
+        trap("memcpy with negative size");
+        return Value();
+      }
+      uint64_t Size = static_cast<uint64_t>(N);
+      if (!checkAccess(D, Size, "memcpy dest") ||
+          !checkAccess(S, Size, "memcpy src"))
+        return Value();
+      charge(Size * Opts.Costs.PerByteCopy);
+      if (Obs) {
+        Obs->onBulkAccess(false, S, Size, C->getBuiltin(), C->getSiteId());
+        Obs->onBulkAccess(true, D, Size, C->getBuiltin(), C->getSiteId());
+      }
+      std::memmove(reinterpret_cast<void *>(D), reinterpret_cast<void *>(S),
+                   Size);
+      return Value::ofInt(static_cast<int64_t>(D));
+    }
+    case Builtin::MemsetFn: {
+      uint64_t D = static_cast<uint64_t>(arg(0).I);
+      int64_t V = arg(1).I;
+      int64_t N = arg(2).I;
+      if (N < 0) {
+        trap("memset with negative size");
+        return Value();
+      }
+      uint64_t Size = static_cast<uint64_t>(N);
+      if (!checkAccess(D, Size, "memset dest"))
+        return Value();
+      charge(Size * Opts.Costs.PerByteCopy);
+      if (Obs)
+        Obs->onBulkAccess(true, D, Size, C->getBuiltin(), C->getSiteId());
+      std::memset(reinterpret_cast<void *>(D), static_cast<int>(V), Size);
+      return Value::ofInt(static_cast<int64_t>(D));
+    }
+    case Builtin::PrintInt:
+      Output += formatString("%lld\n", static_cast<long long>(arg(0).I));
+      return Value();
+    case Builtin::PrintFloat:
+      Output += formatString("%.6g\n", arg(0).F);
+      return Value();
+    case Builtin::AbsFn: {
+      int64_t V = arg(0).I;
+      return Value::ofInt(V < 0 ? -V : V);
+    }
+    case Builtin::FabsFn:
+      return Value::ofFloat(std::fabs(arg(0).F));
+    case Builtin::SqrtFn:
+      charge(Opts.Costs.DivRem);
+      return Value::ofFloat(std::sqrt(arg(0).F));
+    case Builtin::ExitFn:
+      ExitCode = arg(0).I;
+      Halted = true;
+      return Value();
+    case Builtin::RtPrivPtr:
+      return rtPrivTranslate(static_cast<uint64_t>(arg(0).I));
+    case Builtin::None:
+      break;
+    }
+    gdse_unreachable("unhandled builtin");
+  }
+
+  /// SpiceC-style access control: map \p P into the current thread's private
+  /// copy of its containing structure, copying the structure in on first
+  /// touch (paper §4.2.1; safe variant of the heap-prefix fast path that
+  /// accepts pointers into the middle of a structure).
+  Value rtPrivTranslate(uint64_t P) {
+    const Allocation *A = Mem.containing(P);
+    if (!A) {
+      trap("rtpriv_ptr of a dangling pointer");
+      return Value();
+    }
+    ++RtPrivTranslations;
+    charge(Opts.Costs.Alloc / 2); // hash lookup + bookkeeping per access
+    auto Key = std::make_pair(CurTid, A->Base);
+    auto It = RtShadow.find(Key);
+    if (It == RtShadow.end()) {
+      uint64_t Shadow = Mem.allocate(A->Size, AllocKind::Heap, 0);
+      std::memcpy(reinterpret_cast<void *>(Shadow),
+                  reinterpret_cast<void *>(A->Base), A->Size);
+      charge(Opts.Costs.Alloc + A->Size * Opts.Costs.PerByteCopy);
+      RtPrivBytesCopied += A->Size;
+      It = RtShadow.emplace(Key, Shadow).first;
+    }
+    return Value::ofInt(static_cast<int64_t>(It->second + (P - A->Base)));
+  }
+
+  /// Commits and releases all thread-private rtpriv copies (loop end).
+  void rtPrivCommitAll() {
+    for (auto &[Key, Shadow] : RtShadow) {
+      const Allocation *A = Mem.byBase(Shadow);
+      if (A) {
+        charge(A->Size * Opts.Costs.PerByteCopy + Opts.Costs.Free);
+        RtPrivBytesCopied += A->Size;
+        Mem.deallocate(Shadow);
+      }
+    }
+    RtShadow.clear();
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  Flow execStmt(const Stmt *S) {
+    if (Trapped || Halted)
+      return Flow::Halt;
+    switch (S->getKind()) {
+    case Stmt::Kind::Block:
+      for (const Stmt *Sub : cast<BlockStmt>(S)->getStmts()) {
+        Flow F = execStmt(Sub);
+        if (F != Flow::Normal)
+          return F;
+      }
+      return Flow::Normal;
+    case Stmt::Kind::ExprStmt:
+      evalExpr(cast<ExprStmt>(S)->getExpr());
+      return dead() ? Flow::Halt : Flow::Normal;
+    case Stmt::Kind::Assign:
+      return execAssign(cast<AssignStmt>(S));
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      Value C = evalExpr(I->getCond());
+      if (dead())
+        return Flow::Halt;
+      if (C.I)
+        return execStmt(I->getThen());
+      if (I->getElse())
+        return execStmt(I->getElse());
+      return Flow::Normal;
+    }
+    case Stmt::Kind::While:
+      return execWhile(cast<WhileStmt>(S));
+    case Stmt::Kind::For:
+      return execFor(cast<ForStmt>(S));
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      if (R->getValue())
+        ReturnValue = evalExpr(R->getValue());
+      return dead() ? Flow::Halt : Flow::Return;
+    }
+    case Stmt::Kind::Break:
+      return Flow::Break;
+    case Stmt::Kind::Continue:
+      return Flow::Continue;
+    case Stmt::Kind::Ordered:
+      return execOrdered(cast<OrderedStmt>(S));
+    }
+    gdse_unreachable("unknown stmt kind");
+  }
+
+  Flow execAssign(const AssignStmt *A) {
+    Type *T = A->getLHS()->getType();
+    if (T->isAggregate()) {
+      const auto *RL = dyn_cast<LoadExpr>(A->getRHS());
+      if (!RL) {
+        trap("aggregate assignment RHS must be a memory location");
+        return Flow::Halt;
+      }
+      uint64_t Dst = evalLValue(A->getLHS());
+      uint64_t Src = evalLValue(RL->getLocation());
+      uint64_t Size = Ctx.getLayout(T).Size;
+      if (!checkAccess(Dst, Size, "aggregate store") ||
+          !checkAccess(Src, Size, "aggregate load"))
+        return Flow::Halt;
+      charge(Opts.Costs.Load + Opts.Costs.Store +
+             Size * Opts.Costs.PerByteCopy);
+      if (Obs) {
+        Obs->onLoad(RL->getAccessId(), Src, Size);
+        Obs->onStore(A->getAccessId(), Dst, Size);
+      }
+      std::memmove(reinterpret_cast<void *>(Dst),
+                   reinterpret_cast<void *>(Src), Size);
+      return dead() ? Flow::Halt : Flow::Normal;
+    }
+    uint64_t Addr = evalLValue(A->getLHS());
+    Value V = evalExpr(A->getRHS());
+    uint64_t Size = Ctx.getLayout(T).Size;
+    if (!checkAccess(Addr, Size, "store"))
+      return Flow::Halt;
+    if (!isRegisterAccess(A->getLHS()))
+      charge(Opts.Costs.Store);
+    storeScalar(Addr, T, V);
+    if (Obs)
+      Obs->onStore(A->getAccessId(), Addr, Size);
+    return dead() ? Flow::Halt : Flow::Normal;
+  }
+
+  Flow execWhile(const WhileStmt *W) {
+    LoopStats &LS = Loops[W->getLoopId()];
+    ++LS.Invocations;
+    uint64_t Before = Cycles;
+    if (Obs)
+      Obs->onLoopEnter(W->getLoopId());
+    uint64_t Iter = 0;
+    Flow Result = Flow::Normal;
+    while (true) {
+      if (!checkBudget()) {
+        Result = Flow::Halt;
+        break;
+      }
+      Value C = evalExpr(W->getCond());
+      if (dead()) {
+        Result = Flow::Halt;
+        break;
+      }
+      if (!C.I)
+        break;
+      if (Obs)
+        Obs->onLoopIter(W->getLoopId(), Iter);
+      ++Iter;
+      Flow F = execStmt(W->getBody());
+      if (F == Flow::Break)
+        break;
+      if (F == Flow::Return || F == Flow::Halt) {
+        Result = F;
+        break;
+      }
+    }
+    if (Obs)
+      Obs->onLoopExit(W->getLoopId());
+    LS.Iterations += Iter;
+    LS.WorkCycles += Cycles - Before;
+    LS.SimTime += Cycles - Before;
+    return Result;
+  }
+
+  Flow execFor(const ForStmt *F) {
+    bool Parallel = Opts.SimulateParallel &&
+                    F->getParallelKind() != ParallelKind::None &&
+                    !InParallelLoop;
+    if (Parallel)
+      return execForParallel(F);
+
+    LoopStats &LS = Loops[F->getLoopId()];
+    LS.Kind = F->getParallelKind();
+    ++LS.Invocations;
+    uint64_t Before = Cycles;
+
+    const VarDecl *IV = F->getInductionVar();
+    uint64_t IVAddr = addrOfVar(IV);
+    Type *IVT = IV->getType();
+    int64_t Lo = evalExpr(F->getInit()).I;
+    int64_t Hi = evalExpr(F->getLimit()).I;
+    int64_t Step = evalExpr(F->getStep()).I;
+    if (dead())
+      return Flow::Halt;
+    if (Step <= 0) {
+      trap("for loop with non-positive step");
+      return Flow::Halt;
+    }
+    if (Obs)
+      Obs->onLoopEnter(F->getLoopId());
+    uint64_t Iter = 0;
+    Flow Result = Flow::Normal;
+    for (int64_t I = Lo; I < Hi; I += Step) {
+      if (!checkBudget()) {
+        Result = Flow::Halt;
+        break;
+      }
+      storeScalar(IVAddr, IVT, Value::ofInt(I));
+      if (Obs) {
+        Obs->onLoopIter(F->getLoopId(), Iter);
+        // Loop-control store of the induction variable: reported with the
+        // invalid id so the profiler treats it as a definition but never
+        // builds dependence edges to it.
+        Obs->onStore(InvalidAccessId, IVAddr, Ctx.getLayout(IVT).Size);
+      }
+      ++Iter;
+      charge(Opts.Costs.ExprBase * 2); // increment + compare
+      Flow FL = execStmt(F->getBody());
+      if (FL == Flow::Break)
+        break;
+      if (FL == Flow::Return || FL == Flow::Halt) {
+        Result = FL;
+        break;
+      }
+      // Re-read the induction variable: the body may legally not touch it,
+      // but a transformed body never modifies it.
+      I = loadScalar(IVAddr, IVT).I;
+    }
+    if (Obs)
+      Obs->onLoopExit(F->getLoopId());
+    LS.Iterations += Iter;
+    LS.WorkCycles += Cycles - Before;
+    LS.SimTime += Cycles - Before;
+    return Result;
+  }
+
+  Flow execOrdered(const OrderedStmt *O) {
+    charge(Opts.Costs.OrderedEnter);
+    if (!RecordOrdered)
+      return execStmt(O->getBody());
+    OrderedEvent Ev;
+    Ev.RegionId = O->getRegionId();
+    Ev.EntryOff = Cycles - IterStartCycles;
+    Flow F = execStmt(O->getBody());
+    Ev.ExitOff = Cycles - IterStartCycles;
+    OrderedEvents.push_back(Ev);
+    return F;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Parallel loop simulation
+  //===------------------------------------------------------------------===//
+
+  Flow execForParallel(const ForStmt *F) {
+    const unsigned N = static_cast<unsigned>(std::max(1, Opts.NumThreads));
+    LoopStats &LS = Loops[F->getLoopId()];
+    LS.Kind = F->getParallelKind();
+    ++LS.Invocations;
+    if (LS.WorkPerThread.size() != N) {
+      LS.WorkPerThread.assign(N, 0);
+      LS.SyncStallPerThread.assign(N, 0);
+      LS.IdlePerThread.assign(N, 0);
+      LS.DispatchPerThread.assign(N, 0);
+    }
+
+    const VarDecl *IV = F->getInductionVar();
+    uint64_t IVAddr = addrOfVar(IV);
+    Type *IVT = IV->getType();
+    uint64_t Before = Cycles;
+    int64_t Lo = evalExpr(F->getInit()).I;
+    int64_t Hi = evalExpr(F->getLimit()).I;
+    int64_t Step = evalExpr(F->getStep()).I;
+    if (dead())
+      return Flow::Halt;
+    if (Step <= 0) {
+      trap("parallel for loop with non-positive step");
+      return Flow::Halt;
+    }
+    uint64_t Total = Hi > Lo
+                         ? static_cast<uint64_t>((Hi - Lo + Step - 1) / Step)
+                         : 0;
+
+    if (Obs)
+      Obs->onLoopEnter(F->getLoopId());
+    InParallelLoop = true;
+    RecordOrdered = F->getParallelKind() == ParallelKind::DOACROSS;
+
+    const CostModel &CM = Opts.Costs;
+    std::vector<uint64_t> Ready(N, 0), Work(N, 0), Stall(N, 0), Dispatch(N, 0);
+    std::map<unsigned, uint64_t> RegionFree;
+    bool DOALL = F->getParallelKind() == ParallelKind::DOALL;
+    uint64_t Chunk = DOALL ? std::max<uint64_t>(1, (Total + N - 1) / N) : 1;
+    if (DOALL)
+      for (unsigned T = 0; T != N; ++T) {
+        Ready[T] = CM.ChunkStartup;
+        Dispatch[T] = CM.ChunkStartup;
+      }
+
+    Flow Result = Flow::Normal;
+    for (uint64_t It = 0; It != Total; ++It) {
+      if (!checkBudget()) {
+        Result = Flow::Halt;
+        break;
+      }
+      unsigned T;
+      if (DOALL) {
+        T = static_cast<unsigned>(std::min<uint64_t>(It / Chunk, N - 1));
+      } else {
+        T = 0;
+        for (unsigned I = 1; I != N; ++I)
+          if (Ready[I] < Ready[T])
+            T = I;
+        Ready[T] += CM.IterDispatch;
+        Dispatch[T] += CM.IterDispatch;
+      }
+      CurTid = static_cast<int>(T);
+
+      int64_t IVal = Lo + static_cast<int64_t>(It) * Step;
+      storeScalar(IVAddr, IVT, Value::ofInt(IVal));
+      if (Obs) {
+        Obs->onLoopIter(F->getLoopId(), It);
+        Obs->onStore(InvalidAccessId, IVAddr, Ctx.getLayout(IVT).Size);
+      }
+
+      OrderedEvents.clear();
+      IterStartCycles = Cycles;
+      uint64_t C0 = Cycles;
+      Flow FL = execStmt(F->getBody());
+      uint64_t W = Cycles - C0;
+
+      if (FL == Flow::Break || FL == Flow::Return) {
+        trap("break/return escaping a parallel loop");
+        Result = Flow::Halt;
+        break;
+      }
+      if (FL == Flow::Halt) {
+        Result = Flow::Halt;
+        break;
+      }
+
+      // Timeline update.
+      uint64_t StartT = Ready[T];
+      uint64_t Shift = 0;
+      for (const OrderedEvent &Ev : OrderedEvents) {
+        uint64_t Entry = StartT + Ev.EntryOff + Shift;
+        auto &Free = RegionFree[Ev.RegionId];
+        if (Free > Entry) {
+          uint64_t S = Free - Entry;
+          Shift += S;
+          Stall[T] += S;
+        }
+        Free = StartT + Ev.ExitOff + Shift;
+      }
+      Ready[T] = StartT + W + Shift;
+      Work[T] += W;
+    }
+
+    RecordOrdered = false;
+    InParallelLoop = false;
+    CurTid = 0;
+    rtPrivCommitAll();
+    if (Obs)
+      Obs->onLoopExit(F->getLoopId());
+
+    uint64_t WorkDelta = Cycles - Before;
+    uint64_t MaxReady = 0;
+    for (unsigned T = 0; T != N; ++T)
+      MaxReady = std::max(MaxReady, Ready[T]);
+    uint64_t SimTime = MaxReady + CM.ForkJoin;
+
+    LS.Iterations += Total;
+    LS.WorkCycles += WorkDelta;
+    LS.SimTime += SimTime;
+    for (unsigned T = 0; T != N; ++T) {
+      LS.WorkPerThread[T] += Work[T];
+      LS.SyncStallPerThread[T] += Stall[T];
+      LS.DispatchPerThread[T] += Dispatch[T];
+      LS.IdlePerThread[T] += MaxReady - Ready[T];
+    }
+
+    // Program simulated time: replace this loop's work span by its
+    // simulated duration.
+    TimeAdjust +=
+        static_cast<int64_t>(SimTime) - static_cast<int64_t>(WorkDelta);
+
+    return Result;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Entry
+  //===------------------------------------------------------------------===//
+
+  RunResult run(const std::string &Entry) {
+    // Reset run state (globals are freshly allocated each run).
+    Cycles = 0;
+    TimeAdjust = 0;
+    CurTid = 0;
+    InParallelLoop = false;
+    Trapped = false;
+    Halted = false;
+    TrapMessage.clear();
+    Output.clear();
+    ExitCode = 0;
+    Loops.clear();
+    RtPrivTranslations = 0;
+    RtPrivBytesCopied = 0;
+
+    for (uint64_t Addr : GlobalBlocks)
+      Mem.deallocate(Addr);
+    GlobalBlocks.clear();
+    GlobalAddrs.clear();
+    for (VarDecl *G : M.getGlobals()) {
+      uint64_t Addr = Mem.allocate(Ctx.getLayout(G->getType()).Size,
+                                   AllocKind::Global, G->getId());
+      GlobalAddrs[G] = Addr;
+      GlobalBlocks.push_back(Addr);
+    }
+
+    RunResult R;
+    Function *F = M.getFunction(Entry);
+    if (!F || !F->isDefinition()) {
+      R.Trapped = true;
+      R.TrapMessage = "entry function '" + Entry + "' not found";
+      return R;
+    }
+    if (!F->getParams().empty()) {
+      R.Trapped = true;
+      R.TrapMessage = "entry function must take no parameters";
+      return R;
+    }
+
+    invokeEntry(F);
+
+    R.Trapped = Trapped;
+    R.TrapMessage = TrapMessage;
+    R.ExitCode = Trapped ? -1 : ExitCode;
+    R.WorkCycles = Cycles;
+    int64_t Sim = static_cast<int64_t>(Cycles) + TimeAdjust;
+    R.SimTime = Sim > 0 ? static_cast<uint64_t>(Sim) : 0;
+    R.Output = std::move(Output);
+    R.PeakMemoryBytes = Mem.peakBytes();
+    R.Loops = std::move(Loops);
+    R.RtPrivTranslations = RtPrivTranslations;
+    R.RtPrivBytesCopied = RtPrivBytesCopied;
+    return R;
+  }
+
+  /// Invokes a zero-argument function outside any expression context.
+  void invokeEntry(Function *F) {
+    const FrameLayout &L = layoutOf(F);
+    Frame Fr;
+    Fr.F = F;
+    Fr.Layout = &L;
+    Fr.Base = Mem.allocate(L.Size, AllocKind::Frame, 0);
+    if (Obs)
+      Obs->onAlloc(*Mem.byBase(Fr.Base));
+    Frames.push_back(Fr);
+    ReturnValue = Value();
+    Flow FL = execStmt(F->getBody());
+    if (FL == Flow::Break || FL == Flow::Continue)
+      trap("break/continue escaped entry function");
+    if (!Trapped && !Halted && F->getReturnType()->isInt())
+      ExitCode = ReturnValue.I;
+    rtPrivCommitAll();
+    if (Obs)
+      Obs->onFree(*Mem.byBase(Frames.back().Base));
+    Mem.deallocate(Frames.back().Base);
+    Frames.pop_back();
+  }
+};
+
+Interp::Interp(Module &M, InterpOptions Opts) : P(new Impl(M, std::move(Opts))) {}
+
+Interp::~Interp() { delete P; }
+
+void Interp::setObserver(InterpObserver *O) { P->Obs = O; }
+
+RunResult Interp::run(const std::string &Entry) { return P->run(Entry); }

@@ -1,0 +1,141 @@
+//===- Interp.h - The GDSE VM and multicore simulator -----------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tree-walking VM over the IR with:
+///  - a deterministic cycle cost model (CostModel.h);
+///  - a virtual-multicore scheduler for loops annotated DOALL/DOACROSS:
+///    iterations execute in serial order (always semantically safe for code
+///    produced by the expansion pipeline) while a timeline computes what an
+///    N-core execution would cost — static chunking for DOALL, dynamic
+///    chunk-1 self-scheduling with ordered-region stalls for DOACROSS,
+///    exactly the policies of the paper's §4.3;
+///  - observer hooks feeding the dependence profiler;
+///  - the runtime-privatization (SpiceC-style) access-control runtime used
+///    by the baseline of §4.2.1;
+///  - memory bounds checking and peak-memory accounting (Figure 14).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_INTERP_INTERP_H
+#define GDSE_INTERP_INTERP_H
+
+#include "interp/CostModel.h"
+#include "interp/Memory.h"
+#include "ir/IR.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gdse {
+
+/// Instrumentation callbacks. Addresses are VM (host) addresses; sizes in
+/// bytes. Invoked only while a callback sink is installed.
+class InterpObserver {
+public:
+  virtual ~InterpObserver();
+  virtual void onLoad(AccessId Id, uint64_t Addr, uint64_t Size) {
+    (void)Id;
+    (void)Addr;
+    (void)Size;
+  }
+  virtual void onStore(AccessId Id, uint64_t Addr, uint64_t Size) {
+    (void)Id;
+    (void)Addr;
+    (void)Size;
+  }
+  /// memcpy/memset/calloc/realloc bulk effects. \p B tells which builtin
+  /// produced the access; \p CallSiteId is the builtin call's site id.
+  virtual void onBulkAccess(bool IsWrite, uint64_t Addr, uint64_t Size,
+                            Builtin B, uint32_t CallSiteId) {
+    (void)IsWrite;
+    (void)Addr;
+    (void)Size;
+    (void)B;
+    (void)CallSiteId;
+  }
+  virtual void onAlloc(const Allocation &A) { (void)A; }
+  virtual void onFree(const Allocation &A) { (void)A; }
+  virtual void onLoopEnter(unsigned LoopId) { (void)LoopId; }
+  /// Fires before each iteration; Iter counts from 0 per invocation.
+  virtual void onLoopIter(unsigned LoopId, uint64_t Iter) {
+    (void)LoopId;
+    (void)Iter;
+  }
+  virtual void onLoopExit(unsigned LoopId) { (void)LoopId; }
+};
+
+struct InterpOptions {
+  /// Simulated core count (the paper's N); also the value of __nthreads.
+  int NumThreads = 1;
+  /// Honor ParallelKind loop annotations (otherwise run everything serially).
+  bool SimulateParallel = true;
+  /// Verify every access lies in a live allocation.
+  bool BoundsCheck = true;
+  /// Abort the run after this many work cycles (0 = unlimited).
+  uint64_t MaxCycles = 0;
+  CostModel Costs;
+};
+
+/// Per-loop accounting, keyed by loop id.
+struct LoopStats {
+  ParallelKind Kind = ParallelKind::None;
+  uint64_t Invocations = 0;
+  uint64_t Iterations = 0;
+  /// Work cycles spent in loop bodies (excludes simulated overheads).
+  uint64_t WorkCycles = 0;
+  /// Simulated elapsed time of the loop (= WorkCycles when sequential).
+  uint64_t SimTime = 0;
+  /// Parallel-run categories, per thread (sized NumThreads when parallel).
+  std::vector<uint64_t> WorkPerThread;
+  std::vector<uint64_t> SyncStallPerThread;
+  std::vector<uint64_t> IdlePerThread;
+  std::vector<uint64_t> DispatchPerThread;
+};
+
+struct RunResult {
+  bool Trapped = false;
+  std::string TrapMessage;
+  int64_t ExitCode = 0;
+  /// Pure work cycles executed (all code, one-core view).
+  uint64_t WorkCycles = 0;
+  /// Simulated elapsed time: work, with parallel loop spans replaced by
+  /// their simulated N-core duration (plus runtime overheads).
+  uint64_t SimTime = 0;
+  /// Everything print_int/print_float produced, for output equivalence.
+  std::string Output;
+  uint64_t PeakMemoryBytes = 0;
+  std::map<unsigned, LoopStats> Loops;
+  /// Runtime-privatization accounting (non-zero only when rtpriv_ptr ran).
+  uint64_t RtPrivTranslations = 0;
+  uint64_t RtPrivBytesCopied = 0;
+
+  bool ok() const { return !Trapped; }
+};
+
+class Interp {
+public:
+  explicit Interp(Module &M, InterpOptions Opts = InterpOptions());
+  ~Interp();
+  Interp(const Interp &) = delete;
+  Interp &operator=(const Interp &) = delete;
+
+  void setObserver(InterpObserver *O);
+
+  /// Executes \p Entry (default "main", no arguments). Globals are
+  /// (re)initialized to zero on each call.
+  RunResult run(const std::string &Entry = "main");
+
+private:
+  struct Impl;
+  Impl *P;
+};
+
+} // namespace gdse
+
+#endif // GDSE_INTERP_INTERP_H

@@ -1,0 +1,72 @@
+//===- Memory.cpp - VM memory and allocation registry ----------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Memory.h"
+
+#include "support/Support.h"
+
+#include <cstring>
+
+using namespace gdse;
+
+VMMemory::~VMMemory() {
+  for (auto &[Base, A] : ByBase)
+    ::operator delete(reinterpret_cast<void *>(Base));
+}
+
+uint64_t VMMemory::allocate(uint64_t Size, AllocKind Kind, uint32_t SiteId) {
+  // Zero-size allocations still get a distinct address.
+  uint64_t HostSize = Size ? Size : 1;
+  void *P = ::operator new(HostSize);
+  std::memset(P, 0, HostSize);
+  uint64_t Base = reinterpret_cast<uint64_t>(P);
+
+  Allocation A;
+  A.Base = Base;
+  A.Size = Size;
+  A.Generation = NextGeneration++;
+  A.SiteId = SiteId;
+  A.Kind = Kind;
+  A.Live = true;
+  ByBase[Base] = A;
+
+  CurBytes += Size;
+  PeakBytes = std::max(PeakBytes, CurBytes);
+  ++NumLive;
+  return Base;
+}
+
+bool VMMemory::deallocate(uint64_t Base) {
+  auto It = ByBase.find(Base);
+  if (It == ByBase.end() || !It->second.Live)
+    return false;
+  CurBytes -= It->second.Size;
+  --NumLive;
+  ::operator delete(reinterpret_cast<void *>(Base));
+  // The host allocator may hand the same address out again; drop the entry
+  // entirely (Generation uniqueness is preserved by NextGeneration).
+  ByBase.erase(It);
+  return true;
+}
+
+const Allocation *VMMemory::containing(uint64_t Addr) const {
+  auto It = ByBase.upper_bound(Addr);
+  if (It == ByBase.begin())
+    return nullptr;
+  --It;
+  const Allocation &A = It->second;
+  if (!A.Live || Addr >= A.Base + std::max<uint64_t>(A.Size, 1))
+    return nullptr;
+  return &A;
+}
+
+const Allocation *VMMemory::byBase(uint64_t Base) const {
+  auto It = ByBase.find(Base);
+  if (It == ByBase.end() || !It->second.Live)
+    return nullptr;
+  return &It->second;
+}

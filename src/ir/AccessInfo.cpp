@@ -1,0 +1,165 @@
+//===- AccessInfo.cpp - Static memory access numbering ---------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AccessInfo.h"
+
+#include "ir/IRVisitor.h"
+#include "support/Support.h"
+
+#include <algorithm>
+
+using namespace gdse;
+
+namespace {
+
+class NumberingWalker {
+public:
+  NumberingWalker(AccessNumbering &Result, std::vector<AccessDesc> &Accesses,
+                  std::vector<LoopDesc> &Loops,
+                  std::map<const Stmt *, unsigned> &LoopIdByStmt)
+      : Accesses(Accesses), Loops(Loops), LoopIdByStmt(LoopIdByStmt) {
+    (void)Result;
+  }
+
+  void runOnFunction(Function *F) {
+    CurFn = F;
+    LoopStack.clear();
+    if (F->getBody())
+      visitStmt(F->getBody());
+  }
+
+private:
+  void numberLoadsIn(Expr *E) {
+    walkExpr(E, [&](Expr *Sub) {
+      if (auto *L = dyn_cast<LoadExpr>(Sub)) {
+        AccessDesc D;
+        D.Id = static_cast<AccessId>(Accesses.size() + 1);
+        D.IsStore = false;
+        D.LoadNode = L;
+        D.InFunction = CurFn;
+        D.LoopStack = LoopStack;
+        L->setAccessId(D.Id);
+        Accesses.push_back(std::move(D));
+      }
+    });
+  }
+
+  void visitStmt(Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Block:
+      for (Stmt *Sub : cast<BlockStmt>(S)->getStmts())
+        visitStmt(Sub);
+      return;
+    case Stmt::Kind::ExprStmt:
+      numberLoadsIn(cast<ExprStmt>(S)->getExpr());
+      return;
+    case Stmt::Kind::Assign: {
+      auto *A = cast<AssignStmt>(S);
+      // Number loads left-to-right (RHS evaluation order matches interp),
+      // then the store itself.
+      numberLoadsIn(A->getLHS());
+      numberLoadsIn(A->getRHS());
+      AccessDesc D;
+      D.Id = static_cast<AccessId>(Accesses.size() + 1);
+      D.IsStore = true;
+      D.StoreNode = A;
+      D.InFunction = CurFn;
+      D.LoopStack = LoopStack;
+      A->setAccessId(D.Id);
+      Accesses.push_back(std::move(D));
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      numberLoadsIn(I->getCond());
+      visitStmt(I->getThen());
+      if (I->getElse())
+        visitStmt(I->getElse());
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto *W = cast<WhileStmt>(S);
+      unsigned Id = pushLoop(S);
+      W->setLoopId(Id);
+      numberLoadsIn(W->getCond());
+      visitStmt(W->getBody());
+      popLoop();
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto *F = cast<ForStmt>(S);
+      // Bounds evaluate outside the iteration space.
+      numberLoadsIn(F->getInit());
+      numberLoadsIn(F->getLimit());
+      numberLoadsIn(F->getStep());
+      unsigned Id = pushLoop(S);
+      F->setLoopId(Id);
+      visitStmt(F->getBody());
+      popLoop();
+      return;
+    }
+    case Stmt::Kind::Return:
+      if (Expr *V = cast<ReturnStmt>(S)->getValue())
+        numberLoadsIn(V);
+      return;
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+      return;
+    case Stmt::Kind::Ordered:
+      visitStmt(cast<OrderedStmt>(S)->getBody());
+      return;
+    }
+    gdse_unreachable("unknown stmt kind");
+  }
+
+  unsigned pushLoop(Stmt *S) {
+    LoopDesc D;
+    D.Id = static_cast<unsigned>(Loops.size() + 1);
+    D.LoopStmt = S;
+    D.InFunction = CurFn;
+    D.ParentLoopId = LoopStack.empty() ? 0 : LoopStack.back();
+    D.Depth = static_cast<unsigned>(LoopStack.size() + 1);
+    Loops.push_back(D);
+    LoopIdByStmt[S] = D.Id;
+    LoopStack.push_back(D.Id);
+    return D.Id;
+  }
+
+  void popLoop() { LoopStack.pop_back(); }
+
+  std::vector<AccessDesc> &Accesses;
+  std::vector<LoopDesc> &Loops;
+  std::map<const Stmt *, unsigned> &LoopIdByStmt;
+  Function *CurFn = nullptr;
+  std::vector<unsigned> LoopStack;
+};
+
+} // namespace
+
+AccessNumbering AccessNumbering::compute(Module &M) {
+  AccessNumbering Result;
+  NumberingWalker W(Result, Result.Accesses, Result.Loops,
+                    Result.LoopIdByStmt);
+  for (Function *F : M.getFunctions())
+    W.runOnFunction(F);
+  return Result;
+}
+
+bool AccessNumbering::isInLoop(AccessId Id, unsigned LoopId) const {
+  const AccessDesc &D = access(Id);
+  return std::find(D.LoopStack.begin(), D.LoopStack.end(), LoopId) !=
+         D.LoopStack.end();
+}
+
+std::vector<AccessId> AccessNumbering::accessesInLoop(unsigned LoopId) const {
+  std::vector<AccessId> Out;
+  for (const AccessDesc &D : Accesses)
+    if (std::find(D.LoopStack.begin(), D.LoopStack.end(), LoopId) !=
+        D.LoopStack.end())
+      Out.push_back(D.Id);
+  return Out;
+}

@@ -1,0 +1,98 @@
+//===- AccessInfo.h - Static memory access numbering ------------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assigns a dense module-wide AccessId to every static memory access (each
+/// LoadExpr and each AssignStmt store) and records, per access, the function
+/// and the stack of enclosing loops. These ids are the vertices of the
+/// loop-level data dependence graph (Definition 1 of the paper).
+///
+/// Also numbers loops (For/While) with dense module-wide LoopIds and exposes
+/// a registry to look them up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_IR_ACCESSINFO_H
+#define GDSE_IR_ACCESSINFO_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <vector>
+
+namespace gdse {
+
+/// Metadata of one numbered memory access.
+struct AccessDesc {
+  AccessId Id = InvalidAccessId;
+  bool IsStore = false;
+  /// The node carrying the id: LoadExpr when !IsStore, AssignStmt otherwise.
+  Expr *LoadNode = nullptr;
+  AssignStmt *StoreNode = nullptr;
+  Function *InFunction = nullptr;
+  /// Innermost-last stack of enclosing loop ids within InFunction.
+  std::vector<unsigned> LoopStack;
+
+  /// The l-value expression this access reads/writes.
+  Expr *location() const {
+    return IsStore ? StoreNode->getLHS() : cast<LoadExpr>(LoadNode)->getLocation();
+  }
+};
+
+/// Metadata of one numbered loop.
+struct LoopDesc {
+  unsigned Id = 0;
+  Stmt *LoopStmt = nullptr; ///< ForStmt or WhileStmt
+  Function *InFunction = nullptr;
+  unsigned ParentLoopId = 0; ///< 0 when top-level
+  unsigned Depth = 1;        ///< 1 = outermost (paper's Table 4 "Level")
+};
+
+/// Result of numbering a module. Rebuild after any transformation that adds
+/// or removes accesses/loops.
+class AccessNumbering {
+public:
+  /// Numbers every access and loop in \p M. Existing ids are overwritten.
+  static AccessNumbering compute(Module &M);
+
+  const AccessDesc &access(AccessId Id) const {
+    assert(Id >= 1 && Id <= Accesses.size() && "bad access id");
+    return Accesses[Id - 1];
+  }
+  uint32_t numAccesses() const {
+    return static_cast<uint32_t>(Accesses.size());
+  }
+  const std::vector<AccessDesc> &accesses() const { return Accesses; }
+
+  const LoopDesc &loop(unsigned Id) const {
+    assert(Id >= 1 && Id <= Loops.size() && "bad loop id");
+    return Loops[Id - 1];
+  }
+  unsigned numLoops() const { return static_cast<unsigned>(Loops.size()); }
+  const std::vector<LoopDesc> &loops() const { return Loops; }
+
+  /// Returns the loop id of the For/While statement \p S (0 if unknown).
+  unsigned loopIdOf(const Stmt *S) const {
+    auto It = LoopIdByStmt.find(S);
+    return It == LoopIdByStmt.end() ? 0 : It->second;
+  }
+
+  /// True when access \p Id executes inside loop \p LoopId (any depth).
+  bool isInLoop(AccessId Id, unsigned LoopId) const;
+
+  /// All access ids inside loop \p LoopId.
+  std::vector<AccessId> accessesInLoop(unsigned LoopId) const;
+
+private:
+  std::vector<AccessDesc> Accesses;
+  std::vector<LoopDesc> Loops;
+  std::map<const Stmt *, unsigned> LoopIdByStmt;
+};
+
+} // namespace gdse
+
+#endif // GDSE_IR_ACCESSINFO_H

@@ -1,0 +1,97 @@
+//===- IR.cpp - GDSE typed AST-level IR ------------------------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+
+using namespace gdse;
+
+VarDecl *Module::createVar(const std::string &Name, Type *Ty,
+                           VarDecl::Storage S) {
+  VarPool.push_back(std::make_unique<VarDecl>(Name, Ty, S));
+  VarDecl *D = VarPool.back().get();
+  D->Id = static_cast<uint32_t>(VarPool.size());
+  return D;
+}
+
+void Module::removeGlobal(VarDecl *D) {
+  auto It = std::find(Globals.begin(), Globals.end(), D);
+  assert(It != Globals.end() && "removeGlobal of unregistered global");
+  Globals.erase(It);
+}
+
+Function *Module::createFunction(const std::string &Name, FunctionType *FT) {
+  assert(!FunctionsByName.count(Name) && "duplicate function name");
+  FunctionPool.push_back(std::make_unique<Function>(Name, FT));
+  Function *F = FunctionPool.back().get();
+  Functions.push_back(F);
+  FunctionsByName[Name] = F;
+  return F;
+}
+
+Function *Module::getFunction(const std::string &Name) const {
+  auto It = FunctionsByName.find(Name);
+  return It == FunctionsByName.end() ? nullptr : It->second;
+}
+
+const char *gdse::getBuiltinName(Builtin B) {
+  switch (B) {
+  case Builtin::None:
+    return "<none>";
+  case Builtin::MallocFn:
+    return "malloc";
+  case Builtin::CallocFn:
+    return "calloc";
+  case Builtin::ReallocFn:
+    return "realloc";
+  case Builtin::FreeFn:
+    return "free";
+  case Builtin::MemcpyFn:
+    return "memcpy";
+  case Builtin::MemsetFn:
+    return "memset";
+  case Builtin::PrintInt:
+    return "print_int";
+  case Builtin::PrintFloat:
+    return "print_float";
+  case Builtin::AbsFn:
+    return "abs";
+  case Builtin::FabsFn:
+    return "fabs";
+  case Builtin::SqrtFn:
+    return "sqrt";
+  case Builtin::ExitFn:
+    return "exit";
+  case Builtin::RtPrivPtr:
+    return "rtpriv_ptr";
+  }
+  gdse_unreachable("unknown builtin");
+}
+
+Builtin gdse::lookupBuiltin(const std::string &Name) {
+  static const std::pair<const char *, Builtin> Table[] = {
+      {"malloc", Builtin::MallocFn},   {"calloc", Builtin::CallocFn},
+      {"realloc", Builtin::ReallocFn}, {"free", Builtin::FreeFn},
+      {"memcpy", Builtin::MemcpyFn},   {"memset", Builtin::MemsetFn},
+      {"print_int", Builtin::PrintInt}, {"print_float", Builtin::PrintFloat},
+      {"abs", Builtin::AbsFn},         {"fabs", Builtin::FabsFn},
+      {"sqrt", Builtin::SqrtFn},       {"exit", Builtin::ExitFn},
+      {"rtpriv_ptr", Builtin::RtPrivPtr},
+  };
+  for (const auto &[N, B] : Table)
+    if (Name == N)
+      return B;
+  return Builtin::None;
+}
+
+bool gdse::isAllocationBuiltin(Builtin B) {
+  return B == Builtin::MallocFn || B == Builtin::CallocFn ||
+         B == Builtin::ReallocFn;
+}

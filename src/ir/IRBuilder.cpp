@@ -1,0 +1,278 @@
+//===- IRBuilder.cpp - Convenience construction of typed IR ----------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+
+using namespace gdse;
+
+ArrayIndexExpr *IRBuilder::index(Expr *Base, Expr *Idx) {
+  auto *PT = dyn_cast<PointerType>(Base->getType());
+  assert(PT && "index base must be a pointer r-value");
+  assert(Idx->getType()->isInt() && "index must be an integer");
+  return M.create<ArrayIndexExpr>(Base, Idx, PT->getPointee());
+}
+
+FieldAccessExpr *IRBuilder::field(Expr *Base, unsigned FieldIdx) {
+  assert(Base->isLValue() && "field base must be an l-value");
+  auto *ST = dyn_cast<StructType>(Base->getType());
+  assert(ST && "field base must have struct type");
+  return M.create<FieldAccessExpr>(Base, FieldIdx,
+                                   ST->getField(FieldIdx).Ty);
+}
+
+FieldAccessExpr *IRBuilder::fieldNamed(Expr *Base, const std::string &Name) {
+  auto *ST = dyn_cast<StructType>(Base->getType());
+  assert(ST && "field base must have struct type");
+  int Idx = ST->getFieldIndex(Name);
+  assert(Idx >= 0 && "no such field");
+  return field(Base, static_cast<unsigned>(Idx));
+}
+
+DerefExpr *IRBuilder::deref(Expr *Ptr) {
+  auto *PT = dyn_cast<PointerType>(Ptr->getType());
+  assert(PT && "deref of non-pointer");
+  assert(!PT->getPointee()->isVoid() && "deref of void pointer");
+  return M.create<DerefExpr>(Ptr, PT->getPointee());
+}
+
+AddrOfExpr *IRBuilder::addrOf(Expr *LValue) {
+  assert(LValue->isLValue() && "addrOf of non-lvalue");
+  return M.create<AddrOfExpr>(LValue, Ctx.getPointerType(LValue->getType()));
+}
+
+DecayExpr *IRBuilder::decay(Expr *ArrayLValue) {
+  assert(ArrayLValue->isLValue() && "decay of non-lvalue");
+  auto *AT = dyn_cast<ArrayType>(ArrayLValue->getType());
+  assert(AT && "decay of non-array");
+  return M.create<DecayExpr>(ArrayLValue,
+                             Ctx.getPointerType(AT->getElement()));
+}
+
+bool IRBuilder::isImplicitlyConvertible(Type *From, Type *To) {
+  if (From == To)
+    return true;
+  if (From->isScalar() && To->isScalar())
+    return true;
+  if (From->isPointer() && To->isPointer()) {
+    // void* converts freely; otherwise require equal pointees.
+    Type *FP = cast<PointerType>(From)->getPointee();
+    Type *TP = cast<PointerType>(To)->getPointee();
+    return FP->isVoid() || TP->isVoid() || FP == TP;
+  }
+  // Integer literal zero to pointer is handled by callers; int->ptr is not
+  // implicit in MiniC.
+  return false;
+}
+
+Expr *IRBuilder::convert(Expr *E, Type *Ty) {
+  if (E->getType() == Ty)
+    return E;
+  assert(isImplicitlyConvertible(E->getType(), Ty) &&
+         "invalid implicit conversion");
+  return M.create<CastExpr>(E, Ty);
+}
+
+Type *IRBuilder::commonArithType(Type *A, Type *B) {
+  assert(A->isScalar() && B->isScalar() && "arith on non-scalars");
+  if (A->isFloat() || B->isFloat()) {
+    unsigned Bits = 32;
+    if (auto *FA = dyn_cast<FloatType>(A))
+      Bits = std::max(Bits, FA->getBits());
+    if (auto *FB = dyn_cast<FloatType>(B))
+      Bits = std::max(Bits, FB->getBits());
+    return Ctx.getFloatType(Bits);
+  }
+  auto *IA = cast<IntType>(A);
+  auto *IB = cast<IntType>(B);
+  unsigned Bits = std::max({32u, IA->getBits(), IB->getBits()});
+  bool Signed = true;
+  if ((IA->getBits() >= Bits && !IA->isSigned()) ||
+      (IB->getBits() >= Bits && !IB->isSigned()))
+    Signed = false;
+  return Ctx.getIntType(Bits, Signed);
+}
+
+Expr *IRBuilder::unary(UnaryOp Op, Expr *Sub) {
+  Type *Ty = Sub->getType();
+  switch (Op) {
+  case UnaryOp::Neg:
+    assert(Ty->isScalar() && "negation of non-scalar");
+    if (Ty->isInt() && cast<IntType>(Ty)->getBits() < 32) {
+      Sub = convert(Sub, Ctx.getInt32());
+      Ty = Sub->getType();
+    }
+    break;
+  case UnaryOp::BitNot:
+    assert(Ty->isInt() && "bitwise not of non-integer");
+    if (cast<IntType>(Ty)->getBits() < 32) {
+      Sub = convert(Sub, Ctx.getInt32());
+      Ty = Sub->getType();
+    }
+    break;
+  case UnaryOp::LogicalNot:
+    assert((Ty->isScalar() || Ty->isPointer()) && "! of non-scalar");
+    Ty = Ctx.getInt32();
+    break;
+  }
+  return M.create<UnaryExpr>(Op, Sub, Ty);
+}
+
+static bool isComparison(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Expr *IRBuilder::binary(BinaryOp Op, Expr *LHS, Expr *RHS) {
+  Type *LT = LHS->getType();
+  Type *RT = RHS->getType();
+
+  if (Op == BinaryOp::LogicalAnd || Op == BinaryOp::LogicalOr)
+    return M.create<BinaryExpr>(Op, asCondition(LHS), asCondition(RHS),
+                                Ctx.getInt32());
+
+  if (isComparison(Op)) {
+    if (LT->isPointer() || RT->isPointer()) {
+      // Allow ptr-vs-ptr and ptr-vs-integer-constant (null) comparisons.
+      if (LT->isInt())
+        LHS = castTo(LHS, RT);
+      else if (RT->isInt())
+        RHS = castTo(RHS, LT);
+    } else {
+      Type *CT = commonArithType(LT, RT);
+      LHS = convert(LHS, CT);
+      RHS = convert(RHS, CT);
+    }
+    return M.create<BinaryExpr>(Op, LHS, RHS, Ctx.getInt32());
+  }
+
+  // Pointer arithmetic.
+  if (LT->isPointer() || RT->isPointer()) {
+    assert((Op == BinaryOp::Add || Op == BinaryOp::Sub) &&
+           "invalid pointer arithmetic operator");
+    if (LT->isPointer() && RT->isPointer()) {
+      assert(Op == BinaryOp::Sub && "ptr+ptr is invalid");
+      return M.create<BinaryExpr>(Op, LHS, RHS, Ctx.getInt64());
+    }
+    if (RT->isPointer()) {
+      assert(Op == BinaryOp::Add && "int-ptr is invalid");
+      std::swap(LHS, RHS);
+      std::swap(LT, RT);
+    }
+    assert(RHS->getType()->isInt() && "pointer offset must be integer");
+    RHS = convert(RHS, Ctx.getInt64());
+    return M.create<BinaryExpr>(Op, LHS, RHS, LT);
+  }
+
+  if (Op == BinaryOp::Shl || Op == BinaryOp::Shr) {
+    assert(LT->isInt() && RT->isInt() && "shift on non-integers");
+    Type *Ty = cast<IntType>(LT)->getBits() < 32 ? Ctx.getInt32() : LT;
+    return M.create<BinaryExpr>(Op, convert(LHS, Ty),
+                                convert(RHS, Ctx.getInt32()), Ty);
+  }
+
+  if (Op == BinaryOp::Rem || Op == BinaryOp::BitAnd || Op == BinaryOp::BitOr ||
+      Op == BinaryOp::BitXor)
+    assert(LT->isInt() && RT->isInt() && "integer-only operator");
+
+  Type *CT = commonArithType(LT, RT);
+  return M.create<BinaryExpr>(Op, convert(LHS, CT), convert(RHS, CT), CT);
+}
+
+Expr *IRBuilder::asCondition(Expr *E) {
+  Type *Ty = E->getType();
+  if (Ty->isInt())
+    return E;
+  if (Ty->isFloat())
+    return binary(BinaryOp::Ne, E, floatLit(0.0, Ty));
+  if (Ty->isPointer()) {
+    Expr *Null = castTo(intLit(0, Ctx.getInt64()), Ty);
+    return M.create<BinaryExpr>(BinaryOp::Ne, E, Null, Ctx.getInt32());
+  }
+  gdse_unreachable("invalid condition type");
+}
+
+CondExpr *IRBuilder::cond(Expr *C, Expr *Then, Expr *Else) {
+  Type *Ty = Then->getType();
+  if (Then->getType()->isScalar() && Else->getType()->isScalar()) {
+    Ty = commonArithType(Then->getType(), Else->getType());
+    Then = convert(Then, Ty);
+    Else = convert(Else, Ty);
+  } else {
+    assert(Then->getType() == Else->getType() &&
+           "?: operands must have a common type");
+  }
+  return M.create<CondExpr>(asCondition(C), Then, Else, Ty);
+}
+
+CallExpr *IRBuilder::call(Function *F, std::vector<Expr *> Args) {
+  FunctionType *FT = F->getFunctionType();
+  assert(Args.size() == FT->getNumParams() && "argument count mismatch");
+  for (unsigned I = 0, E = FT->getNumParams(); I != E; ++I)
+    Args[I] = convert(Args[I], FT->getParam(I));
+  CallExpr *C = M.create<CallExpr>(F, std::move(Args), FT->getReturnType());
+  C->setSiteId(M.nextCallSiteId());
+  return C;
+}
+
+CallExpr *IRBuilder::callBuiltin(Builtin B, std::vector<Expr *> Args,
+                                 Type *RetTy) {
+  CallExpr *C = M.create<CallExpr>(B, std::move(Args), RetTy);
+  C->setSiteId(M.nextCallSiteId());
+  return C;
+}
+
+CallExpr *IRBuilder::mallocCall(Expr *Size, Type *ResultPtrTy) {
+  assert(ResultPtrTy->isPointer() && "malloc result must be a pointer");
+  return callBuiltin(Builtin::MallocFn, {convert(Size, Ctx.getInt64())},
+                     ResultPtrTy);
+}
+
+AssignStmt *IRBuilder::assign(Expr *LHS, Expr *RHS) {
+  assert(LHS->isLValue() && "assignment target must be an l-value");
+  if (LHS->getType()->isAggregate())
+    assert(LHS->getType() == RHS->getType() && "aggregate copy type mismatch");
+  else
+    RHS = convert(RHS, LHS->getType());
+  return M.create<AssignStmt>(LHS, RHS);
+}
+
+IfStmt *IRBuilder::ifStmt(Expr *Cond, Stmt *Then, Stmt *Else) {
+  if (Then && !isa<BlockStmt>(Then))
+    Then = block({Then});
+  if (Else && !isa<BlockStmt>(Else))
+    Else = block({Else});
+  return M.create<IfStmt>(asCondition(Cond), Then, Else);
+}
+
+WhileStmt *IRBuilder::whileStmt(Expr *Cond, Stmt *Body) {
+  if (!isa<BlockStmt>(Body))
+    Body = block({Body});
+  return M.create<WhileStmt>(asCondition(Cond), Body);
+}
+
+ForStmt *IRBuilder::forStmt(VarDecl *IV, Expr *Init, Expr *Limit, Expr *Step,
+                            Stmt *Body) {
+  assert(IV->getType()->isInt() && "induction variable must be integer");
+  if (!isa<BlockStmt>(Body))
+    Body = block({Body});
+  return M.create<ForStmt>(IV, convert(Init, IV->getType()),
+                           convert(Limit, IV->getType()),
+                           convert(Step, IV->getType()), Body);
+}

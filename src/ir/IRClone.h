@@ -1,0 +1,30 @@
+//===- IRClone.h - Deep copies of IR trees ----------------------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep structural copies of expression and statement trees, allocated from
+/// the same module arena. Variable references keep pointing at the original
+/// declarations. Access ids are NOT copied (renumber after cloning).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_IR_IRCLONE_H
+#define GDSE_IR_IRCLONE_H
+
+#include "ir/IR.h"
+
+namespace gdse {
+
+/// Deep-copies \p E into \p M's arena.
+Expr *cloneExpr(Module &M, const Expr *E);
+
+/// Deep-copies \p S into \p M's arena.
+Stmt *cloneStmt(Module &M, const Stmt *S);
+
+} // namespace gdse
+
+#endif // GDSE_IR_IRCLONE_H

@@ -1,0 +1,302 @@
+//===- IRPrinter.cpp - Textual dump of the IR ------------------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "support/Support.h"
+
+#include <sstream>
+
+using namespace gdse;
+
+namespace {
+
+const char *binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::BitAnd:
+    return "&";
+  case BinaryOp::BitOr:
+    return "|";
+  case BinaryOp::BitXor:
+    return "^";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::LogicalAnd:
+    return "&&";
+  case BinaryOp::LogicalOr:
+    return "||";
+  }
+  gdse_unreachable("unknown binary op");
+}
+
+class PrinterImpl {
+public:
+  explicit PrinterImpl(const PrintOptions &Opts) : Opts(Opts) {}
+
+  std::string expr(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+      return std::to_string(cast<IntLitExpr>(E)->getValue());
+    case Expr::Kind::FloatLit: {
+      std::string S = formatString("%g", cast<FloatLitExpr>(E)->getValue());
+      if (S.find_first_of(".eE") == std::string::npos)
+        S += ".0";
+      return S;
+    }
+    case Expr::Kind::VarRef:
+      return cast<VarRefExpr>(E)->getDecl()->getName();
+    case Expr::Kind::Load: {
+      const auto *L = cast<LoadExpr>(E);
+      std::string S = expr(L->getLocation());
+      if (Opts.ShowAccessIds && L->getAccessId() != InvalidAccessId)
+        S += formatString("/*L#%u*/", L->getAccessId());
+      return S;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      const char *Op = U->getOp() == UnaryOp::Neg      ? "-"
+                       : U->getOp() == UnaryOp::BitNot ? "~"
+                                                       : "!";
+      return formatString("%s(%s)", Op, expr(U->getSub()).c_str());
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      return formatString("(%s %s %s)", expr(B->getLHS()).c_str(),
+                          binaryOpSpelling(B->getOp()),
+                          expr(B->getRHS()).c_str());
+    }
+    case Expr::Kind::ArrayIndex: {
+      const auto *A = cast<ArrayIndexExpr>(E);
+      return formatString("%s[%s]", expr(A->getBase()).c_str(),
+                          expr(A->getIndex()).c_str());
+    }
+    case Expr::Kind::FieldAccess: {
+      const auto *F = cast<FieldAccessExpr>(E);
+      const auto *ST = cast<StructType>(F->getBase()->getType());
+      return formatString("%s.%s", expr(F->getBase()).c_str(),
+                          ST->getField(F->getFieldIndex()).Name.c_str());
+    }
+    case Expr::Kind::Deref:
+      return formatString("*(%s)", expr(cast<DerefExpr>(E)->getPtr()).c_str());
+    case Expr::Kind::AddrOf:
+      return formatString(
+          "&%s", expr(cast<AddrOfExpr>(E)->getLocation()).c_str());
+    case Expr::Kind::Decay:
+      return expr(cast<DecayExpr>(E)->getArrayLocation());
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      std::string S = C->isBuiltin() ? getBuiltinName(C->getBuiltin())
+                                     : C->getCallee()->getName();
+      S += "(";
+      for (unsigned I = 0, N = C->getNumArgs(); I != N; ++I) {
+        if (I)
+          S += ", ";
+        S += expr(C->getArg(I));
+      }
+      return S + ")";
+    }
+    case Expr::Kind::Cast:
+      return formatString("(%s)(%s)", E->getType()->str().c_str(),
+                          expr(cast<CastExpr>(E)->getSub()).c_str());
+    case Expr::Kind::SizeofType:
+      return formatString(
+          "sizeof(%s)",
+          cast<SizeofTypeExpr>(E)->getQueriedType()->str().c_str());
+    case Expr::Kind::ThreadId:
+      return "tid";
+    case Expr::Kind::NumThreads:
+      return "nthreads";
+    case Expr::Kind::Cond: {
+      const auto *C = cast<CondExpr>(E);
+      return formatString("(%s ? %s : %s)", expr(C->getCond()).c_str(),
+                          expr(C->getThen()).c_str(),
+                          expr(C->getElse()).c_str());
+    }
+    }
+    gdse_unreachable("unknown expr kind");
+  }
+
+  void stmt(const Stmt *S, unsigned Indent) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Block: {
+      line(Indent, "{");
+      for (const Stmt *Sub : cast<BlockStmt>(S)->getStmts())
+        stmt(Sub, Indent + 1);
+      line(Indent, "}");
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      line(Indent, expr(cast<ExprStmt>(S)->getExpr()) + ";");
+      return;
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      std::string Tag;
+      if (Opts.ShowAccessIds && A->getAccessId() != InvalidAccessId)
+        Tag = formatString(" /*S#%u*/", A->getAccessId());
+      line(Indent, expr(A->getLHS()) + " = " + expr(A->getRHS()) + ";" + Tag);
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      line(Indent, "if (" + expr(I->getCond()) + ")");
+      stmt(I->getThen(), Indent);
+      if (I->getElse()) {
+        line(Indent, "else");
+        stmt(I->getElse(), Indent);
+      }
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      std::string Tag;
+      if (Opts.ShowLoopInfo && W->getLoopId())
+        Tag = formatString(" /*loop %u*/", W->getLoopId());
+      line(Indent, "while (" + expr(W->getCond()) + ")" + Tag);
+      stmt(W->getBody(), Indent);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      std::string IV = F->getInductionVar()->getName();
+      std::string Tag;
+      if (Opts.ShowLoopInfo && F->getLoopId()) {
+        const char *Kind = F->getParallelKind() == ParallelKind::DOALL
+                               ? ", DOALL"
+                           : F->getParallelKind() == ParallelKind::DOACROSS
+                               ? ", DOACROSS"
+                               : "";
+        Tag = formatString(" /*loop %u%s*/", F->getLoopId(), Kind);
+      }
+      line(Indent,
+           formatString("for (%s = %s; %s < %s; %s = %s + %s)%s", IV.c_str(),
+                        expr(F->getInit()).c_str(), IV.c_str(),
+                        expr(F->getLimit()).c_str(), IV.c_str(), IV.c_str(),
+                        expr(F->getStep()).c_str(), Tag.c_str()));
+      stmt(F->getBody(), Indent);
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      line(Indent,
+           R->getValue() ? "return " + expr(R->getValue()) + ";" : "return;");
+      return;
+    }
+    case Stmt::Kind::Break:
+      line(Indent, "break;");
+      return;
+    case Stmt::Kind::Continue:
+      line(Indent, "continue;");
+      return;
+    case Stmt::Kind::Ordered: {
+      const auto *O = cast<OrderedStmt>(S);
+      line(Indent, formatString("ordered /*region %u*/", O->getRegionId()));
+      stmt(O->getBody(), Indent);
+      return;
+    }
+    }
+    gdse_unreachable("unknown stmt kind");
+  }
+
+  void line(unsigned Indent, const std::string &Text) {
+    for (unsigned I = 0; I != Indent; ++I)
+      OS << "  ";
+    OS << Text << '\n';
+  }
+
+  std::ostringstream OS;
+  const PrintOptions &Opts;
+};
+
+std::string declString(const VarDecl *D) {
+  // Arrays print C-style: elem name[n].
+  if (auto *AT = dyn_cast<ArrayType>(D->getType()))
+    return formatString("%s %s[%llu]", AT->getElement()->str().c_str(),
+                        D->getName().c_str(),
+                        static_cast<unsigned long long>(AT->getNumElements()));
+  return D->getType()->str() + " " + D->getName();
+}
+
+} // namespace
+
+std::string gdse::printType(Type *T) { return T->str(); }
+
+std::string gdse::printExpr(const Expr *E, const PrintOptions &Opts) {
+  PrinterImpl P(Opts);
+  return P.expr(E);
+}
+
+std::string gdse::printStmt(const Stmt *S, unsigned Indent,
+                            const PrintOptions &Opts) {
+  PrinterImpl P(Opts);
+  P.stmt(S, Indent);
+  return P.OS.str();
+}
+
+std::string gdse::printFunction(const Function *F, const PrintOptions &Opts) {
+  PrinterImpl P(Opts);
+  std::string Sig = F->getReturnType()->str() + " " + F->getName() + "(";
+  for (unsigned I = 0, E = static_cast<unsigned>(F->getParams().size()); I != E;
+       ++I) {
+    if (I)
+      Sig += ", ";
+    Sig += declString(F->getParams()[I]);
+  }
+  Sig += ")";
+  if (!F->isDefinition())
+    return Sig + ";\n";
+  P.line(0, Sig);
+  P.line(0, "{");
+  for (const VarDecl *L : F->getLocals())
+    P.line(1, declString(L) + ";");
+  for (const Stmt *S : F->getBody()->getStmts())
+    P.stmt(S, 1);
+  P.line(0, "}");
+  return P.OS.str();
+}
+
+std::string gdse::printModule(Module &M, const PrintOptions &Opts) {
+  std::ostringstream OS;
+  for (StructType *ST : M.getTypes().getStructs()) {
+    if (ST->isOpaque()) {
+      OS << "struct " << ST->getName() << ";\n";
+      continue;
+    }
+    OS << "struct " << ST->getName() << " {\n";
+    for (const StructField &F : ST->getFields())
+      OS << "  " << F.Ty->str() << " " << F.Name << ";\n";
+    OS << "};\n";
+  }
+  for (const VarDecl *G : M.getGlobals())
+    OS << declString(G) << ";\n";
+  for (const Function *F : M.getFunctions())
+    OS << printFunction(F, Opts) << "\n";
+  return OS.str();
+}

@@ -1,0 +1,41 @@
+//===- IRPrinter.h - Textual dump of the IR ---------------------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders IR in MiniC-like concrete syntax, for golden tests and for
+/// inspecting what the expansion passes produced. Loads print transparently;
+/// with \c ShowAccessIds each load/store is annotated with its AccessId so
+/// dependence-graph tests can reference accesses stably.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_IR_IRPRINTER_H
+#define GDSE_IR_IRPRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace gdse {
+
+struct PrintOptions {
+  /// Annotate loads/stores with "/*#id*/".
+  bool ShowAccessIds = false;
+  /// Annotate loops with "/*loop id, kind*/".
+  bool ShowLoopInfo = false;
+};
+
+std::string printType(Type *T);
+std::string printExpr(const Expr *E, const PrintOptions &Opts = {});
+std::string printStmt(const Stmt *S, unsigned Indent = 0,
+                      const PrintOptions &Opts = {});
+std::string printFunction(const Function *F, const PrintOptions &Opts = {});
+std::string printModule(Module &M, const PrintOptions &Opts = {});
+
+} // namespace gdse
+
+#endif // GDSE_IR_IRPRINTER_H

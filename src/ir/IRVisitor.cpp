@@ -1,0 +1,319 @@
+//===- IRVisitor.cpp - Generic IR traversal and rewriting ------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRVisitor.h"
+
+#include "support/Support.h"
+
+using namespace gdse;
+
+void gdse::forEachChildExpr(Expr *E, const std::function<void(Expr *)> &Fn) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::FloatLit:
+  case Expr::Kind::VarRef:
+  case Expr::Kind::SizeofType:
+  case Expr::Kind::ThreadId:
+  case Expr::Kind::NumThreads:
+    return;
+  case Expr::Kind::Load:
+    Fn(cast<LoadExpr>(E)->getLocation());
+    return;
+  case Expr::Kind::Unary:
+    Fn(cast<UnaryExpr>(E)->getSub());
+    return;
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    Fn(B->getLHS());
+    Fn(B->getRHS());
+    return;
+  }
+  case Expr::Kind::ArrayIndex: {
+    auto *A = cast<ArrayIndexExpr>(E);
+    Fn(A->getBase());
+    Fn(A->getIndex());
+    return;
+  }
+  case Expr::Kind::FieldAccess:
+    Fn(cast<FieldAccessExpr>(E)->getBase());
+    return;
+  case Expr::Kind::Deref:
+    Fn(cast<DerefExpr>(E)->getPtr());
+    return;
+  case Expr::Kind::AddrOf:
+    Fn(cast<AddrOfExpr>(E)->getLocation());
+    return;
+  case Expr::Kind::Decay:
+    Fn(cast<DecayExpr>(E)->getArrayLocation());
+    return;
+  case Expr::Kind::Call: {
+    auto *C = cast<CallExpr>(E);
+    for (Expr *Arg : C->getArgs())
+      Fn(Arg);
+    return;
+  }
+  case Expr::Kind::Cast:
+    Fn(cast<CastExpr>(E)->getSub());
+    return;
+  case Expr::Kind::Cond: {
+    auto *C = cast<CondExpr>(E);
+    Fn(C->getCond());
+    Fn(C->getThen());
+    Fn(C->getElse());
+    return;
+  }
+  }
+  gdse_unreachable("unknown expr kind");
+}
+
+void gdse::forEachTopLevelExpr(Stmt *S, const std::function<void(Expr *)> &Fn) {
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+  case Stmt::Kind::Ordered:
+    return;
+  case Stmt::Kind::ExprStmt:
+    Fn(cast<ExprStmt>(S)->getExpr());
+    return;
+  case Stmt::Kind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    Fn(A->getLHS());
+    Fn(A->getRHS());
+    return;
+  }
+  case Stmt::Kind::If:
+    Fn(cast<IfStmt>(S)->getCond());
+    return;
+  case Stmt::Kind::While:
+    Fn(cast<WhileStmt>(S)->getCond());
+    return;
+  case Stmt::Kind::For: {
+    auto *F = cast<ForStmt>(S);
+    Fn(F->getInit());
+    Fn(F->getLimit());
+    Fn(F->getStep());
+    return;
+  }
+  case Stmt::Kind::Return:
+    if (Expr *V = cast<ReturnStmt>(S)->getValue())
+      Fn(V);
+    return;
+  }
+  gdse_unreachable("unknown stmt kind");
+}
+
+void gdse::forEachChildStmt(Stmt *S, const std::function<void(Stmt *)> &Fn) {
+  switch (S->getKind()) {
+  case Stmt::Kind::ExprStmt:
+  case Stmt::Kind::Assign:
+  case Stmt::Kind::Return:
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+    return;
+  case Stmt::Kind::Block:
+    for (Stmt *Sub : cast<BlockStmt>(S)->getStmts())
+      Fn(Sub);
+    return;
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    Fn(I->getThen());
+    if (I->getElse())
+      Fn(I->getElse());
+    return;
+  }
+  case Stmt::Kind::While:
+    Fn(cast<WhileStmt>(S)->getBody());
+    return;
+  case Stmt::Kind::For:
+    Fn(cast<ForStmt>(S)->getBody());
+    return;
+  case Stmt::Kind::Ordered:
+    Fn(cast<OrderedStmt>(S)->getBody());
+    return;
+  }
+  gdse_unreachable("unknown stmt kind");
+}
+
+void gdse::walkExpr(Expr *E, const std::function<void(Expr *)> &Fn) {
+  Fn(E);
+  forEachChildExpr(E, [&](Expr *Child) { walkExpr(Child, Fn); });
+}
+
+void gdse::walkStmts(Stmt *S, const std::function<void(Stmt *)> &Fn) {
+  Fn(S);
+  forEachChildStmt(S, [&](Stmt *Child) { walkStmts(Child, Fn); });
+}
+
+void gdse::walkExprs(Stmt *S, const std::function<void(Expr *)> &Fn) {
+  walkStmts(S, [&](Stmt *Sub) {
+    forEachTopLevelExpr(Sub, [&](Expr *E) { walkExpr(E, Fn); });
+  });
+}
+
+void gdse::walkExprs(Function *F, const std::function<void(Expr *)> &Fn) {
+  if (F->getBody())
+    walkExprs(F->getBody(), Fn);
+}
+
+//===----------------------------------------------------------------------===//
+// IRRewriter
+//===----------------------------------------------------------------------===//
+
+Expr *IRRewriter::rewriteExpr(Expr *E) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::FloatLit:
+  case Expr::Kind::VarRef:
+  case Expr::Kind::SizeofType:
+  case Expr::Kind::ThreadId:
+  case Expr::Kind::NumThreads:
+    break;
+  case Expr::Kind::Load: {
+    auto *L = cast<LoadExpr>(E);
+    L->setLocation(rewriteExpr(L->getLocation()));
+    break;
+  }
+  case Expr::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    U->setSub(rewriteExpr(U->getSub()));
+    break;
+  }
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    B->setLHS(rewriteExpr(B->getLHS()));
+    B->setRHS(rewriteExpr(B->getRHS()));
+    break;
+  }
+  case Expr::Kind::ArrayIndex: {
+    auto *A = cast<ArrayIndexExpr>(E);
+    A->setBase(rewriteExpr(A->getBase()));
+    A->setIndex(rewriteExpr(A->getIndex()));
+    break;
+  }
+  case Expr::Kind::FieldAccess: {
+    auto *FA = cast<FieldAccessExpr>(E);
+    FA->setBase(rewriteExpr(FA->getBase()));
+    break;
+  }
+  case Expr::Kind::Deref: {
+    auto *D = cast<DerefExpr>(E);
+    D->setPtr(rewriteExpr(D->getPtr()));
+    break;
+  }
+  case Expr::Kind::AddrOf: {
+    auto *A = cast<AddrOfExpr>(E);
+    A->setLocation(rewriteExpr(A->getLocation()));
+    break;
+  }
+  case Expr::Kind::Decay: {
+    auto *D = cast<DecayExpr>(E);
+    D->setArrayLocation(rewriteExpr(D->getArrayLocation()));
+    break;
+  }
+  case Expr::Kind::Call: {
+    auto *C = cast<CallExpr>(E);
+    for (unsigned I = 0, N = C->getNumArgs(); I != N; ++I)
+      C->setArg(I, rewriteExpr(C->getArg(I)));
+    break;
+  }
+  case Expr::Kind::Cast: {
+    auto *C = cast<CastExpr>(E);
+    C->setSub(rewriteExpr(C->getSub()));
+    break;
+  }
+  case Expr::Kind::Cond: {
+    auto *C = cast<CondExpr>(E);
+    C->setCond(rewriteExpr(C->getCond()));
+    C->setThen(rewriteExpr(C->getThen()));
+    C->setElse(rewriteExpr(C->getElse()));
+    break;
+  }
+  }
+  Expr *Result = transformExpr(E);
+  assert(Result && "transformExpr must not return null");
+  return Result;
+}
+
+Stmt *IRRewriter::rewriteStmt(Stmt *S) {
+  switch (S->getKind()) {
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+    break;
+  case Stmt::Kind::Block: {
+    auto *B = cast<BlockStmt>(S);
+    std::vector<Stmt *> NewStmts;
+    NewStmts.reserve(B->getStmts().size());
+    for (Stmt *Sub : B->getStmts()) {
+      Stmt *NewSub = rewriteStmt(Sub);
+      // Collect statements queued by the transform hooks while rewriting
+      // Sub; they go right after it (Table 3 "insert after" semantics).
+      std::vector<Stmt *> After = std::move(Pending);
+      Pending.clear();
+      if (NewSub)
+        NewStmts.push_back(NewSub);
+      NewStmts.insert(NewStmts.end(), After.begin(), After.end());
+    }
+    B->getStmts() = std::move(NewStmts);
+    break;
+  }
+  case Stmt::Kind::ExprStmt: {
+    auto *ES = cast<ExprStmt>(S);
+    ES->setExpr(rewriteExpr(ES->getExpr()));
+    break;
+  }
+  case Stmt::Kind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    A->setLHS(rewriteExpr(A->getLHS()));
+    A->setRHS(rewriteExpr(A->getRHS()));
+    break;
+  }
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    I->setCond(rewriteExpr(I->getCond()));
+    I->setThen(rewriteStmt(I->getThen()));
+    if (I->getElse())
+      I->setElse(rewriteStmt(I->getElse()));
+    break;
+  }
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    W->setCond(rewriteExpr(W->getCond()));
+    W->setBody(rewriteStmt(W->getBody()));
+    break;
+  }
+  case Stmt::Kind::For: {
+    auto *F = cast<ForStmt>(S);
+    F->setInit(rewriteExpr(F->getInit()));
+    F->setLimit(rewriteExpr(F->getLimit()));
+    F->setStep(rewriteExpr(F->getStep()));
+    F->setBody(rewriteStmt(F->getBody()));
+    break;
+  }
+  case Stmt::Kind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (R->getValue())
+      R->setValue(rewriteExpr(R->getValue()));
+    break;
+  }
+  case Stmt::Kind::Ordered: {
+    auto *O = cast<OrderedStmt>(S);
+    O->setBody(rewriteStmt(O->getBody()));
+    break;
+  }
+  }
+  return transformStmt(S);
+}
+
+void IRRewriter::run(Function *F) {
+  if (!F->getBody())
+    return;
+  Stmt *NewBody = rewriteStmt(F->getBody());
+  assert(Pending.empty() && "emitAfter at function top level unsupported");
+  assert(NewBody && isa<BlockStmt>(NewBody) && "body must stay a block");
+  F->setBody(cast<BlockStmt>(NewBody));
+}

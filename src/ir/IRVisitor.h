@@ -1,0 +1,88 @@
+//===- IRVisitor.h - Generic IR traversal and rewriting ---------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Traversal helpers used by every analysis and transform:
+///  - \c forEachChildExpr / \c walkExprs / \c walkStmts for read-only walks;
+///  - \c IRRewriter, a post-order rewriting framework that supports node
+///    replacement and statement expansion (one statement rewritten into
+///    several — how the span-computation statements of Table 3 are inserted
+///    "immediately after each assignment to that pointer").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_IR_IRVISITOR_H
+#define GDSE_IR_IRVISITOR_H
+
+#include "ir/IR.h"
+
+#include <functional>
+#include <vector>
+
+namespace gdse {
+
+/// Invokes \p Fn on each direct sub-expression of \p E.
+void forEachChildExpr(Expr *E, const std::function<void(Expr *)> &Fn);
+
+/// Invokes \p Fn on each direct sub-expression of \p S (not recursing into
+/// nested statements).
+void forEachTopLevelExpr(Stmt *S, const std::function<void(Expr *)> &Fn);
+
+/// Invokes \p Fn on each direct sub-statement of \p S.
+void forEachChildStmt(Stmt *S, const std::function<void(Stmt *)> &Fn);
+
+/// Pre-order walk over every expression reachable from \p E (including \p E).
+void walkExpr(Expr *E, const std::function<void(Expr *)> &Fn);
+
+/// Pre-order walk over every statement in the tree rooted at \p S.
+void walkStmts(Stmt *S, const std::function<void(Stmt *)> &Fn);
+
+/// Pre-order walk over every expression in the statement tree rooted at \p S.
+void walkExprs(Stmt *S, const std::function<void(Expr *)> &Fn);
+
+/// Pre-order walk over every expression in \p F (body statements only).
+void walkExprs(Function *F, const std::function<void(Expr *)> &Fn);
+
+/// Post-order rewriting framework.
+///
+/// For expressions: children are rewritten first (results stored back through
+/// the node's setters), then \c transformExpr may replace the node itself.
+/// For statements: nested statements/expressions are rewritten first, then
+/// \c transformStmt runs, and finally \c emitAfter-queued statements are
+/// spliced in right after the current statement inside the enclosing block.
+class IRRewriter {
+public:
+  explicit IRRewriter(Module &M) : M(M) {}
+  virtual ~IRRewriter() = default;
+
+  /// Rewrites the body of \p F in place.
+  void run(Function *F);
+  /// Rewrites one statement tree; returns the (possibly replaced) root.
+  Stmt *rewriteStmt(Stmt *S);
+  /// Rewrites one expression tree; returns the (possibly replaced) root.
+  Expr *rewriteExpr(Expr *E);
+
+protected:
+  /// Post-order hook: return a replacement for \p E (or \p E unchanged).
+  virtual Expr *transformExpr(Expr *E) { return E; }
+  /// Post-order hook: return a replacement for \p S (or \p S unchanged, or
+  /// nullptr to delete the statement).
+  virtual Stmt *transformStmt(Stmt *S) { return S; }
+
+  /// Queues \p S for insertion immediately after the statement currently
+  /// being transformed (valid only inside transformStmt / transformExpr).
+  void emitAfter(Stmt *S) { Pending.push_back(S); }
+
+  Module &M;
+
+private:
+  std::vector<Stmt *> Pending;
+};
+
+} // namespace gdse
+
+#endif // GDSE_IR_IRVISITOR_H

@@ -1,0 +1,180 @@
+//===- Type.cpp - GDSE IR type system --------------------------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/Support.h"
+
+using namespace gdse;
+
+int StructType::getFieldIndex(const std::string &FieldName) const {
+  for (unsigned I = 0, E = getNumFields(); I != E; ++I)
+    if (Fields[I].Name == FieldName)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Void:
+    return "void";
+  case Kind::Int: {
+    const auto *IT = cast<IntType>(this);
+    std::string S = IT->isSigned() ? "" : "u";
+    switch (IT->getBits()) {
+    case 8:
+      return S + "char";
+    case 16:
+      return S + "short";
+    case 32:
+      return S + "int";
+    case 64:
+      return S + "long";
+    default:
+      return formatString("%sint%u", S.c_str(), IT->getBits());
+    }
+  }
+  case Kind::Float:
+    return cast<FloatType>(this)->getBits() == 32 ? "float" : "double";
+  case Kind::Pointer:
+    return cast<PointerType>(this)->getPointee()->str() + "*";
+  case Kind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    return formatString("%s[%llu]", AT->getElement()->str().c_str(),
+                        static_cast<unsigned long long>(AT->getNumElements()));
+  }
+  case Kind::Struct:
+    return "struct " + cast<StructType>(this)->getName();
+  case Kind::Function: {
+    const auto *FT = cast<FunctionType>(this);
+    std::string S = FT->getReturnType()->str() + "(";
+    for (unsigned I = 0, E = FT->getNumParams(); I != E; ++I) {
+      if (I)
+        S += ", ";
+      S += FT->getParam(I)->str();
+    }
+    return S + ")";
+  }
+  }
+  gdse_unreachable("unknown type kind");
+}
+
+TypeContext::TypeContext() : VoidTy(new VoidType()) {}
+TypeContext::~TypeContext() = default;
+
+IntType *TypeContext::getIntType(unsigned Bits, bool Signed) {
+  assert((Bits == 8 || Bits == 16 || Bits == 32 || Bits == 64) &&
+         "unsupported integer width");
+  auto &Slot = IntTypes[{Bits, Signed}];
+  if (!Slot)
+    Slot.reset(new IntType(Bits, Signed));
+  return Slot.get();
+}
+
+FloatType *TypeContext::getFloatType(unsigned Bits) {
+  assert((Bits == 32 || Bits == 64) && "unsupported float width");
+  auto &Slot = FloatTypes[Bits];
+  if (!Slot)
+    Slot.reset(new FloatType(Bits));
+  return Slot.get();
+}
+
+PointerType *TypeContext::getPointerType(Type *Pointee) {
+  assert(Pointee && "null pointee");
+  auto &Slot = PointerTypes[Pointee];
+  if (!Slot)
+    Slot.reset(new PointerType(Pointee));
+  return Slot.get();
+}
+
+ArrayType *TypeContext::getArrayType(Type *Elem, uint64_t NumElems) {
+  assert(Elem && !Elem->isVoid() && "invalid array element type");
+  auto &Slot = ArrayTypes[{Elem, NumElems}];
+  if (!Slot)
+    Slot.reset(new ArrayType(Elem, NumElems));
+  return Slot.get();
+}
+
+FunctionType *TypeContext::getFunctionType(Type *Ret,
+                                           std::vector<Type *> Params) {
+  for (auto &FT : FunctionTypes)
+    if (FT->getReturnType() == Ret && FT->getParams() == Params)
+      return FT.get();
+  FunctionTypes.emplace_back(new FunctionType(Ret, std::move(Params)));
+  return FunctionTypes.back().get();
+}
+
+StructType *TypeContext::createStruct(const std::string &Name) {
+  std::string Unique = Name;
+  unsigned Suffix = 0;
+  while (StructsByName.count(Unique))
+    Unique = formatString("%s.%u", Name.c_str(), ++Suffix);
+  StructTypes.emplace_back(new StructType(Unique));
+  StructType *ST = StructTypes.back().get();
+  StructsByName[Unique] = ST;
+  return ST;
+}
+
+StructType *TypeContext::getStructByName(const std::string &Name) const {
+  auto It = StructsByName.find(Name);
+  return It == StructsByName.end() ? nullptr : It->second;
+}
+
+static uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) / Align * Align;
+}
+
+const TypeLayout &TypeContext::getLayout(Type *T) {
+  auto It = Layouts.find(T);
+  if (It != Layouts.end())
+    return It->second;
+
+  TypeLayout L;
+  switch (T->getKind()) {
+  case Type::Kind::Void:
+  case Type::Kind::Function:
+    gdse_unreachable("type has no storage layout");
+  case Type::Kind::Int: {
+    L.Size = cast<IntType>(T)->getBits() / 8;
+    L.Align = L.Size;
+    break;
+  }
+  case Type::Kind::Float: {
+    L.Size = cast<FloatType>(T)->getBits() / 8;
+    L.Align = L.Size;
+    break;
+  }
+  case Type::Kind::Pointer: {
+    L.Size = PointerSize;
+    L.Align = PointerSize;
+    break;
+  }
+  case Type::Kind::Array: {
+    auto *AT = cast<ArrayType>(T);
+    const TypeLayout &EL = getLayout(AT->getElement());
+    L.Size = EL.Size * AT->getNumElements();
+    L.Align = EL.Align;
+    break;
+  }
+  case Type::Kind::Struct: {
+    auto *ST = cast<StructType>(T);
+    assert(!ST->isOpaque() && "layout of opaque struct");
+    uint64_t Offset = 0, MaxAlign = 1;
+    for (const StructField &F : ST->getFields()) {
+      const TypeLayout &FL = getLayout(F.Ty);
+      Offset = alignTo(Offset, FL.Align);
+      L.FieldOffsets.push_back(Offset);
+      Offset += FL.Size;
+      MaxAlign = std::max(MaxAlign, FL.Align);
+    }
+    L.Align = MaxAlign;
+    L.Size = alignTo(std::max<uint64_t>(Offset, 1), MaxAlign);
+    break;
+  }
+  }
+  return Layouts.emplace(T, std::move(L)).first->second;
+}

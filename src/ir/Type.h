@@ -1,0 +1,280 @@
+//===- Type.h - GDSE IR type system -----------------------------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniC/IR type system: void, sized integers, floats, pointers, fixed
+/// arrays, named structs, and function types. Types are immutable and uniqued
+/// by a TypeContext, except named structs which are identified (each
+/// \c createStruct yields a distinct type) and may have their body filled in
+/// later — this is what the pointer-promotion pass of the paper (Figs. 5-6)
+/// relies on to build recursive fat-pointer types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_IR_TYPE_H
+#define GDSE_IR_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gdse {
+
+class TypeContext;
+
+/// Root of the type hierarchy.
+class Type {
+public:
+  enum class Kind : uint8_t {
+    Void,
+    Int,
+    Float,
+    Pointer,
+    Array,
+    Struct,
+    Function,
+  };
+
+  Kind getKind() const { return K; }
+
+  bool isVoid() const { return K == Kind::Void; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isFloat() const { return K == Kind::Float; }
+  bool isPointer() const { return K == Kind::Pointer; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isStruct() const { return K == Kind::Struct; }
+  bool isFunction() const { return K == Kind::Function; }
+  /// True for integer and floating-point types.
+  bool isScalar() const { return isInt() || isFloat(); }
+  /// True for array and struct types.
+  bool isAggregate() const { return isArray() || isStruct(); }
+
+  /// Renders the type in MiniC syntax ("int*", "struct S", "double[8]").
+  std::string str() const;
+
+  Type(const Type &) = delete;
+  Type &operator=(const Type &) = delete;
+
+protected:
+  explicit Type(Kind K) : K(K) {}
+  ~Type() = default;
+
+private:
+  Kind K;
+};
+
+/// The void type (function returns only).
+class VoidType : public Type {
+public:
+  static bool classof(const Type *T) { return T->getKind() == Kind::Void; }
+
+private:
+  friend class TypeContext;
+  VoidType() : Type(Kind::Void) {}
+};
+
+/// Fixed-width integer type. \c char is int8, \c short int16, \c int int32,
+/// \c long int64; unsigned variants carry Signed=false.
+class IntType : public Type {
+public:
+  unsigned getBits() const { return Bits; }
+  bool isSigned() const { return Signed; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Int; }
+
+private:
+  friend class TypeContext;
+  IntType(unsigned Bits, bool Signed)
+      : Type(Kind::Int), Bits(Bits), Signed(Signed) {}
+  unsigned Bits;
+  bool Signed;
+};
+
+/// IEEE float (32) or double (64).
+class FloatType : public Type {
+public:
+  unsigned getBits() const { return Bits; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Float; }
+
+private:
+  friend class TypeContext;
+  explicit FloatType(unsigned Bits) : Type(Kind::Float), Bits(Bits) {}
+  unsigned Bits;
+};
+
+/// Pointer to a pointee type. Pointee may be void (untyped malloc result).
+class PointerType : public Type {
+public:
+  Type *getPointee() const { return Pointee; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Pointer; }
+
+private:
+  friend class TypeContext;
+  explicit PointerType(Type *Pointee) : Type(Kind::Pointer), Pointee(Pointee) {}
+  Type *Pointee;
+};
+
+/// Fixed-length array type.
+class ArrayType : public Type {
+public:
+  Type *getElement() const { return Elem; }
+  uint64_t getNumElements() const { return NumElems; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Array; }
+
+private:
+  friend class TypeContext;
+  ArrayType(Type *Elem, uint64_t NumElems)
+      : Type(Kind::Array), Elem(Elem), NumElems(NumElems) {}
+  Type *Elem;
+  uint64_t NumElems;
+};
+
+/// One member of a struct type.
+struct StructField {
+  std::string Name;
+  Type *Ty;
+};
+
+/// Identified (named) struct type. Created opaque, body set once via
+/// \c setFields. Distinct \c createStruct calls yield distinct types even
+/// with equal names (the context mangles duplicates).
+class StructType : public Type {
+public:
+  const std::string &getName() const { return Name; }
+  bool isOpaque() const { return !HasBody; }
+  const std::vector<StructField> &getFields() const {
+    assert(HasBody && "querying fields of opaque struct");
+    return Fields;
+  }
+  unsigned getNumFields() const {
+    assert(HasBody && "querying fields of opaque struct");
+    return static_cast<unsigned>(Fields.size());
+  }
+  const StructField &getField(unsigned Idx) const {
+    assert(Idx < getNumFields() && "field index out of range");
+    return Fields[Idx];
+  }
+  /// Returns the index of the field named \p Name, or -1 when absent.
+  int getFieldIndex(const std::string &FieldName) const;
+
+  /// Installs the struct body. May be called exactly once.
+  void setFields(std::vector<StructField> Body) {
+    assert(!HasBody && "struct body already set");
+    Fields = std::move(Body);
+    HasBody = true;
+  }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Struct; }
+
+private:
+  friend class TypeContext;
+  explicit StructType(std::string Name)
+      : Type(Kind::Struct), Name(std::move(Name)) {}
+  std::string Name;
+  std::vector<StructField> Fields;
+  bool HasBody = false;
+};
+
+/// Function type: return type plus parameter types.
+class FunctionType : public Type {
+public:
+  Type *getReturnType() const { return Ret; }
+  const std::vector<Type *> &getParams() const { return Params; }
+  unsigned getNumParams() const { return static_cast<unsigned>(Params.size()); }
+  Type *getParam(unsigned Idx) const {
+    assert(Idx < Params.size() && "parameter index out of range");
+    return Params[Idx];
+  }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Function; }
+
+private:
+  friend class TypeContext;
+  FunctionType(Type *Ret, std::vector<Type *> Params)
+      : Type(Kind::Function), Ret(Ret), Params(std::move(Params)) {}
+  Type *Ret;
+  std::vector<Type *> Params;
+};
+
+/// Size, alignment, and field offsets of a type under the VM's data layout
+/// (natural alignment, 8-byte pointers).
+struct TypeLayout {
+  uint64_t Size = 0;
+  uint64_t Align = 1;
+  /// Byte offset of each field; only populated for struct types.
+  std::vector<uint64_t> FieldOffsets;
+};
+
+/// Owns and uniques all types of one translation context.
+class TypeContext {
+public:
+  TypeContext();
+  ~TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  VoidType *getVoidType() { return VoidTy.get(); }
+  IntType *getIntType(unsigned Bits, bool Signed = true);
+  /// Shorthand for the canonical C-ish types.
+  IntType *getInt8() { return getIntType(8); }
+  IntType *getInt16() { return getIntType(16); }
+  IntType *getInt32() { return getIntType(32); }
+  IntType *getInt64() { return getIntType(64); }
+  FloatType *getFloatType(unsigned Bits);
+  FloatType *getFloat32() { return getFloatType(32); }
+  FloatType *getFloat64() { return getFloatType(64); }
+  PointerType *getPointerType(Type *Pointee);
+  ArrayType *getArrayType(Type *Elem, uint64_t NumElems);
+  FunctionType *getFunctionType(Type *Ret, std::vector<Type *> Params);
+
+  /// Creates a fresh identified struct. Duplicate names are suffixed to keep
+  /// printed output unambiguous.
+  StructType *createStruct(const std::string &Name);
+  /// Finds a previously created struct by (possibly mangled) name.
+  StructType *getStructByName(const std::string &Name) const;
+
+  /// All identified structs in creation order (for printing).
+  std::vector<StructType *> getStructs() const {
+    std::vector<StructType *> Out;
+    Out.reserve(StructTypes.size());
+    for (const auto &S : StructTypes)
+      Out.push_back(S.get());
+    return Out;
+  }
+
+  /// Computes (and caches) size/alignment/field offsets of \p T.
+  /// Opaque structs and void have no layout; asserts on them.
+  const TypeLayout &getLayout(Type *T);
+
+  /// sizeof() as exposed to the program; pointer size is 8.
+  uint64_t getTypeSize(Type *T) { return getLayout(T).Size; }
+
+  static constexpr uint64_t PointerSize = 8;
+
+private:
+  std::unique_ptr<VoidType> VoidTy;
+  std::map<std::pair<unsigned, bool>, std::unique_ptr<IntType>> IntTypes;
+  std::map<unsigned, std::unique_ptr<FloatType>> FloatTypes;
+  std::map<Type *, std::unique_ptr<PointerType>> PointerTypes;
+  std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ArrayType>> ArrayTypes;
+  std::vector<std::unique_ptr<FunctionType>> FunctionTypes;
+  std::vector<std::unique_ptr<StructType>> StructTypes;
+  std::map<std::string, StructType *> StructsByName;
+  std::map<Type *, TypeLayout> Layouts;
+};
+
+} // namespace gdse
+
+#endif // GDSE_IR_TYPE_H

@@ -1,0 +1,486 @@
+//===- Verifier.cpp - IR well-formedness checks ----------------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IRPrinter.h"
+#include "ir/IRVisitor.h"
+#include "support/Support.h"
+
+#include <cstdio>
+#include <set>
+
+using namespace gdse;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(Module &M) : M(M) {}
+
+  std::vector<std::string> run() {
+    std::set<std::string> GlobalNames;
+    for (VarDecl *G : M.getGlobals()) {
+      if (!G->isGlobal())
+        error("global list contains non-global '" + G->getName() + "'");
+      if (!GlobalNames.insert(G->getName()).second)
+        error("duplicate global name '" + G->getName() + "'");
+      checkStorableType(G);
+    }
+    for (Function *F : M.getFunctions())
+      checkFunction(F);
+    return std::move(Errors);
+  }
+
+private:
+  void error(const std::string &Msg) {
+    std::string Prefix = CurFn ? ("in " + CurFn->getName() + ": ") : "";
+    Errors.push_back(Prefix + Msg);
+  }
+
+  void checkStorableType(VarDecl *D) {
+    Type *T = D->getType();
+    if (T->isVoid() || T->isFunction())
+      error("variable '" + D->getName() + "' has non-storable type " +
+            T->str());
+    if (auto *ST = dyn_cast<StructType>(T); ST && ST->isOpaque())
+      error("variable '" + D->getName() + "' has opaque struct type");
+  }
+
+  void checkFunction(Function *F) {
+    CurFn = F;
+    KnownDecls.clear();
+    for (VarDecl *P : F->getParams()) {
+      if (!P->isParam())
+        error("param list contains non-param '" + P->getName() + "'");
+      checkStorableType(P);
+      KnownDecls.insert(P);
+    }
+    for (VarDecl *L : F->getLocals()) {
+      if (!L->isLocal())
+        error("local list contains non-local '" + L->getName() + "'");
+      checkStorableType(L);
+      if (!KnownDecls.insert(L).second)
+        error("local '" + L->getName() + "' registered twice");
+    }
+    if (F->getParams().size() != F->getFunctionType()->getNumParams())
+      error("param count disagrees with function type");
+    else
+      for (unsigned I = 0, E = F->getFunctionType()->getNumParams(); I != E;
+           ++I)
+        if (F->getParam(I)->getType() != F->getFunctionType()->getParam(I))
+          error("param '" + F->getParam(I)->getName() +
+                "' type disagrees with function type");
+    for (VarDecl *G : M.getGlobals())
+      KnownDecls.insert(G);
+    if (F->getBody())
+      checkStmt(F->getBody(), /*InLoop=*/false);
+    CurFn = nullptr;
+  }
+
+  void checkBody(Stmt *S, const char *What) {
+    if (!isa<BlockStmt>(S))
+      error(std::string(What) + " body must be a block");
+  }
+
+  void checkStmt(Stmt *S, bool InLoop) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Block:
+      for (Stmt *Sub : cast<BlockStmt>(S)->getStmts())
+        checkStmt(Sub, InLoop);
+      return;
+    case Stmt::Kind::ExprStmt:
+      checkExpr(cast<ExprStmt>(S)->getExpr());
+      return;
+    case Stmt::Kind::Assign: {
+      auto *A = cast<AssignStmt>(S);
+      checkExpr(A->getLHS());
+      checkExpr(A->getRHS());
+      if (!A->getLHS()->isLValue())
+        error("assignment target is not an l-value: " +
+              printExpr(A->getLHS()));
+      if (A->getLHS()->getType()->isAggregate()) {
+        if (A->getLHS()->getType() != A->getRHS()->getType())
+          error("aggregate assignment type mismatch: " +
+                printStmt(A));
+      } else if (A->getLHS()->getType() != A->getRHS()->getType()) {
+        error("assignment type mismatch (" + A->getLHS()->getType()->str() +
+              " vs " + A->getRHS()->getType()->str() + "): " + printStmt(A));
+      }
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto *I = cast<IfStmt>(S);
+      checkExpr(I->getCond());
+      checkCondType(I->getCond());
+      checkBody(I->getThen(), "if");
+      checkStmt(I->getThen(), InLoop);
+      if (I->getElse()) {
+        checkBody(I->getElse(), "else");
+        checkStmt(I->getElse(), InLoop);
+      }
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto *W = cast<WhileStmt>(S);
+      checkExpr(W->getCond());
+      checkCondType(W->getCond());
+      checkBody(W->getBody(), "while");
+      checkStmt(W->getBody(), /*InLoop=*/true);
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto *F = cast<ForStmt>(S);
+      VarDecl *IV = F->getInductionVar();
+      if (!KnownDecls.count(IV))
+        error("for induction variable '" + IV->getName() +
+              "' not registered in function");
+      if (!IV->getType()->isInt())
+        error("for induction variable must be integer");
+      checkExpr(F->getInit());
+      checkExpr(F->getLimit());
+      checkExpr(F->getStep());
+      if (F->getInit()->getType() != IV->getType() ||
+          F->getLimit()->getType() != IV->getType() ||
+          F->getStep()->getType() != IV->getType())
+        error("for bounds must match induction variable type");
+      checkBody(F->getBody(), "for");
+      checkStmt(F->getBody(), /*InLoop=*/true);
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto *R = cast<ReturnStmt>(S);
+      Type *RetTy = CurFn->getReturnType();
+      if (R->getValue()) {
+        checkExpr(R->getValue());
+        if (RetTy->isVoid())
+          error("return with value in void function");
+        else if (R->getValue()->getType() != RetTy)
+          error("return type mismatch");
+      } else if (!RetTy->isVoid()) {
+        error("return without value in non-void function");
+      }
+      return;
+    }
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+      if (!InLoop)
+        error("break/continue outside of a loop");
+      return;
+    case Stmt::Kind::Ordered:
+      checkBody(cast<OrderedStmt>(S)->getBody(), "ordered");
+      checkStmt(cast<OrderedStmt>(S)->getBody(), InLoop);
+      return;
+    }
+    gdse_unreachable("unknown stmt kind");
+  }
+
+  void checkCondType(Expr *E) {
+    if (!E->getType()->isInt())
+      error("condition must have integer type: " + printExpr(E));
+  }
+
+  void checkExpr(Expr *E) {
+    forEachChildExpr(E, [&](Expr *Child) { checkExpr(Child); });
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+      if (!E->getType()->isInt())
+        error("integer literal with non-integer type");
+      return;
+    case Expr::Kind::FloatLit:
+      if (!E->getType()->isFloat())
+        error("float literal with non-float type");
+      return;
+    case Expr::Kind::VarRef: {
+      auto *V = cast<VarRefExpr>(E);
+      if (!KnownDecls.count(V->getDecl()))
+        error("reference to unregistered variable '" +
+              V->getDecl()->getName() + "'");
+      if (V->getType() != V->getDecl()->getType())
+        error("VarRef type out of sync with decl '" +
+              V->getDecl()->getName() + "'");
+      return;
+    }
+    case Expr::Kind::Load: {
+      auto *L = cast<LoadExpr>(E);
+      if (!L->getLocation()->isLValue())
+        error("load of non-lvalue: " + printExpr(E));
+      if (L->getType() != L->getLocation()->getType())
+        error("load type out of sync: " + printExpr(E));
+      if (L->getType()->isArray())
+        error("load of whole array (decay expected): " + printExpr(E));
+      return;
+    }
+    case Expr::Kind::Unary: {
+      auto *U = cast<UnaryExpr>(E);
+      if (U->getOp() == UnaryOp::LogicalNot) {
+        if (!E->getType()->isInt())
+          error("! must yield int");
+      } else if (U->getType() != U->getSub()->getType()) {
+        error("unary type mismatch: " + printExpr(E));
+      }
+      return;
+    }
+    case Expr::Kind::Binary:
+      checkBinary(cast<BinaryExpr>(E));
+      return;
+    case Expr::Kind::ArrayIndex: {
+      auto *A = cast<ArrayIndexExpr>(E);
+      auto *PT = dyn_cast<PointerType>(A->getBase()->getType());
+      if (!PT)
+        error("index base is not a pointer: " + printExpr(E));
+      else if (A->getType() != PT->getPointee())
+        error("index result type mismatch: " + printExpr(E));
+      if (!A->getIndex()->getType()->isInt())
+        error("index is not an integer: " + printExpr(E));
+      return;
+    }
+    case Expr::Kind::FieldAccess: {
+      auto *F = cast<FieldAccessExpr>(E);
+      if (!F->getBase()->isLValue())
+        error("field base is not an l-value: " + printExpr(E));
+      auto *ST = dyn_cast<StructType>(F->getBase()->getType());
+      if (!ST || ST->isOpaque())
+        error("field base is not a complete struct: " + printExpr(E));
+      else if (F->getFieldIndex() >= ST->getNumFields())
+        error("field index out of range: " + printExpr(E));
+      else if (F->getType() != ST->getField(F->getFieldIndex()).Ty)
+        error("field type mismatch: " + printExpr(E));
+      return;
+    }
+    case Expr::Kind::Deref: {
+      auto *D = cast<DerefExpr>(E);
+      auto *PT = dyn_cast<PointerType>(D->getPtr()->getType());
+      if (!PT)
+        error("deref of non-pointer: " + printExpr(E));
+      else if (D->getType() != PT->getPointee())
+        error("deref result type mismatch: " + printExpr(E));
+      return;
+    }
+    case Expr::Kind::AddrOf: {
+      auto *A = cast<AddrOfExpr>(E);
+      if (!A->getLocation()->isLValue())
+        error("addrof of non-lvalue: " + printExpr(E));
+      auto *PT = dyn_cast<PointerType>(A->getType());
+      if (!PT || PT->getPointee() != A->getLocation()->getType())
+        error("addrof type mismatch: " + printExpr(E));
+      return;
+    }
+    case Expr::Kind::Decay: {
+      auto *D = cast<DecayExpr>(E);
+      if (!D->getArrayLocation()->isLValue() ||
+          !D->getArrayLocation()->getType()->isArray())
+        error("decay of non-array-lvalue: " + printExpr(E));
+      auto *PT = dyn_cast<PointerType>(D->getType());
+      auto *AT = dyn_cast<ArrayType>(D->getArrayLocation()->getType());
+      if (!PT || !AT || PT->getPointee() != AT->getElement())
+        error("decay type mismatch: " + printExpr(E));
+      return;
+    }
+    case Expr::Kind::Call:
+      checkCall(cast<CallExpr>(E));
+      return;
+    case Expr::Kind::Cast: {
+      Type *To = E->getType();
+      Type *From = cast<CastExpr>(E)->getSub()->getType();
+      bool FromOk = From->isScalar() || From->isPointer();
+      bool ToOk = To->isScalar() || To->isPointer();
+      if (!FromOk || !ToOk)
+        error("cast between non-scalar types: " + printExpr(E));
+      if (From->isFloat() && To->isPointer())
+        error("cast from float to pointer: " + printExpr(E));
+      return;
+    }
+    case Expr::Kind::SizeofType:
+      if (!E->getType()->isInt())
+        error("sizeof must yield integer");
+      return;
+    case Expr::Kind::ThreadId:
+    case Expr::Kind::NumThreads:
+      if (!E->getType()->isInt())
+        error("tid/nthreads must be integers");
+      return;
+    case Expr::Kind::Cond: {
+      auto *C = cast<CondExpr>(E);
+      checkCondType(C->getCond());
+      if (C->getThen()->getType() != C->getType() ||
+          C->getElse()->getType() != C->getType())
+        error("?: operand types mismatch: " + printExpr(E));
+      return;
+    }
+    }
+    gdse_unreachable("unknown expr kind");
+  }
+
+  void checkBinary(BinaryExpr *B) {
+    Type *LT = B->getLHS()->getType();
+    Type *RT = B->getRHS()->getType();
+    switch (B->getOp()) {
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+    case BinaryOp::LogicalAnd:
+    case BinaryOp::LogicalOr:
+      if (!B->getType()->isInt())
+        error("comparison/logical result must be int: " + printExpr(B));
+      return;
+    case BinaryOp::Shl:
+    case BinaryOp::Shr:
+      if (!LT->isInt() || !RT->isInt() || B->getType() != LT)
+        error("shift operand/result type mismatch: " + printExpr(B));
+      return;
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      if (LT->isPointer() && RT->isPointer()) {
+        if (B->getOp() != BinaryOp::Sub || !B->getType()->isInt())
+          error("invalid pointer pair arithmetic: " + printExpr(B));
+        return;
+      }
+      if (LT->isPointer()) {
+        if (!RT->isInt() || B->getType() != LT)
+          error("invalid pointer arithmetic: " + printExpr(B));
+        return;
+      }
+      [[fallthrough]];
+    default:
+      if (LT != RT || B->getType() != LT)
+        error("binary operand/result type mismatch: " + printExpr(B));
+      if (!LT->isScalar())
+        error("arithmetic on non-scalar: " + printExpr(B));
+      return;
+    }
+  }
+
+  void checkCall(CallExpr *C) {
+    if (C->isBuiltin()) {
+      checkBuiltinCall(C);
+      return;
+    }
+    Function *F = C->getCallee();
+    if (!F) {
+      error("call with neither callee nor builtin");
+      return;
+    }
+    FunctionType *FT = F->getFunctionType();
+    if (C->getNumArgs() != FT->getNumParams()) {
+      error("argument count mismatch calling " + F->getName());
+      return;
+    }
+    for (unsigned I = 0, E = FT->getNumParams(); I != E; ++I)
+      if (C->getArg(I)->getType() != FT->getParam(I))
+        error(formatString("argument %u type mismatch calling %s", I,
+                           F->getName().c_str()));
+    if (C->getType() != FT->getReturnType())
+      error("call result type mismatch calling " + F->getName());
+  }
+
+  void checkBuiltinCall(CallExpr *C) {
+    auto wantArgs = [&](unsigned N) {
+      if (C->getNumArgs() != N)
+        error(formatString("%s expects %u arguments",
+                           getBuiltinName(C->getBuiltin()), N));
+      return C->getNumArgs() == N;
+    };
+    switch (C->getBuiltin()) {
+    case Builtin::MallocFn:
+      if (wantArgs(1) && !C->getArg(0)->getType()->isInt())
+        error("malloc size must be integer");
+      if (!C->getType()->isPointer())
+        error("malloc must yield a pointer");
+      return;
+    case Builtin::CallocFn:
+      if (wantArgs(2) && (!C->getArg(0)->getType()->isInt() ||
+                          !C->getArg(1)->getType()->isInt()))
+        error("calloc arguments must be integers");
+      if (!C->getType()->isPointer())
+        error("calloc must yield a pointer");
+      return;
+    case Builtin::ReallocFn:
+      if (wantArgs(2) && (!C->getArg(0)->getType()->isPointer() ||
+                          !C->getArg(1)->getType()->isInt()))
+        error("realloc arguments must be (pointer, integer)");
+      if (!C->getType()->isPointer())
+        error("realloc must yield a pointer");
+      return;
+    case Builtin::FreeFn:
+      if (wantArgs(1) && !C->getArg(0)->getType()->isPointer())
+        error("free argument must be a pointer");
+      return;
+    case Builtin::MemcpyFn:
+    case Builtin::MemsetFn:
+      if (wantArgs(3)) {
+        if (!C->getArg(0)->getType()->isPointer())
+          error("memcpy/memset dest must be a pointer");
+        if (C->getBuiltin() == Builtin::MemcpyFn &&
+            !C->getArg(1)->getType()->isPointer())
+          error("memcpy src must be a pointer");
+        if (C->getBuiltin() == Builtin::MemsetFn &&
+            !C->getArg(1)->getType()->isInt())
+          error("memset value must be an integer");
+        if (!C->getArg(2)->getType()->isInt())
+          error("memcpy/memset size must be an integer");
+      }
+      return;
+    case Builtin::PrintInt:
+      if (wantArgs(1) && !C->getArg(0)->getType()->isInt())
+        error("print_int argument must be integer");
+      return;
+    case Builtin::PrintFloat:
+      if (wantArgs(1) && !C->getArg(0)->getType()->isFloat())
+        error("print_float argument must be float");
+      return;
+    case Builtin::AbsFn:
+      if (wantArgs(1) && !C->getArg(0)->getType()->isInt())
+        error("abs argument must be integer");
+      return;
+    case Builtin::FabsFn:
+    case Builtin::SqrtFn:
+      if (wantArgs(1) && !C->getArg(0)->getType()->isFloat())
+        error("fabs/sqrt argument must be float");
+      return;
+    case Builtin::ExitFn:
+      if (wantArgs(1) && !C->getArg(0)->getType()->isInt())
+        error("exit argument must be integer");
+      return;
+    case Builtin::RtPrivPtr:
+      if (wantArgs(2) && (!C->getArg(0)->getType()->isPointer() ||
+                          !C->getArg(1)->getType()->isInt()))
+        error("rtpriv_ptr arguments must be (pointer, integer)");
+      if (!C->getType()->isPointer())
+        error("rtpriv_ptr must yield a pointer");
+      return;
+    case Builtin::None:
+      error("call marked builtin=None");
+      return;
+    }
+    gdse_unreachable("unknown builtin");
+  }
+
+  Module &M;
+  Function *CurFn = nullptr;
+  std::set<VarDecl *> KnownDecls;
+  std::vector<std::string> Errors;
+};
+
+} // namespace
+
+std::vector<std::string> gdse::verifyModule(Module &M) {
+  return VerifierImpl(M).run();
+}
+
+void gdse::verifyModuleOrDie(Module &M, const char *When) {
+  std::vector<std::string> Errs = verifyModule(M);
+  if (Errs.empty())
+    return;
+  std::fprintf(stderr, "IR verification failed %s:\n", When);
+  for (const std::string &E : Errs)
+    std::fprintf(stderr, "  %s\n", E.c_str());
+  reportFatalError("module verification failed");
+}

@@ -1,0 +1,34 @@
+//===- Verifier.h - IR well-formedness checks -------------------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type checks run after the frontend and after every
+/// transformation pass. Catching a malformed tree here (rather than in the
+/// interpreter) is what makes the aggressive rewrites of the expansion
+/// pipeline safe to iterate on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_IR_VERIFIER_H
+#define GDSE_IR_VERIFIER_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace gdse {
+
+/// Checks \p M; returns the list of violations (empty when well-formed).
+std::vector<std::string> verifyModule(Module &M);
+
+/// Convenience: verifies and aborts with diagnostics on failure.
+void verifyModuleOrDie(Module &M, const char *When);
+
+} // namespace gdse
+
+#endif // GDSE_IR_VERIFIER_H

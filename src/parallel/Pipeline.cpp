@@ -1,0 +1,95 @@
+//===- Pipeline.cpp - End-to-end parallelization pipeline ------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/Pipeline.h"
+
+#include "analysis/StaticDeps.h"
+#include "ir/AccessInfo.h"
+#include "rtpriv/RtPrivPass.h"
+
+using namespace gdse;
+
+std::vector<unsigned> gdse::findCandidateLoops(Module &M) {
+  AccessNumbering Num = AccessNumbering::compute(M);
+  std::vector<unsigned> Out;
+  for (const LoopDesc &L : Num.loops())
+    if (auto *F = dyn_cast<ForStmt>(L.LoopStmt))
+      if (F->isCandidate())
+        Out.push_back(L.Id);
+  return Out;
+}
+
+PipelineResult gdse::transformLoop(Module &M, unsigned LoopId,
+                                   const PipelineOptions &Opts) {
+  PipelineResult R;
+  R.LoopId = LoopId;
+
+  // Make sure ids are assigned consistently before any graph source runs.
+  AccessNumbering Num = AccessNumbering::compute(M);
+
+  switch (Opts.Source) {
+  case GraphSource::Profile: {
+    ProfileResult Prof = profileLoop(M, LoopId, Opts.Entry);
+    if (!Prof.Run.ok()) {
+      R.Errors.push_back("profiling run failed: " + Prof.Run.TrapMessage);
+      return R;
+    }
+    R.Graph = std::move(Prof.Graph);
+    break;
+  }
+  case GraphSource::Static: {
+    PointsTo PT = PointsTo::compute(M);
+    R.Graph = buildStaticDepGraph(M, LoopId, PT, Num);
+    break;
+  }
+  case GraphSource::External:
+    if (!Opts.ExternalGraph) {
+      R.Errors.push_back("GraphSource::External requires ExternalGraph");
+      return R;
+    }
+    if (Opts.ExternalGraph->LoopId != LoopId) {
+      R.Errors.push_back("external graph was produced for a different loop");
+      return R;
+    }
+    R.Graph = *Opts.ExternalGraph;
+    break;
+  }
+
+  AccessClasses Classes = AccessClasses::build(R.Graph);
+  R.Breakdown = computeAccessBreakdown(R.Graph, Classes);
+  R.PrivateAccesses = Classes.privateAccesses();
+
+  std::set<AccessId> Honored;
+  switch (Opts.Method) {
+  case PrivatizationMethod::Expansion: {
+    ExpansionResult ER = expandLoop(M, LoopId, R.Graph, Opts.Expansion);
+    if (!ER.Ok) {
+      R.Errors.insert(R.Errors.end(), ER.Errors.begin(), ER.Errors.end());
+      return R;
+    }
+    R.Expansion = ER.Stats;
+    Honored = ER.PrivateAccesses;
+    break;
+  }
+  case PrivatizationMethod::Runtime: {
+    RtPrivResult RR = applyRuntimePrivatization(M, R.PrivateAccesses);
+    if (!RR.Ok) {
+      R.Errors.insert(R.Errors.end(), RR.Errors.begin(), RR.Errors.end());
+      return R;
+    }
+    R.RtPrivWrapped = RR.AccessesWrapped;
+    Honored = R.PrivateAccesses;
+    break;
+  }
+  case PrivatizationMethod::None:
+    break;
+  }
+
+  R.Plan = planParallelLoop(M, LoopId, R.Graph, Honored);
+  R.Ok = true;
+  return R;
+}

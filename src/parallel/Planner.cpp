@@ -1,0 +1,163 @@
+//===- Planner.cpp - DOALL/DOACROSS planning and sync insertion ------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/Planner.h"
+
+#include "ir/IR.h"
+#include "ir/IRVisitor.h"
+#include "support/Support.h"
+
+using namespace gdse;
+
+namespace {
+
+/// Collects every access id appearing in the statement tree \p S.
+void collectAccessIds(Stmt *S, std::set<AccessId> &Out) {
+  walkStmts(S, [&](Stmt *Sub) {
+    if (auto *A = dyn_cast<AssignStmt>(Sub))
+      if (A->getAccessId() != InvalidAccessId)
+        Out.insert(A->getAccessId());
+  });
+  walkExprs(S, [&](Expr *E) {
+    if (auto *L = dyn_cast<LoadExpr>(E))
+      if (L->getAccessId() != InvalidAccessId)
+        Out.insert(L->getAccessId());
+  });
+}
+
+ForStmt *findLoop(Module &M, unsigned LoopId) {
+  ForStmt *Found = nullptr;
+  for (Function *F : M.getFunctions()) {
+    if (!F->getBody())
+      continue;
+    walkStmts(F->getBody(), [&](Stmt *S) {
+      if (auto *FS = dyn_cast<ForStmt>(S))
+        if (FS->getLoopId() == LoopId)
+          Found = FS;
+    });
+  }
+  return Found;
+}
+
+} // namespace
+
+PlanResult gdse::planParallelLoop(Module &M, unsigned LoopId,
+                                  const LoopDepGraph &G,
+                                  const std::set<AccessId> &PrivateAccesses) {
+  PlanResult R;
+  ForStmt *Loop = findLoop(M, LoopId);
+  if (!Loop) {
+    R.Notes.push_back(formatString("loop %u not found", LoopId));
+    return R;
+  }
+  if (G.HasUnmodeled) {
+    R.Notes.push_back("loop performs bulk memory operations the dependence "
+                      "graph cannot model");
+    return R;
+  }
+  bool HasEscape = false;
+  walkStmts(Loop->getBody(), [&](Stmt *S) {
+    if (isa<BreakStmt>(S) || isa<ReturnStmt>(S))
+      HasEscape = true;
+    // A break inside a NESTED loop is fine; only breaks binding to the
+    // candidate loop matter. Conservative refinement below.
+  });
+  if (HasEscape) {
+    // Distinguish breaks of nested loops from breaks of the candidate: walk
+    // without descending into nested loops for BreakStmt.
+    std::function<bool(Stmt *)> escapes = [&](Stmt *S) -> bool {
+      switch (S->getKind()) {
+      case Stmt::Kind::Break:
+      case Stmt::Kind::Return:
+        return true;
+      case Stmt::Kind::While:
+      case Stmt::Kind::For: {
+        // Breaks bind to the nested loop; returns still escape.
+        bool Ret = false;
+        walkStmts(S, [&](Stmt *Sub) {
+          if (isa<ReturnStmt>(Sub))
+            Ret = true;
+        });
+        return Ret;
+      }
+      default: {
+        bool E = false;
+        forEachChildStmt(S, [&](Stmt *Sub) { E = E || escapes(Sub); });
+        return E;
+      }
+      }
+    };
+    if (escapes(Loop->getBody())) {
+      R.Notes.push_back("loop body may break out of or return from the "
+                        "candidate loop");
+      return R;
+    }
+  }
+
+  // Residual loop-carried dependences: carried edges not fully contained in
+  // privatized classes.
+  std::set<AccessId> Residual;
+  for (const DepEdge &E : G.Edges) {
+    if (!E.Carried)
+      continue;
+    if (PrivateAccesses.count(E.Src) && PrivateAccesses.count(E.Dst))
+      continue;
+    if (!PrivateAccesses.count(E.Src))
+      Residual.insert(E.Src);
+    if (!PrivateAccesses.count(E.Dst))
+      Residual.insert(E.Dst);
+  }
+
+  if (Residual.empty()) {
+    Loop->setParallelKind(ParallelKind::DOALL);
+    R.Parallelized = true;
+    R.Kind = ParallelKind::DOALL;
+    return R;
+  }
+
+  // DOACROSS: wrap maximal runs of residual-dependence statements of the
+  // body block in ordered regions.
+  auto *Body = cast<BlockStmt>(Loop->getBody());
+  std::vector<Stmt *> NewStmts;
+  std::vector<Stmt *> Run;
+  Module &Mod = M;
+  unsigned NextRegion = 1;
+
+  auto flushRun = [&]() {
+    if (Run.empty())
+      return;
+    R.OrderedStatements += static_cast<unsigned>(Run.size());
+    auto *RegionBody = Mod.create<BlockStmt>(Run);
+    NewStmts.push_back(Mod.create<OrderedStmt>(NextRegion++, RegionBody));
+    ++R.OrderedRegions;
+    Run.clear();
+  };
+
+  for (Stmt *Child : Body->getStmts()) {
+    std::set<AccessId> Ids;
+    collectAccessIds(Child, Ids);
+    bool NeedsSync = false;
+    for (AccessId Id : Ids)
+      if (Residual.count(Id)) {
+        NeedsSync = true;
+        break;
+      }
+    if (NeedsSync) {
+      Run.push_back(Child);
+    } else {
+      flushRun();
+      NewStmts.push_back(Child);
+    }
+  }
+  flushRun();
+  Body->getStmts() = std::move(NewStmts);
+
+  Loop->setParallelKind(ParallelKind::DOACROSS);
+  R.Parallelized = true;
+  R.Kind = ParallelKind::DOACROSS;
+  return R;
+}

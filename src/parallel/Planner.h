@@ -1,0 +1,55 @@
+//===- Planner.h - DOALL/DOACROSS planning and sync insertion ---*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides how the expanded loop runs in parallel (paper §4.3):
+///  - if no loop-carried dependence survives outside the privatized classes,
+///    the loop is DOALL (static chunk scheduling);
+///  - otherwise it is DOACROSS (dynamic scheduling, chunk size one) and the
+///    statements carrying the residual dependences are wrapped in ordered
+///    regions — iteration i may enter a region only after iteration i-1 left
+///    it. Placement is deliberately statement-coarse, mirroring the paper's
+///    remark that its synchronization placement "still has room for
+///    improvement" (the source of the bzip2/hmmer plateaus in Fig. 11).
+///
+/// Rejects loops the framework cannot parallelize: bodies containing
+/// break/return, and graphs with unmodeled bulk accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_PARALLEL_PLANNER_H
+#define GDSE_PARALLEL_PLANNER_H
+
+#include "analysis/DepGraph.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gdse {
+
+class Module;
+
+struct PlanResult {
+  bool Parallelized = false;
+  ParallelKind Kind = ParallelKind::None;
+  unsigned OrderedRegions = 0;
+  /// Statements wrapped into ordered regions (coarse count).
+  unsigned OrderedStatements = 0;
+  std::vector<std::string> Notes;
+};
+
+/// Plans the loop \p LoopId of \p M using graph \p G and the private access
+/// set honored by a prior expansion (empty when none ran). Mutates the loop:
+/// sets its ParallelKind and wraps residual-dependence statements in
+/// OrderedStmt regions.
+PlanResult planParallelLoop(Module &M, unsigned LoopId, const LoopDepGraph &G,
+                            const std::set<AccessId> &PrivateAccesses);
+
+} // namespace gdse
+
+#endif // GDSE_PARALLEL_PLANNER_H

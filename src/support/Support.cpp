@@ -1,0 +1,55 @@
+//===- Support.cpp - Common utilities and diagnostics ---------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Support.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace gdse;
+
+void gdse::reportFatalError(const std::string &Msg) {
+  std::fprintf(stderr, "gdse fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void gdse::unreachableInternal(const char *Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+std::string gdse::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Len < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::vector<char> Buf(static_cast<size_t>(Len) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return std::string(Buf.data(), static_cast<size_t>(Len));
+}
+
+std::string gdse::formatByteSize(uint64_t Bytes) {
+  static const char *Units[] = {"B", "KiB", "MiB", "GiB"};
+  double Value = static_cast<double>(Bytes);
+  unsigned Unit = 0;
+  while (Value >= 1024.0 && Unit < 3) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  if (Unit == 0)
+    return formatString("%llu B", static_cast<unsigned long long>(Bytes));
+  return formatString("%.1f %s", Value, Units[Unit]);
+}

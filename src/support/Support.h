@@ -1,0 +1,43 @@
+//===- Support.h - Common utilities and diagnostics -------------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Project-wide small utilities: fatal error reporting, unreachable marker,
+/// and string formatting helpers shared by every library layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_SUPPORT_SUPPORT_H
+#define GDSE_SUPPORT_SUPPORT_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace gdse {
+
+/// Prints \p Msg to stderr and aborts. Used for violated internal invariants
+/// that must be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(const std::string &Msg);
+
+/// Marks a point in the code that must never be executed.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+#define gdse_unreachable(MSG)                                                  \
+  ::gdse::unreachableInternal(MSG, __FILE__, __LINE__)
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Returns \p Bytes rendered as a human-friendly quantity ("12.3 MiB").
+std::string formatByteSize(uint64_t Bytes);
+
+} // namespace gdse
+
+#endif // GDSE_SUPPORT_SUPPORT_H

@@ -1,0 +1,82 @@
+//===- UnionFind.h - Disjoint-set forest ------------------------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A disjoint-set forest with union by rank and path compression. Used to
+/// build the access classes of Definition 4 (equivalence closure of the
+/// loop-independent dependence relation) and by the inclusion-based points-to
+/// solver's cycle collapsing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_SUPPORT_UNIONFIND_H
+#define GDSE_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace gdse {
+
+/// Disjoint-set forest over dense indices [0, size).
+class UnionFind {
+public:
+  UnionFind() = default;
+  explicit UnionFind(uint32_t Size) { grow(Size); }
+
+  /// Number of elements tracked.
+  uint32_t size() const { return static_cast<uint32_t>(Parent.size()); }
+
+  /// Extends the forest so indices up to \p Size-1 are valid singletons.
+  void grow(uint32_t Size) {
+    uint32_t Old = size();
+    if (Size <= Old)
+      return;
+    Parent.resize(Size);
+    Rank.resize(Size, 0);
+    std::iota(Parent.begin() + Old, Parent.end(), Old);
+  }
+
+  /// Returns the canonical representative of \p X, compressing the path.
+  uint32_t find(uint32_t X) {
+    assert(X < size() && "find() index out of range");
+    uint32_t Root = X;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    while (Parent[X] != Root) {
+      uint32_t Next = Parent[X];
+      Parent[X] = Root;
+      X = Next;
+    }
+    return Root;
+  }
+
+  /// Merges the classes of \p A and \p B; returns the new representative.
+  uint32_t unite(uint32_t A, uint32_t B) {
+    uint32_t RA = find(A), RB = find(B);
+    if (RA == RB)
+      return RA;
+    if (Rank[RA] < Rank[RB])
+      std::swap(RA, RB);
+    Parent[RB] = RA;
+    if (Rank[RA] == Rank[RB])
+      ++Rank[RA];
+    return RA;
+  }
+
+  /// Returns true if \p A and \p B are in the same class.
+  bool connected(uint32_t A, uint32_t B) { return find(A) == find(B); }
+
+private:
+  std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+};
+
+} // namespace gdse
+
+#endif // GDSE_SUPPORT_UNIONFIND_H

@@ -1,0 +1,608 @@
+//===- Workloads.cpp - The eight Table 4 benchmark kernels -----------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace gdse;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// dijkstra (MiBench): one shortest path per iteration, linked-list priority
+// queue rebuilt from scratch, annotation arrays reinitialized. Results are
+// appended to an ordered log (DOACROSS), like the original's in-order output.
+//===----------------------------------------------------------------------===//
+
+const char *DijkstraSource = R"(
+struct QNode { int vertex; int dist; struct QNode* next; };
+
+int adj[4096];
+int dist[64];
+int visited[64];
+struct QNode* qhead;
+int pathlog[64];
+int logpos;
+int NV;
+
+void qpush(int v, int d) {
+  struct QNode* n = malloc(sizeof(struct QNode));
+  n->vertex = v;
+  n->dist = d;
+  if (qhead == 0 || qhead->dist >= d) {
+    n->next = qhead;
+    qhead = n;
+    return;
+  }
+  struct QNode* cur = qhead;
+  while (cur->next != 0 && cur->next->dist < d) { cur = cur->next; }
+  n->next = cur->next;
+  cur->next = n;
+}
+
+int qpop() {
+  struct QNode* n = qhead;
+  int v = n->vertex;
+  qhead = n->next;
+  free(n);
+  return v;
+}
+
+int main() {
+  NV = 64;
+  int seed = 12345;
+  for (int i = 0; i < NV * NV; i++) {
+    seed = seed * 1103515245 + 12345;
+    int r = (seed >> 16) & 1023;
+    if (r % 3 == 0) { adj[i] = 1 + r % 97; } else { adj[i] = 0; }
+  }
+  for (int i = 0; i < NV; i++) { adj[i * NV + i] = 0; }
+  logpos = 0;
+  long total = 0;
+  @candidate for (int p = 0; p < 48; p++) {
+    int src = p % NV;
+    int dst = (p * 19 + 7) % NV;
+    for (int v = 0; v < NV; v++) { dist[v] = 1000000; visited[v] = 0; }
+    qhead = 0;
+    dist[src] = 0;
+    qpush(src, 0);
+    while (qhead != 0) {
+      int u = qpop();
+      if (visited[u] == 0) {
+        visited[u] = 1;
+        for (int w = 0; w < NV; w++) {
+          int c = adj[u * NV + w];
+          if (c > 0 && visited[w] == 0) {
+            int nd = dist[u] + c;
+            if (nd < dist[w]) { dist[w] = nd; qpush(w, nd); }
+          }
+        }
+      }
+    }
+    pathlog[logpos] = dist[dst];
+    logpos = logpos + 1;
+    total += dist[dst];
+  }
+  long check = total;
+  for (int i = 0; i < logpos; i++) { check = check * 31 + pathlog[i]; }
+  print_int(check);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// md5 (MiBench): independent per-message digests; the chaining state and the
+// decoded block live in global scratch structures reused across iterations
+// (the privatization obstacle). DOALL at level 1.
+//===----------------------------------------------------------------------===//
+
+const char *Md5Source = R"(
+unsigned int msgdata[1024];
+unsigned int digests[256];
+unsigned int mstate[4];
+unsigned int xblock[16];
+
+unsigned int rotl(unsigned int x, int s) {
+  return (x << s) | (x >> (32 - s));
+}
+
+int main() {
+  int nblk = 64;
+  int seed = 777;
+  for (int i = 0; i < nblk * 16; i++) {
+    seed = seed * 1103515245 + 12345;
+    msgdata[i] = (unsigned int)seed;
+  }
+  @candidate for (int b = 0; b < nblk; b++) {
+    mstate[0] = 1732584193;
+    mstate[1] = 4023233417;
+    mstate[2] = 2562383102;
+    mstate[3] = 271733878;
+    for (int w = 0; w < 16; w++) { xblock[w] = msgdata[b * 16 + w]; }
+    for (int r = 0; r < 64; r++) {
+      unsigned int f = 0;
+      int g = 0;
+      if (r < 16) {
+        f = (mstate[1] & mstate[2]) | (~mstate[1] & mstate[3]);
+        g = r;
+      } else if (r < 32) {
+        f = (mstate[3] & mstate[1]) | (~mstate[3] & mstate[2]);
+        g = (5 * r + 1) % 16;
+      } else if (r < 48) {
+        f = mstate[1] ^ mstate[2] ^ mstate[3];
+        g = (3 * r + 5) % 16;
+      } else {
+        f = mstate[2] ^ (mstate[1] | ~mstate[3]);
+        g = (7 * r) % 16;
+      }
+      unsigned int tmp = mstate[3];
+      mstate[3] = mstate[2];
+      mstate[2] = mstate[1];
+      mstate[1] = mstate[1] +
+                  rotl(mstate[0] + f + xblock[g] + 1518500249 +
+                           (unsigned int)r,
+                       (r % 13) + 3);
+      mstate[0] = tmp;
+    }
+    digests[b * 4 + 0] = mstate[0];
+    digests[b * 4 + 1] = mstate[1];
+    digests[b * 4 + 2] = mstate[2];
+    digests[b * 4 + 3] = mstate[3];
+  }
+  unsigned int check = 0;
+  for (int i = 0; i < nblk * 4; i++) { check = check * 33 + digests[i]; }
+  print_int((long)check);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// mpeg2-encoder (MediaBench II): motion estimation. The candidate loop is at
+// level 3 (frames -> macroblock rows -> macroblocks); each macroblock copies
+// the current block into a global search window scratch, then scans offsets.
+// DOALL.
+//===----------------------------------------------------------------------===//
+
+const char *Mpeg2EncSource = R"(
+int refimg[5184];
+int curimg[5184];
+int window[64];
+int sad_out[256];
+int mv_out[256];
+
+int main() {
+  int W = 72;
+  int seed = 24680;
+  for (int i = 0; i < W * W; i++) {
+    seed = seed * 1103515245 + 12345;
+    refimg[i] = (seed >> 16) & 255;
+    seed = seed * 1103515245 + 12345;
+    curimg[i] = (seed >> 16) & 255;
+  }
+  for (int frame = 0; frame < 2; frame++) {
+    for (int mby = 0; mby < 8; mby++) {
+      @candidate for (int mbx = 0; mbx < 8; mbx++) {
+        int mb = (frame * 8 + mby) * 8 + mbx;
+        int bx = 4 + mbx * 8;
+        int by = 4 + mby * 8;
+        for (int y = 0; y < 8; y++) {
+          for (int x = 0; x < 8; x++) {
+            window[y * 8 + x] = curimg[(by + y) * 72 + bx + x] + frame;
+          }
+        }
+        int best = 1073741824;
+        int bestmv = 0;
+        for (int dy = 0; dy < 7; dy++) {
+          for (int dx = 0; dx < 7; dx++) {
+            int oy = by + dy - 3;
+            int ox = bx + dx - 3;
+            int sad = 0;
+            for (int y = 0; y < 8; y++) {
+              for (int x = 0; x < 8; x++) {
+                int d = window[y * 8 + x] - refimg[(oy + y) * 72 + ox + x];
+                if (d < 0) { d = -d; }
+                sad += d;
+              }
+            }
+            if (sad < best) {
+              best = sad;
+              bestmv = dy * 8 + dx;
+            }
+          }
+        }
+        sad_out[mb] = best;
+        mv_out[mb] = bestmv;
+      }
+    }
+  }
+  long check = 0;
+  for (int i = 0; i < 128; i++) { check = check * 17 + sad_out[i] + mv_out[i]; }
+  print_int(check);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// mpeg2-decoder (MediaBench II): per-slice coefficient decode. Each slice
+// dequantizes into a global block scratch, runs a separable transform
+// through a second scratch, and stores pixels to disjoint rows. DOALL at
+// level 2.
+//===----------------------------------------------------------------------===//
+
+const char *Mpeg2DecSource = R"(
+int coefs[16384];
+int quant[64];
+int outpix[16384];
+int blockbuf[64];
+int idctbuf[64];
+
+int main() {
+  int seed = 1357;
+  for (int i = 0; i < 16384; i++) {
+    seed = seed * 1103515245 + 12345;
+    coefs[i] = ((seed >> 16) & 511) - 256;
+  }
+  for (int i = 0; i < 64; i++) { quant[i] = 1 + (i % 7); }
+  for (int frame = 0; frame < 2; frame++) {
+    @candidate for (int s = 0; s < 16; s++) {
+      // Slices decode a varying number of blocks (real pictures are not
+      // uniform): the source of the load imbalance the paper reports for
+      // mpeg2-decoder.
+      int nblk = 2 + ((s * 3) % 7);
+      for (int blk = 0; blk < nblk; blk++) {
+        int base = ((frame * 16 + s) * 8 + blk) * 64;
+        for (int k = 0; k < 64; k++) {
+          blockbuf[k] = coefs[base + k] * quant[k];
+        }
+        for (int y = 0; y < 8; y++) {
+          for (int x = 0; x < 8; x++) {
+            int acc = 0;
+            for (int k = 0; k < 8; k++) {
+              acc += blockbuf[y * 8 + k] * (1 + ((k + x) % 3));
+            }
+            idctbuf[y * 8 + x] = acc >> 2;
+          }
+        }
+        for (int x = 0; x < 8; x++) {
+          for (int y = 0; y < 8; y++) {
+            int acc = 0;
+            for (int k = 0; k < 8; k++) {
+              acc += idctbuf[k * 8 + x] * (1 + ((k + y) % 3));
+            }
+            int v = acc >> 2;
+            if (v > 255) { v = 255; }
+            if (v < -256) { v = -256; }
+            blockbuf[y * 8 + x] = v;
+          }
+        }
+        for (int k = 0; k < 64; k++) { outpix[base + k] = blockbuf[k]; }
+      }
+    }
+  }
+  long check = 0;
+  for (int i = 0; i < 16384; i++) { check = check * 13 + outpix[i]; }
+  print_int(check);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// h263-encoder (MediaBench II): TWO candidate loops (the paper's NextTwoPB
+// and MotionEstimatePicture), both level 2, both DOALL, sharing sizable
+// global scratch structures — the source of the paper's +50% memory use at
+// eight cores (Fig. 14).
+//===----------------------------------------------------------------------===//
+
+const char *H263EncSource = R"(
+int pimg[4096];
+int bimg[4096];
+int pbbuf[256];
+int mebuf[256];
+int pbcost_out[128];
+int mv_out[128];
+
+int main() {
+  int seed = 9911;
+  for (int i = 0; i < 4096; i++) {
+    seed = seed * 1103515245 + 12345;
+    pimg[i] = (seed >> 16) & 255;
+    seed = seed * 1103515245 + 12345;
+    bimg[i] = (seed >> 16) & 255;
+  }
+  for (int frame = 0; frame < 2; frame++) {
+    // NextTwoPB: decide P/B coding per macroblock.
+    @candidate for (int mb = 0; mb < 64; mb++) {
+      int bx = (mb % 8) * 8;
+      int by = (mb / 8) * 8;
+      for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+          int p = pimg[(by + y) * 64 + bx + x];
+          int b = bimg[(by + y) * 64 + bx + x];
+          pbbuf[y * 8 + x] = p - b + frame;
+        }
+      }
+      int cost = 0;
+      for (int k = 0; k < 64; k++) {
+        int d = pbbuf[k];
+        if (d < 0) { d = -d; }
+        cost += d;
+      }
+      pbcost_out[frame * 64 + mb] = cost;
+    }
+    // MotionEstimatePicture.
+    @candidate for (int mb = 0; mb < 64; mb++) {
+      int bx = (mb % 8) * 8;
+      int by = (mb / 8) * 8;
+      for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+          mebuf[y * 8 + x] = bimg[(by + y) * 64 + bx + x];
+        }
+      }
+      int best = 1073741824;
+      int bestd = 0;
+      for (int d = 0; d < 5; d++) {
+        int shift = d * 3 % 7;
+        int sad = 0;
+        for (int k = 0; k < 64; k++) {
+          int r = pimg[(k + shift * 64) % 4096];
+          int diff = mebuf[k] - r;
+          if (diff < 0) { diff = -diff; }
+          sad += diff;
+        }
+        if (sad < best) { best = sad; bestd = d; }
+      }
+      mv_out[frame * 64 + mb] = bestd * 65536 + best;
+    }
+  }
+  long check = 0;
+  for (int i = 0; i < 128; i++) { check = check * 19 + pbcost_out[i] + mv_out[i]; }
+  print_int(check);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// 256.bzip2 (SPEC2000): per-block compression. The work buffer is recast
+// between short* and int* views exactly like the paper's zptr (which is why
+// bonded layout is required), and compressed words are appended to a shared
+// output stream whose position carries across iterations -> DOACROSS with an
+// ordered emission region. Level 2 (segments -> blocks).
+//===----------------------------------------------------------------------===//
+
+const char *Bzip2Source = R"(
+int input[16384];
+int outbuf[16384];
+int outpos;
+int workbuf[256];
+
+int main() {
+  int seed = 4242;
+  for (int i = 0; i < 16384; i++) {
+    seed = seed * 1103515245 + 12345;
+    input[i] = (seed >> 16) & 65535;
+  }
+  outpos = 0;
+  for (int seg = 0; seg < 2; seg++) {
+    @candidate for (int blk = 0; blk < 32; blk++) {
+      int base = seg * 8192 + blk * 256;
+      short* sview = (short*)workbuf;
+      for (int k = 0; k < 512; k++) {
+        sview[k] = (short)(input[base + (k % 256)] + k);
+      }
+      int acc = 0;
+      for (int k = 0; k < 256; k++) {
+        acc += workbuf[k] ^ (k * 2654435761);
+      }
+      for (int k = 0; k < 255; k++) {
+        if ((workbuf[k] & 255) > (workbuf[k + 1] & 255)) {
+          int t = workbuf[k];
+          workbuf[k] = workbuf[k + 1];
+          workbuf[k + 1] = t;
+        }
+      }
+      // Emit the compressed words in stream order: the output position
+      // carries across blocks, so this region is the DOACROSS bottleneck
+      // (writing the output stream is a large part of compressStream).
+      int words = 160 + (acc & 63);
+      for (int w = 0; w < words; w++) {
+        outbuf[outpos] = (acc ^ workbuf[(w * 19) % 256]) + w;
+        outpos = outpos + 1;
+      }
+    }
+  }
+  long check = outpos;
+  for (int i = 0; i < outpos; i++) { check = check * 7 + outbuf[i]; }
+  print_int(check);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// 456.hmmer (SPEC2006): per-sequence dynamic programming. The DP matrix is
+// allocated with two different runtime sizes through one pointer — the
+// paper's Fig. 3 mx/m1/m2 pattern that forces real fat-pointer spans — and
+// the best-score/threshold update carries across iterations -> DOACROSS.
+// Level 2 (databases -> sequences).
+//===----------------------------------------------------------------------===//
+
+const char *HmmerSource = R"(
+int seqdata[3072];
+int seqlen[96];
+int hmmw[64];
+int* mx;
+int beststore[2];
+int histo[64];
+
+int main() {
+  int seed = 31415;
+  for (int i = 0; i < 3072; i++) {
+    seed = seed * 1103515245 + 12345;
+    seqdata[i] = (seed >> 16) & 15;
+  }
+  for (int i = 0; i < 96; i++) {
+    seed = seed * 1103515245 + 12345;
+    if (((seed >> 16) & 1) == 0) { seqlen[i] = 12; } else { seqlen[i] = 20; }
+  }
+  for (int i = 0; i < 64; i++) {
+    seed = seed * 1103515245 + 12345;
+    hmmw[i] = ((seed >> 16) & 31) - 15;
+  }
+  beststore[0] = -1000000;
+  beststore[1] = -1;
+  for (int i = 0; i < 64; i++) { histo[i] = 0; }
+  // The DP row matrices are allocated once and reused for every sequence,
+  // exactly like the original hmmer: the same pointer mx ends up referring
+  // to two different-sized structures depending on the sequence (Fig. 3 of
+  // the paper), so expansion must track spans at run time.
+  int* mxshort = malloc(12 * 8 * sizeof(int));
+  int* mxlong = malloc(20 * 8 * sizeof(int));
+  for (int db = 0; db < 2; db++) {
+    @candidate for (int s = 0; s < 48; s++) {
+      int idx = db * 48 + s;
+      int len = seqlen[idx];
+      if (len == 12) {
+        mx = mxshort;
+      } else {
+        mx = mxlong;
+      }
+      for (int st = 0; st < 8; st++) { mx[st] = hmmw[st]; }
+      for (int i = 1; i < len; i++) {
+        int sym = seqdata[idx * 32 + i];
+        for (int st = 0; st < 8; st++) {
+          int up = mx[(i - 1) * 8 + st];
+          int diag = 0;
+          if (st > 0) { diag = mx[(i - 1) * 8 + st - 1]; }
+          int m = up;
+          if (diag + 2 > m) { m = diag + 2; }
+          mx[i * 8 + st] = m + hmmw[(sym * 4 + st) % 64] - 1;
+        }
+      }
+      int score = mx[(len - 1) * 8 + 7];
+      if (score > beststore[0]) {
+        beststore[0] = score;
+        beststore[1] = idx;
+      }
+      histo[score & 63] += 1;
+      // Recompute the acceptance threshold from the score histogram, as the
+      // original does after every sequence -- this serial tail is what makes
+      // the paper's hmmer loop synchronization-bound.
+      int th = 0;
+      for (int bin = 0; bin < 64; bin++) {
+        th += histo[bin] * (64 - bin);
+      }
+      int norm = 0;
+      for (int bin = 0; bin < 64; bin++) {
+        norm += (histo[bin] * histo[bin]) % 251;
+      }
+      beststore[1] = beststore[1] ^ ((th + norm) & 1);
+    }
+  }
+  free(mxshort);
+  free(mxlong);
+  long check = beststore[0] * 100000 + beststore[1];
+  for (int i = 0; i < 64; i++) { check = check * 5 + histo[i]; }
+  print_int(check);
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// 470.lbm (SPEC2006): stream-collide over a lattice in pull form (reads
+// neighbor distributions of the previous step, writes only the own cell),
+// with a per-cell equilibrium scratch structure. DOALL at level 2
+// (timesteps -> rows).
+//===----------------------------------------------------------------------===//
+
+const char *LbmSource = R"(
+double grida[8192];
+double gridb[8192];
+double feq[8];
+int dirx[8];
+int diry[8];
+
+int main() {
+  int W = 32;
+  dirx[0] = 1; diry[0] = 0;
+  dirx[1] = 0; diry[1] = 1;
+  dirx[2] = -1; diry[2] = 0;
+  dirx[3] = 0; diry[3] = -1;
+  dirx[4] = 1; diry[4] = 1;
+  dirx[5] = -1; diry[5] = 1;
+  dirx[6] = -1; diry[6] = -1;
+  dirx[7] = 1; diry[7] = -1;
+  int seed = 2718;
+  for (int i = 0; i < W * W * 8; i++) {
+    seed = seed * 1103515245 + 12345;
+    grida[i] = 1.0 + (double)((seed >> 16) & 255) / 256.0;
+    gridb[i] = 0.0;
+  }
+  for (int t = 0; t < 2; t++) {
+    @candidate for (int y = 0; y < 32; y++) {
+      for (int x = 0; x < 32; x++) {
+        double rho = 0.0;
+        double ux = 0.0;
+        double uy = 0.0;
+        for (int q = 0; q < 8; q++) {
+          int nx = (x - dirx[q] + 32) % 32;
+          int ny = (y - diry[q] + 32) % 32;
+          double fv = 0.0;
+          if (t % 2 == 0) { fv = grida[(ny * 32 + nx) * 8 + q]; }
+          else            { fv = gridb[(ny * 32 + nx) * 8 + q]; }
+          feq[q] = fv;
+          rho += fv;
+          ux += fv * (double)dirx[q];
+          uy += fv * (double)diry[q];
+        }
+        for (int q = 0; q < 8; q++) {
+          double cu = ux * (double)dirx[q] + uy * (double)diry[q];
+          double eq = rho * 0.125 * (1.0 + 3.0 * cu / (rho + 1.0));
+          double outv = feq[q] + 0.6 * (eq - feq[q]);
+          if (t % 2 == 0) { gridb[(y * 32 + x) * 8 + q] = outv; }
+          else            { grida[(y * 32 + x) * 8 + q] = outv; }
+        }
+      }
+    }
+  }
+  double total = 0.0;
+  for (int i = 0; i < W * W * 8; i++) { total += grida[i] + gridb[i]; }
+  print_float(total);
+  return 0;
+}
+)";
+
+const std::vector<WorkloadInfo> &workloadTable() {
+  static const std::vector<WorkloadInfo> Table = {
+      {"dijkstra", "MiBench", "main", 1, ParallelKind::DOACROSS, 1,
+       DijkstraSource},
+      {"md5", "MiBench", "main", 1, ParallelKind::DOALL, 1, Md5Source},
+      {"mpeg2-encoder", "MediaBench II", "main (motion estimation)", 3,
+       ParallelKind::DOALL, 1, Mpeg2EncSource},
+      {"mpeg2-decoder", "MediaBench II", "main (picture data)", 2,
+       ParallelKind::DOALL, 1, Mpeg2DecSource},
+      {"h263-encoder", "MediaBench II", "main (NextTwoPB / MotionEstimate)",
+       2, ParallelKind::DOALL, 2, H263EncSource},
+      {"256.bzip2", "SPEC CPU2000", "main (compressStream)", 2,
+       ParallelKind::DOACROSS, 1, Bzip2Source},
+      {"456.hmmer", "SPEC CPU2006", "main (main loop serial)", 2,
+       ParallelKind::DOACROSS, 1, HmmerSource},
+      {"470.lbm", "SPEC CPU2006", "main (performStreamCollide)", 2,
+       ParallelKind::DOALL, 1, LbmSource},
+  };
+  return Table;
+}
+
+} // namespace
+
+const std::vector<WorkloadInfo> &gdse::allWorkloads() {
+  return workloadTable();
+}
+
+const WorkloadInfo *gdse::findWorkload(const std::string &Name) {
+  for (const WorkloadInfo &W : workloadTable())
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}

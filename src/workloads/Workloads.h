@@ -1,0 +1,74 @@
+//===- Workloads.h - The eight Table 4 benchmark kernels --------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC kernels modeling the parallelized loop of each program in the
+/// paper's Table 4, preserving per-benchmark: the data-structure pattern
+/// that obstructs traditional privatization, the parallelism kind
+/// (DOALL/DOACROSS), and the loop nesting level. Inputs are generated with
+/// a deterministic LCG; every kernel prints checksums so output equality
+/// between original and transformed runs is a meaningful soundness check.
+///
+/// | name          | suite         | pattern preserved                      |
+/// |---------------|---------------|----------------------------------------|
+/// | dijkstra      | MiBench       | linked-list priority queue + annotation|
+/// |               |               | arrays rebuilt per path (DOACROSS:     |
+/// |               |               | ordered path log)                      |
+/// | md5           | MiBench       | per-message chaining state and block   |
+/// |               |               | buffers (DOALL)                        |
+/// | mpeg2-encoder | MediaBench II | motion-estimation search window scratch|
+/// |               |               | (DOALL, level-3 loop)                  |
+/// | mpeg2-decoder | MediaBench II | per-slice coefficient block + IDCT     |
+/// |               |               | scratch (DOALL, level-2)               |
+/// | h263-encoder  | MediaBench II | TWO candidate loops sharing large      |
+/// |               |               | global scratch structures (DOALL)      |
+/// | 256.bzip2     | SPEC2000      | zptr work buffer recast short*/int*    |
+/// |               |               | (the paper's Fig. 1) + ordered output  |
+/// |               |               | stream (DOACROSS)                      |
+/// | 456.hmmer     | SPEC2006      | DP row buffers malloc'd with two       |
+/// |               |               | different runtime sizes through one    |
+/// |               |               | pointer (the paper's Fig. 3) + ordered |
+/// |               |               | best-score update (DOACROSS)           |
+/// | 470.lbm       | SPEC2006      | lattice stream/collide with per-cell   |
+/// |               |               | distribution scratch (DOALL, level-2)  |
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_WORKLOADS_WORKLOADS_H
+#define GDSE_WORKLOADS_WORKLOADS_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace gdse {
+
+struct WorkloadInfo {
+  const char *Name;
+  const char *Suite;
+  /// Function containing the candidate loop (Table 4 column 4).
+  const char *Function;
+  /// Loop nesting level of the candidate (1 = outermost; Table 4 column 5).
+  unsigned LoopLevel;
+  /// Expected parallelism kind after expansion (Table 4 column 6).
+  ParallelKind ExpectedKind;
+  /// Number of @candidate loops (2 for h263-encoder).
+  unsigned NumCandidates;
+  /// MiniC source text.
+  const char *Source;
+};
+
+/// All eight benchmarks, in the paper's Table 4 order.
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/// Lookup by name; null when unknown.
+const WorkloadInfo *findWorkload(const std::string &Name);
+
+} // namespace gdse
+
+#endif // GDSE_WORKLOADS_WORKLOADS_H

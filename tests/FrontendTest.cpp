@@ -1,0 +1,333 @@
+//===- FrontendTest.cpp - lexer and parser unit tests -----------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "ir/IRPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace gdse;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+std::vector<Token> lexOk(const std::string &Src) {
+  std::vector<std::string> Errors;
+  std::vector<Token> Toks = lex(Src, Errors);
+  EXPECT_TRUE(Errors.empty()) << (Errors.empty() ? "" : Errors.front());
+  return Toks;
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto Toks = lexOk("int foo while whilefoo _bar __tid");
+  ASSERT_EQ(Toks.size(), 7u); // incl. EOF
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwInt);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Identifier);
+  EXPECT_EQ(Toks[1].Text, "foo");
+  EXPECT_EQ(Toks[2].Kind, TokKind::KwWhile);
+  EXPECT_EQ(Toks[3].Kind, TokKind::Identifier);
+  EXPECT_EQ(Toks[3].Text, "whilefoo");
+  EXPECT_EQ(Toks[4].Text, "_bar");
+  EXPECT_EQ(Toks[5].Kind, TokKind::KwTid);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto Toks = lexOk("0 42 0x1F 2147483648 123456789012");
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].IntValue, 31);
+  EXPECT_EQ(Toks[3].IntValue, 2147483648LL);
+  EXPECT_EQ(Toks[4].IntValue, 123456789012LL);
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto Toks = lexOk("1.5 0.25 2e3 1.5e-2");
+  EXPECT_EQ(Toks[0].Kind, TokKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Toks[0].FloatValue, 1.5);
+  EXPECT_DOUBLE_EQ(Toks[1].FloatValue, 0.25);
+  EXPECT_DOUBLE_EQ(Toks[2].FloatValue, 2000.0);
+  EXPECT_DOUBLE_EQ(Toks[3].FloatValue, 0.015);
+}
+
+TEST(Lexer, DotAfterNumberIsMemberAccess) {
+  // "1.x" should not silently swallow; "a.b" is Dot.
+  auto Toks = lexOk("a.b");
+  EXPECT_EQ(Toks[0].Kind, TokKind::Identifier);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Dot);
+  EXPECT_EQ(Toks[2].Kind, TokKind::Identifier);
+}
+
+TEST(Lexer, CompoundOperators) {
+  auto Toks = lexOk("+= -= *= /= %= &= |= ^= <<= >>= << >> <= >= == != && || -> ++ --");
+  std::vector<TokKind> Expected = {
+      TokKind::PlusAssign,  TokKind::MinusAssign, TokKind::StarAssign,
+      TokKind::SlashAssign, TokKind::PercentAssign, TokKind::AmpAssign,
+      TokKind::PipeAssign,  TokKind::CaretAssign, TokKind::ShlAssign,
+      TokKind::ShrAssign,   TokKind::Shl,         TokKind::Shr,
+      TokKind::LessEq,      TokKind::GreaterEq,   TokKind::EqEq,
+      TokKind::NotEq,       TokKind::AmpAmp,      TokKind::PipePipe,
+      TokKind::Arrow,       TokKind::PlusPlus,    TokKind::MinusMinus,
+  };
+  ASSERT_GE(Toks.size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(Toks[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto Toks = lexOk("a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[2].Text, "c");
+}
+
+TEST(Lexer, CandidateAnnotation) {
+  auto Toks = lexOk("@candidate for");
+  EXPECT_EQ(Toks[0].Kind, TokKind::AtCandidate);
+  EXPECT_EQ(Toks[1].Kind, TokKind::KwFor);
+}
+
+TEST(Lexer, LineColumnTracking) {
+  auto Toks = lexOk("a\n  b");
+  EXPECT_EQ(Toks[0].Line, 1u);
+  EXPECT_EQ(Toks[0].Col, 1u);
+  EXPECT_EQ(Toks[1].Line, 2u);
+  EXPECT_EQ(Toks[1].Col, 3u);
+}
+
+TEST(Lexer, ErrorsReported) {
+  std::vector<std::string> Errors;
+  lex("a $ b", Errors);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("unexpected character"), std::string::npos);
+
+  Errors.clear();
+  lex("/* never closed", Errors);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("unterminated"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser: acceptance
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Module> parseOk(const std::string &Src) {
+  ParseResult R = parseMiniC(Src);
+  EXPECT_TRUE(R.ok()) << (R.Errors.empty() ? "?" : R.Errors.front());
+  return std::move(R.M);
+}
+
+void parseFail(const std::string &Src, const std::string &ExpectSubstr) {
+  ParseResult R = parseMiniC(Src);
+  EXPECT_FALSE(R.ok()) << "expected failure: " << ExpectSubstr;
+  bool Found = false;
+  for (const std::string &E : R.Errors)
+    if (E.find(ExpectSubstr) != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found) << "missing '" << ExpectSubstr << "'; got: "
+                     << (R.Errors.empty() ? "(none)" : R.Errors.front());
+}
+
+TEST(Parser, StructsPointersArrays) {
+  auto M = parseOk(R"(
+    struct Inner { int a; double b; };
+    struct Outer { struct Inner in; struct Outer* next; int data[4]; };
+    struct Outer pool[8];
+    int main() {
+      struct Outer* p = &pool[0];
+      p->in.a = 1;
+      p->next = 0;
+      p->data[2] = p->in.a + 1;
+      return p->data[2];
+    }
+  )");
+  StructType *Outer = M->getTypes().getStructByName("Outer");
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Outer->getNumFields(), 3u);
+  // Layout: Inner{int,pad,double}=16, next=8, data=16 -> 40.
+  EXPECT_EQ(M->getTypes().getLayout(Outer).Size, 40u);
+}
+
+TEST(Parser, ScopesAndShadowing) {
+  auto M = parseOk(R"(
+    int main() {
+      int x = 1;
+      int total = 0;
+      {
+        int x = 2;
+        total += x;
+      }
+      total += x;
+      return total;
+    }
+  )");
+  // Two distinct locals named x (one renamed).
+  Function *Main = M->getFunction("main");
+  unsigned CountX = 0;
+  for (VarDecl *L : Main->getLocals())
+    if (L->getName() == "x" || L->getName().rfind("x.", 0) == 0)
+      ++CountX;
+  EXPECT_EQ(CountX, 2u);
+}
+
+TEST(Parser, ForLoopVariants) {
+  parseOk("int main() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }");
+  parseOk("int main() { int s = 0; int i; for (i = 0; i < 4; i += 2) { s += i; } return s; }");
+  parseOk("int main() { int s = 0; for (int i = 0; i < 9; i = i + 3) { s += i; } return s; }");
+}
+
+TEST(Parser, FunctionPrototypesAndCalls) {
+  parseOk(R"(
+    int helper(int x);
+    int main() { return helper(2); }
+    int helper(int x) { return x * 3; }
+  )");
+}
+
+TEST(Parser, SizeofForms) {
+  auto M = parseOk(R"(
+    struct S { int a; int b; };
+    int main() {
+      struct S s;
+      s.a = 0; s.b = 0;
+      long t1 = sizeof(int);
+      long t2 = sizeof(struct S);
+      long t3 = sizeof(s);
+      long t4 = sizeof(int*);
+      return (int)(t1 + t2 + t3 + t4);
+    }
+  )");
+  (void)M;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser: rejection with useful diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(ParserErrors, UnknownVariable) {
+  parseFail("int main() { return nope; }", "unknown variable");
+}
+
+TEST(ParserErrors, UnknownFunction) {
+  parseFail("int main() { return nope(); }", "undeclared function");
+}
+
+TEST(ParserErrors, UnknownStruct) {
+  parseFail("int main() { struct Missing m; return 0; }", "unknown struct");
+}
+
+TEST(ParserErrors, DuplicateField) {
+  parseFail("struct S { int a; int a; }; int main() { return 0; }",
+            "duplicate field");
+}
+
+TEST(ParserErrors, NoSuchField) {
+  parseFail(R"(
+    struct S { int a; };
+    int main() { struct S s; s.b = 1; return 0; }
+  )",
+            "no field");
+}
+
+TEST(ParserErrors, ArrowOnNonPointer) {
+  parseFail(R"(
+    struct S { int a; };
+    int main() { struct S s; s->a = 1; return 0; }
+  )",
+            "pointer");
+}
+
+TEST(ParserErrors, NonCanonicalFor) {
+  parseFail("int main() { for (int i = 0; i > 4; i++) {} return 0; }",
+            "canonical");
+  parseFail("int main() { int j; for (int i = 0; j < 4; i++) {} return 0; }",
+            "induction");
+}
+
+TEST(ParserErrors, AssignToRValue) {
+  parseFail("int main() { int a; (a + 1) = 2; return 0; }", "l-value");
+}
+
+TEST(ParserErrors, BreakOutsideLoop) {
+  parseFail("int main() { break; return 0; }", "outside");
+}
+
+TEST(ParserErrors, ArgumentCountMismatch) {
+  parseFail(R"(
+    int f(int a, int b) { return a + b; }
+    int main() { return f(1); }
+  )",
+            "expects 2 arguments");
+}
+
+TEST(ParserErrors, VoidVariable) {
+  parseFail("int main() { void v; return 0; }", "void type");
+}
+
+TEST(ParserErrors, AggregateReturn) {
+  parseFail(R"(
+    struct S { int a; };
+    struct S make() { struct S s; s.a = 1; return s; }
+    int main() { return 0; }
+  )",
+            "scalar or pointer");
+}
+
+TEST(ParserErrors, GlobalInitializer) {
+  parseFail("int g = 5; int main() { return g; }", "unsupported");
+}
+
+TEST(ParserErrors, RedefinedFunction) {
+  parseFail(R"(
+    int f() { return 1; }
+    int f() { return 2; }
+    int main() { return f(); }
+  )",
+            "redefinition");
+}
+
+TEST(ParserErrors, DerefVoidPointer) {
+  parseFail("int main() { int* p = malloc(4); return *((void*)p); }",
+            "dereference");
+}
+
+//===----------------------------------------------------------------------===//
+// Printer round-trip: printed module re-parses to the same print.
+//===----------------------------------------------------------------------===//
+
+TEST(Printer, RoundTripStable) {
+  const char *Src = R"(
+    struct Node { int v; struct Node* next; };
+    int acc;
+    int work(int* buf, int n) {
+      int s = 0;
+      for (int i = 0; i < n; i++) { s += buf[i]; }
+      return s;
+    }
+    int main() {
+      int a[4];
+      for (int i = 0; i < 4; i++) { a[i] = i * i; }
+      acc = work(a, 4);
+      print_int(acc);
+      return 0;
+    }
+  )";
+  auto M1 = parseOk(Src);
+  std::string P1 = printModule(*M1);
+  ParseResult R2 = parseMiniC(P1);
+  ASSERT_TRUE(R2.ok()) << (R2.Errors.empty() ? "?" : R2.Errors.front())
+                       << "\n--- printed ---\n"
+                       << P1;
+  std::string P2 = printModule(*R2.M);
+  EXPECT_EQ(P1, P2);
+}
+
+} // namespace

@@ -1,0 +1,393 @@
+//===- IRTest.cpp - type system, builder, clone, verifier tests -*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "interp/Interp.h"
+#include "ir/AccessInfo.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRClone.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVisitor.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace gdse;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Types: uniquing and layout
+//===----------------------------------------------------------------------===//
+
+TEST(Types, ScalarAndPointerUniquing) {
+  TypeContext Ctx;
+  EXPECT_EQ(Ctx.getInt32(), Ctx.getIntType(32, true));
+  EXPECT_NE(Ctx.getInt32(), Ctx.getIntType(32, false));
+  EXPECT_NE(Ctx.getInt32(), Ctx.getInt64());
+  Type *P1 = Ctx.getPointerType(Ctx.getInt32());
+  Type *P2 = Ctx.getPointerType(Ctx.getInt32());
+  EXPECT_EQ(P1, P2);
+  EXPECT_NE(P1, Ctx.getPointerType(Ctx.getInt64()));
+  Type *A1 = Ctx.getArrayType(Ctx.getInt8(), 10);
+  EXPECT_EQ(A1, Ctx.getArrayType(Ctx.getInt8(), 10));
+  EXPECT_NE(A1, Ctx.getArrayType(Ctx.getInt8(), 11));
+}
+
+TEST(Types, StructsAreIdentified) {
+  TypeContext Ctx;
+  StructType *A = Ctx.createStruct("S");
+  StructType *B = Ctx.createStruct("S"); // name gets mangled
+  EXPECT_NE(A, B);
+  EXPECT_NE(A->getName(), B->getName());
+  EXPECT_EQ(Ctx.getStructByName("S"), A);
+}
+
+TEST(Types, LayoutPaddingAndAlignment) {
+  TypeContext Ctx;
+  StructType *S = Ctx.createStruct("Mixed");
+  S->setFields({{"c", Ctx.getInt8()},
+                {"d", Ctx.getFloat64()},
+                {"s", Ctx.getInt16()}});
+  const TypeLayout &L = Ctx.getLayout(S);
+  EXPECT_EQ(L.FieldOffsets[0], 0u);
+  EXPECT_EQ(L.FieldOffsets[1], 8u);  // aligned to 8
+  EXPECT_EQ(L.FieldOffsets[2], 16u);
+  EXPECT_EQ(L.Size, 24u);            // padded to align 8
+  EXPECT_EQ(L.Align, 8u);
+}
+
+TEST(Types, NestedArrayLayout) {
+  TypeContext Ctx;
+  Type *A = Ctx.getArrayType(Ctx.getArrayType(Ctx.getInt32(), 5), 3);
+  EXPECT_EQ(Ctx.getLayout(A).Size, 60u);
+  EXPECT_EQ(Ctx.getLayout(A).Align, 4u);
+}
+
+TEST(Types, RecursiveStructThroughPointer) {
+  TypeContext Ctx;
+  StructType *Node = Ctx.createStruct("Node");
+  Node->setFields({{"v", Ctx.getInt32()},
+                   {"next", Ctx.getPointerType(Node)}});
+  EXPECT_EQ(Ctx.getLayout(Node).Size, 16u);
+  EXPECT_EQ(Node->getFieldIndex("next"), 1);
+  EXPECT_EQ(Node->getFieldIndex("missing"), -1);
+}
+
+TEST(Types, Spelling) {
+  TypeContext Ctx;
+  EXPECT_EQ(Ctx.getInt32()->str(), "int");
+  EXPECT_EQ(Ctx.getIntType(8, false)->str(), "uchar");
+  EXPECT_EQ(Ctx.getPointerType(Ctx.getFloat64())->str(), "double*");
+  EXPECT_EQ(Ctx.getArrayType(Ctx.getInt16(), 7)->str(), "short[7]");
+}
+
+//===----------------------------------------------------------------------===//
+// IRBuilder typing rules
+//===----------------------------------------------------------------------===//
+
+TEST(Builder, UsualArithmeticConversions) {
+  Module M;
+  IRBuilder B(M);
+  TypeContext &Ctx = M.getTypes();
+  // char + char -> int
+  Expr *E = B.add(B.intLit(1, Ctx.getInt8()), B.intLit(2, Ctx.getInt8()));
+  EXPECT_EQ(E->getType(), Ctx.getInt32());
+  // int + long -> long
+  E = B.add(B.intLit(1), B.longLit(2));
+  EXPECT_EQ(E->getType(), Ctx.getInt64());
+  // int + double -> double
+  E = B.add(B.intLit(1), B.floatLit(1.0));
+  EXPECT_EQ(E->getType(), Ctx.getFloat64());
+  // unsigned int + int -> unsigned int
+  E = B.add(B.intLit(1, Ctx.getIntType(32, false)), B.intLit(2));
+  EXPECT_EQ(E->getType(), Ctx.getIntType(32, false));
+  // comparisons yield int
+  E = B.lt(B.floatLit(1.0), B.floatLit(2.0));
+  EXPECT_EQ(E->getType(), Ctx.getInt32());
+}
+
+TEST(Builder, PointerArithmeticTyping) {
+  Module M;
+  IRBuilder B(M);
+  TypeContext &Ctx = M.getTypes();
+  VarDecl *P = M.createVar("p", Ctx.getPointerType(Ctx.getInt32()),
+                           VarDecl::Storage::Local);
+  Expr *PV = B.loadVar(P);
+  Expr *Sum = B.add(PV, B.intLit(3));
+  EXPECT_EQ(Sum->getType(), P->getType());
+  Expr *Diff = B.sub(B.loadVar(P), B.loadVar(P));
+  EXPECT_EQ(Diff->getType(), Ctx.getInt64());
+}
+
+TEST(Builder, LValueHelpers) {
+  Module M;
+  IRBuilder B(M);
+  TypeContext &Ctx = M.getTypes();
+  StructType *S = Ctx.createStruct("S");
+  S->setFields({{"a", Ctx.getInt32()}, {"b", Ctx.getFloat32()}});
+  VarDecl *V = M.createVar("s", S, VarDecl::Storage::Local);
+  Expr *FA = B.fieldNamed(B.varRef(V), "b");
+  EXPECT_TRUE(FA->isLValue());
+  EXPECT_EQ(FA->getType(), Ctx.getFloat32());
+  Expr *Addr = B.addrOf(FA);
+  EXPECT_EQ(Addr->getType(), Ctx.getPointerType(Ctx.getFloat32()));
+
+  VarDecl *Arr = M.createVar("a", Ctx.getArrayType(Ctx.getInt64(), 4),
+                             VarDecl::Storage::Local);
+  Expr *Dec = B.decay(B.varRef(Arr));
+  EXPECT_EQ(Dec->getType(), Ctx.getPointerType(Ctx.getInt64()));
+  Expr *Idx = B.index(Dec, B.intLit(2));
+  EXPECT_TRUE(Idx->isLValue());
+  EXPECT_EQ(Idx->getType(), Ctx.getInt64());
+}
+
+//===----------------------------------------------------------------------===//
+// Cloning
+//===----------------------------------------------------------------------===//
+
+TEST(Clone, DeepCopyIsStructurallyIdenticalButDistinct) {
+  auto M = parseMiniCOrDie(R"(
+    int main() {
+      int a[4];
+      for (int i = 0; i < 4; i++) { a[i] = i * 2 + 1; }
+      return a[3];
+    }
+  )",
+                           "clone test");
+  Function *Main = M->getFunction("main");
+  Stmt *Body = Main->getBody();
+  Stmt *Copy = cloneStmt(*M, Body);
+  EXPECT_NE(Body, Copy);
+  EXPECT_EQ(printStmt(Body), printStmt(Copy));
+}
+
+TEST(Clone, PreservesAccessIds) {
+  auto M = parseMiniCOrDie("int main() { int x = 1; return x; }", "ids");
+  AccessNumbering::compute(*M);
+  Function *Main = M->getFunction("main");
+  auto *Ret = cast<ReturnStmt>(Main->getBody()->getStmts().back());
+  auto *L = cast<LoadExpr>(Ret->getValue());
+  ASSERT_NE(L->getAccessId(), InvalidAccessId);
+  auto *C = cast<LoadExpr>(cloneExpr(*M, L));
+  EXPECT_EQ(C->getAccessId(), L->getAccessId());
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier catches malformed IR
+//===----------------------------------------------------------------------===//
+
+TEST(Verifier, AcceptsWellFormed) {
+  auto M = parseMiniCOrDie("int main() { return 1 + 2; }", "wf");
+  EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+TEST(Verifier, CatchesTypeMismatchedAssign) {
+  Module M;
+  IRBuilder B(M);
+  TypeContext &Ctx = M.getTypes();
+  Function *F =
+      M.createFunction("main", Ctx.getFunctionType(Ctx.getInt32(), {}));
+  VarDecl *X = M.createVar("x", Ctx.getInt32(), VarDecl::Storage::Local);
+  F->addLocal(X);
+  // Bypass the builder's checks deliberately.
+  auto *Bad = M.create<AssignStmt>(B.varRef(X), B.floatLit(1.0));
+  F->setBody(B.block({Bad, B.ret(B.intLit(0))}));
+  std::vector<std::string> Errs = verifyModule(M);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs.front().find("type mismatch"), std::string::npos);
+}
+
+TEST(Verifier, CatchesUnregisteredVariable) {
+  Module M;
+  IRBuilder B(M);
+  TypeContext &Ctx = M.getTypes();
+  Function *F =
+      M.createFunction("main", Ctx.getFunctionType(Ctx.getInt32(), {}));
+  VarDecl *Ghost = M.createVar("ghost", Ctx.getInt32(),
+                               VarDecl::Storage::Local); // never added to F
+  F->setBody(B.block({B.ret(B.loadVar(Ghost))}));
+  std::vector<std::string> Errs = verifyModule(M);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs.front().find("unregistered"), std::string::npos);
+}
+
+TEST(Verifier, CatchesNonBlockBody) {
+  Module M;
+  IRBuilder B(M);
+  TypeContext &Ctx = M.getTypes();
+  Function *F =
+      M.createFunction("main", Ctx.getFunctionType(Ctx.getInt32(), {}));
+  VarDecl *X = M.createVar("x", Ctx.getInt32(), VarDecl::Storage::Local);
+  F->addLocal(X);
+  auto *Then = M.create<AssignStmt>(B.varRef(X), B.intLit(1));
+  auto *Bad = M.create<IfStmt>(B.intLit(1), Then, nullptr); // non-block then
+  F->setBody(B.block({Bad, B.ret(B.intLit(0))}));
+  std::vector<std::string> Errs = verifyModule(M);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_NE(Errs.front().find("block"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Access numbering
+//===----------------------------------------------------------------------===//
+
+TEST(AccessNumbering, DenseAndDeterministic) {
+  const char *Src = R"(
+    int g;
+    int main() {
+      int a = 1;
+      g = a + 2;
+      @candidate for (int i = 0; i < 3; i++) {
+        g += i;
+      }
+      return g;
+    }
+  )";
+  auto M1 = parseMiniCOrDie(Src, "num1");
+  auto M2 = parseMiniCOrDie(Src, "num2");
+  AccessNumbering N1 = AccessNumbering::compute(*M1);
+  AccessNumbering N2 = AccessNumbering::compute(*M2);
+  EXPECT_EQ(N1.numAccesses(), N2.numAccesses());
+  EXPECT_EQ(N1.numLoops(), N2.numLoops());
+  EXPECT_GT(N1.numAccesses(), 0u);
+  // Accesses in the loop are a strict subset.
+  ASSERT_EQ(N1.numLoops(), 1u);
+  std::vector<AccessId> InLoop = N1.accessesInLoop(1);
+  EXPECT_FALSE(InLoop.empty());
+  EXPECT_LT(InLoop.size(), N1.numAccesses());
+  for (AccessId Id : InLoop)
+    EXPECT_TRUE(N1.isInLoop(Id, 1));
+}
+
+TEST(AccessNumbering, LoopDepths) {
+  auto M = parseMiniCOrDie(R"(
+    int main() {
+      int s = 0;
+      for (int a = 0; a < 2; a++) {
+        for (int b = 0; b < 2; b++) {
+          while (s < 100) { s += 1; }
+        }
+      }
+      return s;
+    }
+  )",
+                           "depths");
+  AccessNumbering N = AccessNumbering::compute(*M);
+  ASSERT_EQ(N.numLoops(), 3u);
+  EXPECT_EQ(N.loop(1).Depth, 1u);
+  EXPECT_EQ(N.loop(2).Depth, 2u);
+  EXPECT_EQ(N.loop(3).Depth, 3u);
+  EXPECT_EQ(N.loop(3).ParentLoopId, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// IRRewriter statement splicing (the Table 3 "insert after" mechanism)
+//===----------------------------------------------------------------------===//
+
+TEST(Rewriter, EmitAfterSplicesIntoEnclosingBlock) {
+  auto M = parseMiniCOrDie(R"(
+    int main() {
+      int a = 1;
+      int b = 2;
+      if (a < b) { a = b; }
+      return a + b;
+    }
+  )",
+                           "rewriter");
+  Function *Main = M->getFunction("main");
+
+  // After every assignment to 'a', insert 'b = b + 1;'.
+  class Tagger : public IRRewriter {
+  public:
+    Tagger(Module &M, VarDecl *A, VarDecl *B) : IRRewriter(M), A(A), B(B) {}
+    unsigned Inserted = 0;
+
+  protected:
+    Stmt *transformStmt(Stmt *S) override {
+      auto *As = dyn_cast<AssignStmt>(S);
+      if (!As)
+        return S;
+      auto *VR = dyn_cast<VarRefExpr>(As->getLHS());
+      if (!VR || VR->getDecl() != A)
+        return S;
+      IRBuilder Bld(this->M);
+      emitAfter(Bld.assign(Bld.varRef(B),
+                           Bld.add(Bld.loadVar(B), Bld.intLit(1))));
+      ++Inserted;
+      return S;
+    }
+
+  private:
+    VarDecl *A;
+    VarDecl *B;
+  };
+
+  VarDecl *A = nullptr, *B = nullptr;
+  for (VarDecl *L : Main->getLocals()) {
+    if (L->getName() == "a")
+      A = L;
+    if (L->getName() == "b")
+      B = L;
+  }
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+
+  Tagger T(*M, A, B);
+  T.run(Main);
+  EXPECT_EQ(T.Inserted, 2u); // a = 1 (top level) and a = b (inside the if)
+  EXPECT_TRUE(verifyModule(*M).empty());
+
+  // Behavior: a=1; b=b+1 (b: 0->1); b=2; if (1<2) { a=2; b=3; }
+  // return 2+3.
+  Interp I(*M);
+  RunResult R = I.run();
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(R.ExitCode, 5);
+
+  // Structure check: the insertion inside the if-branch stayed INSIDE the
+  // branch block (not spliced after the if).
+  std::string P = printFunction(Main);
+  EXPECT_NE(P.find("a = b;\n    b = (b + 1);"), std::string::npos) << P;
+}
+
+TEST(Rewriter, TransformStmtCanDeleteAndReplace) {
+  auto M = parseMiniCOrDie(R"(
+    int main() {
+      int x = 5;
+      x = 6;
+      x = 7;
+      return x;
+    }
+  )",
+                           "delete");
+  Function *Main = M->getFunction("main");
+
+  // Delete every assignment of an even constant.
+  class Pruner : public IRRewriter {
+  public:
+    using IRRewriter::IRRewriter;
+
+  protected:
+    Stmt *transformStmt(Stmt *S) override {
+      auto *A = dyn_cast<AssignStmt>(S);
+      if (!A)
+        return S;
+      if (auto *Lit = dyn_cast<IntLitExpr>(A->getRHS()))
+        if (Lit->getValue() % 2 == 0)
+          return nullptr;
+      return S;
+    }
+  };
+  Pruner P(*M);
+  P.run(Main);
+  Interp I(*M);
+  RunResult R = I.run();
+  EXPECT_EQ(R.ExitCode, 7);
+}
+
+} // namespace

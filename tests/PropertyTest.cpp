@@ -1,0 +1,338 @@
+//===- PropertyTest.cpp - randomized end-to-end equivalence ----*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Property-based sweep: a seeded generator assembles candidate loops from a
+// pool of dependence-pattern snippets (private scratch structures, heap
+// buffers behind aliased pointers, recasts, linked lists, reductions,
+// ordered logs, read-only tables, helper calls), then the whole pipeline
+// must (a) transform without errors and (b) produce output bit-identical to
+// the original sequential program for several thread counts — under both
+// privatization methods and both layouts when applicable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "interp/Interp.h"
+#include "ir/IRPrinter.h"
+#include "parallel/Pipeline.h"
+#include "support/Support.h"
+
+#include <gtest/gtest.h>
+
+using namespace gdse;
+
+namespace {
+
+/// Deterministic xorshift RNG so every seed reproduces exactly.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  /// Uniform value in [Lo, Hi].
+  int range(int Lo, int Hi) {
+    return Lo + static_cast<int>(next() % static_cast<uint64_t>(Hi - Lo + 1));
+  }
+  bool chance(int Percent) { return range(1, 100) <= Percent; }
+
+private:
+  uint64_t State;
+};
+
+/// One generated fragment: global declarations, setup statements (before
+/// the loop), loop-body statements, and wrap-up statements (after).
+struct Fragment {
+  std::string Globals;
+  std::string Setup;
+  std::string Body;
+  std::string Final;
+  /// True when the fragment introduces a pointer recast (interleaved layout
+  /// must then reject the program).
+  bool HasRecast = false;
+};
+
+Fragment scratchArrayFragment(Rng &R, int Id) {
+  int Size = R.range(8, 48);
+  std::string A = formatString("scr%d", Id);
+  Fragment F;
+  F.Globals = formatString("int %s[%d];\n", A.c_str(), Size);
+  F.Body = formatString(
+      "    for (int k%d = 0; k%d < %d; k%d++) { %s[k%d] = it * %d + k%d; }\n"
+      "    int red%d = 0;\n"
+      "    for (int k%d = 0; k%d < %d; k%d++) { red%d ^= %s[k%d]; }\n"
+      "    sink = sink * 31 + red%d;\n",
+      Id, Id, Size, Id, A.c_str(), Id, R.range(2, 9), Id, Id, Id, Id, Size,
+      Id, Id, A.c_str(), Id, Id);
+  return F;
+}
+
+Fragment scratchStructFragment(Rng &R, int Id) {
+  Fragment F;
+  F.Globals = formatString(
+      "struct Acc%d { int lo; int hi; double w; };\nstruct Acc%d acc%d;\n",
+      Id, Id, Id);
+  F.Body = formatString(
+      "    acc%d.lo = it * %d;\n"
+      "    acc%d.hi = it + %d;\n"
+      "    acc%d.w = (double)(acc%d.lo - acc%d.hi);\n"
+      "    sink = sink * 7 + acc%d.lo + acc%d.hi + (int)(acc%d.w);\n",
+      Id, R.range(2, 5), Id, R.range(10, 90), Id, Id, Id, Id, Id, Id);
+  return F;
+}
+
+Fragment heapBufferFragment(Rng &R, int Id) {
+  int Size = R.range(8, 32);
+  bool Recast = R.chance(35);
+  std::string P = formatString("hb%d", Id);
+  Fragment F;
+  F.Globals = formatString("int* %s;\n", P.c_str());
+  F.Setup = formatString("  %s = malloc(%d * sizeof(int));\n", P.c_str(), Size);
+  if (Recast) {
+    F.HasRecast = true;
+    F.Body = formatString(
+        "    short* sv%d = (short*)%s;\n"
+        "    for (int k%d = 0; k%d < %d; k%d++) { sv%d[k%d] = (short)(it + "
+        "k%d * 3); }\n"
+        "    int rb%d = 0;\n"
+        "    for (int k%d = 0; k%d < %d; k%d++) { rb%d += %s[k%d]; }\n"
+        "    sink = sink * 5 + rb%d;\n",
+        Id, P.c_str(), Id, Id, 2 * Size, Id, Id, Id, Id, Id, Id, Id, Size, Id,
+        Id, P.c_str(), Id, Id);
+  } else {
+    F.Body = formatString(
+        "    for (int k%d = 0; k%d < %d; k%d++) { %s[k%d] = it ^ (k%d * %d); "
+        "}\n"
+        "    int rb%d = 0;\n"
+        "    for (int k%d = 0; k%d < %d; k%d++) { rb%d += %s[k%d]; }\n"
+        "    sink = sink * 5 + rb%d;\n",
+        Id, Id, Size, Id, P.c_str(), Id, Id, R.range(2, 7), Id, Id, Id, Size,
+        Id, Id, P.c_str(), Id, Id);
+  }
+  F.Final = formatString("  free(%s);\n", P.c_str());
+  return F;
+}
+
+Fragment aliasedBuffersFragment(Rng &R, int Id) {
+  int S1 = R.range(8, 20), S2 = R.range(24, 48);
+  Fragment F;
+  F.Globals = formatString("int* mxa%d;\nint* mxb%d;\nint* mxp%d;\n", Id, Id,
+                           Id);
+  F.Setup = formatString(
+      "  mxa%d = malloc(%d * sizeof(int));\n"
+      "  mxb%d = malloc(%d * sizeof(int));\n",
+      Id, S1, Id, S2);
+  F.Body = formatString(
+      "    int n%d = 0;\n"
+      "    if (it %% 2 == 0) { mxp%d = mxa%d; n%d = %d; }\n"
+      "    else { mxp%d = mxb%d; n%d = %d; }\n"
+      "    for (int k%d = 0; k%d < n%d; k%d++) { mxp%d[k%d] = it + k%d; }\n"
+      "    int ra%d = 0;\n"
+      "    for (int k%d = 0; k%d < n%d; k%d++) { ra%d ^= mxp%d[k%d]; }\n"
+      "    sink = sink * 3 + ra%d;\n",
+      Id, Id, Id, Id, S1, Id, Id, Id, S2, Id, Id, Id, Id, Id, Id, Id, Id, Id,
+      Id, Id, Id, Id, Id, Id, Id);
+  F.Final = formatString("  free(mxa%d);\n  free(mxb%d);\n", Id, Id);
+  return F;
+}
+
+Fragment linkedListFragment(Rng &R, int Id) {
+  int Len = R.range(3, 9);
+  Fragment F;
+  F.Globals = formatString(
+      "struct LN%d { int v; struct LN%d* next; };\nstruct LN%d* head%d;\n",
+      Id, Id, Id, Id);
+  F.Body = formatString(
+      "    head%d = 0;\n"
+      "    for (int k%d = 0; k%d < %d; k%d++) {\n"
+      "      struct LN%d* n%d = malloc(sizeof(struct LN%d));\n"
+      "      n%d->v = it * k%d;\n"
+      "      n%d->next = head%d;\n"
+      "      head%d = n%d;\n"
+      "    }\n"
+      "    int lsum%d = 0;\n"
+      "    while (head%d != 0) {\n"
+      "      struct LN%d* n%d = head%d;\n"
+      "      lsum%d = lsum%d * 2 + n%d->v;\n"
+      "      head%d = n%d->next;\n"
+      "      free(n%d);\n"
+      "    }\n"
+      "    sink = sink * 11 + lsum%d;\n",
+      Id, Id, Id, Len, Id, Id, Id, Id, Id, Id, Id, Id, Id, Id, Id, Id, Id,
+      Id, Id, Id, Id, Id, Id, Id, Id, Id);
+  return F;
+}
+
+Fragment readOnlyTableFragment(Rng &R, int Id) {
+  int Size = R.range(16, 64);
+  Fragment F;
+  F.Globals = formatString("int tab%d[%d];\n", Id, Size);
+  F.Setup = formatString(
+      "  for (int i = 0; i < %d; i++) { tab%d[i] = i * %d + %d; }\n", Size,
+      Id, R.range(3, 11), R.range(0, 5));
+  F.Body = formatString("    sink = sink + tab%d[it %% %d];\n", Id, Size);
+  return F;
+}
+
+Fragment orderedLogFragment(Rng &R, int Id) {
+  (void)R;
+  Fragment F;
+  F.Globals =
+      formatString("int log%d[512];\nint logpos%d;\n", Id, Id);
+  F.Setup = formatString("  logpos%d = 0;\n", Id);
+  F.Body = formatString(
+      "    log%d[logpos%d] = (int)(sink & 1023);\n"
+      "    logpos%d = logpos%d + 1;\n",
+      Id, Id, Id, Id);
+  F.Final = formatString(
+      "  for (int i = 0; i < logpos%d; i++) { sink = sink * 13 + "
+      "log%d[i]; }\n",
+      Id, Id);
+  return F;
+}
+
+Fragment helperCallFragment(Rng &R, int Id) {
+  int Size = R.range(8, 24);
+  Fragment F;
+  F.Globals = formatString(
+      "int hwork%d[%d];\n"
+      "void hfill%d(int* buf, int n, int seed) {\n"
+      "  for (int k = 0; k < n; k++) { buf[k] = seed * 2 + k; }\n"
+      "}\n"
+      "int hfold%d(int* buf, int n) {\n"
+      "  int s = 0;\n"
+      "  for (int k = 0; k < n; k++) { s ^= buf[k] + k; }\n"
+      "  return s;\n"
+      "}\n",
+      Id, Size, Id, Id);
+  F.Body = formatString(
+      "    hfill%d(hwork%d, %d, it);\n"
+      "    sink = sink * 17 + hfold%d(hwork%d, %d);\n",
+      Id, Id, Size, Id, Id, Size);
+  return F;
+}
+
+struct GeneratedProgram {
+  std::string Source;
+  bool HasRecast = false;
+};
+
+GeneratedProgram generate(uint64_t Seed) {
+  Rng R(Seed);
+  using FragFn = Fragment (*)(Rng &, int);
+  static const FragFn Pool[] = {
+      scratchArrayFragment, scratchStructFragment, heapBufferFragment,
+      aliasedBuffersFragment, linkedListFragment, readOnlyTableFragment,
+      orderedLogFragment, helperCallFragment,
+  };
+  int NumFrags = R.range(2, 5);
+  std::vector<Fragment> Frags;
+  for (int I = 0; I < NumFrags; ++I)
+    Frags.push_back(Pool[R.range(0, 7)](R, I));
+
+  int Iters = R.range(6, 24);
+  GeneratedProgram G;
+  std::string &S = G.Source;
+  for (const Fragment &F : Frags) {
+    S += F.Globals;
+    G.HasRecast = G.HasRecast || F.HasRecast;
+  }
+  S += "long sink;\n";
+  S += "int main() {\n  sink = 1;\n";
+  for (const Fragment &F : Frags)
+    S += F.Setup;
+  S += formatString("  @candidate for (int it = 0; it < %d; it++) {\n", Iters);
+  for (const Fragment &F : Frags)
+    S += F.Body;
+  S += "  }\n";
+  for (const Fragment &F : Frags)
+    S += F.Final;
+  S += "  print_int(sink);\n  return 0;\n}\n";
+  return G;
+}
+
+class PipelineProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelineProperty, TransformedEquivalentForAllConfigs) {
+  GeneratedProgram G = generate(GetParam());
+  SCOPED_TRACE("--- generated program ---\n" + G.Source);
+
+  ParseResult PR = parseMiniC(G.Source);
+  ASSERT_TRUE(PR.ok()) << (PR.Errors.empty() ? "?" : PR.Errors.front());
+  RunResult Seq;
+  {
+    Interp I(*PR.M);
+    Seq = I.run();
+    ASSERT_TRUE(Seq.ok()) << Seq.TrapMessage;
+  }
+
+  struct Config {
+    PrivatizationMethod Method;
+    bool Opts;
+    const char *Name;
+  };
+  const Config Configs[] = {
+      {PrivatizationMethod::Expansion, true, "expansion+opts"},
+      {PrivatizationMethod::Expansion, false, "expansion-noopts"},
+      {PrivatizationMethod::Runtime, true, "rtpriv"},
+  };
+
+  for (const Config &C : Configs) {
+    ParseResult P2 = parseMiniC(G.Source);
+    ASSERT_TRUE(P2.ok());
+    std::vector<unsigned> Cands = findCandidateLoops(*P2.M);
+    ASSERT_EQ(Cands.size(), 1u);
+    PipelineOptions Opts;
+    Opts.Method = C.Method;
+    if (!C.Opts) {
+      Opts.Expansion.SelectivePromotion = false;
+      Opts.Expansion.SpanConstantPropagation = false;
+      Opts.Expansion.DeadSpanStoreElimination = false;
+    }
+    PipelineResult R = transformLoop(*P2.M, Cands.front(), Opts);
+    ASSERT_TRUE(R.Ok) << C.Name << ": "
+                      << (R.Errors.empty() ? "?" : R.Errors.front());
+    for (int N : {1, 3, 8}) {
+      InterpOptions IO;
+      IO.NumThreads = N;
+      Interp I(*P2.M, IO);
+      RunResult Par = I.run();
+      ASSERT_TRUE(Par.ok())
+          << C.Name << " N=" << N << ": " << Par.TrapMessage;
+      EXPECT_EQ(Par.Output, Seq.Output) << C.Name << " N=" << N;
+    }
+  }
+
+  // Interleaved layout: must either transform AND stay correct, or be
+  // rejected -- and a recast program must always be rejected.
+  {
+    ParseResult P3 = parseMiniC(G.Source);
+    ASSERT_TRUE(P3.ok());
+    std::vector<unsigned> Cands = findCandidateLoops(*P3.M);
+    PipelineOptions Opts;
+    Opts.Expansion.Layout = LayoutMode::Interleaved;
+    PipelineResult R = transformLoop(*P3.M, Cands.front(), Opts);
+    if (G.HasRecast) {
+      EXPECT_FALSE(R.Ok) << "recast program must be rejected by interleaved";
+    } else if (R.Ok) {
+      InterpOptions IO;
+      IO.NumThreads = 4;
+      Interp I(*P3.M, IO);
+      RunResult Par = I.run();
+      ASSERT_TRUE(Par.ok()) << "interleaved: " << Par.TrapMessage;
+      EXPECT_EQ(Par.Output, Seq.Output) << "interleaved";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Range<uint64_t>(1, 61));
+
+} // namespace
