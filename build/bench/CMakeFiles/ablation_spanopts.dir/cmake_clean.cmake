@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spanopts.dir/ablation_spanopts.cpp.o"
+  "CMakeFiles/ablation_spanopts.dir/ablation_spanopts.cpp.o.d"
+  "ablation_spanopts"
+  "ablation_spanopts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spanopts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rtpriv_overhead.dir/fig10_rtpriv_overhead.cpp.o"
+  "CMakeFiles/fig10_rtpriv_overhead.dir/fig10_rtpriv_overhead.cpp.o.d"
+  "fig10_rtpriv_overhead"
+  "fig10_rtpriv_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rtpriv_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

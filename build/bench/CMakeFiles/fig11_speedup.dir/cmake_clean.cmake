@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_speedup.dir/fig11_speedup.cpp.o"
+  "CMakeFiles/fig11_speedup.dir/fig11_speedup.cpp.o.d"
+  "fig11_speedup"
+  "fig11_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_rtpriv_speedup.dir/fig13_rtpriv_speedup.cpp.o"
+  "CMakeFiles/fig13_rtpriv_speedup.dir/fig13_rtpriv_speedup.cpp.o.d"
+  "fig13_rtpriv_speedup"
+  "fig13_rtpriv_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_rtpriv_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

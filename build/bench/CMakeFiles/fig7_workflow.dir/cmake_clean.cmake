@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_workflow.dir/fig7_workflow.cpp.o"
+  "CMakeFiles/fig7_workflow.dir/fig7_workflow.cpp.o.d"
+  "fig7_workflow"
+  "fig7_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

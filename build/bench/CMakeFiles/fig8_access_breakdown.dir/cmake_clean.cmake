@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_access_breakdown.dir/fig8_access_breakdown.cpp.o"
+  "CMakeFiles/fig8_access_breakdown.dir/fig8_access_breakdown.cpp.o.d"
+  "fig8_access_breakdown"
+  "fig8_access_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_access_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

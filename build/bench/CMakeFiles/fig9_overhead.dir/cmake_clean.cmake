@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_overhead.dir/fig9_overhead.cpp.o"
+  "CMakeFiles/fig9_overhead.dir/fig9_overhead.cpp.o.d"
+  "fig9_overhead"
+  "fig9_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdse_benchcommon.dir/BenchCommon.cpp.o"
+  "CMakeFiles/gdse_benchcommon.dir/BenchCommon.cpp.o.d"
+  "libgdse_benchcommon.a"
+  "libgdse_benchcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdse_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

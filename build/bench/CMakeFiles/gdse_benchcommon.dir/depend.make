@@ -1,0 +1,2 @@
+# Empty dependencies file for gdse_benchcommon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_privatized.dir/table5_privatized.cpp.o"
+  "CMakeFiles/table5_privatized.dir/table5_privatized.cpp.o.d"
+  "table5_privatized"
+  "table5_privatized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_privatized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_builder.dir/histogram_builder.cpp.o"
+  "CMakeFiles/histogram_builder.dir/histogram_builder.cpp.o.d"
+  "histogram_builder"
+  "histogram_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/minic.cpp" "examples/CMakeFiles/minic.dir/minic.cpp.o" "gcc" "examples/CMakeFiles/minic.dir/minic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/gdse_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/gdse_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/gdse_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gdse_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/expand/CMakeFiles/gdse_expand.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtpriv/CMakeFiles/gdse_rtpriv.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/gdse_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gdse_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gdse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gdse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic.dir/minic.cpp.o"
+  "CMakeFiles/minic.dir/minic.cpp.o.d"
+  "minic"
+  "minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for minic.
+# This may be replaced when dependencies are built.

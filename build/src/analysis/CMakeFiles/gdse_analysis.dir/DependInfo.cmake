@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AccessClasses.cpp" "src/analysis/CMakeFiles/gdse_analysis.dir/AccessClasses.cpp.o" "gcc" "src/analysis/CMakeFiles/gdse_analysis.dir/AccessClasses.cpp.o.d"
+  "/root/repo/src/analysis/DepGraph.cpp" "src/analysis/CMakeFiles/gdse_analysis.dir/DepGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/gdse_analysis.dir/DepGraph.cpp.o.d"
+  "/root/repo/src/analysis/GraphIO.cpp" "src/analysis/CMakeFiles/gdse_analysis.dir/GraphIO.cpp.o" "gcc" "src/analysis/CMakeFiles/gdse_analysis.dir/GraphIO.cpp.o.d"
+  "/root/repo/src/analysis/PointsTo.cpp" "src/analysis/CMakeFiles/gdse_analysis.dir/PointsTo.cpp.o" "gcc" "src/analysis/CMakeFiles/gdse_analysis.dir/PointsTo.cpp.o.d"
+  "/root/repo/src/analysis/StaticDeps.cpp" "src/analysis/CMakeFiles/gdse_analysis.dir/StaticDeps.cpp.o" "gcc" "src/analysis/CMakeFiles/gdse_analysis.dir/StaticDeps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gdse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gdse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

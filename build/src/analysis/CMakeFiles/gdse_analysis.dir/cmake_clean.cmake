@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdse_analysis.dir/AccessClasses.cpp.o"
+  "CMakeFiles/gdse_analysis.dir/AccessClasses.cpp.o.d"
+  "CMakeFiles/gdse_analysis.dir/DepGraph.cpp.o"
+  "CMakeFiles/gdse_analysis.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/gdse_analysis.dir/GraphIO.cpp.o"
+  "CMakeFiles/gdse_analysis.dir/GraphIO.cpp.o.d"
+  "CMakeFiles/gdse_analysis.dir/PointsTo.cpp.o"
+  "CMakeFiles/gdse_analysis.dir/PointsTo.cpp.o.d"
+  "CMakeFiles/gdse_analysis.dir/StaticDeps.cpp.o"
+  "CMakeFiles/gdse_analysis.dir/StaticDeps.cpp.o.d"
+  "libgdse_analysis.a"
+  "libgdse_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdse_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expand/Driver.cpp" "src/expand/CMakeFiles/gdse_expand.dir/Driver.cpp.o" "gcc" "src/expand/CMakeFiles/gdse_expand.dir/Driver.cpp.o.d"
+  "/root/repo/src/expand/Expand.cpp" "src/expand/CMakeFiles/gdse_expand.dir/Expand.cpp.o" "gcc" "src/expand/CMakeFiles/gdse_expand.dir/Expand.cpp.o.d"
+  "/root/repo/src/expand/Promote.cpp" "src/expand/CMakeFiles/gdse_expand.dir/Promote.cpp.o" "gcc" "src/expand/CMakeFiles/gdse_expand.dir/Promote.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gdse_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gdse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gdse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdse_expand.dir/Driver.cpp.o"
+  "CMakeFiles/gdse_expand.dir/Driver.cpp.o.d"
+  "CMakeFiles/gdse_expand.dir/Expand.cpp.o"
+  "CMakeFiles/gdse_expand.dir/Expand.cpp.o.d"
+  "CMakeFiles/gdse_expand.dir/Promote.cpp.o"
+  "CMakeFiles/gdse_expand.dir/Promote.cpp.o.d"
+  "libgdse_expand.a"
+  "libgdse_expand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdse_expand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdse_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/gdse_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/gdse_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/gdse_frontend.dir/Parser.cpp.o.d"
+  "libgdse_frontend.a"
+  "libgdse_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdse_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdse_interp.dir/Interp.cpp.o"
+  "CMakeFiles/gdse_interp.dir/Interp.cpp.o.d"
+  "CMakeFiles/gdse_interp.dir/Memory.cpp.o"
+  "CMakeFiles/gdse_interp.dir/Memory.cpp.o.d"
+  "libgdse_interp.a"
+  "libgdse_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdse_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

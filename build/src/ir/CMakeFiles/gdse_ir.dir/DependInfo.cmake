@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/AccessInfo.cpp" "src/ir/CMakeFiles/gdse_ir.dir/AccessInfo.cpp.o" "gcc" "src/ir/CMakeFiles/gdse_ir.dir/AccessInfo.cpp.o.d"
+  "/root/repo/src/ir/IR.cpp" "src/ir/CMakeFiles/gdse_ir.dir/IR.cpp.o" "gcc" "src/ir/CMakeFiles/gdse_ir.dir/IR.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/ir/CMakeFiles/gdse_ir.dir/IRBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/gdse_ir.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/IRClone.cpp" "src/ir/CMakeFiles/gdse_ir.dir/IRClone.cpp.o" "gcc" "src/ir/CMakeFiles/gdse_ir.dir/IRClone.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/ir/CMakeFiles/gdse_ir.dir/IRPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/gdse_ir.dir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/IRVisitor.cpp" "src/ir/CMakeFiles/gdse_ir.dir/IRVisitor.cpp.o" "gcc" "src/ir/CMakeFiles/gdse_ir.dir/IRVisitor.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/ir/CMakeFiles/gdse_ir.dir/Type.cpp.o" "gcc" "src/ir/CMakeFiles/gdse_ir.dir/Type.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/gdse_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/gdse_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gdse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdse_ir.dir/AccessInfo.cpp.o"
+  "CMakeFiles/gdse_ir.dir/AccessInfo.cpp.o.d"
+  "CMakeFiles/gdse_ir.dir/IR.cpp.o"
+  "CMakeFiles/gdse_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/gdse_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/gdse_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/gdse_ir.dir/IRClone.cpp.o"
+  "CMakeFiles/gdse_ir.dir/IRClone.cpp.o.d"
+  "CMakeFiles/gdse_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/gdse_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/gdse_ir.dir/IRVisitor.cpp.o"
+  "CMakeFiles/gdse_ir.dir/IRVisitor.cpp.o.d"
+  "CMakeFiles/gdse_ir.dir/Type.cpp.o"
+  "CMakeFiles/gdse_ir.dir/Type.cpp.o.d"
+  "CMakeFiles/gdse_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/gdse_ir.dir/Verifier.cpp.o.d"
+  "libgdse_ir.a"
+  "libgdse_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdse_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

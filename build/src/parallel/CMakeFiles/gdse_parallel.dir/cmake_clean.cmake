@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdse_parallel.dir/Pipeline.cpp.o"
+  "CMakeFiles/gdse_parallel.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/gdse_parallel.dir/Planner.cpp.o"
+  "CMakeFiles/gdse_parallel.dir/Planner.cpp.o.d"
+  "libgdse_parallel.a"
+  "libgdse_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdse_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdse_profile.dir/DepProfiler.cpp.o"
+  "CMakeFiles/gdse_profile.dir/DepProfiler.cpp.o.d"
+  "libgdse_profile.a"
+  "libgdse_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdse_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdse_rtpriv.dir/RtPrivPass.cpp.o"
+  "CMakeFiles/gdse_rtpriv.dir/RtPrivPass.cpp.o.d"
+  "libgdse_rtpriv.a"
+  "libgdse_rtpriv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdse_rtpriv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdse_support.dir/Support.cpp.o"
+  "CMakeFiles/gdse_support.dir/Support.cpp.o.d"
+  "libgdse_support.a"
+  "libgdse_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdse_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdse_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/gdse_workloads.dir/Workloads.cpp.o.d"
+  "libgdse_workloads.a"
+  "libgdse_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdse_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

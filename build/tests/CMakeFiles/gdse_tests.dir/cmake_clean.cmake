@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdse_tests.dir/AnalysisTest.cpp.o"
+  "CMakeFiles/gdse_tests.dir/AnalysisTest.cpp.o.d"
+  "CMakeFiles/gdse_tests.dir/DiagnosticsTest.cpp.o"
+  "CMakeFiles/gdse_tests.dir/DiagnosticsTest.cpp.o.d"
+  "CMakeFiles/gdse_tests.dir/ExpansionTest.cpp.o"
+  "CMakeFiles/gdse_tests.dir/ExpansionTest.cpp.o.d"
+  "CMakeFiles/gdse_tests.dir/FrontendTest.cpp.o"
+  "CMakeFiles/gdse_tests.dir/FrontendTest.cpp.o.d"
+  "CMakeFiles/gdse_tests.dir/GraphSourceTest.cpp.o"
+  "CMakeFiles/gdse_tests.dir/GraphSourceTest.cpp.o.d"
+  "CMakeFiles/gdse_tests.dir/IRTest.cpp.o"
+  "CMakeFiles/gdse_tests.dir/IRTest.cpp.o.d"
+  "CMakeFiles/gdse_tests.dir/InterpTest.cpp.o"
+  "CMakeFiles/gdse_tests.dir/InterpTest.cpp.o.d"
+  "CMakeFiles/gdse_tests.dir/ProfilerTest.cpp.o"
+  "CMakeFiles/gdse_tests.dir/ProfilerTest.cpp.o.d"
+  "CMakeFiles/gdse_tests.dir/PropertyTest.cpp.o"
+  "CMakeFiles/gdse_tests.dir/PropertyTest.cpp.o.d"
+  "CMakeFiles/gdse_tests.dir/SpanRulesTest.cpp.o"
+  "CMakeFiles/gdse_tests.dir/SpanRulesTest.cpp.o.d"
+  "CMakeFiles/gdse_tests.dir/WorkloadTest.cpp.o"
+  "CMakeFiles/gdse_tests.dir/WorkloadTest.cpp.o.d"
+  "gdse_tests"
+  "gdse_tests.pdb"
+  "gdse_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdse_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
