@@ -9,6 +9,9 @@
 
 #include "support/Support.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 using namespace gdse;
 using namespace gdse::bench;
 
@@ -31,8 +34,11 @@ PreparedProgram gdse::bench::prepareTransformed(const WorkloadInfo &W,
   PreparedProgram P = prepareOriginal(W);
   if (!P.Ok)
     return P;
+  // One session per workload: cached analyses carry across the candidate
+  // loops and the session's registry accounts every pass and analysis.
+  CompilationSession Session(*P.M);
   for (unsigned LoopId : P.LoopIds) {
-    PipelineResult PR = transformLoop(*P.M, LoopId, Opts);
+    PipelineResult PR = Session.compileLoop(LoopId, Opts);
     if (!PR.Ok) {
       P.Ok = false;
       P.Error = PR.Errors.empty() ? "transformation failed" : PR.Errors.front();
@@ -40,7 +46,23 @@ PreparedProgram gdse::bench::prepareTransformed(const WorkloadInfo &W,
     }
     P.Pipelines.push_back(std::move(PR));
   }
+  P.CompileTiming = Session.timing().records();
+  P.CompileReport =
+      "== " + std::string(W.Name) + " compile ==\n" + Session.timingReport() +
+      Session.statsReport();
+  reportCompileTiming(P);
   return P;
+}
+
+void gdse::bench::reportCompileTiming(const PreparedProgram &P, bool Force) {
+  if (P.CompileReport.empty())
+    return;
+  if (!Force) {
+    const char *Env = std::getenv("GDSE_TIME_PASSES");
+    if (!Env || !*Env)
+      return;
+  }
+  std::fputs(P.CompileReport.c_str(), stderr);
 }
 
 RunResult gdse::bench::execute(PreparedProgram &P, int Threads,

@@ -21,6 +21,7 @@
 #include "frontend/Parser.h"
 #include "interp/Interp.h"
 #include "parallel/Pipeline.h"
+#include "support/Timing.h"
 #include "workloads/Workloads.h"
 
 #include <memory>
@@ -39,6 +40,11 @@ struct PreparedProgram {
   /// Candidate loop ids (valid for both original and transformed modules —
   /// numbering is deterministic).
   std::vector<unsigned> LoopIds;
+  /// Per-pass/per-analysis compile-time accounting from the session that
+  /// transformed the workload (empty for prepareOriginal).
+  std::vector<PassTimingRecord> CompileTiming;
+  /// The session's rendered `-time-passes` + `-stats` reports.
+  std::string CompileReport;
   bool Ok = false;
   std::string Error;
 };
@@ -49,6 +55,13 @@ PreparedProgram prepareOriginal(const WorkloadInfo &W);
 /// Parses and transforms every candidate loop of the workload.
 PreparedProgram prepareTransformed(const WorkloadInfo &W,
                                    const PipelineOptions &Opts);
+
+/// Prints \p P's compile-time report (per-pass timing + counters) to stderr
+/// when the GDSE_TIME_PASSES environment variable is set and non-empty, or
+/// when \p Force is true. prepareTransformed calls this itself, so every
+/// fig*/table* binary emits compile-time breakdowns with one env var and no
+/// per-binary wiring.
+void reportCompileTiming(const PreparedProgram &P, bool Force = false);
 
 /// Executes a prepared program. \p Threads is the simulated core count;
 /// \p SimulateParallel=false forces sequential execution of parallel-marked

@@ -11,7 +11,7 @@
 //   explore <benchmark> [--threads N] [--method expansion|rtpriv|none]
 //           [--layout bonded|interleaved] [--no-opts] [--dump-ir]
 //           [--dump-graph] [--source profile|static] [--save-graph FILE]
-//           [--load-graph FILE]
+//           [--load-graph FILE] [--time-passes] [--stats]
 //
 // --save-graph / --load-graph implement the paper's programmer-verification
 // workflow: profile once, dump the dependence graph, inspect/edit it, and
@@ -43,7 +43,8 @@ static void usage() {
                "[--method expansion|rtpriv|none] "
                "[--layout bonded|interleaved] [--no-opts] [--dump-ir] "
                "[--dump-graph] [--source profile|static] "
-               "[--save-graph FILE] [--load-graph FILE]\nbenchmarks:");
+               "[--save-graph FILE] [--load-graph FILE] "
+               "[--time-passes] [--stats]\nbenchmarks:");
   for (const WorkloadInfo &W : allWorkloads())
     std::fprintf(stderr, " %s", W.Name);
   std::fprintf(stderr, "\n");
@@ -62,7 +63,7 @@ int main(int argc, char **argv) {
   }
 
   int Threads = 4;
-  bool DumpIR = false, DumpGraph = false;
+  bool DumpIR = false, DumpGraph = false, TimePasses = false, Stats = false;
   std::string SaveGraphFile, LoadGraphFile;
   PipelineOptions Opts;
   for (int I = 2; I < argc; ++I) {
@@ -93,6 +94,10 @@ int main(int argc, char **argv) {
       SaveGraphFile = argv[++I];
     } else if (Arg == "--load-graph" && I + 1 < argc) {
       LoadGraphFile = argv[++I];
+    } else if (Arg == "--time-passes") {
+      TimePasses = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
     } else {
       usage();
       return 1;
@@ -101,7 +106,6 @@ int main(int argc, char **argv) {
 
   // Original run.
   std::unique_ptr<Module> Orig = parseMiniCOrDie(W->Source, W->Name);
-  std::vector<unsigned> OrigLoops = findCandidateLoops(*Orig);
   Interp SeqI(*Orig);
   RunResult Seq = SeqI.run();
   if (!Seq.ok()) {
@@ -110,9 +114,11 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  // Transform every candidate.
+  // Transform every candidate, sharing one compilation session so cached
+  // analyses carry across loops (the profiler runs at most once per loop).
   std::unique_ptr<Module> M = parseMiniCOrDie(W->Source, W->Name);
-  std::vector<unsigned> Loops = findCandidateLoops(*M);
+  CompilationSession Session(*M);
+  std::vector<unsigned> Loops = Session.candidateLoops();
   std::printf("%s (%s): %zu candidate loop(s)\n", W->Name, W->Suite,
               Loops.size());
   LoopDepGraph Loaded;
@@ -135,10 +141,11 @@ int main(int argc, char **argv) {
                 LoadGraphFile.c_str(), Loaded.LoopId);
   }
   for (unsigned LoopId : Loops) {
-    PipelineResult PR = transformLoop(*M, LoopId, Opts);
+    PipelineResult PR = Session.compileLoop(LoopId, Opts);
     if (!PR.Ok) {
-      for (const std::string &E : PR.Errors)
-        std::fprintf(stderr, "loop %u error: %s\n", LoopId, E.c_str());
+      for (const Diagnostic &D : PR.Diags)
+        if (D.Severity == DiagSeverity::Error)
+          std::fprintf(stderr, "%s\n", D.str().c_str());
       return 1;
     }
     uint64_t Total = PR.Breakdown.total();
@@ -176,6 +183,11 @@ int main(int argc, char **argv) {
                   Name.c_str());
     }
   }
+
+  if (TimePasses)
+    std::fprintf(stderr, "%s", Session.timingReport().c_str());
+  if (Stats)
+    std::fprintf(stderr, "%s", Session.statsReport().c_str());
 
   if (DumpIR)
     std::printf("\n--- transformed program ---\n%s\n",

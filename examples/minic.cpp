@@ -8,9 +8,13 @@
 // Runs a MiniC source file under the VM:
 //
 //   minic <file.mc> [--threads N] [--transform] [--dump-ir]
+//         [--time-passes] [--stats]
 //
 // With --transform, every @candidate loop is run through the expansion
-// pipeline first and executes under the simulated multicore.
+// pipeline (one CompilationSession over the whole module, so analyses are
+// shared across loops) and executes under the simulated multicore.
+// --time-passes / --stats print the session's per-pass timing and counter
+// reports to stderr after compilation.
 //
 //===----------------------------------------------------------------------===//
 
@@ -30,7 +34,7 @@ int main(int argc, char **argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: minic <file.mc> [--threads N] [--transform] "
-                 "[--dump-ir]\n");
+                 "[--dump-ir] [--time-passes] [--stats]\n");
     return 1;
   }
   std::ifstream In(argv[1]);
@@ -43,7 +47,7 @@ int main(int argc, char **argv) {
   std::string Source = SS.str();
 
   int Threads = 1;
-  bool Transform = false, DumpIR = false;
+  bool Transform = false, DumpIR = false, TimePasses = false, Stats = false;
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--threads" && I + 1 < argc)
@@ -52,29 +56,38 @@ int main(int argc, char **argv) {
       Transform = true;
     else if (Arg == "--dump-ir")
       DumpIR = true;
+    else if (Arg == "--time-passes")
+      TimePasses = true;
+    else if (Arg == "--stats")
+      Stats = true;
   }
 
   ParseResult PR = parseMiniC(Source);
   if (!PR.ok()) {
-    for (const std::string &E : PR.Errors)
-      std::fprintf(stderr, "%s: %s\n", argv[1], E.c_str());
+    for (const Diagnostic &D : PR.Diags)
+      std::fprintf(stderr, "%s: %s\n", argv[1], D.str().c_str());
     return 1;
   }
 
   if (Transform) {
-    for (unsigned LoopId : findCandidateLoops(*PR.M)) {
-      PipelineResult R = transformLoop(*PR.M, LoopId);
+    CompilationSession Session(*PR.M);
+    for (const PipelineResult &R : Session.compileAll()) {
       if (!R.Ok) {
-        for (const std::string &E : R.Errors)
-          std::fprintf(stderr, "loop %u: %s\n", LoopId, E.c_str());
+        for (const Diagnostic &D : R.Diags)
+          if (D.Severity == DiagSeverity::Error)
+            std::fprintf(stderr, "%s\n", D.str().c_str());
         return 1;
       }
-      std::fprintf(stderr, "loop %u: %s, %u structure(s) expanded\n", LoopId,
+      std::fprintf(stderr, "loop %u: %s, %u structure(s) expanded\n", R.LoopId,
                    R.Plan.Kind == ParallelKind::DOALL      ? "DOALL"
                    : R.Plan.Kind == ParallelKind::DOACROSS ? "DOACROSS"
                                                            : "sequential",
                    R.Expansion.ExpandedObjects);
     }
+    if (TimePasses)
+      std::fprintf(stderr, "%s", Session.timingReport().c_str());
+    if (Stats)
+      std::fprintf(stderr, "%s", Session.statsReport().c_str());
   }
 
   if (DumpIR)

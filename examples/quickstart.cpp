@@ -56,11 +56,13 @@ int main() {
 
   // --- Transform. -----------------------------------------------------------
   std::unique_ptr<Module> M = parseMiniCOrDie(Program, "quickstart");
-  std::vector<unsigned> Candidates = findCandidateLoops(*M);
-  PipelineResult PR = transformLoop(*M, Candidates.front());
+  CompilationSession Session(*M);
+  std::vector<unsigned> Candidates = Session.candidateLoops();
+  PipelineResult PR = Session.compileLoop(Candidates.front());
   if (!PR.Ok) {
-    for (const std::string &E : PR.Errors)
-      std::fprintf(stderr, "error: %s\n", E.c_str());
+    for (const Diagnostic &D : PR.Diags)
+      if (D.Severity == DiagSeverity::Error)
+        std::fprintf(stderr, "%s\n", D.str().c_str());
     return 1;
   }
   std::printf("dependence graph:\n%s\n", PR.Graph.str().c_str());

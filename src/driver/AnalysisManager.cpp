@@ -1,0 +1,172 @@
+//===- AnalysisManager.cpp - Cached per-module/per-loop analyses -----------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/AnalysisManager.h"
+
+#include "analysis/StaticDeps.h"
+#include "profile/DepProfiler.h"
+#include "support/Support.h"
+
+using namespace gdse;
+
+const char *gdse::graphSourceName(GraphSource S) {
+  switch (S) {
+  case GraphSource::Profile:
+    return "profile";
+  case GraphSource::Static:
+    return "static-deps";
+  case GraphSource::External:
+    return "external";
+  }
+  gdse_unreachable("bad graph source");
+}
+
+AnalysisManager::AnalysisManager(Module &M, DiagnosticEngine &DE,
+                                 TimingRegistry *TR)
+    : M(M), DE(DE), TR(TR) {}
+
+void AnalysisManager::setExternalGraph(const LoopDepGraph *G) {
+  if (G == External)
+    return;
+  External = G;
+  for (auto It = Graphs.begin(); It != Graphs.end();)
+    It = It->first.second == GraphSource::External ? Graphs.erase(It)
+                                                   : std::next(It);
+  for (auto It = Classes.begin(); It != Classes.end();)
+    It = It->first.second == GraphSource::External ? Classes.erase(It)
+                                                   : std::next(It);
+}
+
+void AnalysisManager::hit() {
+  ++Stats.CacheHits;
+  if (TR)
+    TR->bumpCounter("analysis.cache.hits");
+}
+
+void AnalysisManager::miss() {
+  ++Stats.CacheMisses;
+  if (TR)
+    TR->bumpCounter("analysis.cache.misses");
+}
+
+const AccessNumbering &AnalysisManager::numbering() {
+  if (Num) {
+    hit();
+    return *Num;
+  }
+  miss();
+  ++Stats.NumberingRuns;
+  TimerScope T(TR, "analysis.numbering");
+  Num = AccessNumbering::compute(M);
+  return *Num;
+}
+
+const PointsTo &AnalysisManager::pointsTo() {
+  if (PT) {
+    hit();
+    return *PT;
+  }
+  miss();
+  ++Stats.PointsToRuns;
+  TimerScope T(TR, "analysis.points-to");
+  PT = PointsTo::compute(M);
+  return *PT;
+}
+
+const LoopDepGraph *AnalysisManager::depGraph(unsigned LoopId,
+                                              GraphSource Source) {
+  LoopKey Key{LoopId, Source};
+  auto It = Graphs.find(Key);
+  if (It != Graphs.end()) {
+    hit();
+    if (It->second.Failed) {
+      DE.report(It->second.FailDiag);
+      return nullptr;
+    }
+    return &It->second.G;
+  }
+  miss();
+
+  // Number the module first so every source sees consistent ids (and so the
+  // expensive sub-analyses below are attributed to their own timers).
+  const AccessNumbering &Numbering = numbering();
+
+  CachedGraph Entry;
+  DiagnosticScope Scope(DE, graphSourceName(Source), LoopId);
+  switch (Source) {
+  case GraphSource::Profile: {
+    ++Stats.ProfileRuns;
+    TimerScope T(TR, "analysis.profile");
+    ProfileResult Prof = profileLoop(M, LoopId, this->Entry);
+    if (TR)
+      TR->addVmCycles("analysis.profile", Prof.Run.WorkCycles);
+    if (!Prof.Run.ok()) {
+      Entry.FailDiag = DE.error("profiling run failed: " + Prof.Run.TrapMessage);
+      Entry.Failed = true;
+    } else {
+      Entry.G = std::move(Prof.Graph);
+    }
+    break;
+  }
+  case GraphSource::Static: {
+    ++Stats.StaticGraphRuns;
+    const PointsTo &P = pointsTo();
+    TimerScope T(TR, "analysis.static-deps");
+    Entry.G = buildStaticDepGraph(M, LoopId, P, Numbering);
+    break;
+  }
+  case GraphSource::External:
+    if (!External) {
+      Entry.FailDiag = DE.error("GraphSource::External requires ExternalGraph");
+      Entry.Failed = true;
+    } else if (External->LoopId != LoopId) {
+      Entry.FailDiag =
+          DE.error("external graph was produced for a different loop");
+      Entry.Failed = true;
+    } else {
+      Entry.G = *External;
+    }
+    break;
+  }
+
+  auto [Pos, Inserted] = Graphs.emplace(Key, std::move(Entry));
+  (void)Inserted;
+  return Pos->second.Failed ? nullptr : &Pos->second.G;
+}
+
+const AccessClasses *AnalysisManager::accessClasses(unsigned LoopId,
+                                                    GraphSource Source) {
+  LoopKey Key{LoopId, Source};
+  auto It = Classes.find(Key);
+  if (It != Classes.end()) {
+    hit();
+    return &It->second;
+  }
+  const LoopDepGraph *G = depGraph(LoopId, Source);
+  if (!G)
+    return nullptr;
+  miss();
+  ++Stats.ClassifyRuns;
+  TimerScope T(TR, "analysis.access-classes");
+  auto [Pos, Inserted] = Classes.emplace(Key, AccessClasses::build(*G));
+  (void)Inserted;
+  return &Pos->second;
+}
+
+void AnalysisManager::invalidateLoop(unsigned LoopId) {
+  for (auto It = Graphs.begin(); It != Graphs.end();)
+    It = It->first.first == LoopId ? Graphs.erase(It) : std::next(It);
+  for (auto It = Classes.begin(); It != Classes.end();)
+    It = It->first.first == LoopId ? Classes.erase(It) : std::next(It);
+}
+
+void AnalysisManager::invalidateModule() {
+  Num.reset();
+  PT.reset();
+  Graphs.clear();
+  Classes.clear();
+}

@@ -1,0 +1,146 @@
+//===- AnalysisManager.h - Cached per-module/per-loop analyses --*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis half of the compilation-session architecture. One
+/// AnalysisManager owns every analysis result derived from one module:
+///
+///  - per-module: AccessNumbering, PointsTo;
+///  - per-(loop, graph source): the LoopDepGraph (profiled, static, or
+///    caller-registered external) and its Definition 4/5 AccessClasses.
+///
+/// Queries are lazy and cached; repeated queries return the cached result
+/// (counted in AnalysisStats, the basis of the batch-compilation guarantee
+/// that the profiler runs at most once per (loop, source)). Transform
+/// passes report what they preserved and the PassManager invalidates
+/// accordingly: invalidateModule() drops everything (the IR changed),
+/// invalidateLoop() drops only one loop's graphs and classes.
+///
+/// Failed graph acquisitions (a trapped profiling run, a missing or
+/// mismatched external graph) are reported through the DiagnosticEngine and
+/// negatively cached, so a batch session does not re-run a failing profile
+/// for every downstream query.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_DRIVER_ANALYSISMANAGER_H
+#define GDSE_DRIVER_ANALYSISMANAGER_H
+
+#include "analysis/AccessClasses.h"
+#include "analysis/DepGraph.h"
+#include "analysis/PointsTo.h"
+#include "ir/AccessInfo.h"
+#include "support/Diagnostics.h"
+#include "support/Timing.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace gdse {
+
+/// Where a loop-level dependence graph comes from (§2: "from the
+/// programmer, the compiler, or tools that perform data dependence
+/// profiling").
+enum class GraphSource : uint8_t {
+  Profile,  ///< dependence profiling run (the paper's evaluation setup)
+  Static,   ///< conservative compile-time analysis (the §4.1 foil)
+  External, ///< caller-supplied, e.g. programmer-verified (GraphIO.h)
+};
+
+const char *graphSourceName(GraphSource S);
+
+/// Cache behaviour counters; also mirrored into the TimingRegistry's named
+/// counters when one is attached.
+struct AnalysisStats {
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  /// Dependence-profiling interpreter executions (each is one whole-program
+  /// VM run — by far the most expensive analysis).
+  uint64_t ProfileRuns = 0;
+  uint64_t PointsToRuns = 0;
+  uint64_t NumberingRuns = 0;
+  uint64_t StaticGraphRuns = 0;
+  uint64_t ClassifyRuns = 0;
+};
+
+class AnalysisManager {
+public:
+  AnalysisManager(Module &M, DiagnosticEngine &DE,
+                  TimingRegistry *TR = nullptr);
+
+  /// Entry function executed by profiling runs (default "main").
+  void setEntry(std::string Entry) { this->Entry = std::move(Entry); }
+  const std::string &entry() const { return Entry; }
+
+  /// Registers the caller-supplied graph served for GraphSource::External.
+  /// May be null to clear. The graph must outlive the manager (or the next
+  /// setExternalGraph call). Changing the registered graph drops every
+  /// cached External result (including negatively-cached failures).
+  void setExternalGraph(const LoopDepGraph *G);
+
+  //===--------------------------------------------------------------------===//
+  // Queries
+  //===--------------------------------------------------------------------===//
+
+  /// Module-wide access/loop numbering of the CURRENT IR.
+  const AccessNumbering &numbering();
+  /// Whole-program Andersen points-to of the CURRENT IR.
+  const PointsTo &pointsTo();
+
+  /// The dependence graph of \p LoopId under \p Source. Null on failure
+  /// (an error diagnostic has been emitted); failures are negatively
+  /// cached until invalidation.
+  const LoopDepGraph *depGraph(unsigned LoopId, GraphSource Source);
+
+  /// Definition 4/5 classification of depGraph(LoopId, Source). Null when
+  /// the underlying graph is unavailable.
+  const AccessClasses *accessClasses(unsigned LoopId, GraphSource Source);
+
+  //===--------------------------------------------------------------------===//
+  // Invalidation
+  //===--------------------------------------------------------------------===//
+
+  /// The IR of \p LoopId changed (e.g. planner wrapped its body in ordered
+  /// regions): drop that loop's graphs and classes, keep everything else.
+  void invalidateLoop(unsigned LoopId);
+  /// The module-wide IR changed (expansion, rtpriv): drop everything.
+  void invalidateModule();
+
+  const AnalysisStats &stats() const { return Stats; }
+  Module &module() { return M; }
+  DiagnosticEngine &diags() { return DE; }
+
+private:
+  struct CachedGraph {
+    bool Failed = false;
+    /// The failure's diagnostic, replayed verbatim on every cached-failure
+    /// query so each compileLoop attempt still reports why it failed.
+    Diagnostic FailDiag;
+    LoopDepGraph G;
+  };
+  using LoopKey = std::pair<unsigned, GraphSource>;
+
+  void hit();
+  void miss();
+
+  Module &M;
+  DiagnosticEngine &DE;
+  TimingRegistry *TR;
+  std::string Entry = "main";
+  const LoopDepGraph *External = nullptr;
+
+  std::optional<AccessNumbering> Num;
+  std::optional<PointsTo> PT;
+  std::map<LoopKey, CachedGraph> Graphs;
+  std::map<LoopKey, AccessClasses> Classes;
+  AnalysisStats Stats;
+};
+
+} // namespace gdse
+
+#endif // GDSE_DRIVER_ANALYSISMANAGER_H

@@ -1,0 +1,116 @@
+//===- CompilationSession.cpp - Multi-loop batch compilation ---------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompilationSession.h"
+
+#include "driver/PassManager.h"
+#include "ir/IR.h"
+#include "support/Support.h"
+
+using namespace gdse;
+
+CompilationSession::CompilationSession(Module &M) : M(M), AM(M, DE, &TR) {}
+
+std::vector<unsigned> CompilationSession::candidateLoops() {
+  const AccessNumbering &Num = AM.numbering();
+  std::vector<unsigned> Out;
+  for (const LoopDesc &L : Num.loops())
+    if (auto *F = dyn_cast<ForStmt>(L.LoopStmt))
+      if (F->isCandidate())
+        Out.push_back(L.Id);
+  return Out;
+}
+
+PipelineResult CompilationSession::compileLoop(unsigned LoopId,
+                                               const PipelineOptions &Opts) {
+  PipelineResult R;
+  R.LoopId = LoopId;
+  size_t DiagStart = DE.size();
+  AM.setEntry(Opts.Entry);
+  AM.setExternalGraph(Opts.ExternalGraph);
+
+  auto finish = [&](bool Ok) -> PipelineResult & {
+    R.Diags = DE.diagnosticsSince(DiagStart);
+    R.Errors = DE.errorStrings(DiagStart);
+    R.Ok = Ok && R.Errors.empty();
+    return R;
+  };
+
+  // --- Graph acquisition + Definition 4/5 classification. -----------------
+  // A failed profiling run or a missing/mismatched external graph short-
+  // circuits here: nothing downstream sees a partially-filled result.
+  const LoopDepGraph *G = AM.depGraph(LoopId, Opts.Source);
+  if (!G)
+    return finish(false);
+  const AccessClasses *Classes = AM.accessClasses(LoopId, Opts.Source);
+  if (!Classes)
+    return finish(false);
+  R.Graph = *G;
+  R.Breakdown = computeAccessBreakdown(*G, *Classes);
+  R.PrivateAccesses = Classes->privateAccesses();
+
+  // --- Privatization + planning as registered passes. ---------------------
+  PassManager PM;
+  switch (Opts.Method) {
+  case PrivatizationMethod::Expansion:
+    PM.add(createExpansionPass());
+    break;
+  case PrivatizationMethod::Runtime:
+    PM.add(createRtPrivPass());
+    break;
+  case PrivatizationMethod::None:
+    break;
+  }
+  PM.add(createPlannerPass());
+
+  PassContext Cx{M, LoopId, Opts, AM, DE, R, {}};
+  bool Ok = PM.run(Cx, &TR);
+  return finish(Ok);
+}
+
+std::vector<PipelineResult>
+CompilationSession::compileAll(const PipelineOptions &Opts) {
+  std::vector<PipelineResult> Out;
+  for (unsigned LoopId : candidateLoops()) {
+    Out.push_back(compileLoop(LoopId, Opts));
+    if (!Out.back().Ok)
+      break;
+  }
+  return Out;
+}
+
+std::string CompilationSession::statsReport() const {
+  std::string Out = TR.statsReport();
+  const AnalysisStats &S = AM.stats();
+  Out += formatString("  %12llu  analysis.profile.runs\n",
+                      static_cast<unsigned long long>(S.ProfileRuns));
+  Out += formatString("  %12llu  analysis.points-to.runs\n",
+                      static_cast<unsigned long long>(S.PointsToRuns));
+  Out += formatString("  %12llu  analysis.numbering.runs\n",
+                      static_cast<unsigned long long>(S.NumberingRuns));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Legacy entry points
+//===----------------------------------------------------------------------===//
+
+std::vector<unsigned> gdse::findCandidateLoops(Module &M) {
+  AccessNumbering Num = AccessNumbering::compute(M);
+  std::vector<unsigned> Out;
+  for (const LoopDesc &L : Num.loops())
+    if (auto *F = dyn_cast<ForStmt>(L.LoopStmt))
+      if (F->isCandidate())
+        Out.push_back(L.Id);
+  return Out;
+}
+
+PipelineResult gdse::transformLoop(Module &M, unsigned LoopId,
+                                   const PipelineOptions &Opts) {
+  CompilationSession Session(M);
+  return Session.compileLoop(LoopId, Opts);
+}

@@ -1,0 +1,75 @@
+//===- CompilationSession.h - Multi-loop batch compilation ------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One CompilationSession owns everything derived from one module while the
+/// Figure 7 tool runs over it:
+///
+///  - an AnalysisManager caching per-module (numbering, points-to) and
+///    per-(loop, graph-source) results (dependence graphs, Definition 4/5
+///    classes), with invalidation driven by the transform passes;
+///  - a DiagnosticEngine accumulating structured diagnostics (severity,
+///    pass name, loop id) across every stage;
+///  - a TimingRegistry giving every pass and cached analysis automatic
+///    wall-clock + VM-cycle timing and named counters (`-time-passes` /
+///    `-stats`-style reports).
+///
+/// The session supports multi-loop batch compilation: compileAll() expands
+/// every candidate loop of the module in one pass over the IR, with the
+/// profiler invoked at most once per (loop, graph source) — analyses are
+/// reused from cache until a transform pass actually changes the IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_DRIVER_COMPILATIONSESSION_H
+#define GDSE_DRIVER_COMPILATIONSESSION_H
+
+#include "driver/Pipeline.h"
+
+namespace gdse {
+
+class CompilationSession {
+public:
+  explicit CompilationSession(Module &M);
+
+  Module &module() { return M; }
+  DiagnosticEngine &diags() { return DE; }
+  TimingRegistry &timing() { return TR; }
+  AnalysisManager &analyses() { return AM; }
+  const AnalysisStats &analysisStats() const { return AM.stats(); }
+
+  /// Loop ids of the "@candidate" for-loops, in program order (cached via
+  /// the AnalysisManager's numbering).
+  std::vector<unsigned> candidateLoops();
+
+  /// Profile -> classify -> privatize -> plan for one loop, mutating the
+  /// module. Identical semantics to the legacy transformLoop(), plus
+  /// structured diagnostics in PipelineResult::Diags.
+  PipelineResult compileLoop(unsigned LoopId,
+                             const PipelineOptions &Opts = PipelineOptions());
+
+  /// Batch compilation: compileLoop for every candidate loop, in program
+  /// order. Stops at the first loop whose pipeline fails (the module must
+  /// be discarded then, exactly like a failed transformLoop).
+  std::vector<PipelineResult>
+  compileAll(const PipelineOptions &Opts = PipelineOptions());
+
+  /// `-time-passes`-style report over everything this session ran.
+  std::string timingReport() const { return TR.timingReport(); }
+  /// `-stats`-style report of the session's named counters.
+  std::string statsReport() const;
+
+private:
+  Module &M;
+  DiagnosticEngine DE;
+  TimingRegistry TR;
+  AnalysisManager AM;
+};
+
+} // namespace gdse
+
+#endif // GDSE_DRIVER_COMPILATIONSESSION_H

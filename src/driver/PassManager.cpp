@@ -1,0 +1,43 @@
+//===- PassManager.cpp - Registered, composable transform passes -----------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/PassManager.h"
+
+using namespace gdse;
+
+LoopTransformPass::~LoopTransformPass() = default;
+
+void PassManager::add(std::unique_ptr<LoopTransformPass> P) {
+  Passes.push_back(std::move(P));
+}
+
+bool PassManager::run(PassContext &Cx, TimingRegistry *TR) {
+  for (const std::unique_ptr<LoopTransformPass> &P : Passes) {
+    unsigned ErrorsBefore = Cx.DE.errorCount();
+    PreservedAnalyses PA;
+    {
+      DiagnosticScope Scope(Cx.DE, P->name(), Cx.LoopId);
+      TimerScope T(TR, std::string("pass.") + P->name());
+      PA = P->run(Cx);
+    }
+    switch (PA) {
+    case PreservedAnalyses::All:
+      break;
+    case PreservedAnalyses::AllExceptLoop:
+      Cx.AM.invalidateLoop(Cx.LoopId);
+      break;
+    case PreservedAnalyses::None:
+      Cx.AM.invalidateModule();
+      break;
+    }
+    if (TR)
+      TR->bumpCounter(std::string("pass.") + P->name() + ".runs");
+    if (Cx.DE.errorCount() > ErrorsBefore)
+      return false;
+  }
+  return true;
+}

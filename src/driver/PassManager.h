@@ -1,0 +1,91 @@
+//===- PassManager.h - Registered, composable transform passes -*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transform half of the compilation-session architecture. Each
+/// transform stage of the Figure 7 tool (expansion, the runtime-
+/// privatization baseline, the DOALL/DOACROSS planner) is a registered
+/// LoopTransformPass with a uniform entry point. The PassManager runs them
+/// in order with:
+///
+///  - automatic wall-clock timing per pass (TimingRegistry, "pass.<name>");
+///  - a DiagnosticScope so every diagnostic a pass emits is attributed with
+///    the pass name and target loop id;
+///  - analysis invalidation driven by the PreservedAnalyses summary each
+///    pass returns — a pass that did not touch the IR keeps every cached
+///    analysis alive;
+///  - error short-circuiting: the first pass that emits an error diagnostic
+///    aborts the pipeline for this loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_DRIVER_PASSMANAGER_H
+#define GDSE_DRIVER_PASSMANAGER_H
+
+#include "driver/Pipeline.h"
+
+#include <memory>
+#include <vector>
+
+namespace gdse {
+
+/// What a transform pass left intact, from the AnalysisManager's point of
+/// view.
+enum class PreservedAnalyses : uint8_t {
+  All,           ///< IR unchanged: every cached analysis stays valid
+  AllExceptLoop, ///< only the target loop's IR changed (e.g. sync insertion)
+  None,          ///< module-wide rewrite: drop everything
+};
+
+/// Everything a pass may touch while compiling one candidate loop.
+struct PassContext {
+  Module &M;
+  unsigned LoopId;
+  const PipelineOptions &Opts;
+  AnalysisManager &AM;
+  DiagnosticEngine &DE;
+  /// The per-loop result record passes fill in (stats, plan, ...).
+  PipelineResult &Result;
+  /// Private accesses honored by the privatization pass that ran (empty
+  /// when none did) — the set the planner must treat as decontended.
+  std::set<AccessId> Honored;
+};
+
+/// A transform pass operating on one candidate loop of the module.
+class LoopTransformPass {
+public:
+  virtual ~LoopTransformPass();
+  virtual const char *name() const = 0;
+  /// Transforms the module; reports through Cx.DE (an error diagnostic
+  /// aborts the pipeline). Returns what it preserved.
+  virtual PreservedAnalyses run(PassContext &Cx) = 0;
+};
+
+class PassManager {
+public:
+  void add(std::unique_ptr<LoopTransformPass> P);
+  size_t size() const { return Passes.size(); }
+
+  /// Runs every registered pass over \p Cx, timing each into \p TR (may be
+  /// null) and invalidating Cx.AM per the returned PreservedAnalyses.
+  /// Returns false as soon as a pass emits an error diagnostic.
+  bool run(PassContext &Cx, TimingRegistry *TR);
+
+private:
+  std::vector<std::unique_ptr<LoopTransformPass>> Passes;
+};
+
+/// The paper's compile-time general data structure expansion (Figure 7).
+std::unique_ptr<LoopTransformPass> createExpansionPass();
+/// The SpiceC-style runtime access-control baseline (§4.2.1).
+std::unique_ptr<LoopTransformPass> createRtPrivPass();
+/// DOALL/DOACROSS planning and ordered-region insertion (§4.3).
+std::unique_ptr<LoopTransformPass> createPlannerPass();
+
+} // namespace gdse
+
+#endif // GDSE_DRIVER_PASSMANAGER_H

@@ -1,0 +1,104 @@
+//===- Passes.cpp - The pipeline's transform passes ------------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// The three transform stages of the Figure 7 tool as LoopTransformPasses.
+// Each consumes cached analyses from the AnalysisManager (the dependence
+// graph was already acquired during classification, so the queries below
+// are cache hits) and reports structured diagnostics under its own name.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/PassManager.h"
+
+#include "rtpriv/RtPrivPass.h"
+
+using namespace gdse;
+
+namespace {
+
+/// Step 3 of Figure 7: rewrite the module so every thread-private access
+/// class operates on per-thread copies (Tables 1-3).
+class ExpansionTransformPass : public LoopTransformPass {
+public:
+  const char *name() const override { return "expansion"; }
+
+  PreservedAnalyses run(PassContext &Cx) override {
+    const LoopDepGraph *G = Cx.AM.depGraph(Cx.LoopId, Cx.Opts.Source);
+    if (!G) {
+      Cx.DE.error("dependence graph unavailable");
+      return PreservedAnalyses::All;
+    }
+    ExpansionInputs In;
+    In.Num = &Cx.AM.numbering();
+    In.PT = &Cx.AM.pointsTo();
+    In.Classes = Cx.AM.accessClasses(Cx.LoopId, Cx.Opts.Source);
+    In.Diags = &Cx.DE;
+    ExpansionResult ER =
+        expandLoop(Cx.M, Cx.LoopId, *G, Cx.Opts.Expansion, In);
+    if (!ER.Ok) {
+      // The module may be partially rewritten; the caller must discard it,
+      // but drop the caches in case the session object outlives the error.
+      return PreservedAnalyses::None;
+    }
+    Cx.Result.Expansion = ER.Stats;
+    Cx.Honored = std::move(ER.PrivateAccesses);
+    const ExpansionStats &S = ER.Stats;
+    bool Untouched = S.ExpandedObjects == 0 && S.PromotedPointerSlots == 0 &&
+                     S.SpanStoresInserted == 0 &&
+                     S.PrivateAccessesRedirected == 0 &&
+                     S.SharedAccessesRedirected == 0;
+    return Untouched ? PreservedAnalyses::All : PreservedAnalyses::None;
+  }
+};
+
+/// The §4.2.1 baseline: route every private access through the VM's
+/// runtime access-control library instead of expanding.
+class RtPrivTransformPass : public LoopTransformPass {
+public:
+  const char *name() const override { return "rtpriv"; }
+
+  PreservedAnalyses run(PassContext &Cx) override {
+    RtPrivResult RR = applyRuntimePrivatization(
+        Cx.M, Cx.Result.PrivateAccesses, &Cx.DE, Cx.LoopId);
+    if (!RR.Ok)
+      return PreservedAnalyses::None;
+    Cx.Result.RtPrivWrapped = RR.AccessesWrapped;
+    Cx.Honored = Cx.Result.PrivateAccesses;
+    return RR.AccessesWrapped ? PreservedAnalyses::None
+                              : PreservedAnalyses::All;
+  }
+};
+
+/// Step 4 of Figure 7: decide DOALL vs DOACROSS and wrap residual-
+/// dependence statements in ordered regions. Plans against the graph
+/// snapshot the privatization stage honored (Result.Graph), never a
+/// re-profiled one.
+class PlannerTransformPass : public LoopTransformPass {
+public:
+  const char *name() const override { return "planner"; }
+
+  PreservedAnalyses run(PassContext &Cx) override {
+    Cx.Result.Plan = planParallelLoop(Cx.M, Cx.LoopId, Cx.Result.Graph,
+                                      Cx.Honored, &Cx.DE);
+    return Cx.Result.Plan.Parallelized ? PreservedAnalyses::AllExceptLoop
+                                       : PreservedAnalyses::All;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<LoopTransformPass> gdse::createExpansionPass() {
+  return std::make_unique<ExpansionTransformPass>();
+}
+
+std::unique_ptr<LoopTransformPass> gdse::createRtPrivPass() {
+  return std::make_unique<RtPrivTransformPass>();
+}
+
+std::unique_ptr<LoopTransformPass> gdse::createPlannerPass() {
+  return std::make_unique<PlannerTransformPass>();
+}

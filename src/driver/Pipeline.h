@@ -1,0 +1,72 @@
+//===- Pipeline.h - Pipeline options and per-loop results -------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole tool of Figure 7 — profile the candidate loop (dependence
+/// graph), classify accesses, privatize (by compile-time expansion or by the
+/// runtime-privatization baseline), and plan the parallel execution — as
+/// options plus a per-loop result record. Orchestration lives in
+/// CompilationSession.h; `transformLoop` below is the one-shot convenience
+/// wrapper around a single-loop session.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_DRIVER_PIPELINE_H
+#define GDSE_DRIVER_PIPELINE_H
+
+#include "driver/AnalysisManager.h"
+#include "expand/Expansion.h"
+#include "parallel/Planner.h"
+#include "support/Diagnostics.h"
+
+namespace gdse {
+
+/// How to remove the private-class contention.
+enum class PrivatizationMethod : uint8_t {
+  Expansion, ///< the paper's compile-time general data structure expansion
+  Runtime,   ///< the SpiceC-style runtime access-control baseline (§4.2.1)
+  None,      ///< leave private classes alone (everything becomes residual)
+};
+
+struct PipelineOptions {
+  PrivatizationMethod Method = PrivatizationMethod::Expansion;
+  ExpansionOptions Expansion;
+  std::string Entry = "main";
+  GraphSource Source = GraphSource::Profile;
+  /// Required when Source == External: the verified graph for this loop.
+  const LoopDepGraph *ExternalGraph = nullptr;
+};
+
+struct PipelineResult {
+  bool Ok = false;
+  /// Error messages only — the legacy flat view. Prefer Diags.
+  std::vector<std::string> Errors;
+  /// Every diagnostic (all severities) emitted while compiling this loop,
+  /// each attributed with the emitting pass and the loop id.
+  std::vector<Diagnostic> Diags;
+  unsigned LoopId = 0;
+  LoopDepGraph Graph;
+  AccessBreakdown Breakdown;
+  std::set<AccessId> PrivateAccesses;
+  ExpansionStats Expansion;
+  PlanResult Plan;
+  unsigned RtPrivWrapped = 0;
+};
+
+/// Loop ids of the "@candidate" for-loops of \p M, in program order. Runs
+/// AccessNumbering (assigning loop ids) as a side effect.
+std::vector<unsigned> findCandidateLoops(Module &M);
+
+/// Runs profile -> classify -> privatize -> plan for loop \p LoopId of
+/// \p M, mutating the module. One-shot wrapper over CompilationSession;
+/// batch callers should hold a session instead to reuse cached analyses.
+PipelineResult transformLoop(Module &M, unsigned LoopId,
+                             const PipelineOptions &Opts = PipelineOptions());
+
+} // namespace gdse
+
+#endif // GDSE_DRIVER_PIPELINE_H

@@ -120,11 +120,19 @@ std::set<uint32_t> intersect(const std::set<uint32_t> &A,
 
 ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
                                  const LoopDepGraph &G,
-                                 const ExpansionOptions &Opts) {
+                                 const ExpansionOptions &Opts,
+                                 const ExpansionInputs &Inputs) {
   ExpansionResult Result;
   ExpansionContext Cx(M, G, Opts, Result);
+  Cx.DE = Inputs.Diags;
+  std::optional<DiagnosticScope> Scope;
+  if (Inputs.Diags)
+    Scope.emplace(*Inputs.Diags, "expansion", LoopId);
 
-  AccessNumbering Num = AccessNumbering::compute(M);
+  std::optional<AccessNumbering> OwnedNum;
+  if (!Inputs.Num)
+    OwnedNum = AccessNumbering::compute(M);
+  const AccessNumbering &Num = Inputs.Num ? *Inputs.Num : *OwnedNum;
   if (LoopId == 0 || LoopId > Num.numLoops()) {
     Cx.error(formatString("unknown loop id %u", LoopId));
     return Result;
@@ -141,8 +149,15 @@ ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
     return Result;
   }
 
-  PointsTo PT = PointsTo::compute(M);
-  AccessClasses Classes = AccessClasses::build(G);
+  std::optional<PointsTo> OwnedPT;
+  if (!Inputs.PT)
+    OwnedPT = PointsTo::compute(M);
+  const PointsTo &PT = Inputs.PT ? *Inputs.PT : *OwnedPT;
+  std::optional<AccessClasses> OwnedClasses;
+  if (!Inputs.Classes)
+    OwnedClasses = AccessClasses::build(G);
+  const AccessClasses &Classes =
+      Inputs.Classes ? *Inputs.Classes : *OwnedClasses;
   Result.PrivateAccesses = Classes.privateAccesses();
 
   // --- Per-access root objects, and the expansion-target closure. --------

@@ -36,6 +36,7 @@
 #include "analysis/DepGraph.h"
 #include "analysis/PointsTo.h"
 #include "ir/AccessInfo.h"
+#include "support/Diagnostics.h"
 
 #include <memory>
 #include <set>
@@ -88,12 +89,26 @@ struct ExpansionResult {
   std::set<AccessId> PrivateAccesses;
 };
 
+/// Precomputed analysis results (and the structured diagnostic sink) an
+/// analysis manager can hand to expandLoop so nothing is recomputed. Every
+/// field is optional; whatever is missing is computed locally. Provided
+/// results must describe the CURRENT (pre-expansion) state of the module.
+struct ExpansionInputs {
+  const AccessNumbering *Num = nullptr;
+  const PointsTo *PT = nullptr;
+  const AccessClasses *Classes = nullptr;
+  /// When set, every expansion error is also reported here, attributed to
+  /// pass "expansion" and the target loop.
+  DiagnosticEngine *Diags = nullptr;
+};
+
 /// Applies general data structure expansion to the loop \p LoopId of \p M,
 /// driven by the dependence graph \p G obtained for that loop. On success
 /// the module is rewritten in place (and re-verified); on failure the module
 /// must be discarded (it may be partially rewritten).
 ExpansionResult expandLoop(Module &M, unsigned LoopId, const LoopDepGraph &G,
-                           const ExpansionOptions &Opts = ExpansionOptions());
+                           const ExpansionOptions &Opts = ExpansionOptions(),
+                           const ExpansionInputs &Inputs = ExpansionInputs());
 
 } // namespace gdse
 

@@ -93,11 +93,19 @@ struct ExpansionContext {
   /// for hoisting redirection addresses to the top of the loop body.
   std::set<VarDecl *> StableBases;
 
+  /// Structured diagnostic sink; may be null (legacy callers). Attribution
+  /// (pass name, loop id) comes from the DiagnosticScope expandLoop pushes.
+  DiagnosticEngine *DE = nullptr;
+
   ExpansionContext(Module &M, const LoopDepGraph &G,
                    const ExpansionOptions &Opts, ExpansionResult &Result)
       : M(M), B(M), G(G), Opts(Opts), Result(Result) {}
 
-  void error(const std::string &Msg) { Result.Errors.push_back(Msg); }
+  void error(const std::string &Msg) {
+    Result.Errors.push_back(Msg);
+    if (DE)
+      DE->error(Msg);
+  }
   bool failed() const { return !Result.Errors.empty(); }
 
   TypeContext &types() { return M.getTypes(); }

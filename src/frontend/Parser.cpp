@@ -1273,10 +1273,22 @@ private:
 ParseResult gdse::parseMiniC(const std::string &Source) {
   ParseResult Result;
   std::vector<Token> Toks = lex(Source, Result.Errors);
-  if (!Result.Errors.empty())
-    return Result;
-  ParserImpl P(std::move(Toks), Result.Errors);
-  Result.M = P.run();
+  if (Result.Errors.empty()) {
+    ParserImpl P(std::move(Toks), Result.Errors);
+    Result.M = P.run();
+  }
+  // Structured view: every frontend error, with the source line recovered
+  // from the "line:col:" prefix the lexer/parser emit.
+  for (const std::string &E : Result.Errors) {
+    Diagnostic D;
+    D.Severity = DiagSeverity::Error;
+    D.Pass = "frontend";
+    D.Message = E;
+    unsigned Line = 0, Col = 0;
+    if (std::sscanf(E.c_str(), "%u:%u:", &Line, &Col) == 2)
+      D.Line = Line;
+    Result.Diags.push_back(std::move(D));
+  }
   return Result;
 }
 

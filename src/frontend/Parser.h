@@ -25,6 +25,7 @@
 #define GDSE_FRONTEND_PARSER_H
 
 #include "ir/IR.h"
+#include "support/Diagnostics.h"
 
 #include <memory>
 #include <string>
@@ -35,7 +36,11 @@ namespace gdse {
 struct ParseResult {
   /// The parsed program; null when any error was reported.
   std::unique_ptr<Module> M;
+  /// Legacy flat view ("line:col: message"); prefer Diags.
   std::vector<std::string> Errors;
+  /// Structured view of the same errors: pass "frontend", severity Error,
+  /// with the 1-based source line when known.
+  std::vector<Diagnostic> Diags;
 
   bool ok() const { return M != nullptr && Errors.empty(); }
 };

@@ -11,6 +11,7 @@
 #include "ir/IRVisitor.h"
 #include "support/Support.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <set>
@@ -1214,6 +1215,7 @@ struct Interp::Impl {
   //===------------------------------------------------------------------===//
 
   RunResult run(const std::string &Entry) {
+    auto HostStart = std::chrono::steady_clock::now();
     // Reset run state (globals are freshly allocated each run).
     Cycles = 0;
     TimeAdjust = 0;
@@ -1265,6 +1267,10 @@ struct Interp::Impl {
     R.Loops = std::move(Loops);
     R.RtPrivTranslations = RtPrivTranslations;
     R.RtPrivBytesCopied = RtPrivBytesCopied;
+    R.HostNanos = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - HostStart)
+            .count());
     return R;
   }
 

@@ -110,6 +110,10 @@ struct RunResult {
   /// Everything print_int/print_float produced, for output equivalence.
   std::string Output;
   uint64_t PeakMemoryBytes = 0;
+  /// Host wall-clock nanoseconds the VM spent executing this run — the
+  /// timer hook the session's `-time-passes` accounting attributes to
+  /// VM-executing stages (dependence profiling, benchmark runs).
+  uint64_t HostNanos = 0;
   std::map<unsigned, LoopStats> Loops;
   /// Runtime-privatization accounting (non-zero only when rtpriv_ptr ran).
   uint64_t RtPrivTranslations = 0;

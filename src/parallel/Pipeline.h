@@ -1,4 +1,4 @@
-//===- Pipeline.h - End-to-end parallelization pipeline ---------*- C++ -*-===//
+//===- Pipeline.h - Legacy include shim -------------------------*- C++ -*-===//
 //
 // Part of the GDSE project, a reproduction of "General Data Structure
 // Expansion for Multi-threading" (PLDI 2013).
@@ -6,68 +6,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The whole tool of Figure 7 in one call: profile the candidate loop
-/// (dependence graph), classify accesses, privatize — by compile-time
-/// expansion or by the runtime-privatization baseline — and plan the
-/// parallel execution (DOALL/DOACROSS + ordered regions).
+/// The pipeline orchestration moved to the driver layer: PipelineOptions /
+/// PipelineResult / transformLoop live in driver/Pipeline.h and batch
+/// compilation in driver/CompilationSession.h (link gdse_driver). This shim
+/// keeps historical `#include "parallel/Pipeline.h"` lines working.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDSE_PARALLEL_PIPELINE_H
 #define GDSE_PARALLEL_PIPELINE_H
 
-#include "expand/Expansion.h"
-#include "parallel/Planner.h"
+#include "driver/CompilationSession.h"
+// The historical header also exposed the profiler (and, transitively, the
+// VM) — keep that for source compatibility.
 #include "profile/DepProfiler.h"
-
-namespace gdse {
-
-/// How to remove the private-class contention.
-enum class PrivatizationMethod : uint8_t {
-  Expansion, ///< the paper's compile-time general data structure expansion
-  Runtime,   ///< the SpiceC-style runtime access-control baseline (§4.2.1)
-  None,      ///< leave private classes alone (everything becomes residual)
-};
-
-/// Where the loop-level dependence graph comes from (§2: "from the
-/// programmer, the compiler, or tools that perform data dependence
-/// profiling").
-enum class GraphSource : uint8_t {
-  Profile,  ///< dependence profiling run (the paper's evaluation setup)
-  Static,   ///< conservative compile-time analysis (the §4.1 foil)
-  External, ///< caller-supplied, e.g. programmer-verified (GraphIO.h)
-};
-
-struct PipelineOptions {
-  PrivatizationMethod Method = PrivatizationMethod::Expansion;
-  ExpansionOptions Expansion;
-  std::string Entry = "main";
-  GraphSource Source = GraphSource::Profile;
-  /// Required when Source == External: the verified graph for this loop.
-  const LoopDepGraph *ExternalGraph = nullptr;
-};
-
-struct PipelineResult {
-  bool Ok = false;
-  std::vector<std::string> Errors;
-  unsigned LoopId = 0;
-  LoopDepGraph Graph;
-  AccessBreakdown Breakdown;
-  std::set<AccessId> PrivateAccesses;
-  ExpansionStats Expansion;
-  PlanResult Plan;
-  unsigned RtPrivWrapped = 0;
-};
-
-/// Loop ids of the "@candidate" for-loops of \p M, in program order. Runs
-/// AccessNumbering (assigning loop ids) as a side effect.
-std::vector<unsigned> findCandidateLoops(Module &M);
-
-/// Runs profile -> classify -> privatize -> plan for loop \p LoopId of
-/// \p M, mutating the module.
-PipelineResult transformLoop(Module &M, unsigned LoopId,
-                             const PipelineOptions &Opts = PipelineOptions());
-
-} // namespace gdse
 
 #endif // GDSE_PARALLEL_PIPELINE_H

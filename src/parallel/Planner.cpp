@@ -11,6 +11,9 @@
 #include "ir/IRVisitor.h"
 #include "support/Support.h"
 
+#include <functional>
+#include <optional>
+
 using namespace gdse;
 
 namespace {
@@ -47,16 +50,25 @@ ForStmt *findLoop(Module &M, unsigned LoopId) {
 
 PlanResult gdse::planParallelLoop(Module &M, unsigned LoopId,
                                   const LoopDepGraph &G,
-                                  const std::set<AccessId> &PrivateAccesses) {
+                                  const std::set<AccessId> &PrivateAccesses,
+                                  DiagnosticEngine *DE) {
   PlanResult R;
+  std::optional<DiagnosticScope> Scope;
+  if (DE)
+    Scope.emplace(*DE, "planner", LoopId);
+  auto reject = [&](const std::string &Msg) {
+    R.Notes.push_back(Msg);
+    if (DE)
+      DE->remark(Msg);
+  };
   ForStmt *Loop = findLoop(M, LoopId);
   if (!Loop) {
-    R.Notes.push_back(formatString("loop %u not found", LoopId));
+    reject(formatString("loop %u not found", LoopId));
     return R;
   }
   if (G.HasUnmodeled) {
-    R.Notes.push_back("loop performs bulk memory operations the dependence "
-                      "graph cannot model");
+    reject("loop performs bulk memory operations the dependence "
+           "graph cannot model");
     return R;
   }
   bool HasEscape = false;
@@ -92,8 +104,7 @@ PlanResult gdse::planParallelLoop(Module &M, unsigned LoopId,
       }
     };
     if (escapes(Loop->getBody())) {
-      R.Notes.push_back("loop body may break out of or return from the "
-                        "candidate loop");
+      reject("loop body may break out of or return from the candidate loop");
       return R;
     }
   }

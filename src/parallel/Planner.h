@@ -25,6 +25,7 @@
 #define GDSE_PARALLEL_PLANNER_H
 
 #include "analysis/DepGraph.h"
+#include "support/Diagnostics.h"
 
 #include <set>
 #include <string>
@@ -46,9 +47,12 @@ struct PlanResult {
 /// Plans the loop \p LoopId of \p M using graph \p G and the private access
 /// set honored by a prior expansion (empty when none ran). Mutates the loop:
 /// sets its ParallelKind and wraps residual-dependence statements in
-/// OrderedStmt regions.
+/// OrderedStmt regions. Rejections are recorded in PlanResult::Notes and,
+/// when \p DE is given, additionally as remark diagnostics attributed to
+/// pass "planner" and loop \p LoopId.
 PlanResult planParallelLoop(Module &M, unsigned LoopId, const LoopDepGraph &G,
-                            const std::set<AccessId> &PrivateAccesses);
+                            const std::set<AccessId> &PrivateAccesses,
+                            DiagnosticEngine *DE = nullptr);
 
 } // namespace gdse
 

@@ -58,14 +58,23 @@ private:
 } // namespace
 
 RtPrivResult gdse::applyRuntimePrivatization(Module &M,
-                                             const std::set<AccessId> &Private) {
+                                             const std::set<AccessId> &Private,
+                                             DiagnosticEngine *DE,
+                                             unsigned LoopId) {
   RtPrivResult Result;
   RtPrivRewriter RW(M, Private, Result);
   for (Function *F : M.getFunctions())
     RW.run(F);
   std::vector<std::string> Errs = verifyModule(M);
-  for (const std::string &E : Errs)
-    Result.Errors.push_back("post-rtpriv verification: " + E);
+  for (const std::string &E : Errs) {
+    std::string Msg = "post-rtpriv verification: " + E;
+    if (DE) {
+      Diagnostic &D = DE->error(Msg);
+      D.Pass = "rtpriv";
+      D.LoopId = LoopId;
+    }
+    Result.Errors.push_back(std::move(Msg));
+  }
   Result.Ok = Result.Errors.empty();
   return Result;
 }

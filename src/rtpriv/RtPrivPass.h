@@ -25,6 +25,7 @@
 #define GDSE_RTPRIV_RTPRIVPASS_H
 
 #include "ir/IR.h"
+#include "support/Diagnostics.h"
 
 #include <set>
 #include <string>
@@ -38,10 +39,13 @@ struct RtPrivResult {
   unsigned AccessesWrapped = 0;
 };
 
-/// Routes every access in \p PrivateAccesses through the runtime
-/// access-control library.
+/// Routes every access in \p Private through the runtime access-control
+/// library. When \p DE is given, errors are additionally reported there as
+/// structured diagnostics attributed to pass "rtpriv" and loop \p LoopId.
 RtPrivResult applyRuntimePrivatization(Module &M,
-                                       const std::set<AccessId> &Private);
+                                       const std::set<AccessId> &Private,
+                                       DiagnosticEngine *DE = nullptr,
+                                       unsigned LoopId = 0);
 
 } // namespace gdse
 

@@ -1,0 +1,71 @@
+//===- Diagnostics.cpp - Structured pipeline diagnostics -------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/Support.h"
+
+using namespace gdse;
+
+const char *gdse::diagSeverityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Remark:
+    return "remark";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  gdse_unreachable("bad severity");
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = diagSeverityName(Severity);
+  if (!Pass.empty())
+    Out += "[" + Pass + "]";
+  if (LoopId)
+    Out += formatString(" loop %u", LoopId);
+  if (Line)
+    Out += formatString(" line %u", Line);
+  Out += ": " + Message;
+  return Out;
+}
+
+Diagnostic &DiagnosticEngine::report(DiagSeverity S, std::string Msg) {
+  Diagnostic D;
+  D.Severity = S;
+  D.Message = std::move(Msg);
+  if (!Scopes.empty()) {
+    D.Pass = Scopes.back().Pass;
+    D.LoopId = Scopes.back().LoopId;
+  }
+  if (S == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back(std::move(D));
+  return Diags.back();
+}
+
+Diagnostic &DiagnosticEngine::report(Diagnostic D) {
+  if (D.Severity == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back(std::move(D));
+  return Diags.back();
+}
+
+std::vector<std::string> DiagnosticEngine::errorStrings(size_t Since) const {
+  std::vector<std::string> Out;
+  for (size_t I = Since; I < Diags.size(); ++I)
+    if (Diags[I].isError())
+      Out.push_back(Diags[I].Message);
+  return Out;
+}
+
+std::vector<Diagnostic> DiagnosticEngine::diagnosticsSince(size_t Since) const {
+  return std::vector<Diagnostic>(Diags.begin() + Since, Diags.end());
+}

@@ -131,6 +131,96 @@ TEST(Diagnostics, ExpansionIsNoopWhenNothingIsPrivate) {
 }
 
 //===----------------------------------------------------------------------===//
+// Structured diagnostics: pass + loop attribution
+//===----------------------------------------------------------------------===//
+
+const Diagnostic *findDiag(const PipelineResult &R, const std::string &Pass,
+                           const std::string &Substr) {
+  for (const Diagnostic &D : R.Diags)
+    if (D.Pass == Pass && D.Message.find(Substr) != std::string::npos)
+      return &D;
+  return nullptr;
+}
+
+TEST(Diagnostics, PlannerRejectionIsAttributedRemark) {
+  // A body that may break out of the candidate loop: the pipeline succeeds
+  // (nothing to expand) but the planner declines, as a remark carrying the
+  // planner's name and the rejected loop's id.
+  PipelineResult R = tryTransform(R"(
+    int out[32];
+    int main() {
+      @candidate for (int i = 0; i < 32; i++) {
+        if (i == 20) { break; }
+        out[i] = i * i;
+      }
+      long c = 0;
+      for (int i = 0; i < 32; i++) { c += out[i]; }
+      print_int(c);
+      return 0;
+    }
+  )");
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Plan.Kind, ParallelKind::None);
+  const Diagnostic *D = findDiag(R, "planner", "break out of");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Severity, DiagSeverity::Remark);
+  EXPECT_EQ(D->LoopId, R.LoopId);
+  EXPECT_NE(D->str().find("remark[planner]"), std::string::npos);
+}
+
+TEST(Diagnostics, BulkAccessGraphRejectionIsAttributed) {
+  // memcpy in the loop body leaves unmodeled bulk effects in the dependence
+  // graph; the planner must refuse with an attributed remark.
+  PipelineResult R = tryTransform(R"(
+    int src[32];
+    int dst[32];
+    int main() {
+      for (int i = 0; i < 32; i++) { src[i] = i; }
+      @candidate for (int it = 0; it < 8; it++) {
+        memcpy(dst, src, 32 * sizeof(int));
+      }
+      print_int(dst[31]);
+      return 0;
+    }
+  )");
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Plan.Kind, ParallelKind::None);
+  const Diagnostic *D = findDiag(R, "planner", "bulk memory operations");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Severity, DiagSeverity::Remark);
+  EXPECT_EQ(D->LoopId, R.LoopId);
+}
+
+TEST(Diagnostics, ExpansionErrorsCarryPassAndLoop) {
+  PipelineResult R = tryTransform(R"(
+    int* buf;
+    int main() {
+      buf = malloc(16 * sizeof(int));
+      long acc = 0;
+      @candidate for (int i = 0; i < 8; i++) {
+        if (i == 4) { buf = realloc(buf, 32 * sizeof(int)); }
+        for (int k = 0; k < 16; k++) { buf[k] = i + k; }
+        for (int k = 0; k < 16; k++) { acc += buf[k]; }
+      }
+      print_int(acc);
+      free(buf);
+      return 0;
+    }
+  )");
+  EXPECT_FALSE(R.Ok);
+  const Diagnostic *D = findDiag(R, "expansion", "realloc");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Severity, DiagSeverity::Error);
+  EXPECT_EQ(D->LoopId, R.LoopId);
+  // The legacy flat view stays in sync: same message, no prefix.
+  bool InErrors = false;
+  for (const std::string &E : R.Errors)
+    if (E == D->Message)
+      InErrors = true;
+  EXPECT_TRUE(InErrors);
+}
+
+//===----------------------------------------------------------------------===//
 // Runtime privatization accounting
 //===----------------------------------------------------------------------===//
 

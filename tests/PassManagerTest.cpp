@@ -1,0 +1,233 @@
+//===- PassManagerTest.cpp - Session / analysis-cache behavior --*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// The compilation-session contracts: analyses are cached and re-served
+// (profiler runs at most once per (loop, graph source)), transform passes
+// invalidate exactly what they clobber, batch sessions compile several
+// loops off shared analyses, and the session matches the legacy one-shot
+// transformLoop bit for bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "interp/Interp.h"
+#include "ir/IRPrinter.h"
+#include "parallel/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace gdse;
+
+namespace {
+
+// The Figure 1 pattern: a heap buffer fully rewritten by every iteration.
+const char *OneLoop = R"(
+  int main() {
+    int m = 32;
+    int* buf = malloc(m * sizeof(int));
+    long acc = 0;
+    @candidate for (int i = 0; i < 16; i++) {
+      for (int k = 0; k < m; k++) { buf[k] = i * 3 + k; }
+      int s = 0;
+      for (int k = 0; k < m; k++) { s += buf[k]; }
+      acc += s * (i + 1);
+    }
+    print_int(acc);
+    free(buf);
+    return 0;
+  }
+)";
+
+// Two independent candidate loops, each privatizing its own buffer.
+const char *TwoLoops = R"(
+  int main() {
+    int m = 32;
+    int* a = malloc(m * sizeof(int));
+    int* b = malloc(m * sizeof(int));
+    long acc = 0;
+    @candidate for (int i = 0; i < 16; i++) {
+      for (int k = 0; k < m; k++) { a[k] = i + k; }
+      int s = 0;
+      for (int k = 0; k < m; k++) { s += a[k]; }
+      acc += s;
+    }
+    @candidate for (int j = 0; j < 16; j++) {
+      for (int k = 0; k < m; k++) { b[k] = j * 2 + k; }
+      int t = 0;
+      for (int k = 0; k < m; k++) { t += b[k]; }
+      acc += t * 3;
+    }
+    print_int(acc);
+    free(a);
+    free(b);
+    return 0;
+  }
+)";
+
+TEST(AnalysisCache, SecondGraphQueryIsServedFromCache) {
+  std::unique_ptr<Module> M = parseMiniCOrDie(OneLoop, "cache");
+  CompilationSession S(*M);
+  unsigned Loop = S.candidateLoops().front();
+
+  const LoopDepGraph *G1 = S.analyses().depGraph(Loop, GraphSource::Profile);
+  ASSERT_NE(G1, nullptr);
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 1u);
+
+  const LoopDepGraph *G2 = S.analyses().depGraph(Loop, GraphSource::Profile);
+  EXPECT_EQ(G2, G1);
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 1u);
+  EXPECT_GE(S.analysisStats().CacheHits, 1u);
+}
+
+TEST(AnalysisCache, ClassificationReusesTheCachedGraph) {
+  std::unique_ptr<Module> M = parseMiniCOrDie(OneLoop, "cache");
+  CompilationSession S(*M);
+  unsigned Loop = S.candidateLoops().front();
+
+  ASSERT_NE(S.analyses().depGraph(Loop, GraphSource::Profile), nullptr);
+  ASSERT_NE(S.analyses().accessClasses(Loop, GraphSource::Profile), nullptr);
+  // Classification queries the graph internally — as a hit, not a re-run.
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 1u);
+  EXPECT_GE(S.analysisStats().CacheHits, 1u);
+}
+
+TEST(AnalysisCache, ExpansionInvalidatesCachedAnalyses) {
+  std::unique_ptr<Module> M = parseMiniCOrDie(OneLoop, "invalidate");
+  CompilationSession S(*M);
+  unsigned Loop = S.candidateLoops().front();
+
+  PipelineResult PR = S.compileLoop(Loop);
+  ASSERT_TRUE(PR.Ok);
+  ASSERT_GT(PR.Expansion.ExpandedObjects, 0u);
+  // One profiling run sufficed for the whole pipeline: classification and
+  // the expansion pass consumed the cached graph.
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 1u);
+  EXPECT_GT(S.analysisStats().CacheHits, 0u);
+
+  // Expansion mutated the module, so the cached graph must be gone: a fresh
+  // query re-profiles (now the transformed program).
+  ASSERT_NE(S.analyses().depGraph(Loop, GraphSource::Profile), nullptr);
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 2u);
+}
+
+TEST(AnalysisCache, FailedProfileIsNegativelyCached) {
+  // The profiling run traps on an out-of-bounds store; the failure must be
+  // reported once and cached, not re-executed per query.
+  const char *Src = R"(
+    int main() {
+      int* p = malloc(4 * sizeof(int));
+      @candidate for (int i = 0; i < 8; i++) { p[i + 2] = i; }
+      print_int(p[0]);
+      free(p);
+      return 0;
+    }
+  )";
+  std::unique_ptr<Module> M = parseMiniCOrDie(Src, "trap");
+  CompilationSession S(*M);
+  unsigned Loop = S.candidateLoops().front();
+
+  EXPECT_EQ(S.analyses().depGraph(Loop, GraphSource::Profile), nullptr);
+  EXPECT_EQ(S.analyses().depGraph(Loop, GraphSource::Profile), nullptr);
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 1u);
+  ASSERT_GE(S.diags().errorCount(), 1u);
+
+  PipelineResult PR = S.compileLoop(Loop);
+  EXPECT_FALSE(PR.Ok);
+  bool Found = false;
+  for (const Diagnostic &D : PR.Diags)
+    if (D.Severity == DiagSeverity::Error &&
+        D.Message.find("profiling run failed") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+  // compileLoop consumed the cached failure: still exactly one profile run.
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 1u);
+}
+
+TEST(BatchCompilation, TwoLoopsOneSessionProfilesOncePerLoop) {
+  std::unique_ptr<Module> Orig = parseMiniCOrDie(TwoLoops, "batch");
+  RunResult Seq = Interp(*Orig).run();
+  ASSERT_TRUE(Seq.ok()) << Seq.TrapMessage;
+
+  std::unique_ptr<Module> M = parseMiniCOrDie(TwoLoops, "batch");
+  CompilationSession S(*M);
+  ASSERT_EQ(S.candidateLoops().size(), 2u);
+
+  std::vector<PipelineResult> Results = S.compileAll();
+  ASSERT_EQ(Results.size(), 2u);
+  for (const PipelineResult &R : Results) {
+    EXPECT_TRUE(R.Ok);
+    EXPECT_GT(R.Expansion.ExpandedObjects, 0u);
+    // The `acc +=` reduction leaves one residual carried dependence, so the
+    // loops parallelize as DOACROSS with an ordered region around it.
+    EXPECT_TRUE(R.Plan.Parallelized);
+  }
+  EXPECT_NE(Results[0].LoopId, Results[1].LoopId);
+
+  // The batch guarantee: the profiler ran exactly once per (loop, source),
+  // everything else was served from the analysis cache.
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 2u);
+  EXPECT_GT(S.analysisStats().CacheHits, 0u);
+  EXPECT_EQ(S.timing().counter("analysis.cache.hits"),
+            S.analysisStats().CacheHits);
+
+  // The doubly-transformed module still computes the original answer.
+  InterpOptions IO;
+  IO.NumThreads = 4;
+  RunResult Par = Interp(*M, IO).run();
+  ASSERT_TRUE(Par.ok()) << Par.TrapMessage;
+  EXPECT_EQ(Par.Output, Seq.Output);
+  EXPECT_LT(Par.SimTime, Seq.SimTime);
+}
+
+TEST(BatchCompilation, SessionMatchesLegacyTransformLoop) {
+  std::unique_ptr<Module> MLegacy = parseMiniCOrDie(OneLoop, "legacy");
+  PipelineResult RL = transformLoop(*MLegacy, findCandidateLoops(*MLegacy).front());
+
+  std::unique_ptr<Module> MSession = parseMiniCOrDie(OneLoop, "session");
+  CompilationSession S(*MSession);
+  PipelineResult RS = S.compileLoop(S.candidateLoops().front());
+
+  ASSERT_TRUE(RL.Ok);
+  ASSERT_TRUE(RS.Ok);
+  EXPECT_EQ(RS.Expansion.ExpandedObjects, RL.Expansion.ExpandedObjects);
+  EXPECT_EQ(RS.Plan.Kind, RL.Plan.Kind);
+  EXPECT_EQ(RS.PrivateAccesses, RL.PrivateAccesses);
+  EXPECT_EQ(printModule(*MSession), printModule(*MLegacy));
+}
+
+TEST(PassTiming, EveryStageIsAccounted) {
+  std::unique_ptr<Module> M = parseMiniCOrDie(OneLoop, "timing");
+  CompilationSession S(*M);
+  PipelineResult PR = S.compileLoop(S.candidateLoops().front());
+  ASSERT_TRUE(PR.Ok);
+
+  bool SawProfile = false, SawExpansion = false, SawPlanner = false;
+  for (const PassTimingRecord &Rec : S.timing().records()) {
+    if (Rec.Name == "analysis.profile") {
+      SawProfile = true;
+      EXPECT_EQ(Rec.Invocations, 1u);
+      // Profiling executes the whole program under the VM.
+      EXPECT_GT(Rec.VmCycles, 0u);
+    } else if (Rec.Name == "pass.expansion") {
+      SawExpansion = true;
+      EXPECT_EQ(Rec.Invocations, 1u);
+    } else if (Rec.Name == "pass.planner") {
+      SawPlanner = true;
+      EXPECT_EQ(Rec.Invocations, 1u);
+    }
+  }
+  EXPECT_TRUE(SawProfile);
+  EXPECT_TRUE(SawExpansion);
+  EXPECT_TRUE(SawPlanner);
+  EXPECT_EQ(S.timing().counter("pass.expansion.runs"), 1u);
+  EXPECT_EQ(S.timing().counter("pass.planner.runs"), 1u);
+
+  EXPECT_NE(S.timingReport().find("pass.expansion"), std::string::npos);
+  EXPECT_NE(S.statsReport().find("analysis.profile.runs"), std::string::npos);
+}
+
+} // namespace
