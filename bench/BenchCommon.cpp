@@ -8,9 +8,13 @@
 #include "BenchCommon.h"
 
 #include "support/Support.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 using namespace gdse;
 using namespace gdse::bench;
@@ -54,14 +58,94 @@ PreparedProgram gdse::bench::prepareTransformed(const WorkloadInfo &W,
   return P;
 }
 
+std::vector<PreparedProgram> gdse::bench::prepareTransformedBatch(
+    const std::vector<const WorkloadInfo *> &Ws, const PipelineOptions &Opts,
+    unsigned Jobs) {
+  if (Jobs == 0)
+    Jobs = static_cast<unsigned>(std::max<long>(
+        1, envInt("GDSE_JOBS", ThreadPool::defaultThreadCount())));
+
+  // Parse serially (cheap, and module construction is not synchronized);
+  // compilation of the independent modules is what runs in parallel.
+  std::vector<PreparedProgram> Out;
+  Out.reserve(Ws.size());
+  std::vector<BatchUnit> Units;
+  for (const WorkloadInfo *W : Ws) {
+    Out.push_back(prepareOriginal(*W));
+    if (Out.back().Ok) {
+      BatchUnit U;
+      U.M = Out.back().M.get();
+      U.Opts = Opts;
+      Units.push_back(U);
+    }
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<BatchUnitResult> Results =
+      CompilationSession::compileBatch(Units, Jobs);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+
+  size_t RI = 0;
+  for (PreparedProgram &P : Out) {
+    if (!P.Ok)
+      continue;
+    BatchUnitResult &R = Results[RI++];
+    P.Pipelines = std::move(R.Results);
+    P.Ok = R.Ok;
+    if (!P.Ok) {
+      P.Error = "transformation failed";
+      for (const Diagnostic &D : R.Diags)
+        if (D.isError()) {
+          P.Error = D.Message;
+          break;
+        }
+      continue;
+    }
+    P.CompileReport = "== " + std::string(P.Info->Name) + " compile ==\n" +
+                      R.TimingReport + R.StatsReport;
+    reportCompileTiming(P);
+  }
+  if (envFlag("GDSE_TIME_PASSES"))
+    std::fprintf(stderr, "== batch compile: %zu workloads, %u jobs, %.1f ms ==\n",
+                 Units.size(), Jobs, Ms);
+  return Out;
+}
+
+PreparedProgram &gdse::bench::preparedForAll(const WorkloadInfo &W,
+                                             const PipelineOptions &Opts) {
+  // Key on every field that changes compilation output. ExternalGraph is a
+  // pointer identity: two different graphs must never share an entry.
+  std::string Key = formatString(
+      "%d|%s|%d|%p|%d%d%d%d", static_cast<int>(Opts.Method),
+      Opts.Entry.c_str(), static_cast<int>(Opts.Source),
+      static_cast<const void *>(Opts.ExternalGraph),
+      static_cast<int>(Opts.Expansion.Layout), Opts.Expansion.SelectivePromotion,
+      Opts.Expansion.SpanConstantPropagation,
+      Opts.Expansion.DeadSpanStoreElimination);
+  static std::map<std::string, std::vector<PreparedProgram>> Cache;
+  auto It = Cache.find(Key);
+  if (It == Cache.end()) {
+    std::vector<const WorkloadInfo *> Ws;
+    for (const WorkloadInfo &Each : allWorkloads())
+      Ws.push_back(&Each);
+    It = Cache.emplace(Key, prepareTransformedBatch(Ws, Opts)).first;
+  }
+  for (PreparedProgram &P : It->second)
+    if (P.Info && P.Info->Name == std::string(W.Name))
+      return P;
+  // Unreachable for the standard set; keep a stable failure object anyway.
+  static PreparedProgram Missing;
+  Missing.Error = "workload not in the standard set";
+  return Missing;
+}
+
 void gdse::bench::reportCompileTiming(const PreparedProgram &P, bool Force) {
   if (P.CompileReport.empty())
     return;
-  if (!Force) {
-    const char *Env = std::getenv("GDSE_TIME_PASSES");
-    if (!Env || !*Env)
-      return;
-  }
+  if (!Force && !envFlag("GDSE_TIME_PASSES"))
+    return;
   std::fputs(P.CompileReport.c_str(), stderr);
 }
 

@@ -56,6 +56,25 @@ PreparedProgram prepareOriginal(const WorkloadInfo &W);
 PreparedProgram prepareTransformed(const WorkloadInfo &W,
                                    const PipelineOptions &Opts);
 
+/// Batch-compiles all \p Ws under \p Opts through
+/// CompilationSession::compileBatch with \p Jobs workers (0 = the GDSE_JOBS
+/// environment variable, defaulting to one per hardware thread). Results
+/// come back in workload order and are bit-identical to serial
+/// prepareTransformed calls — diagnostics, reports, and transformed modules
+/// alike. CompileTiming records are not populated for batch-prepared
+/// programs; the rendered CompileReport is.
+std::vector<PreparedProgram>
+prepareTransformedBatch(const std::vector<const WorkloadInfo *> &Ws,
+                        const PipelineOptions &Opts, unsigned Jobs = 0);
+
+/// Options-keyed cache over prepareTransformedBatch for the standard
+/// workload set: the first call batch-compiles every workload concurrently;
+/// later calls with the same options (any workload) are cache hits. Not
+/// thread-safe — benchmark mains are single-threaded. The returned
+/// reference stays valid for the process lifetime.
+PreparedProgram &preparedForAll(const WorkloadInfo &W,
+                                const PipelineOptions &Opts);
+
 /// Prints \p P's compile-time report (per-pass timing + counters) to stderr
 /// when the GDSE_TIME_PASSES environment variable is set and non-empty, or
 /// when \p Force is true. prepareTransformed calls this itself, so every

@@ -45,7 +45,7 @@ void runLayout(benchmark::State &State, const WorkloadInfo &W,
     PipelineOptions Opts;
     Opts.Expansion.Layout =
         Interleaved ? LayoutMode::Interleaved : LayoutMode::Bonded;
-    PreparedProgram Xf = prepareTransformed(W, Opts);
+    PreparedProgram &Xf = preparedForAll(W, Opts);
     Row R;
     if (!Xf.Ok) {
       R.Applicable = false;

@@ -51,7 +51,7 @@ void runConfig(benchmark::State &State, const WorkloadInfo &W,
     Opts.Expansion.SelectivePromotion = C.Selective;
     Opts.Expansion.SpanConstantPropagation = C.ConstProp;
     Opts.Expansion.DeadSpanStoreElimination = C.DeadStore;
-    PreparedProgram Xf = prepareTransformed(W, Opts);
+    PreparedProgram &Xf = preparedForAll(W, Opts);
     if (!Xf.Ok) {
       State.SkipWithError(Xf.Error.c_str());
       return;

@@ -39,10 +39,10 @@ void runFig10(benchmark::State &State, const WorkloadInfo &W) {
     RunResult RO = execute(Orig, 1, /*SimulateParallel=*/false);
 
     PipelineOptions ExpOpts;
-    PreparedProgram Exp = prepareTransformed(W, ExpOpts);
+    PreparedProgram &Exp = preparedForAll(W, ExpOpts);
     PipelineOptions RtOpts;
     RtOpts.Method = PrivatizationMethod::Runtime;
-    PreparedProgram Rt = prepareTransformed(W, RtOpts);
+    PreparedProgram &Rt = preparedForAll(W, RtOpts);
     if (!Exp.Ok || !Rt.Ok) {
       State.SkipWithError((Exp.Ok ? Rt.Error : Exp.Error).c_str());
       return;

@@ -41,7 +41,7 @@ void runFig11(benchmark::State &State, const WorkloadInfo &W, int N) {
     PreparedProgram Orig = prepareOriginal(W);
     RunResult RO = execute(Orig, 1, /*SimulateParallel=*/false);
 
-    PreparedProgram Xf = prepareTransformed(W, PipelineOptions());
+    PreparedProgram &Xf = preparedForAll(W, PipelineOptions());
     if (!Xf.Ok) {
       State.SkipWithError(Xf.Error.c_str());
       return;

@@ -34,7 +34,7 @@ std::vector<Row> Rows;
 
 void runFig12(benchmark::State &State, const WorkloadInfo &W) {
   for (auto _ : State) {
-    PreparedProgram Xf = prepareTransformed(W, PipelineOptions());
+    PreparedProgram &Xf = preparedForAll(W, PipelineOptions());
     if (!Xf.Ok) {
       State.SkipWithError(Xf.Error.c_str());
       return;

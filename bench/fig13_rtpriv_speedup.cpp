@@ -34,7 +34,7 @@ void runFig13(benchmark::State &State, const WorkloadInfo &W, int N) {
 
     PipelineOptions Opts;
     Opts.Method = PrivatizationMethod::Runtime;
-    PreparedProgram Xf = prepareTransformed(W, Opts);
+    PreparedProgram &Xf = preparedForAll(W, Opts);
     if (!Xf.Ok) {
       State.SkipWithError(Xf.Error.c_str());
       return;

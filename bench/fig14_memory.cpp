@@ -45,7 +45,7 @@ void runFig14(benchmark::State &State, const WorkloadInfo &W, int N, bool Rt) {
     PipelineOptions Opts;
     if (Rt)
       Opts.Method = PrivatizationMethod::Runtime;
-    PreparedProgram Xf = prepareTransformed(W, Opts);
+    PreparedProgram &Xf = preparedForAll(W, Opts);
     if (!Xf.Ok) {
       State.SkipWithError(Xf.Error.c_str());
       return;

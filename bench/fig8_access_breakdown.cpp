@@ -34,7 +34,7 @@ std::vector<Row> Rows;
 
 void runFig8(benchmark::State &State, const WorkloadInfo &W) {
   for (auto _ : State) {
-    PreparedProgram P = prepareTransformed(W, PipelineOptions());
+    PreparedProgram &P = preparedForAll(W, PipelineOptions());
     if (!P.Ok) {
       State.SkipWithError(P.Error.c_str());
       return;

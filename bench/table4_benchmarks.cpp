@@ -47,7 +47,7 @@ unsigned countLines(const char *Src) {
 
 void runTable4(benchmark::State &State, const WorkloadInfo &W) {
   for (auto _ : State) {
-    PreparedProgram Xf = prepareTransformed(W, PipelineOptions());
+    PreparedProgram &Xf = preparedForAll(W, PipelineOptions());
     if (!Xf.Ok) {
       State.SkipWithError(Xf.Error.c_str());
       return;

@@ -40,7 +40,7 @@ const std::map<std::string, unsigned> &paperCounts() {
 
 void runTable5(benchmark::State &State, const WorkloadInfo &W) {
   for (auto _ : State) {
-    PreparedProgram P = prepareTransformed(W, PipelineOptions());
+    PreparedProgram &P = preparedForAll(W, PipelineOptions());
     if (!P.Ok) {
       State.SkipWithError(P.Error.c_str());
       return;

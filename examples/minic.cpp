@@ -5,16 +5,19 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Runs a MiniC source file under the VM:
+// Runs MiniC source files under the VM:
 //
-//   minic <file.mc> [--threads N] [--transform] [--dump-ir]
+//   minic <file.mc>... [--threads N] [--jobs N] [--transform] [--dump-ir]
 //         [--time-passes] [--stats]
 //
-// With --transform, every @candidate loop is run through the expansion
-// pipeline (one CompilationSession over the whole module, so analyses are
-// shared across loops) and executes under the simulated multicore.
-// --time-passes / --stats print the session's per-pass timing and counter
-// reports to stderr after compilation.
+// With --transform, every @candidate loop of every file is run through the
+// expansion pipeline. Files are independent modules, so they compile through
+// CompilationSession::compileBatch on --jobs worker threads (default 1);
+// diagnostics, reports, and exit codes are emitted in file order regardless
+// of scheduling, so any --jobs value prints byte-identical output (modulo
+// wall-clock readings inside --time-passes). Programs then execute
+// sequentially in file order. --time-passes / --stats print each file's
+// per-pass timing and counter reports to stderr after compilation.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,33 +28,33 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace gdse;
 
-int main(int argc, char **argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: minic <file.mc> [--threads N] [--transform] "
-                 "[--dump-ir] [--time-passes] [--stats]\n");
-    return 1;
-  }
-  std::ifstream In(argv[1]);
-  if (!In) {
-    std::fprintf(stderr, "cannot open '%s'\n", argv[1]);
-    return 1;
-  }
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  std::string Source = SS.str();
+namespace {
 
+struct InputProgram {
+  std::string Path;
+  std::unique_ptr<Module> M;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Paths;
   int Threads = 1;
+  unsigned Jobs = 1;
   bool Transform = false, DumpIR = false, TimePasses = false, Stats = false;
-  for (int I = 2; I < argc; ++I) {
+  for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--threads" && I + 1 < argc)
       Threads = std::atoi(argv[++I]);
+    else if (Arg == "--jobs" && I + 1 < argc)
+      Jobs = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (Arg == "--transform")
       Transform = true;
     else if (Arg == "--dump-ir")
@@ -60,51 +63,99 @@ int main(int argc, char **argv) {
       TimePasses = true;
     else if (Arg == "--stats")
       Stats = true;
+    else
+      Paths.push_back(Arg);
   }
-
-  ParseResult PR = parseMiniC(Source);
-  if (!PR.ok()) {
-    for (const Diagnostic &D : PR.Diags)
-      std::fprintf(stderr, "%s: %s\n", argv[1], D.str().c_str());
+  if (Paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: minic <file.mc>... [--threads N] [--jobs N] "
+                 "[--transform] [--dump-ir] [--time-passes] [--stats]\n");
     return 1;
+  }
+  const bool Multi = Paths.size() > 1;
+
+  std::vector<InputProgram> Programs;
+  for (const std::string &Path : Paths) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", Path.c_str());
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    ParseResult PR = parseMiniC(SS.str());
+    if (!PR.ok()) {
+      for (const Diagnostic &D : PR.Diags)
+        std::fprintf(stderr, "%s: %s\n", Path.c_str(), D.str().c_str());
+      return 1;
+    }
+    Programs.push_back({Path, std::move(PR.M)});
   }
 
   if (Transform) {
-    CompilationSession Session(*PR.M);
-    for (const PipelineResult &R : Session.compileAll()) {
-      if (!R.Ok) {
-        for (const Diagnostic &D : R.Diags)
-          if (D.Severity == DiagSeverity::Error)
-            std::fprintf(stderr, "%s\n", D.str().c_str());
-        return 1;
-      }
-      std::fprintf(stderr, "loop %u: %s, %u structure(s) expanded\n", R.LoopId,
-                   R.Plan.Kind == ParallelKind::DOALL      ? "DOALL"
-                   : R.Plan.Kind == ParallelKind::DOACROSS ? "DOACROSS"
-                                                           : "sequential",
-                   R.Expansion.ExpandedObjects);
+    std::vector<BatchUnit> Units;
+    for (InputProgram &P : Programs) {
+      BatchUnit U;
+      U.M = P.M.get();
+      Units.push_back(U);
     }
-    if (TimePasses)
-      std::fprintf(stderr, "%s", Session.timingReport().c_str());
-    if (Stats)
-      std::fprintf(stderr, "%s", Session.statsReport().c_str());
+    std::vector<BatchUnitResult> Results =
+        CompilationSession::compileBatch(Units, Jobs);
+    for (size_t I = 0; I < Programs.size(); ++I) {
+      const BatchUnitResult &B = Results[I];
+      const char *Prefix = Multi ? Programs[I].Path.c_str() : "";
+      const char *Sep = Multi ? ": " : "";
+      for (const PipelineResult &R : B.Results) {
+        if (!R.Ok) {
+          for (const Diagnostic &D : R.Diags)
+            if (D.Severity == DiagSeverity::Error)
+              std::fprintf(stderr, "%s%s%s\n", Prefix, Sep, D.str().c_str());
+          return 1;
+        }
+        std::fprintf(stderr, "%s%sloop %u: %s, %u structure(s) expanded\n",
+                     Prefix, Sep, R.LoopId,
+                     R.Plan.Kind == ParallelKind::DOALL      ? "DOALL"
+                     : R.Plan.Kind == ParallelKind::DOACROSS ? "DOACROSS"
+                                                             : "sequential",
+                     R.Expansion.ExpandedObjects);
+      }
+      if (!B.Ok)
+        return 1;
+      if (TimePasses) {
+        if (Multi)
+          std::fprintf(stderr, "== %s ==\n", Programs[I].Path.c_str());
+        std::fprintf(stderr, "%s", B.TimingReport.c_str());
+      }
+      if (Stats) {
+        if (Multi)
+          std::fprintf(stderr, "== %s ==\n", Programs[I].Path.c_str());
+        std::fprintf(stderr, "%s", B.StatsReport.c_str());
+      }
+    }
   }
 
-  if (DumpIR)
-    std::fprintf(stderr, "%s\n", printModule(*PR.M).c_str());
+  int Exit = 0;
+  for (InputProgram &P : Programs) {
+    if (DumpIR)
+      std::fprintf(stderr, "%s\n", printModule(*P.M).c_str());
 
-  InterpOptions IO;
-  IO.NumThreads = Threads;
-  Interp I(*PR.M, IO);
-  RunResult R = I.run();
-  std::fputs(R.Output.c_str(), stdout);
-  if (R.Trapped) {
-    std::fprintf(stderr, "trap: %s\n", R.TrapMessage.c_str());
-    return 1;
+    InterpOptions IO;
+    IO.NumThreads = Threads;
+    Interp I(*P.M, IO);
+    RunResult R = I.run();
+    std::fputs(R.Output.c_str(), stdout);
+    if (R.Trapped) {
+      std::fprintf(stderr, "%s%strap: %s\n", Multi ? P.Path.c_str() : "",
+                   Multi ? ": " : "", R.TrapMessage.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "[%llu work cycles, %llu simulated, peak %llu bytes]\n",
+                 (unsigned long long)R.WorkCycles,
+                 (unsigned long long)R.SimTime,
+                 (unsigned long long)R.PeakMemoryBytes);
+    if (Exit == 0)
+      Exit = (int)R.ExitCode;
   }
-  std::fprintf(stderr, "[%llu work cycles, %llu simulated, peak %llu bytes]\n",
-               (unsigned long long)R.WorkCycles,
-               (unsigned long long)R.SimTime,
-               (unsigned long long)R.PeakMemoryBytes);
-  return (int)R.ExitCode;
+  return Exit;
 }

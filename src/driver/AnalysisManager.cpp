@@ -11,6 +11,8 @@
 #include "profile/DepProfiler.h"
 #include "support/Support.h"
 
+#include <mutex>
+
 using namespace gdse;
 
 const char *gdse::graphSourceName(GraphSource S) {
@@ -29,49 +31,111 @@ AnalysisManager::AnalysisManager(Module &M, DiagnosticEngine &DE,
                                  TimingRegistry *TR)
     : M(M), DE(DE), TR(TR) {}
 
+AnalysisManager::~AnalysisManager() = default;
+
+void AnalysisManager::setEntry(std::string NewEntry) {
+  if (NewEntry == Entry)
+    return;
+  Entry = std::move(NewEntry);
+  // Profiled graphs describe one entry point's execution; a different entry
+  // is a different program as far as the profiler is concerned. Negative
+  // entries go too — the old entry's trap may not exist under the new one.
+  std::shared_lock<std::shared_mutex> MapLock(ShardsMu);
+  for (auto &[Id, Shard] : Shards) {
+    (void)Id;
+    std::unique_lock<std::shared_mutex> Lock(Shard->Mu);
+    Shard->Graphs.erase(GraphSource::Profile);
+    Shard->Classes.erase(GraphSource::Profile);
+  }
+}
+
 void AnalysisManager::setExternalGraph(const LoopDepGraph *G) {
   if (G == External)
     return;
   External = G;
-  for (auto It = Graphs.begin(); It != Graphs.end();)
-    It = It->first.second == GraphSource::External ? Graphs.erase(It)
-                                                   : std::next(It);
-  for (auto It = Classes.begin(); It != Classes.end();)
-    It = It->first.second == GraphSource::External ? Classes.erase(It)
-                                                   : std::next(It);
+  std::shared_lock<std::shared_mutex> MapLock(ShardsMu);
+  for (auto &[Id, Shard] : Shards) {
+    (void)Id;
+    std::unique_lock<std::shared_mutex> Lock(Shard->Mu);
+    Shard->Graphs.erase(GraphSource::External);
+    Shard->Classes.erase(GraphSource::External);
+  }
 }
 
 void AnalysisManager::hit() {
-  ++Stats.CacheHits;
+  Stats.CacheHits.fetch_add(1, std::memory_order_relaxed);
   if (TR)
     TR->bumpCounter("analysis.cache.hits");
 }
 
 void AnalysisManager::miss() {
-  ++Stats.CacheMisses;
+  Stats.CacheMisses.fetch_add(1, std::memory_order_relaxed);
   if (TR)
     TR->bumpCounter("analysis.cache.misses");
 }
 
+AnalysisManager::LoopShard &AnalysisManager::shardFor(unsigned LoopId) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(ShardsMu);
+    auto It = Shards.find(LoopId);
+    if (It != Shards.end())
+      return *It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(ShardsMu);
+  auto &Slot = Shards[LoopId];
+  if (!Slot)
+    Slot = std::make_unique<LoopShard>();
+  return *Slot;
+}
+
+const LoopDepGraph *AnalysisManager::served(const CachedGraph &Entry) {
+  hit();
+  if (Entry.Failed) {
+    DE.report(Entry.FailDiag);
+    return nullptr;
+  }
+  return &Entry.G;
+}
+
 const AccessNumbering &AnalysisManager::numbering() {
+  {
+    std::shared_lock<std::shared_mutex> Lock(ModuleMu);
+    if (Num) {
+      hit();
+      return *Num;
+    }
+  }
+  std::unique_lock<std::shared_mutex> Lock(ModuleMu);
   if (Num) {
     hit();
     return *Num;
   }
   miss();
-  ++Stats.NumberingRuns;
+  Stats.NumberingRuns.fetch_add(1, std::memory_order_relaxed);
   TimerScope T(TR, "analysis.numbering");
+  // Numbering WRITES access ids into the IR; the exclusive ModuleMu hold
+  // means at most one thread runs it, and the batch driver guarantees no
+  // other thread reads this module's IR before its first numbering (every
+  // query path enters through here).
   Num = AccessNumbering::compute(M);
   return *Num;
 }
 
 const PointsTo &AnalysisManager::pointsTo() {
+  {
+    std::shared_lock<std::shared_mutex> Lock(ModuleMu);
+    if (PT) {
+      hit();
+      return *PT;
+    }
+  }
+  std::unique_lock<std::shared_mutex> Lock(ModuleMu);
   if (PT) {
     hit();
     return *PT;
   }
   miss();
-  ++Stats.PointsToRuns;
+  Stats.PointsToRuns.fetch_add(1, std::memory_order_relaxed);
   TimerScope T(TR, "analysis.points-to");
   PT = PointsTo::compute(M);
   return *PT;
@@ -79,27 +143,34 @@ const PointsTo &AnalysisManager::pointsTo() {
 
 const LoopDepGraph *AnalysisManager::depGraph(unsigned LoopId,
                                               GraphSource Source) {
-  LoopKey Key{LoopId, Source};
-  auto It = Graphs.find(Key);
-  if (It != Graphs.end()) {
-    hit();
-    if (It->second.Failed) {
-      DE.report(It->second.FailDiag);
-      return nullptr;
-    }
-    return &It->second.G;
+  LoopShard &Shard = shardFor(LoopId);
+  {
+    std::shared_lock<std::shared_mutex> Lock(Shard.Mu);
+    auto It = Shard.Graphs.find(Source);
+    if (It != Shard.Graphs.end())
+      return served(It->second);
   }
-  miss();
 
   // Number the module first so every source sees consistent ids (and so the
-  // expensive sub-analyses below are attributed to their own timers).
+  // expensive sub-analyses below are attributed to their own timers). Done
+  // before taking the shard lock: ModuleMu nests INSIDE shard locks only on
+  // the short points-to read below, never the other way around.
   const AccessNumbering &Numbering = numbering();
+
+  std::unique_lock<std::shared_mutex> Lock(Shard.Mu);
+  // Double-checked: another worker may have filled this entry while we were
+  // numbering. The loser of the race records a hit, exactly like a serial
+  // second query.
+  auto It = Shard.Graphs.find(Source);
+  if (It != Shard.Graphs.end())
+    return served(It->second);
+  miss();
 
   CachedGraph Entry;
   DiagnosticScope Scope(DE, graphSourceName(Source), LoopId);
   switch (Source) {
   case GraphSource::Profile: {
-    ++Stats.ProfileRuns;
+    Stats.ProfileRuns.fetch_add(1, std::memory_order_relaxed);
     TimerScope T(TR, "analysis.profile");
     ProfileResult Prof = profileLoop(M, LoopId, this->Entry);
     if (TR)
@@ -113,7 +184,7 @@ const LoopDepGraph *AnalysisManager::depGraph(unsigned LoopId,
     break;
   }
   case GraphSource::Static: {
-    ++Stats.StaticGraphRuns;
+    Stats.StaticGraphRuns.fetch_add(1, std::memory_order_relaxed);
     const PointsTo &P = pointsTo();
     TimerScope T(TR, "analysis.static-deps");
     Entry.G = buildStaticDepGraph(M, LoopId, P, Numbering);
@@ -133,40 +204,78 @@ const LoopDepGraph *AnalysisManager::depGraph(unsigned LoopId,
     break;
   }
 
-  auto [Pos, Inserted] = Graphs.emplace(Key, std::move(Entry));
+  auto [Pos, Inserted] = Shard.Graphs.emplace(Source, std::move(Entry));
   (void)Inserted;
   return Pos->second.Failed ? nullptr : &Pos->second.G;
 }
 
 const AccessClasses *AnalysisManager::accessClasses(unsigned LoopId,
                                                     GraphSource Source) {
-  LoopKey Key{LoopId, Source};
-  auto It = Classes.find(Key);
-  if (It != Classes.end()) {
-    hit();
-    return &It->second;
+  LoopShard &Shard = shardFor(LoopId);
+  {
+    std::shared_lock<std::shared_mutex> Lock(Shard.Mu);
+    auto It = Shard.Classes.find(Source);
+    if (It != Shard.Classes.end()) {
+      hit();
+      return &It->second;
+    }
   }
+  // Acquire the graph without holding the shard lock — depGraph takes it.
   const LoopDepGraph *G = depGraph(LoopId, Source);
   if (!G)
     return nullptr;
+  std::unique_lock<std::shared_mutex> Lock(Shard.Mu);
+  auto It = Shard.Classes.find(Source);
+  if (It != Shard.Classes.end()) {
+    hit();
+    return &It->second;
+  }
   miss();
-  ++Stats.ClassifyRuns;
+  Stats.ClassifyRuns.fetch_add(1, std::memory_order_relaxed);
   TimerScope T(TR, "analysis.access-classes");
-  auto [Pos, Inserted] = Classes.emplace(Key, AccessClasses::build(*G));
+  auto [Pos, Inserted] = Shard.Classes.emplace(Source, AccessClasses::build(*G));
   (void)Inserted;
   return &Pos->second;
 }
 
 void AnalysisManager::invalidateLoop(unsigned LoopId) {
-  for (auto It = Graphs.begin(); It != Graphs.end();)
-    It = It->first.first == LoopId ? Graphs.erase(It) : std::next(It);
-  for (auto It = Classes.begin(); It != Classes.end();)
-    It = It->first.first == LoopId ? Classes.erase(It) : std::next(It);
+  // Invalidation only ever touches this loop's own shard — other loops'
+  // cached graphs survive, which is the whole point of AllExceptLoop.
+  // Clearing the maps drops negative entries along with positive ones.
+  std::shared_lock<std::shared_mutex> MapLock(ShardsMu);
+  auto It = Shards.find(LoopId);
+  if (It == Shards.end())
+    return;
+  std::unique_lock<std::shared_mutex> Lock(It->second->Mu);
+  It->second->Graphs.clear();
+  It->second->Classes.clear();
 }
 
 void AnalysisManager::invalidateModule() {
+  // Shards first, then module-level results; ModuleMu is never held while
+  // a shard lock is taken (the nesting is shard -> module elsewhere).
+  {
+    std::shared_lock<std::shared_mutex> MapLock(ShardsMu);
+    for (auto &[Id, Shard] : Shards) {
+      (void)Id;
+      std::unique_lock<std::shared_mutex> Lock(Shard->Mu);
+      Shard->Graphs.clear();
+      Shard->Classes.clear();
+    }
+  }
+  std::unique_lock<std::shared_mutex> Lock(ModuleMu);
   Num.reset();
   PT.reset();
-  Graphs.clear();
-  Classes.clear();
+}
+
+AnalysisStats AnalysisManager::stats() const {
+  AnalysisStats S;
+  S.CacheHits = Stats.CacheHits.load(std::memory_order_relaxed);
+  S.CacheMisses = Stats.CacheMisses.load(std::memory_order_relaxed);
+  S.ProfileRuns = Stats.ProfileRuns.load(std::memory_order_relaxed);
+  S.PointsToRuns = Stats.PointsToRuns.load(std::memory_order_relaxed);
+  S.NumberingRuns = Stats.NumberingRuns.load(std::memory_order_relaxed);
+  S.StaticGraphRuns = Stats.StaticGraphRuns.load(std::memory_order_relaxed);
+  S.ClassifyRuns = Stats.ClassifyRuns.load(std::memory_order_relaxed);
+  return S;
 }

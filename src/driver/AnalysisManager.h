@@ -23,7 +23,23 @@
 /// Failed graph acquisitions (a trapped profiling run, a missing or
 /// mismatched external graph) are reported through the DiagnosticEngine and
 /// negatively cached, so a batch session does not re-run a failing profile
-/// for every downstream query.
+/// for every downstream query. Negative entries live in the same shard as
+/// positive ones and travel the same invalidation path: a transform pass
+/// that changes the IR drops cached FAILURES too, so a loop that becomes
+/// analyzable after expansion is re-profiled instead of replaying a stale
+/// error.
+///
+/// Thread-safety: QUERIES are safe from concurrent worker threads. The
+/// per-loop caches are sharded — each loop id owns a shard guarded by its
+/// own std::shared_mutex, so readers of already-cached graphs never
+/// serialize against each other and two workers computing graphs for
+/// different loops proceed in parallel. Module-level results (numbering,
+/// points-to) sit behind a separate shared_mutex, and the stats counters
+/// are atomics. INVALIDATION and the setters (setEntry, setExternalGraph)
+/// still belong to whichever thread owns the module's transform phase:
+/// transform passes mutate the IR itself, which no lock here can protect,
+/// so the driver serializes per-module pipelines and only runs concurrent
+/// queries between them (see CompilationSession::compileBatch).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,8 +53,11 @@
 #include "support/Diagnostics.h"
 #include "support/Timing.h"
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 
 namespace gdse {
@@ -55,7 +74,8 @@ enum class GraphSource : uint8_t {
 const char *graphSourceName(GraphSource S);
 
 /// Cache behaviour counters; also mirrored into the TimingRegistry's named
-/// counters when one is attached.
+/// counters when one is attached. Snapshot semantics: AnalysisManager keeps
+/// the live counts in atomics and materializes this plain struct on demand.
 struct AnalysisStats {
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
@@ -72,9 +92,12 @@ class AnalysisManager {
 public:
   AnalysisManager(Module &M, DiagnosticEngine &DE,
                   TimingRegistry *TR = nullptr);
+  ~AnalysisManager();
 
-  /// Entry function executed by profiling runs (default "main").
-  void setEntry(std::string Entry) { this->Entry = std::move(Entry); }
+  /// Entry function executed by profiling runs (default "main"). Changing
+  /// the entry drops every cached Profile-source result — graphs profiled
+  /// under another entry point describe a different execution.
+  void setEntry(std::string Entry);
   const std::string &entry() const { return Entry; }
 
   /// Registers the caller-supplied graph served for GraphSource::External.
@@ -84,7 +107,7 @@ public:
   void setExternalGraph(const LoopDepGraph *G);
 
   //===--------------------------------------------------------------------===//
-  // Queries
+  // Queries (safe to call concurrently)
   //===--------------------------------------------------------------------===//
 
   /// Module-wide access/loop numbering of the CURRENT IR.
@@ -102,16 +125,18 @@ public:
   const AccessClasses *accessClasses(unsigned LoopId, GraphSource Source);
 
   //===--------------------------------------------------------------------===//
-  // Invalidation
+  // Invalidation (serial phase — must not race with queries on this module)
   //===--------------------------------------------------------------------===//
 
   /// The IR of \p LoopId changed (e.g. planner wrapped its body in ordered
-  /// regions): drop that loop's graphs and classes, keep everything else.
+  /// regions): drop that loop's graphs and classes — cached failures
+  /// included — keep every other loop's shard.
   void invalidateLoop(unsigned LoopId);
-  /// The module-wide IR changed (expansion, rtpriv): drop everything.
+  /// The module-wide IR changed (expansion, rtpriv): drop everything,
+  /// positive and negative entries alike.
   void invalidateModule();
 
-  const AnalysisStats &stats() const { return Stats; }
+  AnalysisStats stats() const;
   Module &module() { return M; }
   DiagnosticEngine &diags() { return DE; }
 
@@ -123,10 +148,22 @@ private:
     Diagnostic FailDiag;
     LoopDepGraph G;
   };
-  using LoopKey = std::pair<unsigned, GraphSource>;
+
+  /// One loop's slice of the cache. Shards are created on first touch and
+  /// never destroyed before the manager, so the per-shard locks stay valid
+  /// across invalidation (which only clears the maps inside).
+  struct LoopShard {
+    mutable std::shared_mutex Mu;
+    std::map<GraphSource, CachedGraph> Graphs;
+    std::map<GraphSource, AccessClasses> Classes;
+  };
 
   void hit();
   void miss();
+  LoopShard &shardFor(unsigned LoopId);
+  /// Serves a cache entry found in a shard: counts the hit, replays the
+  /// failure diagnostic for negative entries. Caller holds the shard lock.
+  const LoopDepGraph *served(const CachedGraph &Entry);
 
   Module &M;
   DiagnosticEngine &DE;
@@ -134,11 +171,26 @@ private:
   std::string Entry = "main";
   const LoopDepGraph *External = nullptr;
 
+  /// Guards Num and PT (module-level results). Lock order: a thread may
+  /// acquire ModuleMu while holding a shard lock (the Static path needs
+  /// points-to), never the reverse.
+  mutable std::shared_mutex ModuleMu;
   std::optional<AccessNumbering> Num;
   std::optional<PointsTo> PT;
-  std::map<LoopKey, CachedGraph> Graphs;
-  std::map<LoopKey, AccessClasses> Classes;
-  AnalysisStats Stats;
+
+  /// Guards the shard MAP only; individual shards carry their own locks.
+  mutable std::shared_mutex ShardsMu;
+  std::map<unsigned, std::unique_ptr<LoopShard>> Shards;
+
+  struct {
+    std::atomic<uint64_t> CacheHits{0};
+    std::atomic<uint64_t> CacheMisses{0};
+    std::atomic<uint64_t> ProfileRuns{0};
+    std::atomic<uint64_t> PointsToRuns{0};
+    std::atomic<uint64_t> NumberingRuns{0};
+    std::atomic<uint64_t> StaticGraphRuns{0};
+    std::atomic<uint64_t> ClassifyRuns{0};
+  } Stats;
 };
 
 } // namespace gdse

@@ -10,6 +10,9 @@
 #include "driver/PassManager.h"
 #include "ir/IR.h"
 #include "support/Support.h"
+#include "support/ThreadPool.h"
+
+#include <map>
 
 using namespace gdse;
 
@@ -83,9 +86,102 @@ CompilationSession::compileAll(const PipelineOptions &Opts) {
   return Out;
 }
 
+static AnalysisStats statsDelta(const AnalysisStats &After,
+                                const AnalysisStats &Before) {
+  AnalysisStats D;
+  D.CacheHits = After.CacheHits - Before.CacheHits;
+  D.CacheMisses = After.CacheMisses - Before.CacheMisses;
+  D.ProfileRuns = After.ProfileRuns - Before.ProfileRuns;
+  D.PointsToRuns = After.PointsToRuns - Before.PointsToRuns;
+  D.NumberingRuns = After.NumberingRuns - Before.NumberingRuns;
+  D.StaticGraphRuns = After.StaticGraphRuns - Before.StaticGraphRuns;
+  D.ClassifyRuns = After.ClassifyRuns - Before.ClassifyRuns;
+  return D;
+}
+
+std::vector<BatchUnitResult>
+CompilationSession::compileBatch(const std::vector<BatchUnit> &Units,
+                                 unsigned Jobs,
+                                 DiagnosticEngine *MergedDiags,
+                                 TimingRegistry *MergedTiming) {
+  std::vector<BatchUnitResult> Out(Units.size());
+
+  // Group unit indices by module, preserving each module's first-appearance
+  // order. A module's units share one session (cached analyses carry
+  // across them) and are serialized on one worker: transform passes mutate
+  // the module IR, which must never happen concurrently. Distinct modules
+  // share nothing and compile fully in parallel.
+  std::vector<Module *> GroupModules;
+  std::map<Module *, std::vector<size_t>> UnitsOf;
+  for (size_t I = 0; I < Units.size(); ++I) {
+    if (!Units[I].M) {
+      Diagnostic D;
+      D.Pass = "session";
+      D.Message = "batch unit has no module";
+      Out[I].Diags.push_back(std::move(D));
+      continue;
+    }
+    auto [It, IsNew] = UnitsOf.try_emplace(Units[I].M);
+    if (IsNew)
+      GroupModules.push_back(Units[I].M);
+    It->second.push_back(I);
+  }
+
+  // Sessions are created (and later merged) on the calling thread; each
+  // worker task owns exactly one session while it runs, so the per-worker
+  // diagnostic and timing buffers need no cross-thread coordination until
+  // the deterministic flush below.
+  std::vector<std::unique_ptr<CompilationSession>> Sessions;
+  Sessions.reserve(GroupModules.size());
+  for (Module *M : GroupModules)
+    Sessions.push_back(std::make_unique<CompilationSession>(*M));
+
+  ThreadPool Pool(Jobs);
+  for (size_t G = 0; G < GroupModules.size(); ++G) {
+    CompilationSession *S = Sessions[G].get();
+    const std::vector<size_t> *Group = &UnitsOf[GroupModules[G]];
+    Pool.submit([S, Group, &Units, &Out] {
+      for (size_t UI : *Group) {
+        const BatchUnit &U = Units[UI];
+        BatchUnitResult &R = Out[UI];
+        size_t DiagStart = S->diags().size();
+        AnalysisStats Before = S->analysisStats();
+        std::vector<unsigned> Loops =
+            U.Loops.empty() ? S->candidateLoops() : U.Loops;
+        R.Ok = true;
+        for (unsigned LoopId : Loops) {
+          R.Results.push_back(S->compileLoop(LoopId, U.Opts));
+          if (!R.Results.back().Ok) {
+            R.Ok = false;
+            break;
+          }
+        }
+        R.Diags = S->diags().diagnosticsSince(DiagStart);
+        R.Stats = statsDelta(S->analysisStats(), Before);
+        if (UI == Group->back()) {
+          R.TimingReport = S->timingReport();
+          R.StatsReport = S->statsReport();
+        }
+      }
+    });
+  }
+  Pool.wait();
+
+  // The join point: flush every worker's buffered output in UNIT order —
+  // scheduling never leaks into what the caller observes.
+  if (MergedDiags)
+    for (const BatchUnitResult &R : Out)
+      MergedDiags->append(R.Diags);
+  if (MergedTiming)
+    for (const auto &S : Sessions)
+      MergedTiming->merge(S->timing());
+
+  return Out;
+}
+
 std::string CompilationSession::statsReport() const {
   std::string Out = TR.statsReport();
-  const AnalysisStats &S = AM.stats();
+  AnalysisStats S = AM.stats();
   Out += formatString("  %12llu  analysis.profile.runs\n",
                       static_cast<unsigned long long>(S.ProfileRuns));
   Out += formatString("  %12llu  analysis.points-to.runs\n",

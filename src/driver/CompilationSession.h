@@ -23,6 +23,16 @@
 /// profiler invoked at most once per (loop, graph source) — analyses are
 /// reused from cache until a transform pass actually changes the IR.
 ///
+/// compileBatch() scales this across MODULES: independent (module, loops)
+/// units are distributed over a fixed-size worker pool. Units of the same
+/// module share one session (and its caches) and run serially in submission
+/// order on one worker — transform passes mutate the module, which no lock
+/// can make concurrent — while units of different modules compile fully in
+/// parallel. Each worker buffers diagnostics and timing into its unit's own
+/// session; the buffers are merged in deterministic unit order at the join
+/// point, so the batch output is bit-identical to a serial run regardless
+/// of worker count or scheduling.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDSE_DRIVER_COMPILATIONSESSION_H
@@ -32,6 +42,34 @@
 
 namespace gdse {
 
+/// One independently compilable unit of a batch: some (or all) candidate
+/// loops of one module under one option set.
+struct BatchUnit {
+  Module *M = nullptr;
+  /// Loop ids to compile, in order; empty means every candidate loop.
+  std::vector<unsigned> Loops;
+  PipelineOptions Opts;
+};
+
+/// What one BatchUnit produced. All fields are deterministic functions of
+/// the unit (not of scheduling), except the wall-clock column inside the
+/// rendered reports.
+struct BatchUnitResult {
+  bool Ok = false;
+  /// One pipeline result per compiled loop; compilation stops at the first
+  /// failing loop, exactly like compileAll().
+  std::vector<PipelineResult> Results;
+  /// This unit's diagnostics, in emission order.
+  std::vector<Diagnostic> Diags;
+  /// Analysis-cache counters attributable to this unit alone (the delta
+  /// over the unit's own session, which units of one module share).
+  AnalysisStats Stats;
+  /// The owning session's rendered reports; filled on the LAST unit of each
+  /// module group so per-module totals appear exactly once per batch.
+  std::string TimingReport;
+  std::string StatsReport;
+};
+
 class CompilationSession {
 public:
   explicit CompilationSession(Module &M);
@@ -40,7 +78,7 @@ public:
   DiagnosticEngine &diags() { return DE; }
   TimingRegistry &timing() { return TR; }
   AnalysisManager &analyses() { return AM; }
-  const AnalysisStats &analysisStats() const { return AM.stats(); }
+  AnalysisStats analysisStats() const { return AM.stats(); }
 
   /// Loop ids of the "@candidate" for-loops, in program order (cached via
   /// the AnalysisManager's numbering).
@@ -57,6 +95,23 @@ public:
   /// be discarded then, exactly like a failed transformLoop).
   std::vector<PipelineResult>
   compileAll(const PipelineOptions &Opts = PipelineOptions());
+
+  /// Compiles \p Units on a pool of \p Jobs workers (clamped to >= 1).
+  /// Units are grouped by module; each group gets one session and runs its
+  /// units serially in submission order on a single worker, while distinct
+  /// modules compile concurrently. Results come back indexed like \p Units.
+  ///
+  /// Determinism guarantee: diagnostics, analysis stats, pipeline results,
+  /// transformed modules, and the STRUCTURE of the timing reports (record
+  /// order, invocation and VM-cycle counts) are bit-identical for any Jobs
+  /// value; only wall-clock readings vary. When \p MergedDiags /
+  /// \p MergedTiming are given, every unit's buffered diagnostics and every
+  /// group's timing registry are flushed into them in unit order at the
+  /// join point.
+  static std::vector<BatchUnitResult>
+  compileBatch(const std::vector<BatchUnit> &Units, unsigned Jobs,
+               DiagnosticEngine *MergedDiags = nullptr,
+               TimingRegistry *MergedTiming = nullptr);
 
   /// `-time-passes`-style report over everything this session ran.
   std::string timingReport() const { return TR.timingReport(); }

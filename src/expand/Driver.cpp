@@ -189,8 +189,8 @@ ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
   // The paper's technique exists for the structures this cannot handle.
   // Such variables cannot be aliased (their address is never taken), so
   // removing them from the target set never breaks the closure.
+  std::set<const VarDecl *> AddressTaken;
   {
-    std::set<const VarDecl *> AddressTaken;
     for (Function *F : M.getFunctions()) {
       walkExprs(F, [&](Expr *Ex) {
         const Expr *Loc = nullptr;
@@ -342,6 +342,149 @@ ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
 
   // Translation tables become valid from here on.
   Cx.computeChangingStructs();
+
+  // --- Table 3 integer span rule: difference variables (i = p - q). ------
+  // A reconstruction r = q + i must take p's span (q + (p - q) IS p), so
+  // integer variables that only ever receive pointer differences get a
+  // shadow span variable carrying the minuend's span. Tracking is
+  // conservative: the variable must be a non-address-taken int local or
+  // global (never written through an alias), every assignment to it must be
+  // a pointer difference whose minuend span is derivable (structurally from
+  // a fat slot or as a constant), and it must actually flow back into
+  // pointer arithmetic somewhere — otherwise rule 1 stays in effect.
+  {
+    auto stripIntCasts = [](Expr *Ex) {
+      while (auto *C = dyn_cast<CastExpr>(Ex))
+        Ex = C->getSub();
+      return Ex;
+    };
+    auto asPtrDifference = [&](Expr *Ex) -> BinaryExpr * {
+      auto *Bin = dyn_cast<BinaryExpr>(stripIntCasts(Ex));
+      if (Bin && Bin->getOp() == BinaryOp::Sub &&
+          Bin->getLHS()->getType()->isPointer() &&
+          Bin->getRHS()->getType()->isPointer())
+        return Bin;
+      return nullptr;
+    };
+    // Minuend span derivable structurally: a load of a slot that will be
+    // promoted to a fat pointer (its .span sibling exists after rewrite).
+    auto minuendSpanIsStructural = [&](Expr *Ex) {
+      auto *L = dyn_cast<LoadExpr>(stripIntCasts(Ex));
+      if (!L)
+        return false;
+      if (auto *V = dyn_cast<VarRefExpr>(L->getLocation())) {
+        PointerSlot Slot;
+        Slot.Var = V->getDecl();
+        return Cx.FatSlots.count(Slot) != 0;
+      }
+      if (auto *FA = dyn_cast<FieldAccessExpr>(L->getLocation())) {
+        auto *ST = dyn_cast<StructType>(FA->getBase()->getType());
+        if (!ST)
+          return false;
+        PointerSlot Slot;
+        Slot.Struct = ST;
+        Slot.FieldIdx = FA->getFieldIndex();
+        return Cx.FatSlots.count(Slot) != 0;
+      }
+      return false;
+    };
+
+    // Constant span of a difference's minuend, when all relevant pointees
+    // agree on one (post-translation) size.
+    auto minuendConstSpan = [&](Expr *Minuend) -> std::optional<int64_t> {
+      const auto &Objs = PT.valueObjects(Minuend);
+      std::set<uint32_t> Rel = intersect(Objs, E);
+      if (Rel.empty())
+        Rel = Objs;
+      if (Rel.empty())
+        return std::nullopt;
+      return commonConstSize(Cx, PT, Rel, /*Translated=*/true);
+    };
+
+    // Variables consumed by pointer arithmetic (q + i / i + q): the only
+    // places a difference span is ever read back. Inline differences
+    // (r = q + (p - q)) get their minuend's constant fallback recorded here,
+    // keyed by the Sub node itself.
+    std::set<const VarDecl *> AddedToPointer;
+    for (Function *F : M.getFunctions()) {
+      walkExprs(F, [&](Expr *Ex) {
+        auto *Bin = dyn_cast<BinaryExpr>(Ex);
+        if (!Bin || Bin->getOp() != BinaryOp::Add ||
+            !Bin->getType()->isPointer())
+          return;
+        for (Expr *Op : {Bin->getLHS(), Bin->getRHS()}) {
+          if (auto *L = dyn_cast<LoadExpr>(stripIntCasts(Op))) {
+            if (auto *V = dyn_cast<VarRefExpr>(L->getLocation()))
+              if (V->getDecl()->getType()->isInt())
+                AddedToPointer.insert(V->getDecl());
+          } else if (BinaryExpr *Sub = asPtrDifference(Op)) {
+            if (auto CS = minuendConstSpan(Sub->getLHS()))
+              Cx.InlineDiffSpanFallback[Sub] = *CS;
+          }
+        }
+      });
+    }
+
+    struct DiffCandidate {
+      bool Eligible = true;
+      Function *Owner = nullptr;
+      std::vector<AssignStmt *> Assigns;
+    };
+    std::map<uint32_t, DiffCandidate> Candidates; // keyed by var id: the
+    // shadow creation below must iterate deterministically, not by pointer.
+    std::map<const VarDecl *, uint32_t> IdOf;
+    for (uint32_t Id = 1; Id <= M.getNumVarDecls(); ++Id)
+      IdOf[M.getVarDecl(Id)] = Id;
+
+    for (Function *F : M.getFunctions()) {
+      if (!F->getBody())
+        continue;
+      walkStmts(F->getBody(), [&](Stmt *S) {
+        auto *A = dyn_cast<AssignStmt>(S);
+        if (!A)
+          return;
+        auto *VR = dyn_cast<VarRefExpr>(A->getLHS());
+        if (!VR || !VR->getDecl()->getType()->isInt())
+          return;
+        VarDecl *V = VR->getDecl();
+        if (!AddedToPointer.count(V))
+          return;
+        DiffCandidate &C = Candidates[IdOf[V]];
+        BinaryExpr *Sub = asPtrDifference(A->getRHS());
+        if (!Sub || V->isParam() || AddressTaken.count(V)) {
+          C.Eligible = false;
+          return;
+        }
+        // The minuend's span must be obtainable at rewrite time, either
+        // structurally or as a constant fallback.
+        Expr *Minuend = Sub->getLHS();
+        std::optional<int64_t> CS = minuendConstSpan(Minuend);
+        if (!CS && !minuendSpanIsStructural(Minuend)) {
+          C.Eligible = false;
+          return;
+        }
+        C.Owner = F;
+        C.Assigns.push_back(A);
+        if (CS)
+          Cx.DiffSpanFallback[A] = *CS;
+      });
+    }
+
+    for (auto &[Id, C] : Candidates) {
+      VarDecl *V = M.getVarDecl(Id);
+      if (!C.Eligible || C.Assigns.empty())
+        continue;
+      VarDecl *Shadow;
+      if (V->isLocal()) {
+        Shadow = M.createVar(V->getName() + "$span", Cx.types().getInt64(),
+                             VarDecl::Storage::Local);
+        C.Owner->addLocal(Shadow);
+      } else {
+        Shadow = M.addGlobal(V->getName() + "$span", Cx.types().getInt64());
+      }
+      Cx.DiffSpanVars[V] = Shadow;
+    }
+  }
 
   // --- Per-access plans. --------------------------------------------------
   for (const AccessDesc &D : Num.accesses()) {

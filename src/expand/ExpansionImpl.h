@@ -59,9 +59,23 @@ struct ExpansionContext {
 
   /// Expanded memory objects (closure), as PointsTo object ids.
   std::set<uint32_t> ExpandedObjs;
-  /// Expanded variables (locals/globals) and heap sites, resolved.
-  std::set<VarDecl *> ExpandedVars;
-  std::set<CallExpr *> ExpandedSites;
+  /// Expanded variables (locals/globals) and heap sites, resolved. Ordered by
+  /// declaration/site id, not pointer value, so conversion order — and with it
+  /// the names and statement order of the generated backings — is a function
+  /// of the input program alone, never of heap allocation history. compileBatch
+  /// promises bit-identical output across schedules; this is where it's earned.
+  struct VarIdLess {
+    bool operator()(const VarDecl *A, const VarDecl *B) const {
+      return A->getId() < B->getId();
+    }
+  };
+  struct SiteIdLess {
+    bool operator()(const CallExpr *A, const CallExpr *B) const {
+      return A->getSiteId() < B->getSiteId();
+    }
+  };
+  std::set<VarDecl *, VarIdLess> ExpandedVars;
+  std::set<CallExpr *, SiteIdLess> ExpandedSites;
 
   /// Pointer slots promoted to fat pointers.
   std::set<PointerSlot> FatSlots;
@@ -73,6 +87,19 @@ struct ExpansionContext {
   /// statement / call argument on the original tree.
   std::map<const AssignStmt *, int64_t> AssignConstSpan;
   std::map<std::pair<const CallExpr *, unsigned>, int64_t> CallArgConstSpan;
+
+  /// Table 3's integer span rule: integer variables that only ever receive
+  /// pointer differences (i = p - q) and are later added back to a pointer.
+  /// Each maps to a shadow span variable updated after every difference
+  /// assignment with the MINUEND's span, so a reconstruction r = q + i gets
+  /// p's structure span (q + (p - q) is p), not q's — the two may point
+  /// into different structures with different spans.
+  std::map<VarDecl *, VarDecl *> DiffSpanVars;
+  /// Constant fallback span of the minuend per difference assignment.
+  std::map<const AssignStmt *, int64_t> DiffSpanFallback;
+  /// Same, for inline differences (r = q + (p - q)): keyed by the Sub node,
+  /// since there is no tracked variable to hang the fallback on.
+  std::map<const BinaryExpr *, int64_t> InlineDiffSpanFallback;
 
   /// Type translation memo (original type -> rewritten type).
   std::map<Type *, Type *> TranslateMemo;
@@ -151,6 +178,12 @@ struct ExpansionContext {
   /// points into, structurally (Table 3 source forms); \p Fallback is the
   /// precomputed constant span or -1. Null on failure.
   Expr *spanExprForValue(Expr *V, int64_t Fallback);
+
+  /// The integer span rule's read side: when \p V (stripped of integer
+  /// casts) is a tracked difference variable's load or an inline pointer
+  /// difference, returns the span of the structure the difference points
+  /// back into (the shadow variable / the minuend's span). Null otherwise.
+  Expr *diffSpanForValue(Expr *V, int64_t Fallback);
 };
 
 } // namespace gdse

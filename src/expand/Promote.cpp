@@ -229,9 +229,21 @@ Expr *ExpansionContext::spanExprForValue(Expr *V, int64_t Fallback) {
   }
   case Expr::Kind::Binary: {
     auto *Bin = cast<BinaryExpr>(V);
-    // Pointer arithmetic rule 1: p +/- i keeps p's span.
-    if (Bin->getType()->isPointer())
-      return spanExprForValue(Bin->getLHS(), Fallback);
+    if (Bin->getType()->isPointer()) {
+      // Table 3 integer span rule: q + i where i carries a pointer
+      // difference lands in the MINUEND's structure ((p - q) + q is p), so
+      // the span comes from the difference, not from q.
+      if (Bin->getOp() == BinaryOp::Add) {
+        if (Expr *S = diffSpanForValue(Bin->getRHS(), Fallback))
+          return S;
+        if (Expr *S = diffSpanForValue(Bin->getLHS(), Fallback))
+          return S;
+      }
+      // Pointer arithmetic rule 1: p +/- i keeps p's span.
+      Expr *PtrOp = Bin->getLHS()->getType()->isPointer() ? Bin->getLHS()
+                                                          : Bin->getRHS();
+      return spanExprForValue(PtrOp, Fallback);
+    }
     break;
   }
   case Expr::Kind::Cast: {
@@ -288,6 +300,30 @@ Expr *ExpansionContext::spanExprForValue(Expr *V, int64_t Fallback) {
   }
   if (Fallback >= 0)
     return B.longLit(Fallback);
+  return nullptr;
+}
+
+Expr *ExpansionContext::diffSpanForValue(Expr *V, int64_t Fallback) {
+  while (auto *C = dyn_cast<CastExpr>(V))
+    V = C->getSub();
+  // A tracked difference variable: its shadow holds the minuend's span.
+  if (auto *L = dyn_cast<LoadExpr>(V))
+    if (auto *VR = dyn_cast<VarRefExpr>(L->getLocation())) {
+      auto It = DiffSpanVars.find(VR->getDecl());
+      if (It != DiffSpanVars.end())
+        return B.loadVar(It->second);
+    }
+  // An inline difference q + (p - q): the minuend's span, directly. The
+  // driver precomputes the minuend's constant span per Sub node (the caller's
+  // fallback describes the whole RHS, not the minuend).
+  if (auto *Bin = dyn_cast<BinaryExpr>(V))
+    if (Bin->getOp() == BinaryOp::Sub && Bin->getLHS()->getType()->isPointer() &&
+        Bin->getRHS()->getType()->isPointer()) {
+      auto It = InlineDiffSpanFallback.find(Bin);
+      return spanExprForValue(Bin->getLHS(), It != InlineDiffSpanFallback.end()
+                                                 ? It->second
+                                                 : Fallback);
+    }
   return nullptr;
 }
 
@@ -407,6 +443,36 @@ protected:
     auto *A = dyn_cast<AssignStmt>(S);
     if (!A)
       return S;
+    // Table 3 integer span rule, write side: after i = p - q for a tracked
+    // difference variable, update i's shadow with the minuend's span.
+    if (auto *VR = dyn_cast<VarRefExpr>(A->getLHS())) {
+      auto TIt = Cx.DiffSpanVars.find(VR->getDecl());
+      if (TIt != Cx.DiffSpanVars.end()) {
+        Expr *R = A->getRHS();
+        while (auto *C = dyn_cast<CastExpr>(R))
+          R = C->getSub();
+        auto *Sub = dyn_cast<BinaryExpr>(R);
+        if (Sub && Sub->getOp() == BinaryOp::Sub &&
+            Sub->getLHS()->getType()->isPointer()) {
+          int64_t Fallback = -1;
+          auto FIt = Cx.DiffSpanFallback.find(A);
+          if (FIt != Cx.DiffSpanFallback.end())
+            Fallback = FIt->second;
+          Expr *SpanValue = Cx.spanExprForValue(Sub->getLHS(), Fallback);
+          if (!SpanValue) {
+            Cx.error("cannot compute span for pointer difference (the "
+                     "minuend's span is not derivable)");
+            return S;
+          }
+          auto *SpanStore = Cx.M.create<AssignStmt>(
+              Cx.B.varRef(TIt->second), SpanValue);
+          SpanStore->setAccessId(A->getAccessId());
+          emitAfter(SpanStore);
+          ++Cx.Result.Stats.SpanStoresInserted;
+        }
+        return S;
+      }
+    }
     // Store into fat pointer storage: write the .pointer field and insert
     // the Table 3 span statement right after.
     if (Cx.isFatStruct(A->getLHS()->getType()) &&

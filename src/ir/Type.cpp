@@ -9,6 +9,8 @@
 
 #include "support/Support.h"
 
+#include <mutex>
+
 using namespace gdse;
 
 int StructType::getFieldIndex(const std::string &FieldName) const {
@@ -129,6 +131,19 @@ static uint64_t alignTo(uint64_t Value, uint64_t Align) {
 }
 
 const TypeLayout &TypeContext::getLayout(Type *T) {
+  // Fast path: served from the memoization table under a shared lock.
+  // References into the std::map stay valid across later insertions.
+  {
+    std::shared_lock<std::shared_mutex> Lock(LayoutMu);
+    auto It = Layouts.find(T);
+    if (It != Layouts.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(LayoutMu);
+  return layoutLocked(T);
+}
+
+const TypeLayout &TypeContext::layoutLocked(Type *T) {
   auto It = Layouts.find(T);
   if (It != Layouts.end())
     return It->second;
@@ -155,7 +170,7 @@ const TypeLayout &TypeContext::getLayout(Type *T) {
   }
   case Type::Kind::Array: {
     auto *AT = cast<ArrayType>(T);
-    const TypeLayout &EL = getLayout(AT->getElement());
+    const TypeLayout &EL = layoutLocked(AT->getElement());
     L.Size = EL.Size * AT->getNumElements();
     L.Align = EL.Align;
     break;
@@ -165,7 +180,7 @@ const TypeLayout &TypeContext::getLayout(Type *T) {
     assert(!ST->isOpaque() && "layout of opaque struct");
     uint64_t Offset = 0, MaxAlign = 1;
     for (const StructField &F : ST->getFields()) {
-      const TypeLayout &FL = getLayout(F.Ty);
+      const TypeLayout &FL = layoutLocked(F.Ty);
       Offset = alignTo(Offset, FL.Align);
       L.FieldOffsets.push_back(Offset);
       Offset += FL.Size;

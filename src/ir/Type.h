@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -256,6 +257,12 @@ public:
 
   /// Computes (and caches) size/alignment/field offsets of \p T.
   /// Opaque structs and void have no layout; asserts on them.
+  ///
+  /// Thread-safe: the memoization table is guarded by a shared_mutex so
+  /// concurrent analyses (profiling runs on worker threads) may query
+  /// layouts of one module's types without external locking. Type CREATION
+  /// (get*/createStruct) is not synchronized — it belongs to the serial
+  /// parse/transform phases that own the module exclusively.
   const TypeLayout &getLayout(Type *T);
 
   /// sizeof() as exposed to the program; pointer size is 8.
@@ -272,7 +279,12 @@ private:
   std::vector<std::unique_ptr<FunctionType>> FunctionTypes;
   std::vector<std::unique_ptr<StructType>> StructTypes;
   std::map<std::string, StructType *> StructsByName;
+  mutable std::shared_mutex LayoutMu;
   std::map<Type *, TypeLayout> Layouts;
+
+  /// Recursive layout computation; requires LayoutMu held exclusively
+  /// (shared_mutex is not recursive, so the public entry locks once).
+  const TypeLayout &layoutLocked(Type *T);
 };
 
 } // namespace gdse

@@ -41,9 +41,11 @@ Diagnostic &DiagnosticEngine::report(DiagSeverity S, std::string Msg) {
   Diagnostic D;
   D.Severity = S;
   D.Message = std::move(Msg);
-  if (!Scopes.empty()) {
-    D.Pass = Scopes.back().Pass;
-    D.LoopId = Scopes.back().LoopId;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Scopes.find(std::this_thread::get_id());
+  if (It != Scopes.end() && !It->second.empty()) {
+    D.Pass = It->second.back().Pass;
+    D.LoopId = It->second.back().LoopId;
   }
   if (S == DiagSeverity::Error)
     ++NumErrors;
@@ -52,13 +54,28 @@ Diagnostic &DiagnosticEngine::report(DiagSeverity S, std::string Msg) {
 }
 
 Diagnostic &DiagnosticEngine::report(Diagnostic D) {
+  std::lock_guard<std::mutex> Lock(Mu);
   if (D.Severity == DiagSeverity::Error)
     ++NumErrors;
   Diags.push_back(std::move(D));
   return Diags.back();
 }
 
+void DiagnosticEngine::pushScope(std::string Pass, unsigned LoopId) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Scopes[std::this_thread::get_id()].push_back({std::move(Pass), LoopId});
+}
+
+void DiagnosticEngine::popScope() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Scopes.find(std::this_thread::get_id());
+  It->second.pop_back();
+  if (It->second.empty())
+    Scopes.erase(It);
+}
+
 std::vector<std::string> DiagnosticEngine::errorStrings(size_t Since) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   std::vector<std::string> Out;
   for (size_t I = Since; I < Diags.size(); ++I)
     if (Diags[I].isError())
@@ -67,5 +84,6 @@ std::vector<std::string> DiagnosticEngine::errorStrings(size_t Since) const {
 }
 
 std::vector<Diagnostic> DiagnosticEngine::diagnosticsSince(size_t Since) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   return std::vector<Diagnostic>(Diags.begin() + Since, Diags.end());
 }

@@ -17,13 +17,25 @@
 /// DiagnosticScope pushes a context onto the engine, and report() fills
 /// unattributed fields from the innermost scope.
 ///
+/// The engine is internally synchronized so concurrent analysis queries on
+/// a shared session may report from several worker threads: the diagnostic
+/// list is appended under a mutex (std::deque keeps returned references
+/// stable), and scope stacks are PER THREAD, so one worker's attribution
+/// context never leaks into another worker's diagnostics. Deterministic
+/// ORDERING across workers is the batch driver's job: each worker buffers
+/// into its own engine and the buffers are flushed in unit order at join.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDSE_SUPPORT_DIAGNOSTICS_H
 #define GDSE_SUPPORT_DIAGNOSTICS_H
 
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace gdse {
@@ -75,12 +87,29 @@ public:
     return report(DiagSeverity::Note, std::move(Msg));
   }
 
-  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
-  size_t size() const { return Diags.size(); }
-  const Diagnostic &operator[](size_t I) const { return Diags[I]; }
+  /// Appends \p Ds verbatim, preserving order — the flush half of the
+  /// batch driver's buffered-sink protocol.
+  void append(const std::vector<Diagnostic> &Ds) {
+    for (const Diagnostic &D : Ds)
+      report(D);
+  }
 
-  bool hasErrors() const { return NumErrors != 0; }
-  unsigned errorCount() const { return NumErrors; }
+  /// Snapshot of everything reported so far, in emission order.
+  std::vector<Diagnostic> diagnostics() const { return diagnosticsSince(0); }
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Diags.size();
+  }
+  Diagnostic operator[](size_t I) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Diags[I];
+  }
+
+  bool hasErrors() const { return errorCount() != 0; }
+  unsigned errorCount() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return NumErrors;
+  }
 
   /// Rendered messages of every error-severity diagnostic emitted at index
   /// >= \p Since — the bridge to legacy `Errors` vectors.
@@ -89,6 +118,7 @@ public:
   std::vector<Diagnostic> diagnosticsSince(size_t Since) const;
 
   void clear() {
+    std::lock_guard<std::mutex> Lock(Mu);
     Diags.clear();
     NumErrors = 0;
   }
@@ -99,8 +129,16 @@ private:
     std::string Pass;
     unsigned LoopId = 0;
   };
-  std::vector<Diagnostic> Diags;
-  std::vector<Context> Scopes;
+  void pushScope(std::string Pass, unsigned LoopId);
+  void popScope();
+
+  mutable std::mutex Mu;
+  /// deque, not vector: report() hands out a reference to the appended
+  /// diagnostic, which must survive later appends from other threads.
+  std::deque<Diagnostic> Diags;
+  /// Scope stacks keyed by thread: attribution contexts are thread-local
+  /// by construction (DiagnosticScope is a stack-bound RAII object).
+  std::map<std::thread::id, std::vector<Context>> Scopes;
   unsigned NumErrors = 0;
 };
 
@@ -111,9 +149,9 @@ class DiagnosticScope {
 public:
   DiagnosticScope(DiagnosticEngine &DE, std::string Pass, unsigned LoopId = 0)
       : DE(DE) {
-    DE.Scopes.push_back({std::move(Pass), LoopId});
+    DE.pushScope(std::move(Pass), LoopId);
   }
-  ~DiagnosticScope() { DE.Scopes.pop_back(); }
+  ~DiagnosticScope() { DE.popScope(); }
   DiagnosticScope(const DiagnosticScope &) = delete;
   DiagnosticScope &operator=(const DiagnosticScope &) = delete;
 

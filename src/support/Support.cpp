@@ -7,6 +7,7 @@
 
 #include "support/Support.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -39,6 +40,27 @@ std::string gdse::formatString(const char *Fmt, ...) {
   std::vsnprintf(Buf.data(), Buf.size(), Fmt, ArgsCopy);
   va_end(ArgsCopy);
   return std::string(Buf.data(), static_cast<size_t>(Len));
+}
+
+bool gdse::envFlag(const char *Name, bool Default) {
+  const char *Env = std::getenv(Name);
+  if (!Env || !*Env)
+    return Default;
+  std::string V(Env);
+  for (char &C : V)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (V == "0" || V == "false" || V == "off" || V == "no")
+    return false;
+  return true;
+}
+
+long gdse::envInt(const char *Name, long Default) {
+  const char *Env = std::getenv(Name);
+  if (!Env || !*Env)
+    return Default;
+  char *End = nullptr;
+  long V = std::strtol(Env, &End, 10);
+  return (End && *End == '\0') ? V : Default;
 }
 
 std::string gdse::formatByteSize(uint64_t Bytes) {

@@ -38,6 +38,16 @@ std::string formatString(const char *Fmt, ...)
 /// Returns \p Bytes rendered as a human-friendly quantity ("12.3 MiB").
 std::string formatByteSize(uint64_t Bytes);
 
+/// Reads the boolean environment flag \p Name. Unset, empty, "0", "false",
+/// "off", and "no" (case-insensitive) are off; any other value is on. The
+/// shared parser for GDSE_TIME_PASSES-style switches, so "=0" actually
+/// disables them.
+bool envFlag(const char *Name, bool Default = false);
+
+/// Reads the integer environment variable \p Name; \p Default when unset,
+/// empty, or unparsable.
+long envInt(const char *Name, long Default);
+
 } // namespace gdse
 
 #endif // GDSE_SUPPORT_SUPPORT_H

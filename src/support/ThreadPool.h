@@ -1,0 +1,113 @@
+//===- ThreadPool.h - Fixed-size worker pool --------------------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool for the driver's batch-compilation layer. Tasks
+/// are plain std::function thunks executed in submission order (a single
+/// FIFO queue feeds all workers); wait() blocks until every submitted task
+/// has finished, so callers can use the pool as a fork/join region without
+/// tearing it down.
+///
+/// The pool applies the same discipline the paper prescribes for privatized
+/// data: workers own their task's state exclusively while it runs, and all
+/// cross-task merging happens after the join point on the calling thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_SUPPORT_THREADPOOL_H
+#define GDSE_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gdse {
+
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (clamped to at least one).
+  explicit ThreadPool(unsigned Threads) {
+    if (Threads < 1)
+      Threads = 1;
+    Workers.reserve(Threads);
+    for (unsigned I = 0; I < Threads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Stopping = true;
+    }
+    WakeWorkers.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Sensible default width: the host's hardware concurrency, at least one.
+  static unsigned defaultThreadCount() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N ? N : 1;
+  }
+
+  /// Enqueues \p Task; it runs on some worker once one is free.
+  void submit(std::function<void()> Task) {
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Queue.push_back(std::move(Task));
+      ++Unfinished;
+    }
+    WakeWorkers.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has completed.
+  void wait() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Idle.wait(Lock, [this] { return Unfinished == 0; });
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        WakeWorkers.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Stopping and drained.
+        Task = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Task();
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        if (--Unfinished == 0)
+          Idle.notify_all();
+      }
+    }
+  }
+
+  std::mutex Mu;
+  std::condition_variable WakeWorkers;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  size_t Unfinished = 0;
+  bool Stopping = false;
+};
+
+} // namespace gdse
+
+#endif // GDSE_SUPPORT_THREADPOOL_H

@@ -14,6 +14,12 @@
 /// accesses redirected, ...). Reports are deterministic in layout; only the
 /// wall-clock column varies between runs.
 ///
+/// The registry is internally synchronized: concurrent analysis queries on a
+/// shared session may record into it from several worker threads. Report
+/// DETERMINISM, however, is a structural property the batch driver provides
+/// by giving each worker its own registry and merging them in unit order at
+/// the join point (see TimingRegistry::merge).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDSE_SUPPORT_TIMING_H
@@ -22,6 +28,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,10 +53,16 @@ public:
   /// Bumps the named statistic counter by \p Delta.
   void bumpCounter(const std::string &Counter, uint64_t Delta = 1);
 
-  /// Records in first-seen order.
+  /// Accumulates every record and counter of \p Other into this registry.
+  /// Records keep their first-seen order: \p Other's names are appended in
+  /// \p Other's order, so merging per-worker registries in deterministic
+  /// unit order yields a deterministic combined report.
+  void merge(const TimingRegistry &Other);
+
+  /// Records in first-seen order (snapshot).
   std::vector<PassTimingRecord> records() const;
   uint64_t counter(const std::string &Counter) const;
-  const std::map<std::string, uint64_t> &counters() const { return Counters; }
+  std::map<std::string, uint64_t> counters() const;
 
   /// `-time-passes`-style table: one row per record, columns for wall
   /// milliseconds, share of total, invocations, and VM cycles.
@@ -58,10 +71,12 @@ public:
   std::string statsReport() const;
 
 private:
+  mutable std::mutex Mu;
   std::vector<PassTimingRecord> Records;
   std::map<std::string, size_t> Index;
   std::map<std::string, uint64_t> Counters;
 
+  /// Requires Mu held.
   PassTimingRecord &lookup(const std::string &Name);
 };
 

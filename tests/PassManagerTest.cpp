@@ -17,8 +17,12 @@
 #include "interp/Interp.h"
 #include "ir/IRPrinter.h"
 #include "parallel/Pipeline.h"
+#include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
 
 using namespace gdse;
 
@@ -197,6 +201,200 @@ TEST(BatchCompilation, SessionMatchesLegacyTransformLoop) {
   EXPECT_EQ(RS.Plan.Kind, RL.Plan.Kind);
   EXPECT_EQ(RS.PrivateAccesses, RL.PrivateAccesses);
   EXPECT_EQ(printModule(*MSession), printModule(*MLegacy));
+}
+
+TEST(AnalysisCache, NegativeEntriesTravelTheInvalidationPath) {
+  // Regression: a cached FAILURE must be dropped by exactly the same
+  // invalidation events as a cached graph. A stale negative entry would
+  // keep reporting "profiling run failed" for a loop whose IR has changed.
+  const char *Src = R"(
+    int main() {
+      int* p = malloc(4 * sizeof(int));
+      @candidate for (int i = 0; i < 8; i++) { p[i + 2] = i; }
+      print_int(p[0]);
+      free(p);
+      return 0;
+    }
+  )";
+  std::unique_ptr<Module> M = parseMiniCOrDie(Src, "neg-invalidate");
+  CompilationSession S(*M);
+  unsigned Loop = S.candidateLoops().front();
+
+  EXPECT_EQ(S.analyses().depGraph(Loop, GraphSource::Profile), nullptr);
+  EXPECT_EQ(S.analyses().depGraph(Loop, GraphSource::Profile), nullptr);
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 1u);
+
+  // Per-loop invalidation clears the negative entry: the next query
+  // re-executes the profiler instead of replaying the cached failure.
+  S.analyses().invalidateLoop(Loop);
+  EXPECT_EQ(S.analyses().depGraph(Loop, GraphSource::Profile), nullptr);
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 2u);
+
+  // So does whole-module invalidation...
+  S.analyses().invalidateModule();
+  EXPECT_EQ(S.analyses().depGraph(Loop, GraphSource::Profile), nullptr);
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 3u);
+
+  // ...and an entry-point change (a different entry is a different program
+  // to the profiler; its failures do not transfer).
+  S.analyses().setEntry("main");   // unchanged: must NOT drop the cache
+  EXPECT_EQ(S.analyses().depGraph(Loop, GraphSource::Profile), nullptr);
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 3u);
+  S.analyses().setEntry("other");
+  S.analyses().setEntry("main");
+  EXPECT_EQ(S.analyses().depGraph(Loop, GraphSource::Profile), nullptr);
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 4u);
+}
+
+TEST(AnalysisCache, ConcurrentQueriesShareOneCache) {
+  // Many threads hammering the same session's analysis manager: every
+  // underlying analysis still runs exactly once per (loop, source), and
+  // every query is answered. (The ThreadSanitizer CI job runs this with
+  // race detection on.)
+  std::unique_ptr<Module> M = parseMiniCOrDie(TwoLoops, "concurrent");
+  CompilationSession S(*M);
+  std::vector<unsigned> Loops = S.candidateLoops();
+  ASSERT_EQ(Loops.size(), 2u);
+
+  std::atomic<unsigned> Nulls{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 8; ++I)
+        for (unsigned Loop : Loops) {
+          if (!S.analyses().depGraph(Loop, GraphSource::Profile))
+            ++Nulls;
+          if (!S.analyses().accessClasses(Loop, GraphSource::Profile))
+            ++Nulls;
+          if (!S.analyses().depGraph(Loop, GraphSource::Static))
+            ++Nulls;
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Nulls, 0u);
+  AnalysisStats St = S.analysisStats();
+  EXPECT_EQ(St.ProfileRuns, 2u);
+  EXPECT_EQ(St.StaticGraphRuns, 2u);
+  EXPECT_EQ(St.ClassifyRuns, 2u);
+  EXPECT_EQ(St.NumberingRuns, 1u);
+  // 4 threads x 8 iterations x 2 loops x 3 queries, minus the few misses.
+  EXPECT_GE(St.CacheHits, 4u * 8u * 2u * 3u - 6u);
+}
+
+/// Strips every digit run from a rendered report, leaving its structure
+/// (row order, names, column layout) for bit-comparison across runs whose
+/// wall-clock readings differ.
+std::string reportShape(const std::string &Report) {
+  std::string Out;
+  bool InNumber = false;
+  for (char C : Report) {
+    if ((C >= '0' && C <= '9') || (InNumber && C == '.')) {
+      if (!InNumber)
+        Out.push_back('#');
+      InNumber = true;
+      continue;
+    }
+    InNumber = false;
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+TEST(BatchCompilation, ParallelBatchIsBitIdenticalToSerial) {
+  // The tentpole guarantee on all eight workloads: compileBatch with 4
+  // workers produces the same transformed modules, the same diagnostics in
+  // the same order, the same analysis counts, and the same timing-report
+  // structure as a 1-worker (fully serial) batch.
+  auto compileSet = [](unsigned Jobs, std::vector<std::string> &Printed,
+                       DiagnosticEngine &Diags, TimingRegistry &Timing) {
+    std::vector<std::unique_ptr<Module>> Modules;
+    std::vector<BatchUnit> Units;
+    for (const WorkloadInfo &W : allWorkloads()) {
+      ParseResult PR = parseMiniC(W.Source);
+      ASSERT_TRUE(PR.ok()) << W.Name;
+      BatchUnit U;
+      U.M = PR.M.get();
+      Units.push_back(U);
+      Modules.push_back(std::move(PR.M));
+    }
+    std::vector<BatchUnitResult> Results =
+        CompilationSession::compileBatch(Units, Jobs, &Diags, &Timing);
+    ASSERT_EQ(Results.size(), Modules.size());
+    for (const BatchUnitResult &R : Results)
+      EXPECT_TRUE(R.Ok);
+    for (const std::unique_ptr<Module> &M : Modules)
+      Printed.push_back(printModule(*M));
+  };
+
+  std::vector<std::string> SerialIR, ParallelIR;
+  DiagnosticEngine SerialDiags, ParallelDiags;
+  TimingRegistry SerialTiming, ParallelTiming;
+  compileSet(1, SerialIR, SerialDiags, SerialTiming);
+  compileSet(4, ParallelIR, ParallelDiags, ParallelTiming);
+
+  // Transformed modules: bit-identical.
+  ASSERT_EQ(SerialIR.size(), ParallelIR.size());
+  for (size_t I = 0; I < SerialIR.size(); ++I)
+    EXPECT_EQ(SerialIR[I], ParallelIR[I]) << "workload #" << I;
+
+  // Diagnostics: same messages in the same (unit) order.
+  std::vector<Diagnostic> SD = SerialDiags.diagnostics();
+  std::vector<Diagnostic> PD = ParallelDiags.diagnostics();
+  ASSERT_EQ(SD.size(), PD.size());
+  for (size_t I = 0; I < SD.size(); ++I)
+    EXPECT_EQ(SD[I].str(), PD[I].str());
+
+  // Timing: identical structure, names, invocation and VM-cycle counts;
+  // only wall-clock readings may differ.
+  std::vector<PassTimingRecord> SR = SerialTiming.records();
+  std::vector<PassTimingRecord> PR = ParallelTiming.records();
+  ASSERT_EQ(SR.size(), PR.size());
+  for (size_t I = 0; I < SR.size(); ++I) {
+    EXPECT_EQ(SR[I].Name, PR[I].Name);
+    EXPECT_EQ(SR[I].Invocations, PR[I].Invocations);
+    EXPECT_EQ(SR[I].VmCycles, PR[I].VmCycles);
+  }
+  EXPECT_EQ(SerialTiming.counters(), ParallelTiming.counters());
+  EXPECT_EQ(reportShape(SerialTiming.statsReport()),
+            reportShape(ParallelTiming.statsReport()));
+}
+
+TEST(BatchCompilation, SameModuleUnitsSerializeAndShareOneSession) {
+  // Two units naming the same module must share a session (analyses carry
+  // across) and run in submission order on one worker — the second unit's
+  // loop sees the first unit's transformed IR, exactly like compileAll.
+  std::unique_ptr<Module> Ref = parseMiniCOrDie(TwoLoops, "ref");
+  CompilationSession SRef(*Ref);
+  std::vector<unsigned> RefLoops = SRef.candidateLoops();
+  for (unsigned Loop : RefLoops)
+    ASSERT_TRUE(SRef.compileLoop(Loop).Ok);
+  AnalysisStats RefStats = SRef.analysisStats();
+
+  std::unique_ptr<Module> M = parseMiniCOrDie(TwoLoops, "split");
+  std::vector<unsigned> Loops = findCandidateLoops(*M);
+  ASSERT_EQ(Loops.size(), 2u);
+  std::vector<BatchUnit> Units(2);
+  Units[0].M = M.get();
+  Units[0].Loops = {Loops[0]};
+  Units[1].M = M.get();
+  Units[1].Loops = {Loops[1]};
+  std::vector<BatchUnitResult> Results =
+      CompilationSession::compileBatch(Units, 4);
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_TRUE(Results[0].Ok);
+  EXPECT_TRUE(Results[1].Ok);
+  // Sharing one session costs no analysis runs beyond the serial baseline.
+  // (The count is not 1: the first unit's expansion pass mutates the IR and
+  // invalidates the module, so the second unit legitimately re-numbers —
+  // serial compileLoop sequences pay exactly the same.)
+  EXPECT_EQ(Results[0].Stats.NumberingRuns + Results[1].Stats.NumberingRuns,
+            RefStats.NumberingRuns);
+  EXPECT_EQ(Results[0].Stats.ProfileRuns + Results[1].Stats.ProfileRuns,
+            RefStats.ProfileRuns);
+
+  EXPECT_EQ(printModule(*M), printModule(*Ref));
 }
 
 TEST(PassTiming, EveryStageIsAccounted) {
