@@ -7,6 +7,7 @@
 
 #include "BenchCommon.h"
 
+#include "interp/Bytecode.h"
 #include "support/Support.h"
 #include "support/ThreadPool.h"
 
@@ -14,10 +15,115 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
+#include <sys/stat.h>
 
 using namespace gdse;
 using namespace gdse::bench;
+
+namespace {
+
+const char *engineName(ExecEngine E) {
+  return E == ExecEngine::Bytecode ? "bytecode" : "tree";
+}
+
+/// Everything the --json writer needs, accumulated across the process.
+struct JsonSink {
+  bool Enabled = false;
+  std::string OutFile;
+  std::string BenchId;
+  std::chrono::steady_clock::time_point Start;
+  struct Rec {
+    std::string Workload;
+    const char *Engine;
+    int Threads;
+    bool SimulateParallel;
+    bool Trapped;
+    uint64_t WorkCycles, SimTime, HostNanos, PeakBytes;
+  };
+  std::vector<Rec> Recs;
+};
+
+JsonSink &jsonSink() {
+  static JsonSink S;
+  return S;
+}
+
+void writeJson() {
+  JsonSink &S = jsonSink();
+  if (!S.Enabled)
+    return;
+  FILE *F = std::fopen(S.OutFile.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "bench: cannot write %s\n", S.OutFile.c_str());
+    return;
+  }
+  uint64_t WallNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - S.Start)
+                        .count();
+  std::fprintf(F, "{\n  \"bench\": \"%s\",\n", S.BenchId.c_str());
+  std::fprintf(F, "  \"config\": {\"engine\": \"%s\", \"bounds_check\": "
+                  "false},\n",
+               engineName(engineFromEnv()));
+  std::fprintf(F, "  \"wall_time_ns\": %llu,\n",
+               static_cast<unsigned long long>(WallNs));
+  std::fprintf(F, "  \"runs\": [");
+  for (size_t I = 0; I != S.Recs.size(); ++I) {
+    const JsonSink::Rec &R = S.Recs[I];
+    std::fprintf(
+        F,
+        "%s\n    {\"workload\": \"%s\", \"engine\": \"%s\", \"threads\": %d, "
+        "\"simulate_parallel\": %s, \"trapped\": %s, \"work_cycles\": %llu, "
+        "\"sim_time\": %llu, \"host_ns\": %llu, \"peak_bytes\": %llu}",
+        I ? "," : "", R.Workload.c_str(), R.Engine, R.Threads,
+        R.SimulateParallel ? "true" : "false", R.Trapped ? "true" : "false",
+        static_cast<unsigned long long>(R.WorkCycles),
+        static_cast<unsigned long long>(R.SimTime),
+        static_cast<unsigned long long>(R.HostNanos),
+        static_cast<unsigned long long>(R.PeakBytes));
+  }
+  std::fprintf(F, "\n  ]\n}\n");
+  std::fclose(F);
+}
+
+} // namespace
+
+void gdse::bench::initBenchIO(int &argc, char **argv) {
+  JsonSink &S = jsonSink();
+  S.Start = std::chrono::steady_clock::now();
+  // Bench id = program basename (the target name, e.g. "fig11_speedup").
+  S.BenchId = argv[0];
+  if (size_t Slash = S.BenchId.rfind('/'); Slash != std::string::npos)
+    S.BenchId = S.BenchId.substr(Slash + 1);
+
+  std::string Path;
+  int Out = 1;
+  for (int In = 1; In < argc; ++In) {
+    if (std::strcmp(argv[In], "--json") == 0 && In + 1 < argc) {
+      Path = argv[++In];
+      S.Enabled = true;
+    } else if (std::strncmp(argv[In], "--json=", 7) == 0) {
+      Path = argv[In] + 7;
+      S.Enabled = true;
+    } else {
+      argv[Out++] = argv[In];
+    }
+  }
+  argc = Out;
+  if (!S.Enabled)
+    return;
+
+  if (Path.size() >= 5 && Path.compare(Path.size() - 5, 5, ".json") == 0) {
+    S.OutFile = Path;
+  } else {
+    if (!Path.empty())
+      ::mkdir(Path.c_str(), 0755); // best effort; may already exist
+    S.OutFile = (Path.empty() ? std::string(".") : Path) + "/BENCH_" +
+                S.BenchId + ".json";
+  }
+  std::atexit(writeJson);
+}
 
 PreparedProgram gdse::bench::prepareOriginal(const WorkloadInfo &W) {
   PreparedProgram P;
@@ -157,8 +263,22 @@ RunResult gdse::bench::execute(PreparedProgram &P, int Threads,
   // The transformed programs are test-verified; skip per-access bounds
   // checking for faster experiment turnaround.
   IO.BoundsCheck = false;
+  IO.Engine = engineFromEnv();
+  if (IO.Engine == ExecEngine::Bytecode) {
+    // Lower once per prepared program; every thread count reuses it.
+    if (!P.Bytecode)
+      P.Bytecode = lowerToBytecode(*P.M, IO.Costs);
+    IO.Precompiled = P.Bytecode;
+  }
   Interp I(*P.M, IO);
-  return I.run();
+  RunResult R = I.run();
+
+  JsonSink &S = jsonSink();
+  if (S.Enabled)
+    S.Recs.push_back({P.Info ? P.Info->Name : "?", engineName(IO.Engine),
+                      Threads, SimulateParallel, R.Trapped, R.WorkCycles,
+                      R.SimTime, R.HostNanos, R.PeakMemoryBytes});
+  return R;
 }
 
 uint64_t gdse::bench::loopSimTime(const RunResult &R,

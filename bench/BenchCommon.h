@@ -29,12 +29,19 @@
 #include <vector>
 
 namespace gdse {
+
+struct BytecodeModule;
+
 namespace bench {
 
 /// A workload prepared under one transformation configuration.
 struct PreparedProgram {
   const WorkloadInfo *Info = nullptr;
   std::unique_ptr<Module> M;
+  /// Lazily-built register bytecode for M, shared by every execute() of
+  /// this program when the bytecode engine is selected (the default; set
+  /// GDSE_ENGINE=tree to measure the reference tree-walker).
+  std::shared_ptr<const BytecodeModule> Bytecode;
   /// One pipeline result per candidate loop, in program order.
   std::vector<PipelineResult> Pipelines;
   /// Candidate loop ids (valid for both original and transformed modules —
@@ -82,9 +89,22 @@ PreparedProgram &preparedForAll(const WorkloadInfo &W,
 /// per-binary wiring.
 void reportCompileTiming(const PreparedProgram &P, bool Force = false);
 
+/// Consumes the harness-level flags google-benchmark does not understand —
+/// currently `--json <path>` / `--json=<path>` — out of argc/argv and, when
+/// --json was given, registers an exit-time writer that dumps every
+/// execute() call's metrics (engine, threads, work cycles, simulated time,
+/// host wall time, peak bytes) plus the process wall time as
+/// `BENCH_<name>.json`. \p Path naming a directory (or anything not ending
+/// in ".json") is treated as the output directory; otherwise it is the
+/// exact output file. Call before benchmark::Initialize, which rejects
+/// unknown flags.
+void initBenchIO(int &argc, char **argv);
+
 /// Executes a prepared program. \p Threads is the simulated core count;
 /// \p SimulateParallel=false forces sequential execution of parallel-marked
-/// loops (the Figure 9/10 single-core overhead methodology).
+/// loops (the Figure 9/10 single-core overhead methodology). Runs on
+/// engineFromEnv() — the bytecode VM unless GDSE_ENGINE says otherwise —
+/// lowering P once and reusing it across calls.
 RunResult execute(PreparedProgram &P, int Threads,
                   bool SimulateParallel = true);
 

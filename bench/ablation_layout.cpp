@@ -79,6 +79,7 @@ int main(int argc, char **argv) {
           [&W, Inter](benchmark::State &S) { runLayout(S, W, Inter); })
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);
+  initBenchIO(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -83,6 +83,7 @@ int main(int argc, char **argv) {
           [&W, &C](benchmark::State &S) { runConfig(S, W, C); })
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);
+  initBenchIO(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -75,6 +75,7 @@ int main(int argc, char **argv) {
           [&W, N](benchmark::State &S) { runFig11(S, W, N); })
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);
+  initBenchIO(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

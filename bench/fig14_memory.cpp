@@ -75,6 +75,7 @@ int main(int argc, char **argv) {
             [&W, N, Rt](benchmark::State &S) { runFig14(S, W, N, Rt); })
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
+  initBenchIO(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -69,6 +69,7 @@ int main(int argc, char **argv) {
                                  [&W](benchmark::State &S) { runFig8(S, W); })
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
+  initBenchIO(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

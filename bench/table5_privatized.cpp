@@ -65,6 +65,7 @@ int main(int argc, char **argv) {
                                  [&W](benchmark::State &S) { runTable5(S, W); })
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
+  initBenchIO(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -49,10 +49,24 @@ int main(int argc, char **argv) {
   int Threads = 1;
   unsigned Jobs = 1;
   bool Transform = false, DumpIR = false, TimePasses = false, Stats = false;
+  // Engine default follows GDSE_ENGINE (bytecode when unset); --engine wins.
+  ExecEngine Engine = engineFromEnv();
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--threads" && I + 1 < argc)
       Threads = std::atoi(argv[++I]);
+    else if (Arg == "--engine" && I + 1 < argc) {
+      std::string E = argv[++I];
+      if (E == "tree" || E == "treewalk")
+        Engine = ExecEngine::TreeWalk;
+      else if (E == "bytecode" || E == "bc")
+        Engine = ExecEngine::Bytecode;
+      else {
+        std::fprintf(stderr, "unknown engine '%s' (tree|bytecode)\n",
+                     E.c_str());
+        return 1;
+      }
+    }
     else if (Arg == "--jobs" && I + 1 < argc)
       Jobs = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (Arg == "--transform")
@@ -69,7 +83,8 @@ int main(int argc, char **argv) {
   if (Paths.empty()) {
     std::fprintf(stderr,
                  "usage: minic <file.mc>... [--threads N] [--jobs N] "
-                 "[--transform] [--dump-ir] [--time-passes] [--stats]\n");
+                 "[--engine tree|bytecode] [--transform] [--dump-ir] "
+                 "[--time-passes] [--stats]\n");
     return 1;
   }
   const bool Multi = Paths.size() > 1;
@@ -141,6 +156,7 @@ int main(int argc, char **argv) {
 
     InterpOptions IO;
     IO.NumThreads = Threads;
+    IO.Engine = Engine;
     Interp I(*P.M, IO);
     RunResult R = I.run();
     std::fputs(R.Output.c_str(), stdout);

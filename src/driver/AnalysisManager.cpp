@@ -8,6 +8,7 @@
 #include "driver/AnalysisManager.h"
 
 #include "analysis/StaticDeps.h"
+#include "interp/Bytecode.h"
 #include "profile/DepProfiler.h"
 #include "support/Support.h"
 
@@ -141,6 +142,29 @@ const PointsTo &AnalysisManager::pointsTo() {
   return *PT;
 }
 
+std::shared_ptr<const BytecodeModule> AnalysisManager::bytecode() {
+  // The lowering bakes access and loop ids into the instructions; number
+  // first, outside ModuleMu (numbering locks it itself).
+  numbering();
+  {
+    std::shared_lock<std::shared_mutex> Lock(ModuleMu);
+    if (BC) {
+      hit();
+      return BC;
+    }
+  }
+  std::unique_lock<std::shared_mutex> Lock(ModuleMu);
+  if (BC) {
+    hit();
+    return BC;
+  }
+  miss();
+  Stats.BytecodeLowerings.fetch_add(1, std::memory_order_relaxed);
+  TimerScope T(TR, "analysis.bytecode");
+  BC = lowerToBytecode(M, CostModel::defaults());
+  return BC;
+}
+
 const LoopDepGraph *AnalysisManager::depGraph(unsigned LoopId,
                                               GraphSource Source) {
   LoopShard &Shard = shardFor(LoopId);
@@ -171,8 +195,15 @@ const LoopDepGraph *AnalysisManager::depGraph(unsigned LoopId,
   switch (Source) {
   case GraphSource::Profile: {
     Stats.ProfileRuns.fetch_add(1, std::memory_order_relaxed);
+    // The profiling run itself executes on the session's shared bytecode
+    // (lowered once per IR version) unless GDSE_ENGINE forces the
+    // tree-walker. bytecode() takes ModuleMu inside this shard lock, the
+    // one permitted nesting order.
+    std::shared_ptr<const BytecodeModule> Precompiled;
+    if (engineFromEnv() == ExecEngine::Bytecode)
+      Precompiled = bytecode();
     TimerScope T(TR, "analysis.profile");
-    ProfileResult Prof = profileLoop(M, LoopId, this->Entry);
+    ProfileResult Prof = profileLoop(M, LoopId, this->Entry, Precompiled);
     if (TR)
       TR->addVmCycles("analysis.profile", Prof.Run.WorkCycles);
     if (!Prof.Run.ok()) {
@@ -242,13 +273,21 @@ void AnalysisManager::invalidateLoop(unsigned LoopId) {
   // Invalidation only ever touches this loop's own shard — other loops'
   // cached graphs survive, which is the whole point of AllExceptLoop.
   // Clearing the maps drops negative entries along with positive ones.
-  std::shared_lock<std::shared_mutex> MapLock(ShardsMu);
-  auto It = Shards.find(LoopId);
-  if (It == Shards.end())
-    return;
-  std::unique_lock<std::shared_mutex> Lock(It->second->Mu);
-  It->second->Graphs.clear();
-  It->second->Classes.clear();
+  {
+    std::shared_lock<std::shared_mutex> MapLock(ShardsMu);
+    auto It = Shards.find(LoopId);
+    if (It != Shards.end()) {
+      std::unique_lock<std::shared_mutex> Lock(It->second->Mu);
+      It->second->Graphs.clear();
+      It->second->Classes.clear();
+    }
+  }
+  // The loop's body changed in place, and the module bytecode embeds it:
+  // drop the lowering (numbering and points-to survive — per-loop rewrites
+  // preserve them, that is the invalidateLoop contract). Shard locks are
+  // released above; ModuleMu is never taken inside one here.
+  std::unique_lock<std::shared_mutex> Lock(ModuleMu);
+  BC.reset();
 }
 
 void AnalysisManager::invalidateModule() {
@@ -266,6 +305,7 @@ void AnalysisManager::invalidateModule() {
   std::unique_lock<std::shared_mutex> Lock(ModuleMu);
   Num.reset();
   PT.reset();
+  BC.reset();
 }
 
 AnalysisStats AnalysisManager::stats() const {
@@ -277,5 +317,7 @@ AnalysisStats AnalysisManager::stats() const {
   S.NumberingRuns = Stats.NumberingRuns.load(std::memory_order_relaxed);
   S.StaticGraphRuns = Stats.StaticGraphRuns.load(std::memory_order_relaxed);
   S.ClassifyRuns = Stats.ClassifyRuns.load(std::memory_order_relaxed);
+  S.BytecodeLowerings =
+      Stats.BytecodeLowerings.load(std::memory_order_relaxed);
   return S;
 }

@@ -62,6 +62,8 @@
 
 namespace gdse {
 
+struct BytecodeModule;
+
 /// Where a loop-level dependence graph comes from (§2: "from the
 /// programmer, the compiler, or tools that perform data dependence
 /// profiling").
@@ -86,6 +88,9 @@ struct AnalysisStats {
   uint64_t NumberingRuns = 0;
   uint64_t StaticGraphRuns = 0;
   uint64_t ClassifyRuns = 0;
+  /// Register-bytecode lowerings of the whole module (each feeds every
+  /// profiling run until the IR changes).
+  uint64_t BytecodeLowerings = 0;
 };
 
 class AnalysisManager {
@@ -114,6 +119,12 @@ public:
   const AccessNumbering &numbering();
   /// Whole-program Andersen points-to of the CURRENT IR.
   const PointsTo &pointsTo();
+  /// The CURRENT IR lowered to register bytecode (default cost table) —
+  /// the execution format every profiling run of this session shares.
+  /// Numbering runs first (the lowering bakes access/loop ids in).
+  /// Invalidated whenever the IR changes: invalidateModule, and also
+  /// invalidateLoop, since the module bytecode embeds every loop's body.
+  std::shared_ptr<const BytecodeModule> bytecode();
 
   /// The dependence graph of \p LoopId under \p Source. Null on failure
   /// (an error diagnostic has been emitted); failures are negatively
@@ -177,6 +188,7 @@ private:
   mutable std::shared_mutex ModuleMu;
   std::optional<AccessNumbering> Num;
   std::optional<PointsTo> PT;
+  std::shared_ptr<const BytecodeModule> BC;
 
   /// Guards the shard MAP only; individual shards carry their own locks.
   mutable std::shared_mutex ShardsMu;
@@ -190,6 +202,7 @@ private:
     std::atomic<uint64_t> NumberingRuns{0};
     std::atomic<uint64_t> StaticGraphRuns{0};
     std::atomic<uint64_t> ClassifyRuns{0};
+    std::atomic<uint64_t> BytecodeLowerings{0};
   } Stats;
 };
 

@@ -12,6 +12,11 @@
 /// (see DESIGN.md, substitution table). Constants are centralized so the
 /// ablation benches can vary them.
 ///
+/// The named constants in gdse::costs are the single default table; both
+/// execution engines (tree-walker and register bytecode) read their charges
+/// from a CostModel instance initialized from this table, so the engines
+/// cannot drift on cycle accounting.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDSE_INTERP_COSTMODEL_H
@@ -21,32 +26,69 @@
 
 namespace gdse {
 
-/// Cycle costs for one simulated core.
+namespace costs {
+
+/// Charged per expression node evaluated.
+inline constexpr uint64_t ExprBase = 1;
+/// Extra cost of a memory load / store (beyond ExprBase).
+inline constexpr uint64_t Load = 3;
+inline constexpr uint64_t Store = 3;
+/// Extra cost of integer division/remainder and of sqrt.
+inline constexpr uint64_t DivRem = 12;
+/// Division by a compile-time-constant divisor: real compilers strength-reduce
+/// it to a multiply/shift sequence, so both engines charge this flat cost
+/// instead of DivRem. Not a CostModel field — it is a property of the
+/// strength reduction, not of the simulated machine.
+inline constexpr uint64_t ConstDivisorDiv = 2;
+/// Call/return bookkeeping of a user function call.
+inline constexpr uint64_t Call = 12;
+/// Allocator costs.
+inline constexpr uint64_t Alloc = 60;
+inline constexpr uint64_t Free = 30;
+/// Per-byte cost of memcpy/memset/calloc-zeroing.
+inline constexpr uint64_t PerByteCopy = 1;
+/// Parallel runtime: one-time fork/join of a team (GOMP-like).
+inline constexpr uint64_t ForkJoin = 2000;
+/// DOALL static chunk startup per thread.
+inline constexpr uint64_t ChunkStartup = 150;
+/// DOACROSS dynamic self-scheduling cost charged per iteration dispatch
+/// (chunk size one, as in the paper §4.3).
+inline constexpr uint64_t IterDispatch = 120;
+/// Entry/exit bookkeeping of an ordered (cross-iteration sync) region,
+/// charged in addition to any stall time.
+inline constexpr uint64_t OrderedEnter = 40;
+
+} // namespace costs
+
+/// Cycle costs for one simulated core. Field semantics are documented on the
+/// gdse::costs constants the defaults come from.
 struct CostModel {
-  /// Charged per expression node evaluated.
-  uint64_t ExprBase = 1;
-  /// Extra cost of a memory load / store (beyond ExprBase).
-  uint64_t Load = 3;
-  uint64_t Store = 3;
-  /// Extra cost of integer division/remainder and of sqrt.
-  uint64_t DivRem = 12;
-  /// Call/return bookkeeping of a user function call.
-  uint64_t Call = 12;
-  /// Allocator costs.
-  uint64_t Alloc = 60;
-  uint64_t Free = 30;
-  /// Per-byte cost of memcpy/memset/calloc-zeroing.
-  uint64_t PerByteCopy = 1;
-  /// Parallel runtime: one-time fork/join of a team (GOMP-like).
-  uint64_t ForkJoin = 2000;
-  /// DOALL static chunk startup per thread.
-  uint64_t ChunkStartup = 150;
-  /// DOACROSS dynamic self-scheduling cost charged per iteration dispatch
-  /// (chunk size one, as in the paper §4.3).
-  uint64_t IterDispatch = 120;
-  /// Entry/exit bookkeeping of an ordered (cross-iteration sync) region,
-  /// charged in addition to any stall time.
-  uint64_t OrderedEnter = 40;
+  uint64_t ExprBase = costs::ExprBase;
+  uint64_t Load = costs::Load;
+  uint64_t Store = costs::Store;
+  uint64_t DivRem = costs::DivRem;
+  uint64_t Call = costs::Call;
+  uint64_t Alloc = costs::Alloc;
+  uint64_t Free = costs::Free;
+  uint64_t PerByteCopy = costs::PerByteCopy;
+  uint64_t ForkJoin = costs::ForkJoin;
+  uint64_t ChunkStartup = costs::ChunkStartup;
+  uint64_t IterDispatch = costs::IterDispatch;
+  uint64_t OrderedEnter = costs::OrderedEnter;
+
+  /// Exact equality over every field; the bytecode engine uses this to decide
+  /// whether a precompiled module's baked-in charges match the run options.
+  friend bool operator==(const CostModel &A, const CostModel &B) {
+    return A.ExprBase == B.ExprBase && A.Load == B.Load && A.Store == B.Store &&
+           A.DivRem == B.DivRem && A.Call == B.Call && A.Alloc == B.Alloc &&
+           A.Free == B.Free && A.PerByteCopy == B.PerByteCopy &&
+           A.ForkJoin == B.ForkJoin && A.ChunkStartup == B.ChunkStartup &&
+           A.IterDispatch == B.IterDispatch &&
+           A.OrderedEnter == B.OrderedEnter;
+  }
+  friend bool operator!=(const CostModel &A, const CostModel &B) {
+    return !(A == B);
+  }
 
   static const CostModel &defaults() {
     static const CostModel CM;

@@ -1,0 +1,578 @@
+//===- ExecState.cpp - State and semantics shared by both engines ----------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/ExecState.h"
+
+#include "ir/AccessInfo.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+using namespace gdse;
+
+FrameLayout gdse::computeFrameLayout(TypeContext &Ctx, const Function *F) {
+  FrameLayout L;
+  uint64_t Offset = 0;
+  auto place = [&](const VarDecl *D) {
+    const TypeLayout &TL = Ctx.getLayout(D->getType());
+    Offset = (Offset + TL.Align - 1) / TL.Align * TL.Align;
+    L.Offsets[D] = Offset;
+    Offset += TL.Size;
+  };
+  for (const VarDecl *P : F->getParams())
+    place(P);
+  for (const VarDecl *V : F->getLocals())
+    place(V);
+  L.Size = std::max<uint64_t>(Offset, 1);
+  return L;
+}
+
+ScalarKind gdse::scalarKindOf(const Type *T) {
+  switch (T->getKind()) {
+  case Type::Kind::Int: {
+    const auto *IT = cast<IntType>(T);
+    switch (IT->getBits()) {
+    case 8:
+      return IT->isSigned() ? ScalarKind::I8 : ScalarKind::U8;
+    case 16:
+      return IT->isSigned() ? ScalarKind::I16 : ScalarKind::U16;
+    case 32:
+      return IT->isSigned() ? ScalarKind::I32 : ScalarKind::U32;
+    default:
+      return IT->isSigned() ? ScalarKind::I64 : ScalarKind::U64;
+    }
+  }
+  case Type::Kind::Float:
+    return cast<FloatType>(T)->getBits() == 32 ? ScalarKind::F32
+                                               : ScalarKind::F64;
+  case Type::Kind::Pointer:
+    return ScalarKind::Ptr;
+  default:
+    return ScalarKind::Invalid;
+  }
+}
+
+ExecState::ExecState(Module &M, InterpOptions Opts)
+    : M(M), Ctx(M.getTypes()), Opts(std::move(Opts)),
+      RegisterVars(collectRegisterVars(M)) {}
+
+ExecState::~ExecState() = default;
+
+bool ExecState::checkAccess(uint64_t Addr, uint64_t Size, const char *What) {
+  if (!Opts.BoundsCheck)
+    return true;
+  if (Addr == 0) {
+    trap(formatString("null %s of %llu bytes", What,
+                      static_cast<unsigned long long>(Size)));
+    return false;
+  }
+  if (!Mem.inBounds(Addr, Size)) {
+    trap(formatString("out-of-bounds %s of %llu bytes at 0x%llx", What,
+                      static_cast<unsigned long long>(Size),
+                      static_cast<unsigned long long>(Addr)));
+    return false;
+  }
+  return true;
+}
+
+VMValue ExecState::loadScalarKind(uint64_t Addr, ScalarKind K) {
+  VMValue V;
+  switch (K) {
+  case ScalarKind::F32: {
+    float F32;
+    std::memcpy(&F32, reinterpret_cast<void *>(Addr), 4);
+    V.F = F32;
+    return V;
+  }
+  case ScalarKind::F64:
+    std::memcpy(&V.F, reinterpret_cast<void *>(Addr), 8);
+    return V;
+  case ScalarKind::Ptr: {
+    uint64_t P;
+    std::memcpy(&P, reinterpret_cast<void *>(Addr), 8);
+    V.I = static_cast<int64_t>(P);
+    return V;
+  }
+  default: {
+    unsigned Bytes = scalarSize(K);
+    int64_t Raw = 0;
+    std::memcpy(&Raw, reinterpret_cast<void *>(Addr), Bytes);
+    V.I = normalizeInt(Raw, Bytes * 8, K <= ScalarKind::I64);
+    return V;
+  }
+  }
+}
+
+void ExecState::storeScalarKind(uint64_t Addr, ScalarKind K, VMValue V) {
+  switch (K) {
+  case ScalarKind::F32: {
+    float F32 = static_cast<float>(V.F);
+    std::memcpy(reinterpret_cast<void *>(Addr), &F32, 4);
+    return;
+  }
+  case ScalarKind::F64:
+    std::memcpy(reinterpret_cast<void *>(Addr), &V.F, 8);
+    return;
+  case ScalarKind::Ptr: {
+    uint64_t P = static_cast<uint64_t>(V.I);
+    std::memcpy(reinterpret_cast<void *>(Addr), &P, 8);
+    return;
+  }
+  default: {
+    unsigned Bytes = scalarSize(K);
+    int64_t Norm = normalizeInt(V.I, Bytes * 8, K <= ScalarKind::I64);
+    std::memcpy(reinterpret_cast<void *>(Addr), &Norm, Bytes);
+    return;
+  }
+  }
+}
+
+VMValue ExecState::loadScalar(uint64_t Addr, Type *T) {
+  ScalarKind K = scalarKindOf(T);
+  if (K == ScalarKind::Invalid) {
+    trap("scalar load of aggregate type " + T->str());
+    return VMValue();
+  }
+  return loadScalarKind(Addr, K);
+}
+
+void ExecState::storeScalar(uint64_t Addr, Type *T, VMValue V) {
+  ScalarKind K = scalarKindOf(T);
+  if (K == ScalarKind::Invalid) {
+    trap("scalar store of aggregate type " + T->str());
+    return;
+  }
+  storeScalarKind(Addr, K, V);
+}
+
+bool ExecState::isRegisterAccess(const Expr *Loc) const {
+  return gdse::isRegisterAccess(RegisterVars, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Builtins
+//===----------------------------------------------------------------------===//
+
+VMValue ExecState::execBuiltinOp(Builtin B, uint32_t SiteId,
+                                 const VMValue *Args, unsigned NumArgs) {
+  (void)NumArgs;
+  switch (B) {
+  case Builtin::MallocFn: {
+    int64_t N = Args[0].I;
+    if (N < 0 || N > (int64_t(1) << 34)) {
+      trap(formatString("malloc of invalid size %lld",
+                        static_cast<long long>(N)));
+      return VMValue();
+    }
+    charge(Opts.Costs.Alloc);
+    uint64_t Base =
+        Mem.allocate(static_cast<uint64_t>(N), AllocKind::Heap, SiteId);
+    if (Obs)
+      Obs->onAlloc(*Mem.byBase(Base));
+    return VMValue::ofInt(static_cast<int64_t>(Base));
+  }
+  case Builtin::CallocFn: {
+    int64_t N = Args[0].I, Sz = Args[1].I;
+    if (N < 0 || Sz < 0 || N * Sz > (int64_t(1) << 34)) {
+      trap("calloc of invalid size");
+      return VMValue();
+    }
+    uint64_t Size = static_cast<uint64_t>(N * Sz);
+    charge(Opts.Costs.Alloc + Size * Opts.Costs.PerByteCopy);
+    uint64_t Base = Mem.allocate(Size, AllocKind::Heap, SiteId);
+    if (Obs) {
+      Obs->onAlloc(*Mem.byBase(Base));
+      Obs->onBulkAccess(/*IsWrite=*/true, Base, Size, B, SiteId);
+    }
+    return VMValue::ofInt(static_cast<int64_t>(Base));
+  }
+  case Builtin::ReallocFn: {
+    uint64_t Old = static_cast<uint64_t>(Args[0].I);
+    int64_t N = Args[1].I;
+    if (N < 0 || N > (int64_t(1) << 34)) {
+      trap("realloc of invalid size");
+      return VMValue();
+    }
+    uint64_t Size = static_cast<uint64_t>(N);
+    if (!Old) {
+      charge(Opts.Costs.Alloc);
+      uint64_t Base = Mem.allocate(Size, AllocKind::Heap, SiteId);
+      if (Obs)
+        Obs->onAlloc(*Mem.byBase(Base));
+      return VMValue::ofInt(static_cast<int64_t>(Base));
+    }
+    const Allocation *A = Mem.byBase(Old);
+    if (!A || A->Kind != AllocKind::Heap) {
+      trap("realloc of a non-heap or non-base pointer");
+      return VMValue();
+    }
+    uint64_t CopySize = std::min(A->Size, Size);
+    charge(Opts.Costs.Alloc + Opts.Costs.Free +
+           CopySize * Opts.Costs.PerByteCopy);
+    uint64_t Base = Mem.allocate(Size, AllocKind::Heap, SiteId);
+    std::memcpy(reinterpret_cast<void *>(Base), reinterpret_cast<void *>(Old),
+                CopySize);
+    if (Obs) {
+      Obs->onAlloc(*Mem.byBase(Base));
+      Obs->onBulkAccess(/*IsWrite=*/false, Old, CopySize, B, SiteId);
+      Obs->onBulkAccess(/*IsWrite=*/true, Base, CopySize, B, SiteId);
+      Obs->onFree(*Mem.byBase(Old));
+    }
+    Mem.deallocate(Old);
+    return VMValue::ofInt(static_cast<int64_t>(Base));
+  }
+  case Builtin::FreeFn: {
+    uint64_t P = static_cast<uint64_t>(Args[0].I);
+    if (!P)
+      return VMValue();
+    const Allocation *A = Mem.byBase(P);
+    if (!A || A->Kind != AllocKind::Heap) {
+      trap(formatString("invalid free of 0x%llx",
+                        static_cast<unsigned long long>(P)));
+      return VMValue();
+    }
+    charge(Opts.Costs.Free);
+    if (Obs)
+      Obs->onFree(*A);
+    Mem.deallocate(P);
+    return VMValue();
+  }
+  case Builtin::MemcpyFn: {
+    uint64_t D = static_cast<uint64_t>(Args[0].I);
+    uint64_t S = static_cast<uint64_t>(Args[1].I);
+    int64_t N = Args[2].I;
+    if (N < 0) {
+      trap("memcpy with negative size");
+      return VMValue();
+    }
+    uint64_t Size = static_cast<uint64_t>(N);
+    if (!checkAccess(D, Size, "memcpy dest") ||
+        !checkAccess(S, Size, "memcpy src"))
+      return VMValue();
+    charge(Size * Opts.Costs.PerByteCopy);
+    if (Obs) {
+      Obs->onBulkAccess(false, S, Size, B, SiteId);
+      Obs->onBulkAccess(true, D, Size, B, SiteId);
+    }
+    std::memmove(reinterpret_cast<void *>(D), reinterpret_cast<void *>(S),
+                 Size);
+    return VMValue::ofInt(static_cast<int64_t>(D));
+  }
+  case Builtin::MemsetFn: {
+    uint64_t D = static_cast<uint64_t>(Args[0].I);
+    int64_t V = Args[1].I;
+    int64_t N = Args[2].I;
+    if (N < 0) {
+      trap("memset with negative size");
+      return VMValue();
+    }
+    uint64_t Size = static_cast<uint64_t>(N);
+    if (!checkAccess(D, Size, "memset dest"))
+      return VMValue();
+    charge(Size * Opts.Costs.PerByteCopy);
+    if (Obs)
+      Obs->onBulkAccess(true, D, Size, B, SiteId);
+    std::memset(reinterpret_cast<void *>(D), static_cast<int>(V), Size);
+    return VMValue::ofInt(static_cast<int64_t>(D));
+  }
+  case Builtin::PrintInt:
+    Output += formatString("%lld\n", static_cast<long long>(Args[0].I));
+    return VMValue();
+  case Builtin::PrintFloat:
+    Output += formatString("%.6g\n", Args[0].F);
+    return VMValue();
+  case Builtin::AbsFn: {
+    int64_t V = Args[0].I;
+    return VMValue::ofInt(V < 0 ? -V : V);
+  }
+  case Builtin::FabsFn:
+    return VMValue::ofFloat(std::fabs(Args[0].F));
+  case Builtin::SqrtFn:
+    // The DivRem charge was applied by the caller before argument
+    // evaluation (see the declaration comment).
+    return VMValue::ofFloat(std::sqrt(Args[0].F));
+  case Builtin::ExitFn:
+    ExitCode = Args[0].I;
+    Halted = true;
+    return VMValue();
+  case Builtin::RtPrivPtr:
+    return rtPrivTranslate(static_cast<uint64_t>(Args[0].I));
+  case Builtin::None:
+    break;
+  }
+  gdse_unreachable("unhandled builtin");
+}
+
+VMValue ExecState::rtPrivTranslate(uint64_t P) {
+  const Allocation *A = Mem.containing(P);
+  if (!A) {
+    trap("rtpriv_ptr of a dangling pointer");
+    return VMValue();
+  }
+  ++RtPrivTranslations;
+  charge(Opts.Costs.Alloc / 2); // hash lookup + bookkeeping per access
+  auto Key = std::make_pair(CurTid, A->Base);
+  auto It = RtShadow.find(Key);
+  if (It == RtShadow.end()) {
+    uint64_t Shadow = Mem.allocate(A->Size, AllocKind::Heap, 0);
+    std::memcpy(reinterpret_cast<void *>(Shadow),
+                reinterpret_cast<void *>(A->Base), A->Size);
+    charge(Opts.Costs.Alloc + A->Size * Opts.Costs.PerByteCopy);
+    RtPrivBytesCopied += A->Size;
+    It = RtShadow.emplace(Key, Shadow).first;
+  }
+  return VMValue::ofInt(static_cast<int64_t>(It->second + (P - A->Base)));
+}
+
+void ExecState::rtPrivCommitAll() {
+  for (auto &[Key, Shadow] : RtShadow) {
+    const Allocation *A = Mem.byBase(Shadow);
+    if (A) {
+      charge(A->Size * Opts.Costs.PerByteCopy + Opts.Costs.Free);
+      RtPrivBytesCopied += A->Size;
+      Mem.deallocate(Shadow);
+    }
+  }
+  RtShadow.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Counted loops
+//===----------------------------------------------------------------------===//
+
+Flow ExecState::runForLoop(unsigned LoopId, ParallelKind Kind, Type *IVType,
+                           const std::function<void(ForBounds &)> &EvalBounds,
+                           const std::function<Flow()> &Body) {
+  bool Parallel =
+      Opts.SimulateParallel && Kind != ParallelKind::None && !InParallelLoop;
+  if (Parallel)
+    return runForParallel(LoopId, Kind, IVType, EvalBounds, Body);
+  return runForSerial(LoopId, Kind, IVType, EvalBounds, Body);
+}
+
+Flow ExecState::runForSerial(unsigned LoopId, ParallelKind Kind, Type *IVType,
+                             const std::function<void(ForBounds &)> &EvalBounds,
+                             const std::function<Flow()> &Body) {
+  LoopStats &LS = Loops[LoopId];
+  LS.Kind = Kind;
+  ++LS.Invocations;
+  uint64_t Before = Cycles;
+
+  ForBounds B;
+  EvalBounds(B);
+  if (dead())
+    return Flow::Halt;
+  if (B.Step <= 0) {
+    trap("for loop with non-positive step");
+    return Flow::Halt;
+  }
+  uint64_t IVSize = Ctx.getLayout(IVType).Size;
+  if (Obs)
+    Obs->onLoopEnter(LoopId);
+  uint64_t Iter = 0;
+  Flow Result = Flow::Normal;
+  for (int64_t I = B.Lo; I < B.Hi; I += B.Step) {
+    if (!checkBudget()) {
+      Result = Flow::Halt;
+      break;
+    }
+    storeScalar(B.IVAddr, IVType, VMValue::ofInt(I));
+    if (Obs) {
+      Obs->onLoopIter(LoopId, Iter);
+      // Loop-control store of the induction variable: reported with the
+      // invalid id so the profiler treats it as a definition but never
+      // builds dependence edges to it.
+      Obs->onStore(InvalidAccessId, B.IVAddr, IVSize);
+    }
+    ++Iter;
+    charge(Opts.Costs.ExprBase * 2); // increment + compare
+    Flow FL = Body();
+    if (FL == Flow::Break)
+      break;
+    if (FL == Flow::Return || FL == Flow::Halt) {
+      Result = FL;
+      break;
+    }
+    // Re-read the induction variable: the body may legally not touch it,
+    // but a transformed body never modifies it.
+    I = loadScalar(B.IVAddr, IVType).I;
+  }
+  if (Obs)
+    Obs->onLoopExit(LoopId);
+  LS.Iterations += Iter;
+  LS.WorkCycles += Cycles - Before;
+  LS.SimTime += Cycles - Before;
+  return Result;
+}
+
+Flow ExecState::runForParallel(
+    unsigned LoopId, ParallelKind Kind, Type *IVType,
+    const std::function<void(ForBounds &)> &EvalBounds,
+    const std::function<Flow()> &Body) {
+  const unsigned N = static_cast<unsigned>(std::max(1, Opts.NumThreads));
+  LoopStats &LS = Loops[LoopId];
+  LS.Kind = Kind;
+  ++LS.Invocations;
+  if (LS.WorkPerThread.size() != N) {
+    LS.WorkPerThread.assign(N, 0);
+    LS.SyncStallPerThread.assign(N, 0);
+    LS.IdlePerThread.assign(N, 0);
+    LS.DispatchPerThread.assign(N, 0);
+  }
+
+  uint64_t Before = Cycles;
+  ForBounds B;
+  EvalBounds(B);
+  if (dead())
+    return Flow::Halt;
+  if (B.Step <= 0) {
+    trap("parallel for loop with non-positive step");
+    return Flow::Halt;
+  }
+  uint64_t Total =
+      B.Hi > B.Lo
+          ? static_cast<uint64_t>((B.Hi - B.Lo + B.Step - 1) / B.Step)
+          : 0;
+  uint64_t IVSize = Ctx.getLayout(IVType).Size;
+
+  if (Obs)
+    Obs->onLoopEnter(LoopId);
+  InParallelLoop = true;
+  RecordOrdered = Kind == ParallelKind::DOACROSS;
+
+  const CostModel &CM = Opts.Costs;
+  std::vector<uint64_t> Ready(N, 0), Work(N, 0), Stall(N, 0), Dispatch(N, 0);
+  std::map<unsigned, uint64_t> RegionFree;
+  bool DOALL = Kind == ParallelKind::DOALL;
+  uint64_t Chunk = DOALL ? std::max<uint64_t>(1, (Total + N - 1) / N) : 1;
+  if (DOALL)
+    for (unsigned T = 0; T != N; ++T) {
+      Ready[T] = CM.ChunkStartup;
+      Dispatch[T] = CM.ChunkStartup;
+    }
+
+  Flow Result = Flow::Normal;
+  for (uint64_t It = 0; It != Total; ++It) {
+    if (!checkBudget()) {
+      Result = Flow::Halt;
+      break;
+    }
+    unsigned T;
+    if (DOALL) {
+      T = static_cast<unsigned>(std::min<uint64_t>(It / Chunk, N - 1));
+    } else {
+      T = 0;
+      for (unsigned I = 1; I != N; ++I)
+        if (Ready[I] < Ready[T])
+          T = I;
+      Ready[T] += CM.IterDispatch;
+      Dispatch[T] += CM.IterDispatch;
+    }
+    CurTid = static_cast<int>(T);
+
+    int64_t IVal = B.Lo + static_cast<int64_t>(It) * B.Step;
+    storeScalar(B.IVAddr, IVType, VMValue::ofInt(IVal));
+    if (Obs) {
+      Obs->onLoopIter(LoopId, It);
+      Obs->onStore(InvalidAccessId, B.IVAddr, IVSize);
+    }
+
+    OrderedEvents.clear();
+    IterStartCycles = Cycles;
+    uint64_t C0 = Cycles;
+    Flow FL = Body();
+    uint64_t W = Cycles - C0;
+
+    if (FL == Flow::Break || FL == Flow::Return) {
+      trap("break/return escaping a parallel loop");
+      Result = Flow::Halt;
+      break;
+    }
+    if (FL == Flow::Halt) {
+      Result = Flow::Halt;
+      break;
+    }
+
+    // Timeline update.
+    uint64_t StartT = Ready[T];
+    uint64_t Shift = 0;
+    for (const OrderedEvent &Ev : OrderedEvents) {
+      uint64_t Entry = StartT + Ev.EntryOff + Shift;
+      auto &Free = RegionFree[Ev.RegionId];
+      if (Free > Entry) {
+        uint64_t S = Free - Entry;
+        Shift += S;
+        Stall[T] += S;
+      }
+      Free = StartT + Ev.ExitOff + Shift;
+    }
+    Ready[T] = StartT + W + Shift;
+    Work[T] += W;
+  }
+
+  RecordOrdered = false;
+  InParallelLoop = false;
+  CurTid = 0;
+  rtPrivCommitAll();
+  if (Obs)
+    Obs->onLoopExit(LoopId);
+
+  uint64_t WorkDelta = Cycles - Before;
+  uint64_t MaxReady = 0;
+  for (unsigned T = 0; T != N; ++T)
+    MaxReady = std::max(MaxReady, Ready[T]);
+  uint64_t SimTime = MaxReady + CM.ForkJoin;
+
+  LS.Iterations += Total;
+  LS.WorkCycles += WorkDelta;
+  LS.SimTime += SimTime;
+  for (unsigned T = 0; T != N; ++T) {
+    LS.WorkPerThread[T] += Work[T];
+    LS.SyncStallPerThread[T] += Stall[T];
+    LS.DispatchPerThread[T] += Dispatch[T];
+    LS.IdlePerThread[T] += MaxReady - Ready[T];
+  }
+
+  // Program simulated time: replace this loop's work span by its simulated
+  // duration.
+  TimeAdjust +=
+      static_cast<int64_t>(SimTime) - static_cast<int64_t>(WorkDelta);
+
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Run scaffolding
+//===----------------------------------------------------------------------===//
+
+void ExecState::resetRun() {
+  Cycles = 0;
+  TimeAdjust = 0;
+  CurTid = 0;
+  InParallelLoop = false;
+  Trapped = false;
+  Halted = false;
+  TrapMessage.clear();
+  Output.clear();
+  ExitCode = 0;
+  Loops.clear();
+  RtPrivTranslations = 0;
+  RtPrivBytesCopied = 0;
+
+  for (uint64_t Addr : GlobalBlocks)
+    Mem.deallocate(Addr);
+  GlobalBlocks.clear();
+  GlobalAddrById.assign(M.getNumVarDecls() + 1, 0);
+  for (VarDecl *G : M.getGlobals()) {
+    uint64_t Addr = Mem.allocate(Ctx.getLayout(G->getType()).Size,
+                                 AllocKind::Global, G->getId());
+    GlobalAddrById[G->getId()] = Addr;
+    GlobalBlocks.push_back(Addr);
+  }
+}

@@ -1,0 +1,316 @@
+//===- ExecState.h - State and semantics shared by both engines -*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Everything the two execution engines (the tree-walking reference
+/// interpreter and the register-bytecode VM) must agree on lives here: the
+/// runtime value representation, frame layout, memory/trap/cycle accounting,
+/// builtin semantics, the runtime-privatization runtime, loop bookkeeping,
+/// and — most importantly — the counted-loop driver that implements both the
+/// serial `for` semantics and the virtual-multicore DOALL/DOACROSS timeline.
+/// The engines differ only in how they evaluate straight-line code; every
+/// observable effect (observer callbacks, cycle charges at loop/region
+/// boundaries, allocation order, trap messages) funnels through this one
+/// implementation, which is what makes the engines bit-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_INTERP_EXECSTATE_H
+#define GDSE_INTERP_EXECSTATE_H
+
+#include "interp/Interp.h"
+#include "ir/IR.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gdse {
+
+/// A scalar or pointer runtime value. The engines know from the static type
+/// (tree) or the instruction's ScalarKind (bytecode) which member is
+/// meaningful.
+struct VMValue {
+  int64_t I = 0;
+  double F = 0.0;
+
+  static VMValue ofInt(int64_t V) {
+    VMValue R;
+    R.I = V;
+    return R;
+  }
+  static VMValue ofFloat(double V) {
+    VMValue R;
+    R.F = V;
+    return R;
+  }
+};
+
+/// Statement-level control flow.
+enum class Flow : uint8_t { Normal, Break, Continue, Return, Halt };
+
+struct FrameLayout {
+  uint64_t Size = 0;
+  std::map<const VarDecl *, uint64_t> Offsets;
+};
+
+/// The canonical frame layout of \p F: parameters then locals at naturally
+/// aligned offsets, frame size at least one byte. Both engines use this one
+/// definition, so frame addresses and peak-memory accounting agree.
+FrameLayout computeFrameLayout(TypeContext &Ctx, const Function *F);
+
+/// One ordered-region entry/exit observed during an iteration, as work-cycle
+/// offsets from the iteration start.
+struct OrderedEvent {
+  unsigned RegionId = 0;
+  uint64_t EntryOff = 0;
+  uint64_t ExitOff = 0;
+};
+
+/// How a scalar is encoded in VM memory. The bytecode pre-resolves types to
+/// this enum at lowering time; the tree-walker maps Type* to it per access.
+enum class ScalarKind : uint8_t {
+  I8,
+  I16,
+  I32,
+  I64,
+  U8,
+  U16,
+  U32,
+  U64,
+  F32,
+  F64,
+  Ptr,
+  Invalid ///< aggregate — not loadable/storable as a scalar
+};
+
+/// Maps a type to its memory encoding (Invalid for aggregates).
+ScalarKind scalarKindOf(const Type *T);
+
+inline unsigned scalarSize(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::I8:
+  case ScalarKind::U8:
+    return 1;
+  case ScalarKind::I16:
+  case ScalarKind::U16:
+    return 2;
+  case ScalarKind::I32:
+  case ScalarKind::U32:
+  case ScalarKind::F32:
+    return 4;
+  default:
+    return 8;
+  }
+}
+
+/// The mutable machine state of one run plus the semantics both engines
+/// share. The tree-walker's Impl and the bytecode VM both operate on this;
+/// any behavior implemented here is bit-identical across engines by
+/// construction.
+struct ExecState {
+  Module &M;
+  TypeContext &Ctx;
+  InterpOptions Opts;
+  InterpObserver *Obs = nullptr;
+  VMMemory Mem;
+
+  /// Global base addresses indexed by VarDecl::getId() (the module's dense
+  /// numbering); 0 = not allocated.
+  std::vector<uint64_t> GlobalAddrById;
+  std::vector<uint64_t> GlobalBlocks;
+
+  uint64_t Cycles = 0;    ///< pure work cycles
+  int64_t TimeAdjust = 0; ///< SimTime - work inside parallel loops (signed)
+  int CurTid = 0;
+  bool InParallelLoop = false;
+
+  bool Trapped = false;
+  bool Halted = false;
+  std::string TrapMessage;
+  int64_t ExitCode = 0;
+  VMValue ReturnValue;
+  std::string Output;
+  unsigned CallDepth = 0;
+
+  std::map<unsigned, LoopStats> Loops;
+
+  // Ordered-region event recording (active during DOACROSS simulation).
+  bool RecordOrdered = false;
+  uint64_t IterStartCycles = 0;
+  std::vector<OrderedEvent> OrderedEvents;
+
+  // Runtime privatization (SpiceC-style baseline).
+  std::map<std::pair<int, uint64_t>, uint64_t> RtShadow;
+  uint64_t RtPrivTranslations = 0;
+  uint64_t RtPrivBytesCopied = 0;
+
+  /// Locals/params whose accesses are free in the cost model (see
+  /// collectRegisterVars in ir/AccessInfo.h).
+  std::set<const VarDecl *> RegisterVars;
+
+  ExecState(Module &M, InterpOptions Opts);
+  ExecState(const ExecState &) = delete;
+  ExecState &operator=(const ExecState &) = delete;
+  ~ExecState();
+
+  //===------------------------------------------------------------------===//
+  // Diagnostics and cycle accounting
+  //===------------------------------------------------------------------===//
+
+  void trap(const std::string &Msg) {
+    if (Trapped)
+      return;
+    Trapped = true;
+    TrapMessage = Msg;
+  }
+
+  bool dead() const { return Trapped || Halted; }
+
+  void charge(uint64_t C) { Cycles += C; }
+
+  bool checkBudget() {
+    if (Opts.MaxCycles && Cycles > Opts.MaxCycles) {
+      trap("cycle budget exceeded (runaway loop?)");
+      return false;
+    }
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Addressing and raw memory
+  //===------------------------------------------------------------------===//
+
+  /// Base address of global \p D; traps (and returns 0) when unallocated.
+  uint64_t globalAddr(const VarDecl *D) {
+    uint64_t Addr =
+        D->getId() < GlobalAddrById.size() ? GlobalAddrById[D->getId()] : 0;
+    if (!Addr)
+      trap("reference to unallocated global '" + D->getName() + "'");
+    return Addr;
+  }
+
+  bool checkAccess(uint64_t Addr, uint64_t Size, const char *What);
+
+  static int64_t normalizeInt(int64_t V, unsigned Bits, bool Signed) {
+    if (Bits == 64)
+      return V;
+    uint64_t Mask = (uint64_t(1) << Bits) - 1;
+    uint64_t U = static_cast<uint64_t>(V) & Mask;
+    if (Signed && (U >> (Bits - 1)))
+      U |= ~Mask;
+    return static_cast<int64_t>(U);
+  }
+  static int64_t normalizeInt(int64_t V, const IntType *T) {
+    return normalizeInt(V, T->getBits(), T->isSigned());
+  }
+
+  VMValue loadScalarKind(uint64_t Addr, ScalarKind K);
+  void storeScalarKind(uint64_t Addr, ScalarKind K, VMValue V);
+
+  /// Type-directed wrappers; trap on aggregate types.
+  VMValue loadScalar(uint64_t Addr, Type *T);
+  void storeScalar(uint64_t Addr, Type *T, VMValue V);
+
+  bool isRegisterAccess(const Expr *Loc) const;
+
+  //===------------------------------------------------------------------===//
+  // Builtins and the runtime-privatization runtime
+  //===------------------------------------------------------------------===//
+
+  /// Executes builtin \p B on already-evaluated arguments. Both engines
+  /// evaluate arguments first (in index order), then call this; the one
+  /// exception is sqrt's extra DivRem charge, which the caller applies
+  /// *before* argument evaluation to preserve the historical charge order.
+  VMValue execBuiltinOp(Builtin B, uint32_t SiteId, const VMValue *Args,
+                        unsigned NumArgs);
+
+  VMValue rtPrivTranslate(uint64_t P);
+  void rtPrivCommitAll();
+
+  //===------------------------------------------------------------------===//
+  // Loop bookkeeping (while loops and ordered regions)
+  //===------------------------------------------------------------------===//
+
+  struct ActiveLoop {
+    unsigned Id = 0;
+    uint64_t Before = 0;
+    uint64_t Iter = 0;
+  };
+
+  /// While-loop entry: invocation count, cycle watermark, observer.
+  ActiveLoop loopEnter(unsigned Id) {
+    LoopStats &LS = Loops[Id];
+    ++LS.Invocations;
+    ActiveLoop L;
+    L.Id = Id;
+    L.Before = Cycles;
+    if (Obs)
+      Obs->onLoopEnter(Id);
+    return L;
+  }
+
+  /// Fires once per iteration, after the condition held.
+  void loopIterNote(ActiveLoop &L) {
+    if (Obs)
+      Obs->onLoopIter(L.Id, L.Iter);
+    ++L.Iter;
+  }
+
+  /// While-loop exit bookkeeping; must run on every exit path.
+  void loopExit(const ActiveLoop &L) {
+    if (Obs)
+      Obs->onLoopExit(L.Id);
+    LoopStats &LS = Loops[L.Id];
+    LS.Iterations += L.Iter;
+    LS.WorkCycles += Cycles - L.Before;
+    LS.SimTime += Cycles - L.Before;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Counted loops: serial semantics and the multicore timeline
+  //===------------------------------------------------------------------===//
+
+  struct ForBounds {
+    uint64_t IVAddr = 0;
+    int64_t Lo = 0;
+    int64_t Hi = 0;
+    int64_t Step = 0;
+  };
+
+  /// Runs one `for` statement. \p EvalBounds resolves the induction
+  /// variable's address and evaluates init/limit/step (in that order, with
+  /// whatever charges the evaluation incurs); \p Body executes one iteration
+  /// and reports its control flow. The driver implements the serial
+  /// iteration protocol and the DOALL/DOACROSS virtual-multicore timeline
+  /// exactly once for both engines. Returns Normal (also for break),
+  /// Return, or Halt.
+  Flow runForLoop(unsigned LoopId, ParallelKind Kind, Type *IVType,
+                  const std::function<void(ForBounds &)> &EvalBounds,
+                  const std::function<Flow()> &Body);
+
+  //===------------------------------------------------------------------===//
+  // Run scaffolding
+  //===------------------------------------------------------------------===//
+
+  /// Resets per-run state and (re)allocates zeroed globals.
+  void resetRun();
+
+private:
+  Flow runForSerial(unsigned LoopId, ParallelKind Kind, Type *IVType,
+                    const std::function<void(ForBounds &)> &EvalBounds,
+                    const std::function<Flow()> &Body);
+  Flow runForParallel(unsigned LoopId, ParallelKind Kind, Type *IVType,
+                      const std::function<void(ForBounds &)> &EvalBounds,
+                      const std::function<Flow()> &Body);
+};
+
+} // namespace gdse
+
+#endif // GDSE_INTERP_EXECSTATE_H

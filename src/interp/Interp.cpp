@@ -1,212 +1,80 @@
-//===- Interp.cpp - The GDSE VM and multicore simulator --------------------===//
+//===- Interp.cpp - The tree-walking reference engine ----------------------===//
 //
 // Part of the GDSE project, a reproduction of "General Data Structure
 // Expansion for Multi-threading" (PLDI 2013).
 //
 //===----------------------------------------------------------------------===//
+//
+// The reference execution engine: walks the IR tree directly, re-dispatching
+// on node kinds for every operand. All semantics shared with the bytecode VM
+// (memory, builtins, loop drivers, the multicore timeline) live in
+// ExecState; this file contains only expression/statement evaluation. The
+// bytecode engine (Bytecode.cpp) must match it bit-for-bit on non-trapping
+// runs — EngineDiffTest holds the two together.
+//
+//===----------------------------------------------------------------------===//
 
 #include "interp/Interp.h"
 
+#include "interp/Bytecode.h"
+#include "interp/ExecState.h"
 #include "ir/IRPrinter.h"
-#include "ir/IRVisitor.h"
 #include "support/Support.h"
 
 #include <chrono>
-#include <cmath>
+#include <cstdlib>
 #include <cstring>
-#include <set>
+#include <map>
+#include <string>
+#include <vector>
 
 using namespace gdse;
 
 InterpObserver::~InterpObserver() = default;
 
-namespace {
+ExecEngine gdse::engineFromEnv(ExecEngine Default) {
+  const char *E = std::getenv("GDSE_ENGINE");
+  if (!E)
+    return Default;
+  std::string V(E);
+  if (V == "tree" || V == "treewalk")
+    return ExecEngine::TreeWalk;
+  if (V == "bytecode" || V == "bc")
+    return ExecEngine::Bytecode;
+  return Default;
+}
 
-/// A scalar or pointer runtime value. The interpreter knows from the static
-/// expression type which member is meaningful.
-struct Value {
-  int64_t I = 0;
-  double F = 0.0;
+struct Interp::Impl : ExecState {
+  using Value = VMValue;
 
-  static Value ofInt(int64_t V) {
-    Value R;
-    R.I = V;
-    return R;
-  }
-  static Value ofFloat(double V) {
-    Value R;
-    R.F = V;
-    return R;
-  }
-};
-
-enum class Flow : uint8_t { Normal, Break, Continue, Return, Halt };
-
-struct FrameLayout {
-  uint64_t Size = 0;
-  std::map<const VarDecl *, uint64_t> Offsets;
-};
-
-struct Frame {
-  const Function *F = nullptr;
-  uint64_t Base = 0;
-  const FrameLayout *Layout = nullptr;
-};
-
-/// One ordered-region entry/exit observed during an iteration, as work-cycle
-/// offsets from the iteration start.
-struct OrderedEvent {
-  unsigned RegionId = 0;
-  uint64_t EntryOff = 0;
-  uint64_t ExitOff = 0;
-};
-
-} // namespace
-
-struct Interp::Impl {
-  Module &M;
-  TypeContext &Ctx;
-  InterpOptions Opts;
-  InterpObserver *Obs = nullptr;
-  VMMemory Mem;
-
+  /// Frame layouts are cached per function and referenced by address, so the
+  /// map must never invalidate node addresses (std::map guarantees this).
   std::map<const Function *, FrameLayout> Layouts;
-  std::map<const VarDecl *, uint64_t> GlobalAddrs;
+
+  struct Frame {
+    const Function *F = nullptr;
+    const FrameLayout *Layout = nullptr;
+    uint64_t Base = 0;
+  };
   std::vector<Frame> Frames;
 
-  uint64_t Cycles = 0;    ///< pure work cycles
-  int64_t TimeAdjust = 0; ///< SimTime - work inside parallel loops (signed)
-  int CurTid = 0;
-  bool InParallelLoop = false;
+  /// Lazily-lowered (or precompiled) bytecode for the Bytecode engine.
+  std::shared_ptr<const BytecodeModule> BC;
 
-  bool Trapped = false;
-  bool Halted = false;
-  std::string TrapMessage;
-  int64_t ExitCode = 0;
-  Value ReturnValue;
-  std::string Output;
-  unsigned CallDepth = 0;
-
-  std::map<unsigned, LoopStats> Loops;
-
-  // Ordered-region event recording (active during DOACROSS simulation).
-  bool RecordOrdered = false;
-  uint64_t IterStartCycles = 0;
-  std::vector<OrderedEvent> OrderedEvents;
-
-  // Runtime privatization (SpiceC-style baseline).
-  std::vector<uint64_t> GlobalBlocks;
-  std::map<std::pair<int, uint64_t>, uint64_t> RtShadow;
-  uint64_t RtPrivTranslations = 0;
-  uint64_t RtPrivBytesCopied = 0;
-
-  /// Locals/params that a compiling backend would keep in registers:
-  /// scalar or pointer typed and never address-taken. Accesses to them are
-  /// free in the cost model (the VM still goes through frame memory).
-  std::set<const VarDecl *> RegisterVars;
-
-  Impl(Module &M, InterpOptions Opts)
-      : M(M), Ctx(M.getTypes()), Opts(std::move(Opts)) {
-    computeRegisterVars();
+  Impl(Module &M, InterpOptions O) : ExecState(M, std::move(O)) {
+    BC = Opts.Precompiled;
   }
-
-  void computeRegisterVars() {
-    std::set<const VarDecl *> AddressTaken;
-    for (Function *F : M.getFunctions()) {
-      walkExprs(F, [&](Expr *E) {
-        const Expr *Loc = nullptr;
-        if (auto *A = dyn_cast<AddrOfExpr>(E))
-          Loc = A->getLocation();
-        else if (auto *D = dyn_cast<DecayExpr>(E))
-          Loc = D->getArrayLocation();
-        while (Loc) {
-          if (auto *F = dyn_cast<FieldAccessExpr>(Loc)) {
-            Loc = F->getBase();
-            continue;
-          }
-          if (auto *V = dyn_cast<VarRefExpr>(Loc))
-            AddressTaken.insert(V->getDecl());
-          break;
-        }
-      });
-      for (const VarDecl *D : F->getParams())
-        if (!D->getType()->isArray())
-          RegisterVars.insert(D);
-      for (const VarDecl *D : F->getLocals())
-        if (!D->getType()->isArray())
-          RegisterVars.insert(D);
-    }
-    for (const VarDecl *D : AddressTaken)
-      RegisterVars.erase(D);
-  }
-
-  /// True when the l-value is a direct reference to a register-like local,
-  /// or a field chain over a non-address-taken local aggregate (which SROA
-  /// would scalarize into registers).
-  bool isRegisterAccess(const Expr *Loc) const {
-    while (auto *F = dyn_cast<FieldAccessExpr>(Loc))
-      Loc = F->getBase();
-    if (auto *V = dyn_cast<VarRefExpr>(Loc))
-      return RegisterVars.count(V->getDecl()) != 0;
-    return false;
-  }
-
-  //===------------------------------------------------------------------===//
-  // Diagnostics
-  //===------------------------------------------------------------------===//
-
-  void trap(const std::string &Msg) {
-    if (Trapped)
-      return;
-    Trapped = true;
-    TrapMessage = Msg;
-  }
-
-  bool dead() const { return Trapped || Halted; }
-
-  void charge(uint64_t C) { Cycles += C; }
-
-  bool checkBudget() {
-    if (Opts.MaxCycles && Cycles > Opts.MaxCycles) {
-      trap("cycle budget exceeded (runaway loop?)");
-      return false;
-    }
-    return true;
-  }
-
-  //===------------------------------------------------------------------===//
-  // Addressing and raw memory
-  //===------------------------------------------------------------------===//
 
   const FrameLayout &layoutOf(const Function *F) {
     auto It = Layouts.find(F);
-    if (It != Layouts.end())
-      return It->second;
-    FrameLayout L;
-    uint64_t Offset = 0;
-    auto place = [&](const VarDecl *D) {
-      const TypeLayout &TL = Ctx.getLayout(D->getType());
-      Offset = (Offset + TL.Align - 1) / TL.Align * TL.Align;
-      L.Offsets[D] = Offset;
-      Offset += TL.Size;
-    };
-    for (const VarDecl *P : F->getParams())
-      place(P);
-    for (const VarDecl *V : F->getLocals())
-      place(V);
-    L.Size = std::max<uint64_t>(Offset, 1);
-    return Layouts.emplace(F, std::move(L)).first->second;
+    if (It == Layouts.end())
+      It = Layouts.emplace(F, computeFrameLayout(Ctx, F)).first;
+    return It->second;
   }
 
   uint64_t addrOfVar(const VarDecl *D) {
-    if (D->isGlobal()) {
-      auto It = GlobalAddrs.find(D);
-      if (It == GlobalAddrs.end()) {
-        trap("reference to unallocated global '" + D->getName() + "'");
-        return 0;
-      }
-      return It->second;
-    }
+    if (D->isGlobal())
+      return globalAddr(D);
     assert(!Frames.empty() && "local access outside any frame");
     const Frame &Fr = Frames.back();
     auto It = Fr.Layout->Offsets.find(D);
@@ -216,93 +84,6 @@ struct Interp::Impl {
       return 0;
     }
     return Fr.Base + It->second;
-  }
-
-  bool checkAccess(uint64_t Addr, uint64_t Size, const char *What) {
-    if (!Opts.BoundsCheck)
-      return true;
-    if (Addr == 0) {
-      trap(formatString("null %s of %llu bytes", What,
-                        static_cast<unsigned long long>(Size)));
-      return false;
-    }
-    if (!Mem.inBounds(Addr, Size)) {
-      trap(formatString("out-of-bounds %s of %llu bytes at 0x%llx", What,
-                        static_cast<unsigned long long>(Size),
-                        static_cast<unsigned long long>(Addr)));
-      return false;
-    }
-    return true;
-  }
-
-  static int64_t normalizeInt(int64_t V, const IntType *T) {
-    unsigned Bits = T->getBits();
-    if (Bits == 64)
-      return V;
-    uint64_t Mask = (uint64_t(1) << Bits) - 1;
-    uint64_t U = static_cast<uint64_t>(V) & Mask;
-    if (T->isSigned() && (U >> (Bits - 1)))
-      U |= ~Mask;
-    return static_cast<int64_t>(U);
-  }
-
-  Value loadScalar(uint64_t Addr, Type *T) {
-    Value V;
-    switch (T->getKind()) {
-    case Type::Kind::Int: {
-      const auto *IT = cast<IntType>(T);
-      int64_t Raw = 0;
-      std::memcpy(&Raw, reinterpret_cast<void *>(Addr), IT->getBits() / 8);
-      V.I = normalizeInt(Raw, IT);
-      return V;
-    }
-    case Type::Kind::Float: {
-      if (cast<FloatType>(T)->getBits() == 32) {
-        float F32;
-        std::memcpy(&F32, reinterpret_cast<void *>(Addr), 4);
-        V.F = F32;
-      } else {
-        std::memcpy(&V.F, reinterpret_cast<void *>(Addr), 8);
-      }
-      return V;
-    }
-    case Type::Kind::Pointer: {
-      uint64_t P;
-      std::memcpy(&P, reinterpret_cast<void *>(Addr), 8);
-      V.I = static_cast<int64_t>(P);
-      return V;
-    }
-    default:
-      trap("scalar load of aggregate type " + T->str());
-      return V;
-    }
-  }
-
-  void storeScalar(uint64_t Addr, Type *T, Value V) {
-    switch (T->getKind()) {
-    case Type::Kind::Int: {
-      const auto *IT = cast<IntType>(T);
-      int64_t Norm = normalizeInt(V.I, IT);
-      std::memcpy(reinterpret_cast<void *>(Addr), &Norm, IT->getBits() / 8);
-      return;
-    }
-    case Type::Kind::Float: {
-      if (cast<FloatType>(T)->getBits() == 32) {
-        float F32 = static_cast<float>(V.F);
-        std::memcpy(reinterpret_cast<void *>(Addr), &F32, 4);
-      } else {
-        std::memcpy(reinterpret_cast<void *>(Addr), &V.F, 8);
-      }
-      return;
-    }
-    case Type::Kind::Pointer: {
-      uint64_t P = static_cast<uint64_t>(V.I);
-      std::memcpy(reinterpret_cast<void *>(Addr), &P, 8);
-      return;
-    }
-    default:
-      trap("scalar store of aggregate type " + T->str());
-    }
   }
 
   //===------------------------------------------------------------------===//
@@ -680,193 +461,16 @@ struct Interp::Impl {
   }
 
   Value evalBuiltin(const CallExpr *C) {
-    auto arg = [&](unsigned I) { return evalExpr(C->getArg(I)); };
-    switch (C->getBuiltin()) {
-    case Builtin::MallocFn: {
-      int64_t N = arg(0).I;
-      if (N < 0 || N > (int64_t(1) << 34)) {
-        trap(formatString("malloc of invalid size %lld",
-                          static_cast<long long>(N)));
-        return Value();
-      }
-      charge(Opts.Costs.Alloc);
-      uint64_t Base =
-          Mem.allocate(static_cast<uint64_t>(N), AllocKind::Heap,
-                       C->getSiteId());
-      if (Obs)
-        Obs->onAlloc(*Mem.byBase(Base));
-      return Value::ofInt(static_cast<int64_t>(Base));
-    }
-    case Builtin::CallocFn: {
-      int64_t N = arg(0).I, Sz = arg(1).I;
-      if (N < 0 || Sz < 0 || N * Sz > (int64_t(1) << 34)) {
-        trap("calloc of invalid size");
-        return Value();
-      }
-      uint64_t Size = static_cast<uint64_t>(N * Sz);
-      charge(Opts.Costs.Alloc + Size * Opts.Costs.PerByteCopy);
-      uint64_t Base = Mem.allocate(Size, AllocKind::Heap, C->getSiteId());
-      if (Obs) {
-        Obs->onAlloc(*Mem.byBase(Base));
-        Obs->onBulkAccess(/*IsWrite=*/true, Base, Size, C->getBuiltin(),
-                          C->getSiteId());
-      }
-      return Value::ofInt(static_cast<int64_t>(Base));
-    }
-    case Builtin::ReallocFn: {
-      uint64_t Old = static_cast<uint64_t>(arg(0).I);
-      int64_t N = arg(1).I;
-      if (N < 0 || N > (int64_t(1) << 34)) {
-        trap("realloc of invalid size");
-        return Value();
-      }
-      uint64_t Size = static_cast<uint64_t>(N);
-      if (!Old) {
-        charge(Opts.Costs.Alloc);
-        uint64_t Base = Mem.allocate(Size, AllocKind::Heap, C->getSiteId());
-        if (Obs)
-          Obs->onAlloc(*Mem.byBase(Base));
-        return Value::ofInt(static_cast<int64_t>(Base));
-      }
-      const Allocation *A = Mem.byBase(Old);
-      if (!A || A->Kind != AllocKind::Heap) {
-        trap("realloc of a non-heap or non-base pointer");
-        return Value();
-      }
-      uint64_t CopySize = std::min(A->Size, Size);
-      charge(Opts.Costs.Alloc + Opts.Costs.Free +
-             CopySize * Opts.Costs.PerByteCopy);
-      uint64_t Base = Mem.allocate(Size, AllocKind::Heap, C->getSiteId());
-      std::memcpy(reinterpret_cast<void *>(Base),
-                  reinterpret_cast<void *>(Old), CopySize);
-      if (Obs) {
-        Obs->onAlloc(*Mem.byBase(Base));
-        Obs->onBulkAccess(/*IsWrite=*/false, Old, CopySize, C->getBuiltin(),
-                          C->getSiteId());
-        Obs->onBulkAccess(/*IsWrite=*/true, Base, CopySize, C->getBuiltin(),
-                          C->getSiteId());
-        Obs->onFree(*Mem.byBase(Old));
-      }
-      Mem.deallocate(Old);
-      return Value::ofInt(static_cast<int64_t>(Base));
-    }
-    case Builtin::FreeFn: {
-      uint64_t P = static_cast<uint64_t>(arg(0).I);
-      if (!P)
-        return Value();
-      const Allocation *A = Mem.byBase(P);
-      if (!A || A->Kind != AllocKind::Heap) {
-        trap(formatString("invalid free of 0x%llx",
-                          static_cast<unsigned long long>(P)));
-        return Value();
-      }
-      charge(Opts.Costs.Free);
-      if (Obs)
-        Obs->onFree(*A);
-      Mem.deallocate(P);
-      return Value();
-    }
-    case Builtin::MemcpyFn: {
-      uint64_t D = static_cast<uint64_t>(arg(0).I);
-      uint64_t S = static_cast<uint64_t>(arg(1).I);
-      int64_t N = arg(2).I;
-      if (N < 0) {
-        trap("memcpy with negative size");
-        return Value();
-      }
-      uint64_t Size = static_cast<uint64_t>(N);
-      if (!checkAccess(D, Size, "memcpy dest") ||
-          !checkAccess(S, Size, "memcpy src"))
-        return Value();
-      charge(Size * Opts.Costs.PerByteCopy);
-      if (Obs) {
-        Obs->onBulkAccess(false, S, Size, C->getBuiltin(), C->getSiteId());
-        Obs->onBulkAccess(true, D, Size, C->getBuiltin(), C->getSiteId());
-      }
-      std::memmove(reinterpret_cast<void *>(D), reinterpret_cast<void *>(S),
-                   Size);
-      return Value::ofInt(static_cast<int64_t>(D));
-    }
-    case Builtin::MemsetFn: {
-      uint64_t D = static_cast<uint64_t>(arg(0).I);
-      int64_t V = arg(1).I;
-      int64_t N = arg(2).I;
-      if (N < 0) {
-        trap("memset with negative size");
-        return Value();
-      }
-      uint64_t Size = static_cast<uint64_t>(N);
-      if (!checkAccess(D, Size, "memset dest"))
-        return Value();
-      charge(Size * Opts.Costs.PerByteCopy);
-      if (Obs)
-        Obs->onBulkAccess(true, D, Size, C->getBuiltin(), C->getSiteId());
-      std::memset(reinterpret_cast<void *>(D), static_cast<int>(V), Size);
-      return Value::ofInt(static_cast<int64_t>(D));
-    }
-    case Builtin::PrintInt:
-      Output += formatString("%lld\n", static_cast<long long>(arg(0).I));
-      return Value();
-    case Builtin::PrintFloat:
-      Output += formatString("%.6g\n", arg(0).F);
-      return Value();
-    case Builtin::AbsFn: {
-      int64_t V = arg(0).I;
-      return Value::ofInt(V < 0 ? -V : V);
-    }
-    case Builtin::FabsFn:
-      return Value::ofFloat(std::fabs(arg(0).F));
-    case Builtin::SqrtFn:
+    // sqrt's cycle charge historically precedes its argument's evaluation;
+    // both engines preserve that order (execBuiltinOp itself charges
+    // nothing for sqrt).
+    if (C->getBuiltin() == Builtin::SqrtFn)
       charge(Opts.Costs.DivRem);
-      return Value::ofFloat(std::sqrt(arg(0).F));
-    case Builtin::ExitFn:
-      ExitCode = arg(0).I;
-      Halted = true;
-      return Value();
-    case Builtin::RtPrivPtr:
-      return rtPrivTranslate(static_cast<uint64_t>(arg(0).I));
-    case Builtin::None:
-      break;
-    }
-    gdse_unreachable("unhandled builtin");
-  }
-
-  /// SpiceC-style access control: map \p P into the current thread's private
-  /// copy of its containing structure, copying the structure in on first
-  /// touch (paper §4.2.1; safe variant of the heap-prefix fast path that
-  /// accepts pointers into the middle of a structure).
-  Value rtPrivTranslate(uint64_t P) {
-    const Allocation *A = Mem.containing(P);
-    if (!A) {
-      trap("rtpriv_ptr of a dangling pointer");
-      return Value();
-    }
-    ++RtPrivTranslations;
-    charge(Opts.Costs.Alloc / 2); // hash lookup + bookkeeping per access
-    auto Key = std::make_pair(CurTid, A->Base);
-    auto It = RtShadow.find(Key);
-    if (It == RtShadow.end()) {
-      uint64_t Shadow = Mem.allocate(A->Size, AllocKind::Heap, 0);
-      std::memcpy(reinterpret_cast<void *>(Shadow),
-                  reinterpret_cast<void *>(A->Base), A->Size);
-      charge(Opts.Costs.Alloc + A->Size * Opts.Costs.PerByteCopy);
-      RtPrivBytesCopied += A->Size;
-      It = RtShadow.emplace(Key, Shadow).first;
-    }
-    return Value::ofInt(static_cast<int64_t>(It->second + (P - A->Base)));
-  }
-
-  /// Commits and releases all thread-private rtpriv copies (loop end).
-  void rtPrivCommitAll() {
-    for (auto &[Key, Shadow] : RtShadow) {
-      const Allocation *A = Mem.byBase(Shadow);
-      if (A) {
-        charge(A->Size * Opts.Costs.PerByteCopy + Opts.Costs.Free);
-        RtPrivBytesCopied += A->Size;
-        Mem.deallocate(Shadow);
-      }
-    }
-    RtShadow.clear();
+    Value Args[3];
+    unsigned N = std::min(C->getNumArgs(), 3u);
+    for (unsigned I = 0; I != N; ++I)
+      Args[I] = evalExpr(C->getArg(I));
+    return execBuiltinOp(C->getBuiltin(), C->getSiteId(), Args, N);
   }
 
   //===------------------------------------------------------------------===//
@@ -902,8 +506,19 @@ struct Interp::Impl {
     }
     case Stmt::Kind::While:
       return execWhile(cast<WhileStmt>(S));
-    case Stmt::Kind::For:
-      return execFor(cast<ForStmt>(S));
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      const VarDecl *IV = F->getInductionVar();
+      return runForLoop(
+          F->getLoopId(), F->getParallelKind(), IV->getType(),
+          [&](ForBounds &B) {
+            B.IVAddr = addrOfVar(IV);
+            B.Lo = evalExpr(F->getInit()).I;
+            B.Hi = evalExpr(F->getLimit()).I;
+            B.Step = evalExpr(F->getStep()).I;
+          },
+          [&] { return execStmt(F->getBody()); });
+    }
     case Stmt::Kind::Return: {
       const auto *R = cast<ReturnStmt>(S);
       if (R->getValue())
@@ -958,12 +573,7 @@ struct Interp::Impl {
   }
 
   Flow execWhile(const WhileStmt *W) {
-    LoopStats &LS = Loops[W->getLoopId()];
-    ++LS.Invocations;
-    uint64_t Before = Cycles;
-    if (Obs)
-      Obs->onLoopEnter(W->getLoopId());
-    uint64_t Iter = 0;
+    ActiveLoop L = loopEnter(W->getLoopId());
     Flow Result = Flow::Normal;
     while (true) {
       if (!checkBudget()) {
@@ -977,9 +587,7 @@ struct Interp::Impl {
       }
       if (!C.I)
         break;
-      if (Obs)
-        Obs->onLoopIter(W->getLoopId(), Iter);
-      ++Iter;
+      loopIterNote(L);
       Flow F = execStmt(W->getBody());
       if (F == Flow::Break)
         break;
@@ -988,73 +596,7 @@ struct Interp::Impl {
         break;
       }
     }
-    if (Obs)
-      Obs->onLoopExit(W->getLoopId());
-    LS.Iterations += Iter;
-    LS.WorkCycles += Cycles - Before;
-    LS.SimTime += Cycles - Before;
-    return Result;
-  }
-
-  Flow execFor(const ForStmt *F) {
-    bool Parallel = Opts.SimulateParallel &&
-                    F->getParallelKind() != ParallelKind::None &&
-                    !InParallelLoop;
-    if (Parallel)
-      return execForParallel(F);
-
-    LoopStats &LS = Loops[F->getLoopId()];
-    LS.Kind = F->getParallelKind();
-    ++LS.Invocations;
-    uint64_t Before = Cycles;
-
-    const VarDecl *IV = F->getInductionVar();
-    uint64_t IVAddr = addrOfVar(IV);
-    Type *IVT = IV->getType();
-    int64_t Lo = evalExpr(F->getInit()).I;
-    int64_t Hi = evalExpr(F->getLimit()).I;
-    int64_t Step = evalExpr(F->getStep()).I;
-    if (dead())
-      return Flow::Halt;
-    if (Step <= 0) {
-      trap("for loop with non-positive step");
-      return Flow::Halt;
-    }
-    if (Obs)
-      Obs->onLoopEnter(F->getLoopId());
-    uint64_t Iter = 0;
-    Flow Result = Flow::Normal;
-    for (int64_t I = Lo; I < Hi; I += Step) {
-      if (!checkBudget()) {
-        Result = Flow::Halt;
-        break;
-      }
-      storeScalar(IVAddr, IVT, Value::ofInt(I));
-      if (Obs) {
-        Obs->onLoopIter(F->getLoopId(), Iter);
-        // Loop-control store of the induction variable: reported with the
-        // invalid id so the profiler treats it as a definition but never
-        // builds dependence edges to it.
-        Obs->onStore(InvalidAccessId, IVAddr, Ctx.getLayout(IVT).Size);
-      }
-      ++Iter;
-      charge(Opts.Costs.ExprBase * 2); // increment + compare
-      Flow FL = execStmt(F->getBody());
-      if (FL == Flow::Break)
-        break;
-      if (FL == Flow::Return || FL == Flow::Halt) {
-        Result = FL;
-        break;
-      }
-      // Re-read the induction variable: the body may legally not touch it,
-      // but a transformed body never modifies it.
-      I = loadScalar(IVAddr, IVT).I;
-    }
-    if (Obs)
-      Obs->onLoopExit(F->getLoopId());
-    LS.Iterations += Iter;
-    LS.WorkCycles += Cycles - Before;
-    LS.SimTime += Cycles - Before;
+    loopExit(L);
     return Result;
   }
 
@@ -1072,174 +614,12 @@ struct Interp::Impl {
   }
 
   //===------------------------------------------------------------------===//
-  // Parallel loop simulation
-  //===------------------------------------------------------------------===//
-
-  Flow execForParallel(const ForStmt *F) {
-    const unsigned N = static_cast<unsigned>(std::max(1, Opts.NumThreads));
-    LoopStats &LS = Loops[F->getLoopId()];
-    LS.Kind = F->getParallelKind();
-    ++LS.Invocations;
-    if (LS.WorkPerThread.size() != N) {
-      LS.WorkPerThread.assign(N, 0);
-      LS.SyncStallPerThread.assign(N, 0);
-      LS.IdlePerThread.assign(N, 0);
-      LS.DispatchPerThread.assign(N, 0);
-    }
-
-    const VarDecl *IV = F->getInductionVar();
-    uint64_t IVAddr = addrOfVar(IV);
-    Type *IVT = IV->getType();
-    uint64_t Before = Cycles;
-    int64_t Lo = evalExpr(F->getInit()).I;
-    int64_t Hi = evalExpr(F->getLimit()).I;
-    int64_t Step = evalExpr(F->getStep()).I;
-    if (dead())
-      return Flow::Halt;
-    if (Step <= 0) {
-      trap("parallel for loop with non-positive step");
-      return Flow::Halt;
-    }
-    uint64_t Total = Hi > Lo
-                         ? static_cast<uint64_t>((Hi - Lo + Step - 1) / Step)
-                         : 0;
-
-    if (Obs)
-      Obs->onLoopEnter(F->getLoopId());
-    InParallelLoop = true;
-    RecordOrdered = F->getParallelKind() == ParallelKind::DOACROSS;
-
-    const CostModel &CM = Opts.Costs;
-    std::vector<uint64_t> Ready(N, 0), Work(N, 0), Stall(N, 0), Dispatch(N, 0);
-    std::map<unsigned, uint64_t> RegionFree;
-    bool DOALL = F->getParallelKind() == ParallelKind::DOALL;
-    uint64_t Chunk = DOALL ? std::max<uint64_t>(1, (Total + N - 1) / N) : 1;
-    if (DOALL)
-      for (unsigned T = 0; T != N; ++T) {
-        Ready[T] = CM.ChunkStartup;
-        Dispatch[T] = CM.ChunkStartup;
-      }
-
-    Flow Result = Flow::Normal;
-    for (uint64_t It = 0; It != Total; ++It) {
-      if (!checkBudget()) {
-        Result = Flow::Halt;
-        break;
-      }
-      unsigned T;
-      if (DOALL) {
-        T = static_cast<unsigned>(std::min<uint64_t>(It / Chunk, N - 1));
-      } else {
-        T = 0;
-        for (unsigned I = 1; I != N; ++I)
-          if (Ready[I] < Ready[T])
-            T = I;
-        Ready[T] += CM.IterDispatch;
-        Dispatch[T] += CM.IterDispatch;
-      }
-      CurTid = static_cast<int>(T);
-
-      int64_t IVal = Lo + static_cast<int64_t>(It) * Step;
-      storeScalar(IVAddr, IVT, Value::ofInt(IVal));
-      if (Obs) {
-        Obs->onLoopIter(F->getLoopId(), It);
-        Obs->onStore(InvalidAccessId, IVAddr, Ctx.getLayout(IVT).Size);
-      }
-
-      OrderedEvents.clear();
-      IterStartCycles = Cycles;
-      uint64_t C0 = Cycles;
-      Flow FL = execStmt(F->getBody());
-      uint64_t W = Cycles - C0;
-
-      if (FL == Flow::Break || FL == Flow::Return) {
-        trap("break/return escaping a parallel loop");
-        Result = Flow::Halt;
-        break;
-      }
-      if (FL == Flow::Halt) {
-        Result = Flow::Halt;
-        break;
-      }
-
-      // Timeline update.
-      uint64_t StartT = Ready[T];
-      uint64_t Shift = 0;
-      for (const OrderedEvent &Ev : OrderedEvents) {
-        uint64_t Entry = StartT + Ev.EntryOff + Shift;
-        auto &Free = RegionFree[Ev.RegionId];
-        if (Free > Entry) {
-          uint64_t S = Free - Entry;
-          Shift += S;
-          Stall[T] += S;
-        }
-        Free = StartT + Ev.ExitOff + Shift;
-      }
-      Ready[T] = StartT + W + Shift;
-      Work[T] += W;
-    }
-
-    RecordOrdered = false;
-    InParallelLoop = false;
-    CurTid = 0;
-    rtPrivCommitAll();
-    if (Obs)
-      Obs->onLoopExit(F->getLoopId());
-
-    uint64_t WorkDelta = Cycles - Before;
-    uint64_t MaxReady = 0;
-    for (unsigned T = 0; T != N; ++T)
-      MaxReady = std::max(MaxReady, Ready[T]);
-    uint64_t SimTime = MaxReady + CM.ForkJoin;
-
-    LS.Iterations += Total;
-    LS.WorkCycles += WorkDelta;
-    LS.SimTime += SimTime;
-    for (unsigned T = 0; T != N; ++T) {
-      LS.WorkPerThread[T] += Work[T];
-      LS.SyncStallPerThread[T] += Stall[T];
-      LS.DispatchPerThread[T] += Dispatch[T];
-      LS.IdlePerThread[T] += MaxReady - Ready[T];
-    }
-
-    // Program simulated time: replace this loop's work span by its
-    // simulated duration.
-    TimeAdjust +=
-        static_cast<int64_t>(SimTime) - static_cast<int64_t>(WorkDelta);
-
-    return Result;
-  }
-
-  //===------------------------------------------------------------------===//
   // Entry
   //===------------------------------------------------------------------===//
 
   RunResult run(const std::string &Entry) {
     auto HostStart = std::chrono::steady_clock::now();
-    // Reset run state (globals are freshly allocated each run).
-    Cycles = 0;
-    TimeAdjust = 0;
-    CurTid = 0;
-    InParallelLoop = false;
-    Trapped = false;
-    Halted = false;
-    TrapMessage.clear();
-    Output.clear();
-    ExitCode = 0;
-    Loops.clear();
-    RtPrivTranslations = 0;
-    RtPrivBytesCopied = 0;
-
-    for (uint64_t Addr : GlobalBlocks)
-      Mem.deallocate(Addr);
-    GlobalBlocks.clear();
-    GlobalAddrs.clear();
-    for (VarDecl *G : M.getGlobals()) {
-      uint64_t Addr = Mem.allocate(Ctx.getLayout(G->getType()).Size,
-                                   AllocKind::Global, G->getId());
-      GlobalAddrs[G] = Addr;
-      GlobalBlocks.push_back(Addr);
-    }
+    resetRun();
 
     RunResult R;
     Function *F = M.getFunction(Entry);
@@ -1254,7 +634,15 @@ struct Interp::Impl {
       return R;
     }
 
-    invokeEntry(F);
+    if (Opts.Engine == ExecEngine::Bytecode) {
+      // Lower lazily; a precompiled module is usable only if it was built
+      // against the exact cost table of this run.
+      if (!BC || !(BC->Costs == Opts.Costs))
+        BC = lowerToBytecode(M, Opts.Costs);
+      runBytecodeEntry(*this, *BC, F);
+    } else {
+      invokeEntry(F);
+    }
 
     R.Trapped = Trapped;
     R.TrapMessage = TrapMessage;

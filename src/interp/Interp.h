@@ -29,10 +29,33 @@
 #include "ir/IR.h"
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace gdse {
+
+struct BytecodeModule;
+
+/// Which engine executes the program. Both produce bit-identical results
+/// (cycles, timeline, observer events, traps, peak memory — enforced by
+/// EngineDiffTest); they differ only in speed.
+enum class ExecEngine : uint8_t {
+  /// The reference tree-walking interpreter: re-dispatches on node kinds for
+  /// every operand of every iteration. Simple and obviously correct.
+  TreeWalk,
+  /// The register-bytecode VM: each function is lowered once to a flat
+  /// instruction array (virtual registers, pre-resolved field offsets and
+  /// type sizes, jump targets) and run by a dispatch loop. Several times
+  /// faster on loop-heavy programs.
+  Bytecode,
+};
+
+/// Engine selection from the GDSE_ENGINE environment variable:
+/// "tree"/"treewalk" or "bytecode"/"bc"; anything else (or unset) yields
+/// \p Default. Benchmarks and tools use this with the Bytecode default; the
+/// library-level InterpOptions default stays TreeWalk.
+ExecEngine engineFromEnv(ExecEngine Default = ExecEngine::Bytecode);
 
 /// Instrumentation callbacks. Addresses are VM (host) addresses; sizes in
 /// bytes. Invoked only while a callback sink is installed.
@@ -80,6 +103,13 @@ struct InterpOptions {
   /// Abort the run after this many work cycles (0 = unlimited).
   uint64_t MaxCycles = 0;
   CostModel Costs;
+  /// Execution engine (see ExecEngine).
+  ExecEngine Engine = ExecEngine::TreeWalk;
+  /// Optional pre-lowered bytecode for the same module, e.g. the
+  /// AnalysisManager's cached per-module analysis. Used only by the
+  /// Bytecode engine; when its baked-in cost table differs from Costs the
+  /// interpreter silently relowers instead.
+  std::shared_ptr<const BytecodeModule> Precompiled;
 };
 
 /// Per-loop accounting, keyed by loop id.

@@ -1,0 +1,908 @@
+//===- Lowering.cpp - IR -> register bytecode -------------------------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Lowers each defined Function once into a BytecodeFunction. The contract is
+// observable equivalence with the tree-walker (Interp.cpp), so the lowering
+// mirrors its evaluation rules exactly:
+//
+//  - Cycle charges: the tree-walker charges a node's entry cost before
+//    evaluating its operands. The lowering keeps a pending-cost accumulator;
+//    a node's charge is attached to the *first* instruction emitted for it
+//    (every expression emits at least one), which preserves charge order
+//    along every control path.
+//  - Registers follow a stack discipline: an expression's result register is
+//    allocated first, operand temporaries above it, and the high-water mark
+//    resets after each expression/statement. Call arguments therefore land
+//    in consecutive registers automatically. Named locals and parameters
+//    stay in frame memory.
+//  - Statically-detectable error paths (undefined callee, aggregate misuse,
+//    non-lvalue addressing) lower to Trap instructions carrying the exact
+//    tree-walker message.
+//  - break/continue lower to static OrdExit sequences for every ordered
+//    region they cross, then a jump (while) or an IterBreak/IterEnd
+//    terminator (for bodies). return relies on the VM's dynamic scope
+//    unwinding instead, since it crosses function-level scopes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Bytecode.h"
+
+#include "ir/AccessInfo.h"
+#include "ir/IRPrinter.h"
+#include "support/Support.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace gdse;
+
+namespace {
+
+/// A symbolic l-value address: a frame slot, a global, or a computed pointer
+/// in a register — plus a folded constant byte offset (field chains).
+struct LAddr {
+  enum AddrKind : uint8_t { FrameK, GlobalK, RegK } Kind = FrameK;
+  uint16_t Reg = 0;                // RegK
+  const VarDecl *Global = nullptr; // GlobalK
+  uint64_t Off = 0;
+};
+
+class FunctionLowering {
+public:
+  FunctionLowering(TypeContext &Ctx, const CostModel &CM,
+                   const std::set<const VarDecl *> &RegVars,
+                   const std::map<const Function *, uint32_t> &FuncIndex,
+                   const FrameLayout &Layout, BytecodeFunction &BF)
+      : Ctx(Ctx), CM(CM), RegVars(RegVars), FuncIndex(FuncIndex),
+        Layout(Layout), BF(BF) {}
+
+  void run() {
+    const Function *F = BF.F;
+    BF.FrameSize = Layout.Size;
+    for (const VarDecl *P : F->getParams())
+      BF.Params.push_back({Layout.Offsets.at(P), P->getType()});
+    lowerStmt(F->getBody());
+    // Falling off the end returns with whatever ReturnValue holds, exactly
+    // like the tree-walker's Flow::Normal at the body's end.
+    emitOp(BCOp::Ret);
+    assert(Pending == 0 && "unattached cycle charge at end of function");
+    BF.NumRegs = std::max<uint16_t>(MaxRegs, 1);
+  }
+
+private:
+  TypeContext &Ctx;
+  const CostModel &CM;
+  const std::set<const VarDecl *> &RegVars;
+  const std::map<const Function *, uint32_t> &FuncIndex;
+  const FrameLayout &Layout;
+  BytecodeFunction &BF;
+
+  uint64_t Pending = 0; ///< charges awaiting the next emitted instruction
+  uint16_t Next = 0;    ///< next free virtual register
+  uint16_t MaxRegs = 0;
+
+  /// Loop / ordered-region lexical context, innermost last.
+  struct LexScope {
+    enum ScopeKind : uint8_t { WhileL, ForBody, OrderedR } Kind = WhileL;
+    uint32_t HeadPc = 0;               // WhileL: continue target
+    std::vector<uint32_t> BreakJumps;  // WhileL: jumps to patch to the exit
+  };
+  std::vector<LexScope> Scopes;
+
+  //===------------------------------------------------------------------===//
+  // Emission primitives
+  //===------------------------------------------------------------------===//
+
+  uint32_t here() const { return static_cast<uint32_t>(BF.Code.size()); }
+
+  uint32_t emit(BCInst I) {
+    I.Cost += Pending;
+    Pending = 0;
+    BF.Code.push_back(I);
+    return static_cast<uint32_t>(BF.Code.size() - 1);
+  }
+
+  uint32_t emitOp(BCOp Op) {
+    BCInst I;
+    I.Op = Op;
+    return emit(I);
+  }
+
+  /// Emits a jump with an unpatched target; patch() fills it in.
+  uint32_t emitJump(BCOp Op, uint16_t CondReg = 0) {
+    BCInst I;
+    I.Op = Op;
+    I.A = CondReg;
+    return emit(I);
+  }
+
+  void patch(uint32_t At, uint32_t Target) { BF.Code[At].Imm32 = Target; }
+
+  void emitJumpTo(uint32_t Target) {
+    BCInst I;
+    I.Op = BCOp::Jump;
+    I.Imm32 = Target;
+    emit(I);
+  }
+
+  void emitTrap(const std::string &Msg) {
+    BCInst I;
+    I.Op = BCOp::Trap;
+    I.Imm32 = static_cast<uint32_t>(BF.TrapMsgs.size());
+    BF.TrapMsgs.push_back(Msg);
+    emit(I);
+  }
+
+  void pend(uint64_t C) { Pending += C; }
+
+  uint16_t allocReg() {
+    assert(Next < 0xFFFF && "virtual register file exhausted");
+    uint16_t R = Next++;
+    MaxRegs = std::max(MaxRegs, Next);
+    return R;
+  }
+
+  //===------------------------------------------------------------------===//
+  // L-values
+  //===------------------------------------------------------------------===//
+
+  LAddr lowerLValue(const Expr *E) {
+    // Address computation folds into addressing modes: no charge (the
+    // tree-walker's evalLValue charges nothing either).
+    switch (E->getKind()) {
+    case Expr::Kind::VarRef: {
+      const VarDecl *D = cast<VarRefExpr>(E)->getDecl();
+      LAddr A;
+      if (D->isGlobal()) {
+        A.Kind = LAddr::GlobalK;
+        A.Global = D;
+        return A;
+      }
+      auto It = Layout.Offsets.find(D);
+      if (It == Layout.Offsets.end()) {
+        emitTrap("variable '" + D->getName() + "' has no slot in frame of " +
+                 BF.F->getName());
+        return A;
+      }
+      A.Off = It->second;
+      return A;
+    }
+    case Expr::Kind::Deref: {
+      LAddr A;
+      A.Kind = LAddr::RegK;
+      A.Reg = lowerExpr(cast<DerefExpr>(E)->getPtr());
+      return A;
+    }
+    case Expr::Kind::ArrayIndex: {
+      const auto *AI = cast<ArrayIndexExpr>(E);
+      uint16_t BaseR = lowerExpr(AI->getBase());
+      uint16_t IdxR = lowerExpr(AI->getIndex());
+      uint64_t ElemSize = Ctx.getLayout(AI->getType()).Size;
+      BCInst I;
+      I.Op = BCOp::AddScaled;
+      I.A = BaseR;
+      I.B = BaseR;
+      I.C = IdxR;
+      I.Imm64 = static_cast<int64_t>(ElemSize);
+      emit(I);
+      Next = BaseR + 1;
+      LAddr A;
+      A.Kind = LAddr::RegK;
+      A.Reg = BaseR;
+      return A;
+    }
+    case Expr::Kind::FieldAccess: {
+      const auto *F = cast<FieldAccessExpr>(E);
+      LAddr A = lowerLValue(F->getBase());
+      auto *ST = cast<StructType>(F->getBase()->getType());
+      A.Off += Ctx.getLayout(ST).FieldOffsets[F->getFieldIndex()];
+      return A;
+    }
+    default:
+      emitTrap("evalLValue of non-lvalue " + printExpr(E));
+      return LAddr();
+    }
+  }
+
+  /// Materializes an l-value address into a fresh register. Always emits at
+  /// least one instruction, so a pending AddrOf/Decay charge has a carrier.
+  uint16_t materialize(const LAddr &A) {
+    uint16_t Dst = allocReg();
+    materializeInto(Dst, A);
+    return Dst;
+  }
+
+  void materializeInto(uint16_t Dst, const LAddr &A) {
+    BCInst I;
+    I.A = Dst;
+    I.Imm64 = static_cast<int64_t>(A.Off);
+    switch (A.Kind) {
+    case LAddr::FrameK:
+      I.Op = BCOp::LeaFrame;
+      break;
+    case LAddr::GlobalK:
+      I.Op = BCOp::LeaGlobal;
+      I.Imm32b = A.Global->getId();
+      break;
+    case LAddr::RegK:
+      I.Op = BCOp::AddImm;
+      I.B = A.Reg;
+      break;
+    }
+    emit(I);
+  }
+
+  void emitLoad(uint16_t Dst, const LAddr &A, ScalarKind K, AccessId Id) {
+    BCInst I;
+    I.Kind = static_cast<uint8_t>(K);
+    I.A = Dst;
+    I.Imm32 = Id;
+    I.Imm64 = static_cast<int64_t>(A.Off);
+    switch (A.Kind) {
+    case LAddr::FrameK:
+      I.Op = BCOp::LdFrame;
+      break;
+    case LAddr::GlobalK:
+      I.Op = BCOp::LdGlobal;
+      I.Imm32b = A.Global->getId();
+      break;
+    case LAddr::RegK:
+      I.Op = BCOp::LdInd;
+      I.B = A.Reg;
+      break;
+    }
+    emit(I);
+  }
+
+  void emitStore(uint16_t Src, const LAddr &A, ScalarKind K, AccessId Id) {
+    BCInst I;
+    I.Kind = static_cast<uint8_t>(K);
+    I.A = Src;
+    I.Imm32 = Id;
+    I.Imm64 = static_cast<int64_t>(A.Off);
+    switch (A.Kind) {
+    case LAddr::FrameK:
+      I.Op = BCOp::StFrame;
+      break;
+    case LAddr::GlobalK:
+      I.Op = BCOp::StGlobal;
+      I.Imm32b = A.Global->getId();
+      break;
+    case LAddr::RegK:
+      I.Op = BCOp::StInd;
+      I.B = A.Reg;
+      break;
+    }
+    emit(I);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  /// Lowers \p E into a freshly allocated register, releasing all operand
+  /// temporaries above it.
+  uint16_t lowerExpr(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::FloatLit:
+    case Expr::Kind::SizeofType:
+    case Expr::Kind::ThreadId:
+    case Expr::Kind::NumThreads:
+      break; // immediates: free
+    default:
+      pend(CM.ExprBase);
+      break;
+    }
+    uint16_t Dst = allocReg();
+    lowerExprInto(Dst, E);
+    Next = Dst + 1;
+    return Dst;
+  }
+
+  void lowerExprInto(uint16_t Dst, const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit: {
+      BCInst I;
+      I.Op = BCOp::ConstI;
+      I.A = Dst;
+      I.Imm64 = cast<IntLitExpr>(E)->getValue();
+      emit(I);
+      return;
+    }
+    case Expr::Kind::FloatLit: {
+      BCInst I;
+      I.Op = BCOp::ConstF;
+      I.A = Dst;
+      double V = cast<FloatLitExpr>(E)->getValue();
+      std::memcpy(&I.Imm64, &V, 8);
+      emit(I);
+      return;
+    }
+    case Expr::Kind::VarRef:
+    case Expr::Kind::Deref:
+    case Expr::Kind::ArrayIndex:
+    case Expr::Kind::FieldAccess:
+      emitTrap("r-value evaluation of bare l-value " + printExpr(E));
+      emitConstZero(Dst);
+      return;
+    case Expr::Kind::Load:
+      lowerLoad(Dst, cast<LoadExpr>(E));
+      return;
+    case Expr::Kind::Unary:
+      lowerUnary(Dst, cast<UnaryExpr>(E));
+      return;
+    case Expr::Kind::Binary:
+      lowerBinary(Dst, cast<BinaryExpr>(E));
+      return;
+    case Expr::Kind::AddrOf:
+      materializeInto(Dst, lowerLValue(cast<AddrOfExpr>(E)->getLocation()));
+      return;
+    case Expr::Kind::Decay:
+      materializeInto(Dst,
+                      lowerLValue(cast<DecayExpr>(E)->getArrayLocation()));
+      return;
+    case Expr::Kind::Call:
+      lowerCall(Dst, cast<CallExpr>(E));
+      return;
+    case Expr::Kind::Cast:
+      lowerCast(Dst, cast<CastExpr>(E));
+      return;
+    case Expr::Kind::SizeofType: {
+      BCInst I;
+      I.Op = BCOp::ConstI;
+      I.A = Dst;
+      I.Imm64 = static_cast<int64_t>(
+          Ctx.getLayout(cast<SizeofTypeExpr>(E)->getQueriedType()).Size);
+      emit(I);
+      return;
+    }
+    case Expr::Kind::ThreadId: {
+      BCInst I;
+      I.Op = BCOp::Tid;
+      I.A = Dst;
+      emit(I);
+      return;
+    }
+    case Expr::Kind::NumThreads: {
+      BCInst I;
+      I.Op = BCOp::NThreads;
+      I.A = Dst;
+      emit(I);
+      return;
+    }
+    case Expr::Kind::Cond: {
+      const auto *C = cast<CondExpr>(E);
+      uint16_t CondR = lowerExpr(C->getCond());
+      uint16_t Mark = Next;
+      uint32_t JElse = emitJump(BCOp::JumpIfZero, CondR);
+      uint16_t TR = lowerExpr(C->getThen());
+      emitMove(Dst, TR);
+      uint32_t JEnd = emitJump(BCOp::Jump);
+      patch(JElse, here());
+      Next = Mark;
+      uint16_t ER = lowerExpr(C->getElse());
+      emitMove(Dst, ER);
+      patch(JEnd, here());
+      return;
+    }
+    }
+    gdse_unreachable("unknown expr kind");
+  }
+
+  void emitConstZero(uint16_t Dst) {
+    BCInst I;
+    I.Op = BCOp::ConstI;
+    I.A = Dst;
+    emit(I);
+  }
+
+  void emitMove(uint16_t Dst, uint16_t Src) {
+    BCInst I;
+    I.Op = BCOp::Move;
+    I.A = Dst;
+    I.B = Src;
+    emit(I);
+  }
+
+  void lowerLoad(uint16_t Dst, const LoadExpr *L) {
+    if (L->getType()->isAggregate()) {
+      emitTrap("aggregate load outside assignment: " + printExpr(L));
+      emitConstZero(Dst);
+      return;
+    }
+    LAddr A = lowerLValue(L->getLocation());
+    if (!isRegisterAccess(RegVars, L->getLocation()))
+      pend(CM.Load);
+    emitLoad(Dst, A, scalarKindOf(L->getType()), L->getAccessId());
+  }
+
+  void lowerUnary(uint16_t Dst, const UnaryExpr *U) {
+    uint16_t S = lowerExpr(U->getSub());
+    Type *T = U->getType();
+    BCInst I;
+    I.A = Dst;
+    I.B = S;
+    switch (U->getOp()) {
+    case UnaryOp::Neg:
+      if (T->isFloat()) {
+        I.Op = BCOp::NegF;
+      } else {
+        I.Op = BCOp::NegI;
+        I.Kind = static_cast<uint8_t>(scalarKindOf(T));
+      }
+      break;
+    case UnaryOp::BitNot:
+      I.Op = BCOp::BitNotI;
+      I.Kind = static_cast<uint8_t>(scalarKindOf(T));
+      break;
+    case UnaryOp::LogicalNot:
+      I.Op = U->getSub()->getType()->isFloat() ? BCOp::LogNotF : BCOp::LogNotI;
+      break;
+    }
+    emit(I);
+  }
+
+  void lowerBinary(uint16_t Dst, const BinaryExpr *B) {
+    BinaryOp Op = B->getOp();
+    // Short-circuit forms: preset the result, conditionally evaluate RHS.
+    if (Op == BinaryOp::LogicalAnd || Op == BinaryOp::LogicalOr) {
+      bool IsAnd = Op == BinaryOp::LogicalAnd;
+      BCInst CI;
+      CI.Op = BCOp::ConstI;
+      CI.A = Dst;
+      CI.Imm64 = IsAnd ? 0 : 1;
+      emit(CI); // carries the node's pending ExprBase
+      uint16_t L = lowerExpr(B->getLHS());
+      uint32_t J =
+          emitJump(IsAnd ? BCOp::JumpIfZero : BCOp::JumpIfNonZero, L);
+      uint16_t R = lowerExpr(B->getRHS());
+      BCInst BI;
+      BI.Op = BCOp::BoolI;
+      BI.A = Dst;
+      BI.B = R;
+      emit(BI);
+      patch(J, here());
+      return;
+    }
+
+    uint16_t L = lowerExpr(B->getLHS());
+    uint16_t R = lowerExpr(B->getRHS());
+    Type *LT = B->getLHS()->getType();
+    Type *RT = B->getRHS()->getType();
+
+    BCInst I;
+    I.A = Dst;
+    I.B = L;
+    I.C = R;
+
+    // Pointer arithmetic.
+    if (LT->isPointer() && RT->isPointer()) {
+      uint64_t Size = Ctx.getLayout(cast<PointerType>(LT)->getPointee()).Size;
+      switch (Op) {
+      case BinaryOp::Sub:
+        I.Op = BCOp::PtrDiff;
+        I.Imm64 = static_cast<int64_t>(Size);
+        emit(I);
+        return;
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        I.Op = BCOp::CmpU;
+        I.Kind = static_cast<uint8_t>(predOf(Op));
+        emit(I);
+        return;
+      default:
+        emitTrap("invalid pointer-pair operation");
+        emitConstZero(Dst);
+        return;
+      }
+    }
+    if (LT->isPointer()) {
+      uint64_t Size = Ctx.getLayout(cast<PointerType>(LT)->getPointee()).Size;
+      if (Op == BinaryOp::Add || Op == BinaryOp::Sub) {
+        I.Op = BCOp::AddScaled;
+        I.Imm64 = Op == BinaryOp::Add ? static_cast<int64_t>(Size)
+                                      : -static_cast<int64_t>(Size);
+        emit(I);
+        return;
+      }
+      emitTrap("invalid pointer arithmetic operator");
+      emitConstZero(Dst);
+      return;
+    }
+
+    // Comparisons over scalars (operands share a type after conversions).
+    bool IsCmp = Op == BinaryOp::Eq || Op == BinaryOp::Ne ||
+                 Op == BinaryOp::Lt || Op == BinaryOp::Le ||
+                 Op == BinaryOp::Gt || Op == BinaryOp::Ge;
+    if (IsCmp) {
+      if (LT->isFloat())
+        I.Op = BCOp::CmpF;
+      else
+        I.Op = cast<IntType>(LT)->isSigned() ? BCOp::CmpI : BCOp::CmpU;
+      I.Kind = static_cast<uint8_t>(predOf(Op));
+      emit(I);
+      return;
+    }
+
+    Type *T = B->getType();
+    if (T->isFloat()) {
+      switch (Op) {
+      case BinaryOp::Add:
+        I.Op = BCOp::AddF;
+        break;
+      case BinaryOp::Sub:
+        I.Op = BCOp::SubF;
+        break;
+      case BinaryOp::Mul:
+        I.Op = BCOp::MulF;
+        break;
+      case BinaryOp::Div:
+        I.Op = BCOp::DivF;
+        I.Cost = CM.DivRem;
+        break;
+      default:
+        emitTrap("invalid float operator");
+        emitConstZero(Dst);
+        return;
+      }
+      emit(I);
+      return;
+    }
+
+    I.Kind = static_cast<uint8_t>(scalarKindOf(T));
+    switch (Op) {
+    case BinaryOp::Add:
+      I.Op = BCOp::AddI;
+      break;
+    case BinaryOp::Sub:
+      I.Op = BCOp::SubI;
+      break;
+    case BinaryOp::Mul:
+      I.Op = BCOp::MulI;
+      break;
+    case BinaryOp::Div:
+      I.Op = BCOp::DivI;
+      // Constant divisors are strength-reduced by compilers (mul+shift).
+      I.Cost = isa<IntLitExpr>(B->getRHS()) ? costs::ConstDivisorDiv
+                                            : CM.DivRem;
+      break;
+    case BinaryOp::Rem:
+      I.Op = BCOp::RemI;
+      I.Cost = CM.DivRem;
+      break;
+    case BinaryOp::BitAnd:
+      I.Op = BCOp::BitAndI;
+      break;
+    case BinaryOp::BitOr:
+      I.Op = BCOp::BitOrI;
+      break;
+    case BinaryOp::BitXor:
+      I.Op = BCOp::BitXorI;
+      break;
+    case BinaryOp::Shl:
+      I.Op = BCOp::ShlI;
+      break;
+    case BinaryOp::Shr:
+      I.Op = BCOp::ShrI;
+      break;
+    default:
+      gdse_unreachable("unhandled integer binary op");
+    }
+    emit(I);
+  }
+
+  static CmpPred predOf(BinaryOp Op) {
+    switch (Op) {
+    case BinaryOp::Eq:
+      return CmpPred::Eq;
+    case BinaryOp::Ne:
+      return CmpPred::Ne;
+    case BinaryOp::Lt:
+      return CmpPred::Lt;
+    case BinaryOp::Le:
+      return CmpPred::Le;
+    case BinaryOp::Gt:
+      return CmpPred::Gt;
+    default:
+      return CmpPred::Ge;
+    }
+  }
+
+  void lowerCast(uint16_t Dst, const CastExpr *C) {
+    uint16_t S = lowerExpr(C->getSub());
+    Type *From = C->getSub()->getType();
+    Type *To = C->getType();
+    BCInst I;
+    I.A = Dst;
+    I.B = S;
+    if (To->isFloat()) {
+      bool To32 = cast<FloatType>(To)->getBits() == 32;
+      if (From->isFloat()) {
+        I.Op = BCOp::CastFF;
+        I.Kind = To32 ? 2 : 0;
+      } else {
+        I.Op = BCOp::CastIF;
+        I.Kind = static_cast<uint8_t>(
+            (cast<IntType>(From)->isSigned() ? 0 : 1) | (To32 ? 2 : 0));
+      }
+    } else if (To->isInt()) {
+      I.Op = From->isFloat() ? BCOp::CastFI : BCOp::CastII;
+      I.Kind = static_cast<uint8_t>(scalarKindOf(To));
+    } else {
+      // Pointer destination: int or pointer source passes through.
+      I.Op = BCOp::Move;
+    }
+    emit(I);
+  }
+
+  void lowerCall(uint16_t Dst, const CallExpr *C) {
+    if (C->isBuiltin()) {
+      // sqrt's cycle charge historically precedes its argument's
+      // evaluation; keep it pending so it lands on the first argument
+      // instruction (or the BuiltinOp itself for zero-argument calls).
+      if (C->getBuiltin() == Builtin::SqrtFn)
+        pend(CM.DivRem);
+      uint16_t ArgBase = Next;
+      for (const Expr *A : C->getArgs())
+        lowerExpr(A);
+      BCInst I;
+      I.Op = BCOp::BuiltinOp;
+      I.Kind = static_cast<uint8_t>(C->getBuiltin());
+      I.A = Dst;
+      I.B = ArgBase;
+      I.C = static_cast<uint16_t>(C->getNumArgs());
+      I.Imm32 = C->getSiteId();
+      emit(I);
+      return;
+    }
+
+    const Function *F = C->getCallee();
+    if (!F->isDefinition()) {
+      // The depth check still precedes the undefined-callee trap, exactly
+      // like the tree-walker; this guard carries no Call charge (Kind=0).
+      BCInst G;
+      G.Op = BCOp::CallGuard;
+      emit(G);
+      emitTrap("call to undefined function '" + F->getName() + "'");
+      emitConstZero(Dst);
+      return;
+    }
+    BCInst G;
+    G.Op = BCOp::CallGuard;
+    G.Kind = 1; // Call charge included; backed out if the depth check traps
+    G.Cost = CM.Call;
+    emit(G);
+    uint16_t ArgBase = Next;
+    for (const Expr *A : C->getArgs())
+      lowerExpr(A);
+    BCInst I;
+    I.Op = BCOp::Call;
+    I.A = Dst;
+    I.B = ArgBase;
+    I.C = static_cast<uint16_t>(C->getNumArgs());
+    I.Imm32 = FuncIndex.at(F);
+    emit(I);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  void lowerStmt(const Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Block: {
+      uint16_t Base = Next;
+      for (const Stmt *Sub : cast<BlockStmt>(S)->getStmts()) {
+        Next = Base;
+        lowerStmt(Sub);
+      }
+      Next = Base;
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      lowerExpr(cast<ExprStmt>(S)->getExpr());
+      return;
+    case Stmt::Kind::Assign:
+      lowerAssign(cast<AssignStmt>(S));
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      uint16_t C = lowerExpr(I->getCond());
+      uint32_t JElse = emitJump(BCOp::JumpIfZero, C);
+      lowerStmt(I->getThen());
+      if (I->getElse()) {
+        uint32_t JEnd = emitJump(BCOp::Jump);
+        patch(JElse, here());
+        lowerStmt(I->getElse());
+        patch(JEnd, here());
+      } else {
+        patch(JElse, here());
+      }
+      return;
+    }
+    case Stmt::Kind::While:
+      lowerWhile(cast<WhileStmt>(S));
+      return;
+    case Stmt::Kind::For:
+      lowerFor(cast<ForStmt>(S));
+      return;
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      BCInst I;
+      I.Op = BCOp::Ret;
+      if (R->getValue()) {
+        I.A = lowerExpr(R->getValue());
+        I.Kind = 1;
+      }
+      emit(I);
+      return;
+    }
+    case Stmt::Kind::Break:
+      lowerBreakContinue(/*IsBreak=*/true);
+      return;
+    case Stmt::Kind::Continue:
+      lowerBreakContinue(/*IsBreak=*/false);
+      return;
+    case Stmt::Kind::Ordered: {
+      const auto *O = cast<OrderedStmt>(S);
+      BCInst I;
+      I.Op = BCOp::OrdEnter;
+      I.Imm32 = O->getRegionId();
+      I.Cost = CM.OrderedEnter;
+      emit(I);
+      Scopes.push_back({LexScope::OrderedR, 0, {}});
+      lowerStmt(O->getBody());
+      Scopes.pop_back();
+      emitOp(BCOp::OrdExit);
+      return;
+    }
+    }
+    gdse_unreachable("unknown stmt kind");
+  }
+
+  void lowerAssign(const AssignStmt *A) {
+    Type *T = A->getLHS()->getType();
+    if (T->isAggregate()) {
+      const auto *RL = dyn_cast<LoadExpr>(A->getRHS());
+      if (!RL) {
+        emitTrap("aggregate assignment RHS must be a memory location");
+        return;
+      }
+      uint16_t DstR = materialize(lowerLValue(A->getLHS()));
+      uint16_t SrcR = materialize(lowerLValue(RL->getLocation()));
+      BCInst I;
+      I.Op = BCOp::AggCopy;
+      I.A = DstR;
+      I.B = SrcR;
+      I.Imm64 = static_cast<int64_t>(Ctx.getLayout(T).Size);
+      I.Imm32 = A->getAccessId();
+      I.Imm32b = RL->getAccessId();
+      emit(I);
+      return;
+    }
+    LAddr LA = lowerLValue(A->getLHS());
+    uint16_t V = lowerExpr(A->getRHS());
+    if (!isRegisterAccess(RegVars, A->getLHS()))
+      pend(CM.Store);
+    emitStore(V, LA, scalarKindOf(T), A->getAccessId());
+  }
+
+  void lowerWhile(const WhileStmt *W) {
+    BCInst EI;
+    EI.Op = BCOp::LoopEnterW;
+    EI.Imm32 = W->getLoopId();
+    emit(EI);
+    uint32_t Head = here();
+    emitOp(BCOp::WhileHead); // per-iteration budget check
+    uint16_t C = lowerExpr(W->getCond());
+    uint32_t JExit = emitJump(BCOp::JumpIfZero, C);
+    BCInst NI;
+    NI.Op = BCOp::IterNote;
+    NI.Imm32 = W->getLoopId();
+    emit(NI);
+    Scopes.push_back({LexScope::WhileL, Head, {}});
+    lowerStmt(W->getBody());
+    emitJumpTo(Head);
+    std::vector<uint32_t> Breaks = std::move(Scopes.back().BreakJumps);
+    Scopes.pop_back();
+    // The exit label *is* the LoopExitW instruction, so every exit path
+    // (condition false, break) runs the loop-exit bookkeeping exactly once.
+    uint32_t ExitPc = here();
+    patch(JExit, ExitPc);
+    for (uint32_t J : Breaks)
+      patch(J, ExitPc);
+    emitOp(BCOp::LoopExitW);
+  }
+
+  void lowerFor(const ForStmt *F) {
+    uint32_t MetaIdx = static_cast<uint32_t>(BF.Fors.size());
+    BF.Fors.emplace_back();
+    BCInst FI;
+    FI.Op = BCOp::ForLoop;
+    FI.Imm32 = MetaIdx;
+    emit(FI);
+    uint32_t BoundsStart = here();
+    uint16_t Lo = lowerExpr(F->getInit());
+    uint16_t Hi = lowerExpr(F->getLimit());
+    uint16_t St = lowerExpr(F->getStep());
+    emitOp(BCOp::BoundsEnd);
+    uint32_t BodyStart = here();
+    Scopes.push_back({LexScope::ForBody, 0, {}});
+    lowerStmt(F->getBody());
+    emitOp(BCOp::IterEnd);
+    Scopes.pop_back();
+
+    // BF.Fors may have grown (nested fors): re-resolve the slot only now.
+    BCForMeta FM;
+    FM.LoopId = F->getLoopId();
+    FM.Kind = F->getParallelKind();
+    FM.BoundsStart = BoundsStart;
+    FM.BodyStart = BodyStart;
+    FM.ExitPc = here();
+    FM.LoReg = Lo;
+    FM.HiReg = Hi;
+    FM.StepReg = St;
+    const VarDecl *IV = F->getInductionVar();
+    FM.IVType = IV->getType();
+    if (IV->isGlobal())
+      FM.IVGlobal = IV;
+    else
+      FM.IVFrameOff = Layout.Offsets.at(IV);
+    BF.Fors[MetaIdx] = FM;
+  }
+
+  void lowerBreakContinue(bool IsBreak) {
+    // Statically unwind: record the ordered-region exits this jump crosses,
+    // then leave the innermost enclosing loop construct.
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      switch (It->Kind) {
+      case LexScope::OrderedR:
+        emitOp(BCOp::OrdExit);
+        continue;
+      case LexScope::WhileL:
+        if (IsBreak)
+          It->BreakJumps.push_back(emitJump(BCOp::Jump));
+        else
+          emitJumpTo(It->HeadPc);
+        return;
+      case LexScope::ForBody:
+        emitOp(IsBreak ? BCOp::IterBreak : BCOp::IterEnd);
+        return;
+      }
+    }
+    emitTrap("break/continue escaped function body");
+  }
+};
+
+} // namespace
+
+std::shared_ptr<const BytecodeModule>
+gdse::lowerToBytecode(Module &M, const CostModel &Costs) {
+  auto BM = std::make_shared<BytecodeModule>();
+  BM->Costs = Costs;
+  std::set<const VarDecl *> RegVars = collectRegisterVars(M);
+  TypeContext &Ctx = M.getTypes();
+  const std::vector<Function *> &Fns = M.getFunctions();
+  BM->Funcs.resize(Fns.size());
+  for (uint32_t I = 0; I != Fns.size(); ++I)
+    BM->Index[Fns[I]] = I;
+  for (uint32_t I = 0; I != Fns.size(); ++I) {
+    BytecodeFunction &BF = BM->Funcs[I];
+    BF.F = Fns[I];
+    if (!Fns[I]->isDefinition())
+      continue;
+    FrameLayout Layout = computeFrameLayout(Ctx, Fns[I]);
+    FunctionLowering FL(Ctx, Costs, RegVars, BM->Index, Layout, BF);
+    FL.run();
+  }
+  return BM;
+}

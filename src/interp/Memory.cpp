@@ -46,6 +46,8 @@ bool VMMemory::deallocate(uint64_t Base) {
     return false;
   CurBytes -= It->second.Size;
   --NumLive;
+  if (LastHit == &It->second)
+    LastHit = nullptr;
   ::operator delete(reinterpret_cast<void *>(Base));
   // The host allocator may hand the same address out again; drop the entry
   // entirely (Generation uniqueness is preserved by NextGeneration).
@@ -54,6 +56,9 @@ bool VMMemory::deallocate(uint64_t Base) {
 }
 
 const Allocation *VMMemory::containing(uint64_t Addr) const {
+  // Fast path: repeated accesses into the block we answered last time.
+  if (LastHit && Addr - LastHit->Base < std::max<uint64_t>(LastHit->Size, 1))
+    return LastHit;
   auto It = ByBase.upper_bound(Addr);
   if (It == ByBase.begin())
     return nullptr;
@@ -61,6 +66,7 @@ const Allocation *VMMemory::containing(uint64_t Addr) const {
   const Allocation &A = It->second;
   if (!A.Live || Addr >= A.Base + std::max<uint64_t>(A.Size, 1))
     return nullptr;
+  LastHit = &A;
   return &A;
 }
 

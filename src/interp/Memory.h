@@ -63,10 +63,14 @@ public:
   /// Returns the live allocation with base \p Base, or null.
   const Allocation *byBase(uint64_t Base) const;
 
-  /// True when [Addr, Addr+Size) lies within one live allocation.
+  /// True when [Addr, Addr+Size) lies within one live allocation. Compares
+  /// without forming Addr + Size: the sum can wrap around uint64_t (a huge
+  /// Size from a corrupted length) and incorrectly pass an end-pointer check.
+  /// containing() already guarantees Addr >= A->Base and Addr < A->Base +
+  /// max(A->Size, 1), so Addr - A->Base is a valid in-block offset.
   bool inBounds(uint64_t Addr, uint64_t Size) const {
     const Allocation *A = containing(Addr);
-    return A && Addr + Size <= A->Base + A->Size;
+    return A && Size <= A->Size && Addr - A->Base <= A->Size - Size;
   }
 
   uint64_t currentBytes() const { return CurBytes; }
@@ -74,9 +78,16 @@ public:
   uint32_t liveAllocations() const { return NumLive; }
 
 private:
-  // Keyed by base address; erased lazily on free so Generation stays
-  // queryable until the address range is reused.
+  // The registry is a sorted interval structure keyed by base address
+  // (allocations never overlap, so base order is interval order); lookup is
+  // an upper_bound probe on the predecessor interval. std::map keeps node
+  // addresses stable across inserts, which the last-hit cache relies on.
   std::map<uint64_t, Allocation> ByBase;
+  // Accesses are heavily clustered (a loop walking one array hits the same
+  // allocation millions of times), so containing() first re-checks the last
+  // allocation it returned before probing the tree — O(1) amortized.
+  // Invalidated when the cached allocation is freed.
+  mutable const Allocation *LastHit = nullptr;
   uint64_t CurBytes = 0;
   uint64_t PeakBytes = 0;
   uint32_t NextGeneration = 1;

@@ -155,6 +155,47 @@ bool AccessNumbering::isInLoop(AccessId Id, unsigned LoopId) const {
          D.LoopStack.end();
 }
 
+std::set<const VarDecl *> gdse::collectRegisterVars(Module &M) {
+  std::set<const VarDecl *> RegisterVars;
+  std::set<const VarDecl *> AddressTaken;
+  for (Function *F : M.getFunctions()) {
+    walkExprs(F, [&](Expr *E) {
+      const Expr *Loc = nullptr;
+      if (auto *A = dyn_cast<AddrOfExpr>(E))
+        Loc = A->getLocation();
+      else if (auto *D = dyn_cast<DecayExpr>(E))
+        Loc = D->getArrayLocation();
+      while (Loc) {
+        if (auto *FA = dyn_cast<FieldAccessExpr>(Loc)) {
+          Loc = FA->getBase();
+          continue;
+        }
+        if (auto *V = dyn_cast<VarRefExpr>(Loc))
+          AddressTaken.insert(V->getDecl());
+        break;
+      }
+    });
+    for (const VarDecl *D : F->getParams())
+      if (!D->getType()->isArray())
+        RegisterVars.insert(D);
+    for (const VarDecl *D : F->getLocals())
+      if (!D->getType()->isArray())
+        RegisterVars.insert(D);
+  }
+  for (const VarDecl *D : AddressTaken)
+    RegisterVars.erase(D);
+  return RegisterVars;
+}
+
+bool gdse::isRegisterAccess(const std::set<const VarDecl *> &RegisterVars,
+                            const Expr *Loc) {
+  while (auto *F = dyn_cast<FieldAccessExpr>(Loc))
+    Loc = F->getBase();
+  if (auto *V = dyn_cast<VarRefExpr>(Loc))
+    return RegisterVars.count(V->getDecl()) != 0;
+  return false;
+}
+
 std::vector<AccessId> AccessNumbering::accessesInLoop(unsigned LoopId) const {
   std::vector<AccessId> Out;
   for (const AccessDesc &D : Accesses)

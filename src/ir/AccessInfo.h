@@ -14,6 +14,15 @@
 /// Also numbers loops (For/While) with dense module-wide LoopIds and exposes
 /// a registry to look them up.
 ///
+/// Stable operand numbering: every numbering here (AccessId, LoopId) and the
+/// dense VarDecl ids assigned by the module are deterministic functions of
+/// program order, and transformations renumber through this one walker. The
+/// bytecode lowering (interp/Lowering.cpp) bakes these ids into instruction
+/// immediates and indexes per-module tables by VarDecl::getId(), so the
+/// contract is: ids are dense, start at 1, and are only reassigned by a
+/// renumbering pass — at which point cached bytecode must be invalidated
+/// (AnalysisManager does this on the pass-preservation path).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDSE_IR_ACCESSINFO_H
@@ -22,6 +31,7 @@
 #include "ir/IR.h"
 
 #include <map>
+#include <set>
 #include <vector>
 
 namespace gdse {
@@ -92,6 +102,19 @@ private:
   std::vector<LoopDesc> Loops;
   std::map<const Stmt *, unsigned> LoopIdByStmt;
 };
+
+/// Locals and parameters a compiling backend would keep in registers: scalar
+/// or pointer typed and never address-taken. Accesses to them are free in
+/// the VM cost model (the VM still goes through frame memory). Both
+/// execution engines derive their charging decisions from this one
+/// definition, so their cycle accounting cannot drift.
+std::set<const VarDecl *> collectRegisterVars(Module &M);
+
+/// True when the l-value \p Loc is a direct reference to a variable in
+/// \p RegisterVars, or a field chain over a non-address-taken local
+/// aggregate (which SROA would scalarize into registers).
+bool isRegisterAccess(const std::set<const VarDecl *> &RegisterVars,
+                      const Expr *Loc);
 
 } // namespace gdse
 

@@ -171,11 +171,16 @@ void DepProfiler::onFree(const Allocation &A) { wipeRange(A.Base, A.Size); }
 
 LoopDepGraph DepProfiler::takeGraph() { return std::move(Graph); }
 
-ProfileResult gdse::profileLoop(Module &M, unsigned TargetLoopId,
-                                const std::string &Entry) {
+ProfileResult
+gdse::profileLoop(Module &M, unsigned TargetLoopId, const std::string &Entry,
+                  std::shared_ptr<const BytecodeModule> Precompiled) {
   InterpOptions Opts;
   Opts.NumThreads = 1;
   Opts.SimulateParallel = false;
+  if (Precompiled) {
+    Opts.Engine = ExecEngine::Bytecode;
+    Opts.Precompiled = std::move(Precompiled);
+  }
   DepProfiler Profiler(TargetLoopId);
   Interp I(M, Opts);
   I.setObserver(&Profiler);

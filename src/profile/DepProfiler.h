@@ -96,9 +96,14 @@ struct ProfileResult {
 };
 
 /// Executes \p Entry sequentially under a DepProfiler targeting
-/// \p TargetLoopId and returns the graph plus the run result.
-ProfileResult profileLoop(Module &M, unsigned TargetLoopId,
-                          const std::string &Entry = "main");
+/// \p TargetLoopId and returns the graph plus the run result. When
+/// \p Precompiled is given, the run uses the bytecode engine with that
+/// pre-lowered module (the AnalysisManager's cached per-module analysis);
+/// otherwise the reference tree-walker runs. Either engine produces the
+/// identical event stream, so the graph does not depend on the choice.
+ProfileResult
+profileLoop(Module &M, unsigned TargetLoopId, const std::string &Entry = "main",
+            std::shared_ptr<const BytecodeModule> Precompiled = nullptr);
 
 } // namespace gdse
 

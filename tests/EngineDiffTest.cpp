@@ -1,0 +1,522 @@
+//===- EngineDiffTest.cpp - tree-walker vs bytecode bit-identity -----------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// The register-bytecode engine must be observationally identical to the
+// reference tree-walker on every non-trapping run: exit code, output, work
+// cycles, simulated time, peak memory, rtpriv counters, the whole per-loop
+// stats map, and the full observer event stream (addresses normalized by
+// allocation serial number, since host addresses differ between runs).
+//
+// Every Table 4 workload runs through both engines in three configurations
+// (serial original, transformed at 4 threads, runtime-privatization
+// baseline), plus a battery of small adversarial programs covering the
+// corners where a lowering bug would hide: casts, shifts, short-circuiting,
+// conditional expressions, pointer arithmetic, aggregate assignment,
+// recursion, break/continue through ordered regions, and builtins. Trapping
+// programs compare trap message and prior output (cycle totals on trapped
+// runs are documented as engine-specific).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "frontend/Parser.h"
+#include "interp/Interp.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace gdse;
+
+namespace {
+
+/// Records the observer event stream with addresses rewritten to
+/// (allocation serial, offset) pairs so the streams of two runs compare
+/// equal even though the host allocator hands out different addresses.
+/// Streams can reach millions of events on the workloads, so the canonical
+/// form is an FNV-1a hash plus a count; small programs can additionally
+/// keep the literal strings for debuggable failures.
+class NormalizingObserver : public InterpObserver {
+public:
+  explicit NormalizingObserver(bool KeepEvents = false) : Keep(KeepEvents) {}
+
+  uint64_t Hash = 1469598103934665603ull; // FNV-1a offset basis
+  uint64_t Count = 0;
+  std::vector<std::string> Events;
+
+  void onLoad(AccessId Id, uint64_t Addr, uint64_t Size) override {
+    record("L " + std::to_string(Id) + " " + norm(Addr) + " " +
+           std::to_string(Size));
+  }
+  void onStore(AccessId Id, uint64_t Addr, uint64_t Size) override {
+    record("S " + std::to_string(Id) + " " + norm(Addr) + " " +
+           std::to_string(Size));
+  }
+  void onBulkAccess(bool IsWrite, uint64_t Addr, uint64_t Size, Builtin B,
+                    uint32_t CallSiteId) override {
+    record(std::string("B ") + (IsWrite ? "w" : "r") + " " + norm(Addr) +
+           " " + std::to_string(Size) + " " +
+           std::to_string(static_cast<int>(B)) + " " +
+           std::to_string(CallSiteId));
+  }
+  void onAlloc(const Allocation &A) override {
+    Live[A.Base] = {A.Size, NextSerial};
+    record("A " + std::to_string(NextSerial) + " " + std::to_string(A.Size) +
+           " " + std::to_string(static_cast<int>(A.Kind)) + " " +
+           std::to_string(A.SiteId));
+    ++NextSerial;
+  }
+  void onFree(const Allocation &A) override {
+    auto It = Live.find(A.Base);
+    record("F " + std::to_string(It != Live.end() ? It->second.Serial : 0));
+    if (It != Live.end())
+      Live.erase(It);
+  }
+  void onLoopEnter(unsigned LoopId) override {
+    record("LE " + std::to_string(LoopId));
+  }
+  void onLoopIter(unsigned LoopId, uint64_t Iter) override {
+    record("LI " + std::to_string(LoopId) + " " + std::to_string(Iter));
+  }
+  void onLoopExit(unsigned LoopId) override {
+    record("LX " + std::to_string(LoopId));
+  }
+
+private:
+  struct Block {
+    uint64_t Size;
+    uint64_t Serial;
+  };
+  std::map<uint64_t, Block> Live;
+  uint64_t NextSerial = 1;
+  bool Keep;
+
+  std::string norm(uint64_t Addr) {
+    auto It = Live.upper_bound(Addr);
+    if (It != Live.begin()) {
+      --It;
+      uint64_t Off = Addr - It->first;
+      if (Off < It->second.Size || (Off == 0 && It->second.Size == 0))
+        return std::to_string(It->second.Serial) + "+" + std::to_string(Off);
+    }
+    return "?" + std::to_string(Addr & 7); // untracked: keep alignment only
+  }
+
+  void record(const std::string &E) {
+    for (unsigned char C : E) {
+      Hash ^= C;
+      Hash *= 1099511628211ull;
+    }
+    Hash ^= '\n';
+    Hash *= 1099511628211ull;
+    ++Count;
+    if (Keep)
+      Events.push_back(E);
+  }
+};
+
+struct EngineRun {
+  RunResult R;
+  uint64_t EvHash = 0;
+  uint64_t EvCount = 0;
+  std::vector<std::string> Events;
+};
+
+EngineRun runEngine(Module &M, ExecEngine E, int Threads, bool KeepEvents) {
+  InterpOptions IO;
+  IO.Engine = E;
+  IO.NumThreads = Threads;
+  Interp I(M, IO);
+  NormalizingObserver O(KeepEvents);
+  I.setObserver(&O);
+  EngineRun ER;
+  ER.R = I.run();
+  ER.EvHash = O.Hash;
+  ER.EvCount = O.Count;
+  ER.Events = std::move(O.Events);
+  return ER;
+}
+
+void expectIdentical(const EngineRun &T, const EngineRun &B,
+                     const std::string &What) {
+  EXPECT_EQ(T.R.Trapped, B.R.Trapped) << What;
+  EXPECT_EQ(T.R.TrapMessage, B.R.TrapMessage) << What;
+  EXPECT_EQ(T.R.ExitCode, B.R.ExitCode) << What;
+  EXPECT_EQ(T.R.WorkCycles, B.R.WorkCycles) << What;
+  EXPECT_EQ(T.R.SimTime, B.R.SimTime) << What;
+  EXPECT_EQ(T.R.Output, B.R.Output) << What;
+  EXPECT_EQ(T.R.PeakMemoryBytes, B.R.PeakMemoryBytes) << What;
+  EXPECT_EQ(T.R.RtPrivTranslations, B.R.RtPrivTranslations) << What;
+  EXPECT_EQ(T.R.RtPrivBytesCopied, B.R.RtPrivBytesCopied) << What;
+
+  ASSERT_EQ(T.R.Loops.size(), B.R.Loops.size()) << What;
+  for (const auto &[Id, TS] : T.R.Loops) {
+    auto It = B.R.Loops.find(Id);
+    ASSERT_NE(It, B.R.Loops.end()) << What << " loop " << Id;
+    const LoopStats &BS = It->second;
+    EXPECT_EQ(TS.Kind, BS.Kind) << What << " loop " << Id;
+    EXPECT_EQ(TS.Invocations, BS.Invocations) << What << " loop " << Id;
+    EXPECT_EQ(TS.Iterations, BS.Iterations) << What << " loop " << Id;
+    EXPECT_EQ(TS.WorkCycles, BS.WorkCycles) << What << " loop " << Id;
+    EXPECT_EQ(TS.SimTime, BS.SimTime) << What << " loop " << Id;
+    EXPECT_EQ(TS.WorkPerThread, BS.WorkPerThread) << What << " loop " << Id;
+    EXPECT_EQ(TS.SyncStallPerThread, BS.SyncStallPerThread)
+        << What << " loop " << Id;
+    EXPECT_EQ(TS.IdlePerThread, BS.IdlePerThread) << What << " loop " << Id;
+    EXPECT_EQ(TS.DispatchPerThread, BS.DispatchPerThread)
+        << What << " loop " << Id;
+  }
+
+  EXPECT_EQ(T.Events, B.Events) << What; // empty==empty when hashing only
+  EXPECT_EQ(T.EvCount, B.EvCount) << What;
+  EXPECT_EQ(T.EvHash, B.EvHash) << What << " (event streams diverge)";
+}
+
+/// Both engines over the same module; non-trapping expected.
+void diffModule(Module &M, int Threads, const std::string &What,
+                bool KeepEvents = false) {
+  EngineRun T = runEngine(M, ExecEngine::TreeWalk, Threads, KeepEvents);
+  EngineRun B = runEngine(M, ExecEngine::Bytecode, Threads, KeepEvents);
+  ASSERT_FALSE(T.R.Trapped) << What << ": " << T.R.TrapMessage;
+  expectIdentical(T, B, What);
+}
+
+void diffSource(const std::string &Source, const std::string &What,
+                int Threads = 1) {
+  std::unique_ptr<Module> M = parseMiniCOrDie(Source, What.c_str());
+  diffModule(*M, Threads, What, /*KeepEvents=*/true);
+}
+
+/// Both engines must trap with the same message after the same output.
+/// Out-of-bounds messages embed the faulting host address, which differs
+/// between runs — compare with that suffix stripped. (Cycle totals on
+/// trapped runs are documented engine-specific.)
+std::string stripAddr(const std::string &Msg) {
+  size_t At = Msg.find(" at 0x");
+  return At == std::string::npos ? Msg : Msg.substr(0, At);
+}
+
+void diffTrap(const std::string &Source, const std::string &ExpectMsg,
+              const std::string &What) {
+  std::unique_ptr<Module> M = parseMiniCOrDie(Source, What.c_str());
+  InterpOptions IO;
+  IO.Engine = ExecEngine::TreeWalk;
+  RunResult T = Interp(*M, IO).run();
+  IO.Engine = ExecEngine::Bytecode;
+  RunResult B = Interp(*M, IO).run();
+  ASSERT_TRUE(T.Trapped) << What;
+  ASSERT_TRUE(B.Trapped) << What;
+  EXPECT_EQ(stripAddr(T.TrapMessage), ExpectMsg) << What;
+  EXPECT_EQ(stripAddr(B.TrapMessage), ExpectMsg) << What;
+  EXPECT_EQ(T.Output, B.Output) << What;
+  EXPECT_EQ(T.ExitCode, B.ExitCode) << What;
+}
+
+//===----------------------------------------------------------------------===//
+// All eight workloads, three configurations each.
+//===----------------------------------------------------------------------===//
+
+class WorkloadDiff : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadDiff, OriginalSerial) {
+  const WorkloadInfo *W = findWorkload(GetParam());
+  ASSERT_NE(W, nullptr);
+  std::unique_ptr<Module> M = parseMiniCOrDie(W->Source, W->Name);
+  diffModule(*M, 1, std::string(W->Name) + "/original");
+}
+
+TEST_P(WorkloadDiff, TransformedParallel) {
+  const WorkloadInfo *W = findWorkload(GetParam());
+  ASSERT_NE(W, nullptr);
+  std::unique_ptr<Module> M = parseMiniCOrDie(W->Source, W->Name);
+  for (unsigned LoopId : findCandidateLoops(*M)) {
+    PipelineResult PR = transformLoop(*M, LoopId);
+    ASSERT_TRUE(PR.Ok) << W->Name << ": "
+                       << (PR.Errors.empty() ? "?" : PR.Errors.front());
+  }
+  diffModule(*M, 4, std::string(W->Name) + "/expanded@4");
+}
+
+TEST_P(WorkloadDiff, RuntimePrivatized) {
+  const WorkloadInfo *W = findWorkload(GetParam());
+  ASSERT_NE(W, nullptr);
+  std::unique_ptr<Module> M = parseMiniCOrDie(W->Source, W->Name);
+  PipelineOptions PO;
+  PO.Method = PrivatizationMethod::Runtime;
+  for (unsigned LoopId : findCandidateLoops(*M)) {
+    PipelineResult PR = transformLoop(*M, LoopId, PO);
+    ASSERT_TRUE(PR.Ok) << W->Name << ": "
+                       << (PR.Errors.empty() ? "?" : PR.Errors.front());
+  }
+  diffModule(*M, 4, std::string(W->Name) + "/rtpriv@4");
+}
+
+std::vector<const char *> workloadNames() {
+  std::vector<const char *> Names;
+  for (const WorkloadInfo &W : allWorkloads())
+    Names.push_back(W.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadDiff,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &Info) {
+                           std::string N = Info.param;
+                           for (char &C : N)
+                             if (C == '-' || C == '.')
+                               C = '_';
+                           return N;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Adversarial corners.
+//===----------------------------------------------------------------------===//
+
+TEST(EngineDiff, IntegerWidthsAndShifts) {
+  diffSource(R"(
+int main() {
+  char c = 200; short s = 70000; unsigned char uc = 300;
+  print_int(c); print_int(s); print_int(uc);
+  int x = 1 << 31; print_int(x);
+  long l = 1; l = l << 70; print_int(l);        // shift masks to 6
+  unsigned u = 3000000000; print_int(u >> 3);   // unsigned shr
+  int neg = 0 - 16; print_int(neg >> 2);        // signed shr
+  unsigned short us = 60000;
+  print_int(us * us);                           // promoted, wraps as int
+  print_int(7 / 2); print_int(0 - 7 / 2); print_int(7 % 3);
+  int d = 3; print_int(100 / d);                // non-const divisor cost path
+  return 0;
+})",
+             "widths-shifts");
+}
+
+TEST(EngineDiff, FloatsCastsAndCompares) {
+  diffSource(R"(
+int main() {
+  double d = 3.75; float f = (float)d;
+  print_float(d); print_float(f);
+  print_int((int)d); print_int((char)260.9);
+  unsigned long big = 0; big = big - 1;          // max u64
+  print_float((double)big);                      // unsigned -> double
+  long sbig = 0 - 5; print_float((double)sbig);  // signed -> double
+  double a = 0.1; double b = 0.2;
+  print_int(a + b > 0.3); print_int(a + b == 0.3);
+  print_int(sqrt(2.25) == 1.5);
+  print_float(fabs(0.0 - 2.5)); print_int(abs(0 - 9));
+  return 0;
+})",
+             "floats-casts");
+}
+
+TEST(EngineDiff, ShortCircuitAndCond) {
+  diffSource(R"(
+int g;
+int bump() { g = g + 1; return g; }
+int main() {
+  g = 0;
+  int a = 0 && bump();  print_int(a); print_int(g);
+  int b = 1 || bump();  print_int(b); print_int(g);
+  int c = 1 && bump();  print_int(c); print_int(g);
+  int d = 0 || bump();  print_int(d); print_int(g);
+  int e = g > 1 ? bump() : 0 - bump();
+  print_int(e); print_int(g);
+  print_int(0 ? bump() : 5); print_int(g);
+  return 0;
+})",
+             "shortcircuit-cond");
+}
+
+TEST(EngineDiff, PointersStructsAggregates) {
+  diffSource(R"(
+struct P { int x; int y; double w; };
+struct Box { struct P a; struct P b; int tag; };
+int main() {
+  struct Box bx;
+  bx.a.x = 1; bx.a.y = 2; bx.a.w = 0.5; bx.tag = 7;
+  bx.b = bx.a;                       // aggregate assignment
+  print_int(bx.b.y); print_float(bx.b.w);
+  struct Box* pb = &bx;
+  pb->b.x = 40; print_int(bx.b.x);
+  int arr[10];
+  int i;
+  for (i = 0; i < 10; i++) arr[i] = i * i;
+  int* p = &arr[2]; int* q = &arr[9];
+  print_int(q - p);                  // pointer difference
+  print_int(*(p + 3));               // pointer + int
+  print_int(p < q); print_int(p == q);
+  short* sp = (short*)&arr[0];       // recast, different element size
+  print_int(*(sp + 2));
+  long n = sizeof(struct Box); print_int(n);
+  print_int(sizeof(arr));
+  return bx.tag;
+})",
+             "pointers-structs");
+}
+
+TEST(EngineDiff, HeapBuiltinsAndBulkOps) {
+  diffSource(R"(
+int main() {
+  int* a = (int*)malloc(40);
+  int* b = (int*)calloc(10, 4);
+  int i;
+  for (i = 0; i < 10; i++) a[i] = i + 1;
+  memcpy(b, a, 40);
+  print_int(b[9]);
+  memset(a, 0, 20);
+  print_int(a[0]); print_int(a[5]);
+  a = (int*)realloc(a, 80);
+  print_int(a[5]);                   // preserved across realloc
+  a[19] = 99; print_int(a[19]);
+  free(b); free(a);
+  return 0;
+})",
+             "heap-builtins");
+}
+
+TEST(EngineDiff, RecursionAndCallConventions) {
+  diffSource(R"(
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int acc(int a, int b, int c, int d) { return a * 1000 + b * 100 + c * 10 + d; }
+int noret(int x) { print_int(x); return 0; }
+int main() {
+  print_int(fib(15));
+  print_int(acc(1, 2, 3, 4));
+  noret(5);
+  return fib(10);
+})",
+             "recursion-calls");
+}
+
+TEST(EngineDiff, LoopsBreakContinueOrdered) {
+  diffSource(R"(
+int main() {
+  int total = 0;
+  int i = 0;
+  while (i < 100) {
+    i = i + 1;
+    if (i % 3 == 0) continue;
+    if (i > 60) break;
+    total = total + i;
+  }
+  print_int(total); print_int(i);
+  int j;
+  for (j = 0; j < 10; j++) {
+    int k;
+    for (k = 0; k < 10; k++) {
+      if (k == j) continue;
+      if (k > 7) break;
+      total = total + 1;
+    }
+  }
+  print_int(total);
+  return 0;
+})",
+             "loops-break-continue");
+}
+
+TEST(EngineDiff, ParallelLoopWithOrderedRegion) {
+  // A DOACROSS-shaped loop written directly: the ordered region's event
+  // stream feeds the timeline, so cycle-offset bookkeeping differences
+  // between engines would show up in SimTime.
+  const char *Src = R"(
+int out;
+int main() {
+  int n = 64;
+  int* data = (int*)malloc(256);
+  int i;
+  for (i = 0; i < n; i++) data[i] = (i * 37 + 11) % 50;
+  @candidate for (int it = 0; it < n; it++) {
+    int v = data[it];
+    int w = 0;
+    int k;
+    for (k = 0; k < v; k++) w = w + k * k;
+    out = out + w % 101;
+    print_int(w % 101);
+  }
+  print_int(out);
+  free(data);
+  return 0;
+})";
+  std::unique_ptr<Module> M = parseMiniCOrDie(Src, "ordered-doacross");
+  for (unsigned LoopId : findCandidateLoops(*M)) {
+    PipelineResult PR = transformLoop(*M, LoopId);
+    ASSERT_TRUE(PR.Ok) << (PR.Errors.empty() ? "?" : PR.Errors.front());
+  }
+  diffModule(*M, 4, "ordered-doacross@4", /*KeepEvents=*/true);
+}
+
+TEST(EngineDiff, GlobalsTidAndExit) {
+  diffSource(R"(
+int counter;
+double weight;
+int main() {
+  counter = 3; weight = 1.5;
+  print_int(counter); print_float(weight);
+  print_int(__tid); print_int(__nthreads);
+  exit(counter + 4);
+  print_int(999);  // unreachable
+  return 0;
+})",
+             "globals-exit", /*Threads=*/2);
+}
+
+//===----------------------------------------------------------------------===//
+// Trapping programs: same message, same prior output.
+//===----------------------------------------------------------------------===//
+
+TEST(EngineDiff, TrapDivisionByZero) {
+  diffTrap(R"(
+int main() { int z = 0; print_int(1); return 10 / z; })",
+           "integer division by zero", "div-zero");
+}
+
+TEST(EngineDiff, TrapRemainderByZero) {
+  diffTrap(R"(
+int main() { int z = 0; return 10 % z; })",
+           "integer remainder by zero", "rem-zero");
+}
+
+TEST(EngineDiff, TrapOutOfBounds) {
+  diffTrap(R"(
+int main() { int a[4]; int i = 7; a[i] = 1; return 0; })",
+           "out-of-bounds store of 4 bytes", "oob-store");
+}
+
+TEST(EngineDiff, TrapUseAfterFree) {
+  diffTrap(R"(
+int main() {
+  int* p = (int*)malloc(16);
+  free(p);
+  return *p;
+})",
+           "out-of-bounds load of 4 bytes", "use-after-free");
+}
+
+TEST(EngineDiff, TrapStackOverflow) {
+  diffTrap(R"(
+int rec(int n) { return rec(n + 1); }
+int main() { return rec(0); })",
+           "call stack overflow", "stack-overflow");
+}
+
+TEST(EngineDiff, TrapUndefinedFunction) {
+  diffTrap(R"(
+int ghost(int x);
+int main() { return ghost(1); })",
+           "call to undefined function 'ghost'", "undefined-fn");
+}
+
+TEST(EngineDiff, TrapNullDeref) {
+  diffTrap(R"(
+int main() { int* p; return *p; })",
+           "null load of 4 bytes", "null-deref");
+}
+
+} // namespace

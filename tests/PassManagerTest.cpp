@@ -13,7 +13,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/GraphIO.h"
 #include "frontend/Parser.h"
+#include "interp/Bytecode.h"
 #include "interp/Interp.h"
 #include "ir/IRPrinter.h"
 #include "parallel/Pipeline.h"
@@ -22,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 
 using namespace gdse;
@@ -426,6 +429,101 @@ TEST(PassTiming, EveryStageIsAccounted) {
 
   EXPECT_NE(S.timingReport().find("pass.expansion"), std::string::npos);
   EXPECT_NE(S.statsReport().find("analysis.profile.runs"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The register-bytecode module analysis: lowered once, shared by every
+// profiling run, dropped whenever the IR changes.
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisCache, BytecodeIsLoweredOnceAndShared) {
+  std::unique_ptr<Module> M = parseMiniCOrDie(OneLoop, "bytecode-cache");
+  CompilationSession S(*M);
+
+  std::shared_ptr<const BytecodeModule> B1 = S.analyses().bytecode();
+  ASSERT_NE(B1, nullptr);
+  EXPECT_EQ(S.analysisStats().BytecodeLowerings, 1u);
+
+  std::shared_ptr<const BytecodeModule> B2 = S.analyses().bytecode();
+  EXPECT_EQ(B2.get(), B1.get());
+  EXPECT_EQ(S.analysisStats().BytecodeLowerings, 1u);
+  EXPECT_GE(S.analysisStats().CacheHits, 1u);
+}
+
+TEST(AnalysisCache, BytecodeDroppedByModuleInvalidation) {
+  std::unique_ptr<Module> M = parseMiniCOrDie(OneLoop, "bytecode-invalidate");
+  CompilationSession S(*M);
+  unsigned Loop = S.candidateLoops().front();
+
+  std::shared_ptr<const BytecodeModule> Before = S.analyses().bytecode();
+  ASSERT_NE(Before, nullptr);
+  EXPECT_EQ(S.analysisStats().BytecodeLowerings, 1u);
+
+  // compileLoop runs expansion, which rewrites the module IR and
+  // invalidates module-level analyses — the cached lowering included.
+  PipelineResult PR = S.compileLoop(Loop);
+  ASSERT_TRUE(PR.Ok);
+  std::shared_ptr<const BytecodeModule> After = S.analyses().bytecode();
+  ASSERT_NE(After, nullptr);
+  EXPECT_NE(After.get(), Before.get());
+  EXPECT_EQ(S.analysisStats().BytecodeLowerings, 2u);
+
+  // The old shared_ptr stays valid for anyone still running on it.
+  EXPECT_FALSE(Before->Funcs.empty());
+}
+
+TEST(AnalysisCache, BytecodeDroppedByLoopInvalidation) {
+  std::unique_ptr<Module> M = parseMiniCOrDie(TwoLoops, "bytecode-loop-inv");
+  CompilationSession S(*M);
+  unsigned Loop = S.candidateLoops().front();
+
+  std::shared_ptr<const BytecodeModule> Before = S.analyses().bytecode();
+  uint64_t NumberingRunsBefore = S.analysisStats().NumberingRuns;
+
+  // A per-loop rewrite (the planner wrapping the body in ordered regions)
+  // reports loop-level invalidation only — but the module bytecode embeds
+  // that loop's body, so it must be relowered too...
+  S.analyses().invalidateLoop(Loop);
+  std::shared_ptr<const BytecodeModule> After = S.analyses().bytecode();
+  EXPECT_NE(After.get(), Before.get());
+  EXPECT_EQ(S.analysisStats().BytecodeLowerings, 2u);
+
+  // ...while numbering survives, per the invalidateLoop contract.
+  EXPECT_EQ(S.analysisStats().NumberingRuns, NumberingRunsBefore);
+}
+
+TEST(AnalysisCache, ProfilingSharesTheSessionBytecode) {
+  // The profile path consults GDSE_ENGINE; pin it for a deterministic test.
+  ::setenv("GDSE_ENGINE", "bytecode", 1);
+  std::unique_ptr<Module> M = parseMiniCOrDie(TwoLoops, "bytecode-profile");
+  CompilationSession S(*M);
+  std::vector<unsigned> Loops = S.candidateLoops();
+  ASSERT_EQ(Loops.size(), 2u);
+
+  // Two profiling runs (one per loop) against one shared lowering.
+  ASSERT_NE(S.analyses().depGraph(Loops[0], GraphSource::Profile), nullptr);
+  ASSERT_NE(S.analyses().depGraph(Loops[1], GraphSource::Profile), nullptr);
+  EXPECT_EQ(S.analysisStats().ProfileRuns, 2u);
+  EXPECT_EQ(S.analysisStats().BytecodeLowerings, 1u);
+  ::unsetenv("GDSE_ENGINE");
+}
+
+TEST(AnalysisCache, ProfileGraphIdenticalUnderBothEngines) {
+  // The graph the profiler builds must not depend on the engine: same
+  // events, same order. Compare the serialized graphs.
+  auto ProfileWith = [](const char *Engine) {
+    ::setenv("GDSE_ENGINE", Engine, 1);
+    std::unique_ptr<Module> M = parseMiniCOrDie(OneLoop, "engine-graph");
+    CompilationSession S(*M);
+    unsigned Loop = S.candidateLoops().front();
+    const LoopDepGraph *G = S.analyses().depGraph(Loop, GraphSource::Profile);
+    EXPECT_NE(G, nullptr);
+    ::unsetenv("GDSE_ENGINE");
+    return G ? *G : LoopDepGraph();
+  };
+  LoopDepGraph Tree = ProfileWith("tree");
+  LoopDepGraph Byte = ProfileWith("bytecode");
+  EXPECT_EQ(serializeDepGraph(Tree), serializeDepGraph(Byte));
 }
 
 } // namespace
