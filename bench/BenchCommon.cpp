@@ -34,6 +34,10 @@ struct JsonSink {
   std::string OutFile;
   std::string BenchId;
   std::chrono::steady_clock::time_point Start;
+  struct GuardLoopRec {
+    unsigned LoopId;
+    uint64_t Invocations, Checks, Violations, Fallbacks;
+  };
   struct Rec {
     std::string Workload;
     const char *Engine;
@@ -41,6 +45,9 @@ struct JsonSink {
     bool SimulateParallel;
     bool Trapped;
     uint64_t WorkCycles, SimTime, HostNanos, PeakBytes;
+    const char *GuardMode;
+    /// Per-loop guard counters; empty when no loop was guarded.
+    std::vector<GuardLoopRec> GuardLoops;
   };
   std::vector<Rec> Recs;
 };
@@ -75,13 +82,27 @@ void writeJson() {
         F,
         "%s\n    {\"workload\": \"%s\", \"engine\": \"%s\", \"threads\": %d, "
         "\"simulate_parallel\": %s, \"trapped\": %s, \"work_cycles\": %llu, "
-        "\"sim_time\": %llu, \"host_ns\": %llu, \"peak_bytes\": %llu}",
+        "\"sim_time\": %llu, \"host_ns\": %llu, \"peak_bytes\": %llu, "
+        "\"guard_mode\": \"%s\", \"guard_loops\": [",
         I ? "," : "", R.Workload.c_str(), R.Engine, R.Threads,
         R.SimulateParallel ? "true" : "false", R.Trapped ? "true" : "false",
         static_cast<unsigned long long>(R.WorkCycles),
         static_cast<unsigned long long>(R.SimTime),
         static_cast<unsigned long long>(R.HostNanos),
-        static_cast<unsigned long long>(R.PeakBytes));
+        static_cast<unsigned long long>(R.PeakBytes), R.GuardMode);
+    for (size_t J = 0; J != R.GuardLoops.size(); ++J) {
+      const JsonSink::GuardLoopRec &G = R.GuardLoops[J];
+      std::fprintf(F,
+                   "%s{\"loop\": %u, \"guarded_invocations\": %llu, "
+                   "\"checks\": %llu, \"violations\": %llu, "
+                   "\"fallbacks\": %llu}",
+                   J ? ", " : "", G.LoopId,
+                   static_cast<unsigned long long>(G.Invocations),
+                   static_cast<unsigned long long>(G.Checks),
+                   static_cast<unsigned long long>(G.Violations),
+                   static_cast<unsigned long long>(G.Fallbacks));
+    }
+    std::fprintf(F, "]}");
   }
   std::fprintf(F, "\n  ]\n}\n");
   std::fclose(F);
@@ -257,6 +278,11 @@ void gdse::bench::reportCompileTiming(const PreparedProgram &P, bool Force) {
 
 RunResult gdse::bench::execute(PreparedProgram &P, int Threads,
                                bool SimulateParallel) {
+  return executeGuarded(P, Threads, guardModeFromEnv(), SimulateParallel);
+}
+
+RunResult gdse::bench::executeGuarded(PreparedProgram &P, int Threads,
+                                      GuardMode Guard, bool SimulateParallel) {
   InterpOptions IO;
   IO.NumThreads = Threads;
   IO.SimulateParallel = SimulateParallel;
@@ -264,6 +290,11 @@ RunResult gdse::bench::execute(PreparedProgram &P, int Threads,
   // checking for faster experiment turnaround.
   IO.BoundsCheck = false;
   IO.Engine = engineFromEnv();
+  IO.Guard = Guard;
+  if (Guard != GuardMode::Off)
+    for (const PipelineResult &PR : P.Pipelines)
+      if (PR.Guard)
+        IO.GuardPlans.push_back(PR.Guard);
   if (IO.Engine == ExecEngine::Bytecode) {
     // Lower once per prepared program; every thread count reuses it.
     if (!P.Bytecode)
@@ -274,10 +305,17 @@ RunResult gdse::bench::execute(PreparedProgram &P, int Threads,
   RunResult R = I.run();
 
   JsonSink &S = jsonSink();
-  if (S.Enabled)
-    S.Recs.push_back({P.Info ? P.Info->Name : "?", engineName(IO.Engine),
-                      Threads, SimulateParallel, R.Trapped, R.WorkCycles,
-                      R.SimTime, R.HostNanos, R.PeakMemoryBytes});
+  if (S.Enabled) {
+    JsonSink::Rec Rec{P.Info ? P.Info->Name : "?", engineName(IO.Engine),
+                      Threads, SimulateParallel,   R.Trapped,  R.WorkCycles,
+                      R.SimTime, R.HostNanos,      R.PeakMemoryBytes,
+                      guardModeName(Guard),        {}};
+    for (const auto &[LoopId, L] : R.Loops)
+      if (L.GuardedInvocations || L.GuardViolations || L.GuardFallbacks)
+        Rec.GuardLoops.push_back({LoopId, L.GuardedInvocations, L.GuardChecks,
+                                  L.GuardViolations, L.GuardFallbacks});
+    S.Recs.push_back(std::move(Rec));
+  }
   return R;
 }
 

@@ -104,9 +104,16 @@ void initBenchIO(int &argc, char **argv);
 /// \p SimulateParallel=false forces sequential execution of parallel-marked
 /// loops (the Figure 9/10 single-core overhead methodology). Runs on
 /// engineFromEnv() — the bytecode VM unless GDSE_ENGINE says otherwise —
-/// lowering P once and reusing it across calls.
+/// lowering P once and reusing it across calls. Guard mode follows
+/// GDSE_GUARD (off when unset); guard plans come from P's pipeline results.
 RunResult execute(PreparedProgram &P, int Threads,
                   bool SimulateParallel = true);
+
+/// execute() under an explicit guard mode (bench_guard_overhead runs the
+/// same program under off and check back to back). Per-loop guard counters
+/// land in the --json record either way.
+RunResult executeGuarded(PreparedProgram &P, int Threads, GuardMode Guard,
+                         bool SimulateParallel = true);
 
 /// Sum of SimTime over the program's candidate loops.
 uint64_t loopSimTime(const RunResult &R, const std::vector<unsigned> &LoopIds);

@@ -8,7 +8,7 @@
 // Runs MiniC source files under the VM:
 //
 //   minic <file.mc>... [--threads N] [--jobs N] [--transform] [--dump-ir]
-//         [--time-passes] [--stats]
+//         [--guard off|check|fallback] [--time-passes] [--stats]
 //
 // With --transform, every @candidate loop of every file is run through the
 // expansion pipeline. Files are independent modules, so they compile through
@@ -40,6 +40,8 @@ namespace {
 struct InputProgram {
   std::string Path;
   std::unique_ptr<Module> M;
+  /// Guard plans produced by --transform, one per privatized loop.
+  std::vector<std::shared_ptr<const GuardPlan>> Guards;
 };
 
 } // namespace
@@ -51,6 +53,8 @@ int main(int argc, char **argv) {
   bool Transform = false, DumpIR = false, TimePasses = false, Stats = false;
   // Engine default follows GDSE_ENGINE (bytecode when unset); --engine wins.
   ExecEngine Engine = engineFromEnv();
+  // Guard default follows GDSE_GUARD (off when unset); --guard wins.
+  GuardMode Guard = guardModeFromEnv();
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--threads" && I + 1 < argc)
@@ -64,6 +68,14 @@ int main(int argc, char **argv) {
       else {
         std::fprintf(stderr, "unknown engine '%s' (tree|bytecode)\n",
                      E.c_str());
+        return 1;
+      }
+    }
+    else if (Arg == "--guard" && I + 1 < argc) {
+      std::string G = argv[++I];
+      if (!parseGuardMode(G, Guard)) {
+        std::fprintf(stderr, "unknown guard mode '%s' (off|check|fallback)\n",
+                     G.c_str());
         return 1;
       }
     }
@@ -83,8 +95,8 @@ int main(int argc, char **argv) {
   if (Paths.empty()) {
     std::fprintf(stderr,
                  "usage: minic <file.mc>... [--threads N] [--jobs N] "
-                 "[--engine tree|bytecode] [--transform] [--dump-ir] "
-                 "[--time-passes] [--stats]\n");
+                 "[--engine tree|bytecode] [--guard off|check|fallback] "
+                 "[--transform] [--dump-ir] [--time-passes] [--stats]\n");
     return 1;
   }
   const bool Multi = Paths.size() > 1;
@@ -104,7 +116,7 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "%s: %s\n", Path.c_str(), D.str().c_str());
       return 1;
     }
-    Programs.push_back({Path, std::move(PR.M)});
+    Programs.push_back({Path, std::move(PR.M), {}});
   }
 
   if (Transform) {
@@ -133,6 +145,8 @@ int main(int argc, char **argv) {
                      : R.Plan.Kind == ParallelKind::DOACROSS ? "DOACROSS"
                                                              : "sequential",
                      R.Expansion.ExpandedObjects);
+        if (R.Guard)
+          Programs[I].Guards.push_back(R.Guard);
       }
       if (!B.Ok)
         return 1;
@@ -157,14 +171,35 @@ int main(int argc, char **argv) {
     InterpOptions IO;
     IO.NumThreads = Threads;
     IO.Engine = Engine;
+    IO.Guard = Guard;
+    IO.GuardPlans = P.Guards;
+    DiagnosticEngine RunDiags;
+    IO.GuardDiags = &RunDiags;
     Interp I(*P.M, IO);
     RunResult R = I.run();
     std::fputs(R.Output.c_str(), stdout);
+    // Guard diagnostics (violations in check mode, fallback warnings).
+    for (const Diagnostic &D : RunDiags.diagnostics())
+      std::fprintf(stderr, "%s%s%s\n", Multi ? P.Path.c_str() : "",
+                   Multi ? ": " : "", D.str().c_str());
     if (R.Trapped) {
-      std::fprintf(stderr, "%s%strap: %s\n", Multi ? P.Path.c_str() : "",
-                   Multi ? ": " : "", R.TrapMessage.c_str());
+      // Structured, attributed diagnostic instead of a bare string: the
+      // message already carries [loop, iteration, thread] context when the
+      // trap fired inside a loop.
+      Diagnostic D;
+      D.Severity = DiagSeverity::Error;
+      D.Pass = "interp";
+      D.LoopId = R.TrapLoopId >= 0 ? static_cast<unsigned>(R.TrapLoopId) : 0;
+      D.Message = R.TrapMessage;
+      std::fprintf(stderr, "%s%s%s\n", Multi ? P.Path.c_str() : "",
+                   Multi ? ": " : "", D.str().c_str());
       return 1;
     }
+    // In check mode a detected violation means the transformed program ran
+    // on an unsound dependence graph: fail loudly. (Fallback mode already
+    // recovered — the serial rerun's output is the correct one.)
+    if (Guard == GuardMode::Check && !R.Violations.empty())
+      return 1;
     std::fprintf(stderr,
                  "[%llu work cycles, %llu simulated, peak %llu bytes]\n",
                  (unsigned long long)R.WorkCycles,

@@ -9,6 +9,7 @@
 
 #include "analysis/StaticDeps.h"
 #include "interp/Bytecode.h"
+#include "interp/Guard.h"
 #include "profile/DepProfiler.h"
 #include "support/Support.h"
 
@@ -267,6 +268,34 @@ const AccessClasses *AnalysisManager::accessClasses(unsigned LoopId,
   auto [Pos, Inserted] = Shard.Classes.emplace(Source, AccessClasses::build(*G));
   (void)Inserted;
   return &Pos->second;
+}
+
+void AnalysisManager::setGuardPlan(unsigned LoopId,
+                                   std::shared_ptr<const GuardPlan> GP) {
+  std::unique_lock<std::shared_mutex> Lock(GuardMu);
+  if (GP)
+    GuardPlansById[LoopId] = std::move(GP);
+  else
+    GuardPlansById.erase(LoopId);
+}
+
+std::shared_ptr<const GuardPlan>
+AnalysisManager::guardPlan(unsigned LoopId) const {
+  std::shared_lock<std::shared_mutex> Lock(GuardMu);
+  auto It = GuardPlansById.find(LoopId);
+  return It != GuardPlansById.end() ? It->second : nullptr;
+}
+
+std::vector<std::shared_ptr<const GuardPlan>>
+AnalysisManager::guardPlans() const {
+  std::shared_lock<std::shared_mutex> Lock(GuardMu);
+  std::vector<std::shared_ptr<const GuardPlan>> Out;
+  Out.reserve(GuardPlansById.size());
+  for (const auto &[Id, GP] : GuardPlansById) {
+    (void)Id;
+    Out.push_back(GP);
+  }
+  return Out;
 }
 
 void AnalysisManager::invalidateLoop(unsigned LoopId) {

@@ -59,10 +59,12 @@
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 namespace gdse {
 
 struct BytecodeModule;
+struct GuardPlan;
 
 /// Where a loop-level dependence graph comes from (§2: "from the
 /// programmer, the compiler, or tools that perform data dependence
@@ -136,6 +138,27 @@ public:
   const AccessClasses *accessClasses(unsigned LoopId, GraphSource Source);
 
   //===--------------------------------------------------------------------===//
+  // Guarded-execution metadata (transform OUTPUT, not an analysis)
+  //===--------------------------------------------------------------------===//
+
+  /// Registers the guard plan the expansion pass produced for \p LoopId —
+  /// the byte ranges its privatized classes claimed private. Cached
+  /// alongside the bytecode so every later execution of the rewritten
+  /// module (bench runs, guarded re-runs) can validate the privatization
+  /// without re-running the transform. Unlike analyses, plans describe the
+  /// REWRITTEN IR, so they deliberately survive invalidateLoop /
+  /// invalidateModule (those drop results derived from superseded IR; the
+  /// plan belongs to the IR that superseded it). Null clears the entry.
+  void setGuardPlan(unsigned LoopId, std::shared_ptr<const GuardPlan> GP);
+
+  /// The registered guard plan of \p LoopId; null when the loop was never
+  /// expanded (or expansion privatized nothing).
+  std::shared_ptr<const GuardPlan> guardPlan(unsigned LoopId) const;
+
+  /// All registered guard plans, ready for InterpOptions::GuardPlans.
+  std::vector<std::shared_ptr<const GuardPlan>> guardPlans() const;
+
+  //===--------------------------------------------------------------------===//
   // Invalidation (serial phase — must not race with queries on this module)
   //===--------------------------------------------------------------------===//
 
@@ -193,6 +216,12 @@ private:
   /// Guards the shard MAP only; individual shards carry their own locks.
   mutable std::shared_mutex ShardsMu;
   std::map<unsigned, std::unique_ptr<LoopShard>> Shards;
+
+  /// Guard plans by loop id (see setGuardPlan). Own lock: plans are written
+  /// during the serial transform phase but read by concurrent bench/exec
+  /// setup, and they must not be swept by analysis invalidation.
+  mutable std::shared_mutex GuardMu;
+  std::map<unsigned, std::shared_ptr<const GuardPlan>> GuardPlansById;
 
   struct {
     std::atomic<uint64_t> CacheHits{0};

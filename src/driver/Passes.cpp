@@ -45,6 +45,8 @@ public:
       return PreservedAnalyses::None;
     }
     Cx.Result.Expansion = ER.Stats;
+    Cx.Result.Guard = ER.Guard;
+    Cx.AM.setGuardPlan(Cx.LoopId, ER.Guard);
     Cx.Honored = std::move(ER.PrivateAccesses);
     const ExpansionStats &S = ER.Stats;
     bool Untouched = S.ExpandedObjects == 0 && S.PromotedPointerSlots == 0 &&

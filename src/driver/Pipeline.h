@@ -55,6 +55,10 @@ struct PipelineResult {
   ExpansionStats Expansion;
   PlanResult Plan;
   unsigned RtPrivWrapped = 0;
+  /// Guarded-execution metadata produced by the expansion pass (null when
+  /// nothing was privatized or Method != Expansion). Hand to
+  /// InterpOptions::GuardPlans to validate the privatization at run time.
+  std::shared_ptr<const GuardPlan> Guard;
 };
 
 /// Loop ids of the "@candidate" for-loops of \p M, in program order. Runs

@@ -553,5 +553,29 @@ ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
   // keep the ids of the profiled module, so the planner can match the
   // dependence graph's vertices against the transformed loop body.
   Result.Ok = true;
+
+  // --- Guarded-execution metadata. ---------------------------------------
+  // Record what this transformation claimed, so the runtime can validate it:
+  // the class of every access redirected to a private copy, and the
+  // allocation sites whose blocks hold the N per-thread copies.
+  if (!Result.PrivateAccesses.empty() && !Cx.BackingSiteIds.empty()) {
+    auto GP = std::make_shared<GuardPlan>();
+    GP->LoopId = LoopId;
+    GP->NumClasses = static_cast<unsigned>(Classes.classes().size());
+    // Only accesses actually REDIRECTED into a per-thread copy: a private
+    // class can also contain accesses to per-iteration locals or unpromoted
+    // slots that never touch an expanded block — those are private by
+    // construction, not by this rewrite, and the guard must not expect them
+    // inside a guarded region.
+    for (AccessId Id : Result.PrivateAccesses) {
+      auto It = Cx.Plans.find(Id);
+      if (It == Cx.Plans.end() || !It->second.Redirect || !It->second.Private)
+        continue;
+      GP->PrivateClassOf[Id] = Classes.classOf(Id);
+    }
+    GP->RegionSites = Cx.BackingSiteIds;
+    if (!GP->empty())
+      Result.Guard = GP;
+  }
   return Result;
 }

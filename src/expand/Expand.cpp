@@ -264,6 +264,7 @@ void ExpansionContext::runExpansionAndRedirection() {
 
   // --- Table 1, heap rule: multiply expanded allocation sites by N. ------
   for (CallExpr *C : ExpandedSites) {
+    BackingSiteIds.insert(C->getSiteId());
     Expr *N = B.convert(B.numThreads(), I64);
     switch (C->getBuiltin()) {
     case Builtin::MallocFn:
@@ -305,8 +306,9 @@ void ExpansionContext::runExpansionAndRedirection() {
       }
       VarDecl *Backing = M.addGlobal(V->getName() + "$x", PtrTy);
       ConvertedBacking[V] = Backing;
-      auto *Alloc = M.create<AssignStmt>(
-          B.varRef(Backing), B.callBuiltin(Builtin::MallocFn, {Size}, PtrTy));
+      Expr *AllocCall = B.callBuiltin(Builtin::MallocFn, {Size}, PtrTy);
+      BackingSiteIds.insert(cast<CallExpr>(AllocCall)->getSiteId());
+      auto *Alloc = M.create<AssignStmt>(B.varRef(Backing), AllocCall);
       auto &Stmts = Main->getBody()->getStmts();
       Stmts.insert(Stmts.begin(), Alloc);
       ++PrependCount[Main];
@@ -327,8 +329,9 @@ void ExpansionContext::runExpansionAndRedirection() {
     Owner->addLocal(Backing);
     StableBases.insert(Backing);
     ConvertedBacking[V] = Backing;
-    auto *Alloc = M.create<AssignStmt>(
-        B.varRef(Backing), B.callBuiltin(Builtin::MallocFn, {Size}, PtrTy));
+    Expr *AllocCall = B.callBuiltin(Builtin::MallocFn, {Size}, PtrTy);
+    BackingSiteIds.insert(cast<CallExpr>(AllocCall)->getSiteId());
+    auto *Alloc = M.create<AssignStmt>(B.varRef(Backing), AllocCall);
     auto &Stmts = Owner->getBody()->getStmts();
     Stmts.insert(Stmts.begin(), Alloc);
     ++PrependCount[Owner];

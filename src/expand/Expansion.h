@@ -35,6 +35,7 @@
 #include "analysis/AccessClasses.h"
 #include "analysis/DepGraph.h"
 #include "analysis/PointsTo.h"
+#include "interp/Guard.h"
 #include "ir/AccessInfo.h"
 #include "support/Diagnostics.h"
 
@@ -87,6 +88,12 @@ struct ExpansionResult {
   ExpansionStats Stats;
   /// Private access ids (Definition 5) the transformation honored.
   std::set<AccessId> PrivateAccesses;
+  /// Guarded-execution metadata (see Guard.h): the byte ranges each
+  /// privatized access class claimed private — every expanded allocation
+  /// site (original heap sites multiplied by N plus the backing mallocs of
+  /// converted locals/globals) and the class of every private access. Set
+  /// only on success; consumed by InterpOptions::GuardPlans.
+  std::shared_ptr<const GuardPlan> Guard;
 };
 
 /// Precomputed analysis results (and the structured diagnostic sink) an

@@ -112,6 +112,11 @@ struct ExpansionContext {
   /// original decl -> the new pointer variable holding the N-copy block.
   std::map<VarDecl *, VarDecl *> ConvertedBacking;
 
+  /// Call-site ids of every N-copy allocation the rewrite produced or
+  /// repurposed: the expanded heap sites plus the backing mallocs created
+  /// for converted locals/globals. These become GuardPlan::RegionSites.
+  std::set<uint32_t> BackingSiteIds;
+
   /// Parameter indices (original positions) promoted per function.
   std::map<const Function *, std::set<unsigned>> FatParamsOf;
 

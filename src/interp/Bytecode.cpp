@@ -175,6 +175,8 @@ private:
         }
         if (S.Obs)
           S.Obs->onLoad(I.Imm32, Addr, Size);
+        if (S.GuardHooksOn)
+          S.guardLoad(I.Imm32, Addr, Size);
         R[I.A] = S.loadScalarKind(Addr, K);
         break;
       }
@@ -197,6 +199,8 @@ private:
         S.storeScalarKind(Addr, K, R[I.A]);
         if (S.Obs)
           S.Obs->onStore(I.Imm32, Addr, Size);
+        if (S.GuardHooksOn)
+          S.guardStore(I.Imm32, Addr, Size);
         break;
       }
 
@@ -212,6 +216,10 @@ private:
         if (S.Obs) {
           S.Obs->onLoad(I.Imm32b, Src, Size);
           S.Obs->onStore(I.Imm32, Dst, Size);
+        }
+        if (S.GuardHooksOn) {
+          S.guardLoad(I.Imm32b, Src, Size);
+          S.guardStore(I.Imm32, Dst, Size);
         }
         std::memmove(reinterpret_cast<void *>(Dst),
                      reinterpret_cast<void *>(Src), Size);

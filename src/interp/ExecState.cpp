@@ -8,6 +8,7 @@
 #include "interp/ExecState.h"
 
 #include "ir/AccessInfo.h"
+#include "support/Diagnostics.h"
 #include "support/Support.h"
 
 #include <algorithm>
@@ -15,6 +16,23 @@
 #include <cstring>
 
 using namespace gdse;
+
+void ExecState::trap(const std::string &Msg) {
+  if (Trapped)
+    return;
+  Trapped = true;
+  if (!LoopCtxStack.empty()) {
+    const LoopCtx &C = LoopCtxStack.back();
+    TrapLoopId = static_cast<int64_t>(C.LoopId);
+    TrapIteration = static_cast<int64_t>(C.Iter);
+    TrapThread = CurTid;
+    TrapMessage =
+        Msg + formatString(" [loop %u, iteration %llu, thread %d]", C.LoopId,
+                           static_cast<unsigned long long>(C.Iter), CurTid);
+  } else {
+    TrapMessage = Msg;
+  }
+}
 
 FrameLayout gdse::computeFrameLayout(TypeContext &Ctx, const Function *F) {
   FrameLayout L;
@@ -60,7 +78,17 @@ ScalarKind gdse::scalarKindOf(const Type *T) {
 
 ExecState::ExecState(Module &M, InterpOptions Opts)
     : M(M), Ctx(M.getTypes()), Opts(std::move(Opts)),
-      RegisterVars(collectRegisterVars(M)) {}
+      RegisterVars(collectRegisterVars(M)) {
+  if (this->Opts.Guard != GuardMode::Off) {
+    for (const auto &GP : this->Opts.GuardPlans) {
+      if (!GP || GP->empty())
+        continue;
+      GuardPlanOf[GP->LoopId] = GP.get();
+      for (const auto &[Aid, Cls] : GP->PrivateClassOf)
+        GuardAccessMap[Aid] = GuardAccess{GP->LoopId, Cls};
+    }
+  }
+}
 
 ExecState::~ExecState() = default;
 
@@ -224,6 +252,10 @@ VMValue ExecState::execBuiltinOp(Builtin B, uint32_t SiteId,
       Obs->onBulkAccess(/*IsWrite=*/true, Base, CopySize, B, SiteId);
       Obs->onFree(*Mem.byBase(Old));
     }
+    if (GuardHooksOn) {
+      guardBulkRead(Old, CopySize);
+      guardFree(Old, A->Size);
+    }
     Mem.deallocate(Old);
     return VMValue::ofInt(static_cast<int64_t>(Base));
   }
@@ -240,6 +272,8 @@ VMValue ExecState::execBuiltinOp(Builtin B, uint32_t SiteId,
     charge(Opts.Costs.Free);
     if (Obs)
       Obs->onFree(*A);
+    if (GuardHooksOn)
+      guardFree(P, A->Size);
     Mem.deallocate(P);
     return VMValue();
   }
@@ -260,6 +294,10 @@ VMValue ExecState::execBuiltinOp(Builtin B, uint32_t SiteId,
       Obs->onBulkAccess(false, S, Size, B, SiteId);
       Obs->onBulkAccess(true, D, Size, B, SiteId);
     }
+    if (GuardHooksOn) {
+      guardBulkRead(S, Size);
+      guardBulkWrite(D, Size);
+    }
     std::memmove(reinterpret_cast<void *>(D), reinterpret_cast<void *>(S),
                  Size);
     return VMValue::ofInt(static_cast<int64_t>(D));
@@ -278,6 +316,8 @@ VMValue ExecState::execBuiltinOp(Builtin B, uint32_t SiteId,
     charge(Size * Opts.Costs.PerByteCopy);
     if (Obs)
       Obs->onBulkAccess(true, D, Size, B, SiteId);
+    if (GuardHooksOn)
+      guardBulkWrite(D, Size);
     std::memset(reinterpret_cast<void *>(D), static_cast<int>(V), Size);
     return VMValue::ofInt(static_cast<int64_t>(D));
   }
@@ -343,6 +383,280 @@ void ExecState::rtPrivCommitAll() {
 }
 
 //===----------------------------------------------------------------------===//
+// Guarded execution (see Guard.h)
+//===----------------------------------------------------------------------===//
+//
+// The guard is deliberately invisible to every virtual metric: it charges no
+// cycles, emits no observer events, and allocates its shadow on the host, so
+// a clean Check/Fallback run is bit-identical to an Off run (EngineDiffTest
+// enforces this). All hooks funnel through this shared core, which is what
+// keeps the two engines' guard behavior identical too.
+
+ExecState::GuardRegion *ExecState::guardRegionContaining(uint64_t Addr) {
+  if (GuardRegionHit >= 0 &&
+      static_cast<size_t>(GuardRegionHit) < GuardRegions.size()) {
+    GuardRegion &R = GuardRegions[GuardRegionHit];
+    if (Addr - R.Base < R.Size)
+      return &R;
+  }
+  for (size_t I = 0; I != GuardRegions.size(); ++I) {
+    GuardRegion &R = GuardRegions[I];
+    if (Addr - R.Base < R.Size) {
+      GuardRegionHit = static_cast<int>(I);
+      return &R;
+    }
+  }
+  return nullptr;
+}
+
+void ExecState::guardViolation(ViolationKind K, unsigned LoopId, unsigned Cls,
+                               uint64_t Iter, int Tid, uint64_t Addr,
+                               uint32_t Access) {
+  ++Loops[LoopId].GuardViolations;
+  for (DependenceViolation &V : GuardViolationLog)
+    if (V.LoopId == LoopId && V.ClassIndex == Cls && V.Kind == K) {
+      ++V.Count;
+      return;
+    }
+  DependenceViolation V;
+  V.Kind = K;
+  V.LoopId = LoopId;
+  V.ClassIndex = Cls;
+  V.Iteration = Iter;
+  V.Thread = Tid;
+  V.Addr = Addr;
+  V.Access = Access;
+  GuardViolationLog.push_back(V);
+  if (Opts.GuardDiags) {
+    Diagnostic D;
+    // In fallback mode the run recovers (serial re-execution / last-value
+    // copy-out), so the violation is a warning; in check mode the result is
+    // known wrong, so it is an error.
+    D.Severity = Opts.Guard == GuardMode::Fallback ? DiagSeverity::Warning
+                                                   : DiagSeverity::Error;
+    D.Pass = "guard";
+    D.LoopId = LoopId;
+    D.Message = V.str();
+    Opts.GuardDiags->report(std::move(D));
+  }
+}
+
+void ExecState::guardSetupRegions(const GuardPlan *GP, unsigned NumThreads) {
+  GuardRegions.clear();
+  GuardRegionHit = -1;
+  Mem.forEachLive([&](const Allocation &A) {
+    if (A.Kind != AllocKind::Heap || !A.SiteId ||
+        !GP->RegionSites.count(A.SiteId))
+      return;
+    GuardRegion R;
+    R.Base = A.Base;
+    R.Size = A.Size;
+    R.Span = A.Size / NumThreads;
+    R.SiteId = A.SiteId;
+    if (!R.Span)
+      return;
+    R.WriteIter.assign(A.Size, UINT32_MAX);
+    R.WriteTid.assign(A.Size, -1);
+    R.WriteClass.assign(A.Size, -1);
+    GuardRegions.push_back(std::move(R));
+  });
+}
+
+void ExecState::guardTeardownRegions() {
+  GuardRegions.clear();
+  GuardRegionHit = -1;
+}
+
+void ExecState::guardLoad(uint32_t Id, uint64_t Addr, uint64_t Size) {
+  if (GuardActive && Id != InvalidAccessId) {
+    auto It = GuardAccessMap.find(Id);
+    if (It != GuardAccessMap.end() && It->second.LoopId == GuardLoop) {
+      unsigned Cls = It->second.Class;
+      ++Loops[GuardLoop].GuardChecks;
+      GuardRegion *R = guardRegionContaining(Addr);
+      uint64_t Tid = static_cast<uint64_t>(CurTid);
+      uint64_t Last = Size ? Size - 1 : 0;
+      if (!R) {
+        // Outside every guarded region: either a dynamic instance the
+        // rewrite left shared (zero-span fat pointer), or a fat-pointer
+        // metadata read, which shares the data access's id (Promote.cpp).
+        // Neither is this plan's to validate.
+      } else if ((Addr - R->Base) / R->Span != Tid ||
+                 (Addr - R->Base + Last) / R->Span != Tid) {
+        guardViolation(ViolationKind::SpanEscape, GuardLoop, Cls, GuardIter,
+                       CurTid, Addr, Id);
+        if (Opts.Guard == GuardMode::Fallback)
+          GuardTripped = true;
+      } else {
+        uint64_t O = Addr - R->Base;
+        for (uint64_t B = 0; B != Size; ++B) {
+          uint32_t WI = R->WriteIter[O + B];
+          if (WI == static_cast<uint32_t>(GuardIter))
+            continue;
+          // First touch is a read (never written this invocation): the load
+          // is upwards-exposed. Written by an earlier iteration: a carried
+          // flow into the "private" class.
+          guardViolation(WI == UINT32_MAX ? ViolationKind::UpwardsExposedLoad
+                                          : ViolationKind::CarriedFlow,
+                         GuardLoop, Cls, GuardIter, CurTid, Addr + B, Id);
+          if (Opts.Guard == GuardMode::Fallback)
+            GuardTripped = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!GuardWatch.empty())
+    guardWatchLoad(Addr, Size);
+}
+
+void ExecState::guardStore(uint32_t Id, uint64_t Addr, uint64_t Size) {
+  if (GuardActive) {
+    GuardRegion *R = guardRegionContaining(Addr);
+    int32_t Cls = -1;
+    if (Id != InvalidAccessId) {
+      auto It = GuardAccessMap.find(Id);
+      if (It != GuardAccessMap.end() && It->second.LoopId == GuardLoop) {
+        Cls = static_cast<int32_t>(It->second.Class);
+        ++Loops[GuardLoop].GuardChecks;
+        uint64_t Tid = static_cast<uint64_t>(CurTid);
+        uint64_t Last = Size ? Size - 1 : 0;
+        // As in guardLoad: addresses outside every region are shared or
+        // metadata instances, not escapes.
+        if (R && ((Addr - R->Base) / R->Span != Tid ||
+                  (Addr - R->Base + Last) / R->Span != Tid)) {
+          guardViolation(ViolationKind::SpanEscape, GuardLoop,
+                         static_cast<unsigned>(Cls), GuardIter, CurTid, Addr,
+                         Id);
+          if (Opts.Guard == GuardMode::Fallback)
+            GuardTripped = true;
+        }
+      }
+    }
+    if (R) {
+      // Stamp the first-write shadow. Every write counts — shared (copy 0)
+      // stores included — because any of them can satisfy or break a later
+      // private read.
+      uint64_t O = Addr - R->Base;
+      uint64_t End = std::min(O + Size, R->Size);
+      for (uint64_t P = O; P < End; ++P) {
+        R->WriteIter[P] = static_cast<uint32_t>(GuardIter);
+        R->WriteTid[P] = static_cast<int8_t>(CurTid);
+        R->WriteClass[P] = Cls;
+        if (P >= R->Span) {
+          uint64_t Norm = P % R->Span;
+          R->PrivMin = std::min(R->PrivMin, Norm);
+          R->PrivMax = std::max(R->PrivMax, Norm);
+        }
+      }
+    }
+  }
+  if (!GuardWatch.empty())
+    guardWatchStore(Addr, Size);
+}
+
+void ExecState::guardBulkRead(uint64_t Addr, uint64_t Size) {
+  if (!GuardWatch.empty())
+    guardWatchLoad(Addr, Size);
+}
+
+void ExecState::guardBulkWrite(uint64_t Addr, uint64_t Size) {
+  if (GuardActive)
+    guardStore(InvalidAccessId, Addr, Size);
+  else if (!GuardWatch.empty())
+    guardWatchStore(Addr, Size);
+}
+
+void ExecState::guardFree(uint64_t Base, uint64_t Size) {
+  if (!GuardWatch.empty())
+    guardWatchStore(Base, Size);
+  if (GuardActive)
+    for (size_t I = 0; I != GuardRegions.size(); ++I)
+      if (GuardRegions[I].Base == Base) {
+        GuardRegions.erase(GuardRegions.begin() +
+                           static_cast<ptrdiff_t>(I));
+        GuardRegionHit = -1;
+        break;
+      }
+}
+
+void ExecState::guardWatchLoad(uint64_t Addr, uint64_t Size) {
+  auto It = GuardWatch.lower_bound(Addr);
+  if (It == GuardWatch.end() || It->first >= Addr + Size)
+    return;
+  // A post-loop read of a byte whose serially-final value was left in a
+  // discarded thread copy: the store that produced it was downwards-exposed.
+  GuardWatchByte W = It->second;
+  guardViolation(ViolationKind::DownwardsExposedStore, W.LoopId, W.Class,
+                 W.Iter, W.Tid, It->first, InvalidAccessId);
+  if (Opts.Guard == GuardMode::Fallback) {
+    // LRPD last-value copy-out: patch every watched byte with its serial
+    // value before the load consumes anything, then drop the watch — from
+    // here on execution sees exactly the serial program's data.
+    for (auto &[A, WB] : GuardWatch)
+      *reinterpret_cast<uint8_t *>(A) = WB.Value;
+    ++Loops[W.LoopId].GuardFallbacks;
+    GuardWatch.clear();
+    updateGuardHooks();
+  }
+}
+
+void ExecState::guardWatchStore(uint64_t Addr, uint64_t Size) {
+  auto It = GuardWatch.lower_bound(Addr);
+  bool Erased = false;
+  while (It != GuardWatch.end() && It->first < Addr + Size) {
+    It = GuardWatch.erase(It);
+    Erased = true;
+  }
+  if (Erased)
+    updateGuardHooks();
+}
+
+void ExecState::guardCommit(const GuardPlan *GP, unsigned NumThreads) {
+  for (GuardRegion &R : GuardRegions) {
+    if (R.PrivMin > R.PrivMax)
+      continue; // no write ever landed in a copy > 0
+    for (uint64_t Norm = R.PrivMin; Norm <= R.PrivMax && Norm < R.Span;
+         ++Norm) {
+      // The serially-final value of logical byte Norm is the one written by
+      // the latest iteration, whichever copy it landed in.
+      bool Any = false;
+      uint32_t BestIter = 0;
+      uint64_t BestOff = 0;
+      for (unsigned S = 0; S != NumThreads; ++S) {
+        uint64_t P = static_cast<uint64_t>(S) * R.Span + Norm;
+        if (P >= R.Size)
+          break;
+        uint32_t WI = R.WriteIter[P];
+        if (WI == UINT32_MAX)
+          continue;
+        if (!Any || WI >= BestIter) {
+          Any = true;
+          BestIter = WI;
+          BestOff = P;
+        }
+      }
+      if (!Any || BestOff / R.Span == 0)
+        continue; // copy 0 already holds the final value
+      uint8_t Final = *reinterpret_cast<uint8_t *>(R.Base + BestOff);
+      uint8_t Cur = *reinterpret_cast<uint8_t *>(R.Base + Norm);
+      if (Final == Cur)
+        continue; // coincidentally identical: divergence is unobservable
+      GuardWatchByte W;
+      W.Value = Final;
+      W.LoopId = GP->LoopId;
+      W.Class = R.WriteClass[BestOff] >= 0
+                    ? static_cast<unsigned>(R.WriteClass[BestOff])
+                    : 0;
+      W.Iter = BestIter;
+      W.Tid = R.WriteTid[BestOff];
+      GuardWatch[R.Base + Norm] = W;
+    }
+  }
+  updateGuardHooks();
+}
+
+//===----------------------------------------------------------------------===//
 // Counted loops
 //===----------------------------------------------------------------------===//
 
@@ -375,9 +689,11 @@ Flow ExecState::runForSerial(unsigned LoopId, ParallelKind Kind, Type *IVType,
   uint64_t IVSize = Ctx.getLayout(IVType).Size;
   if (Obs)
     Obs->onLoopEnter(LoopId);
+  LoopCtxStack.push_back({LoopId, 0});
   uint64_t Iter = 0;
   Flow Result = Flow::Normal;
   for (int64_t I = B.Lo; I < B.Hi; I += B.Step) {
+    LoopCtxStack.back().Iter = Iter;
     if (!checkBudget()) {
       Result = Flow::Halt;
       break;
@@ -403,6 +719,7 @@ Flow ExecState::runForSerial(unsigned LoopId, ParallelKind Kind, Type *IVType,
     // but a transformed body never modifies it.
     I = loadScalar(B.IVAddr, IVType).I;
   }
+  LoopCtxStack.pop_back();
   if (Obs)
     Obs->onLoopExit(LoopId);
   LS.Iterations += Iter;
@@ -416,6 +733,47 @@ Flow ExecState::runForParallel(
     const std::function<void(ForBounds &)> &EvalBounds,
     const std::function<Flow()> &Body) {
   const unsigned N = static_cast<unsigned>(std::max(1, Opts.NumThreads));
+
+  // Guarded execution: look up this loop's plan. Thread ids are stored in an
+  // int8 shadow, so guarding is skipped outright for N > 127 (no such
+  // configuration exists in practice).
+  const GuardPlan *GP = nullptr;
+  if (Opts.Guard != GuardMode::Off && N <= 127) {
+    auto GIt = GuardPlanOf.find(LoopId);
+    if (GIt != GuardPlanOf.end())
+      GP = GIt->second;
+  }
+  // Fallback mode re-executes a tripped invocation serially, so everything
+  // the invocation can touch is checkpointed up front: VM memory (metadata
+  // and contents) plus the scalar run state below. The checkpoint is taken
+  // before any of this invocation's bookkeeping so the serial re-run starts
+  // from a truly pre-invocation world.
+  bool Speculate = GP && Opts.Guard == GuardMode::Fallback;
+  uint64_t SavedCycles = 0;
+  int64_t SavedTimeAdjust = 0;
+  std::string SavedOutput;
+  std::map<unsigned, LoopStats> SavedLoops;
+  std::map<std::pair<int, uint64_t>, uint64_t> SavedRtShadow;
+  std::map<uint64_t, GuardWatchByte> SavedWatch;
+  uint64_t SavedRtPrivTranslations = 0, SavedRtPrivBytesCopied = 0;
+  int64_t SavedExitCode = 0;
+  VMValue SavedReturnValue;
+  bool SavedHalted = false;
+  if (Speculate) {
+    Mem.beginSpeculation();
+    SavedCycles = Cycles;
+    SavedTimeAdjust = TimeAdjust;
+    SavedOutput = Output;
+    SavedLoops = Loops;
+    SavedRtShadow = RtShadow;
+    SavedWatch = GuardWatch;
+    SavedRtPrivTranslations = RtPrivTranslations;
+    SavedRtPrivBytesCopied = RtPrivBytesCopied;
+    SavedExitCode = ExitCode;
+    SavedReturnValue = ReturnValue;
+    SavedHalted = Halted;
+  }
+
   LoopStats &LS = Loops[LoopId];
   LS.Kind = Kind;
   ++LS.Invocations;
@@ -429,10 +787,15 @@ Flow ExecState::runForParallel(
   uint64_t Before = Cycles;
   ForBounds B;
   EvalBounds(B);
-  if (dead())
+  if (dead()) {
+    if (Speculate)
+      Mem.commitSpeculation();
     return Flow::Halt;
+  }
   if (B.Step <= 0) {
     trap("parallel for loop with non-positive step");
+    if (Speculate)
+      Mem.commitSpeculation();
     return Flow::Halt;
   }
   uint64_t Total =
@@ -443,8 +806,28 @@ Flow ExecState::runForParallel(
 
   if (Obs)
     Obs->onLoopEnter(LoopId);
+  LoopCtxStack.push_back({LoopId, 0});
   InParallelLoop = true;
   RecordOrdered = Kind == ParallelKind::DOACROSS;
+
+  if (GP) {
+    guardSetupRegions(GP, N);
+    if (GuardRegions.empty()) {
+      // None of the plan's expanded structures are live (e.g. the loop runs
+      // before its allocations): nothing to validate against this time.
+      GP = nullptr;
+      if (Speculate) {
+        Mem.commitSpeculation();
+        Speculate = false;
+      }
+    } else {
+      GuardActive = true;
+      GuardTripped = false;
+      GuardLoop = LoopId;
+      updateGuardHooks();
+      ++LS.GuardedInvocations;
+    }
+  }
 
   const CostModel &CM = Opts.Costs;
   std::vector<uint64_t> Ready(N, 0), Work(N, 0), Stall(N, 0), Dispatch(N, 0);
@@ -458,7 +841,10 @@ Flow ExecState::runForParallel(
     }
 
   Flow Result = Flow::Normal;
+  bool DoFallback = false;
   for (uint64_t It = 0; It != Total; ++It) {
+    LoopCtxStack.back().Iter = It;
+    GuardIter = It;
     if (!checkBudget()) {
       Result = Flow::Halt;
       break;
@@ -488,6 +874,15 @@ Flow ExecState::runForParallel(
     uint64_t C0 = Cycles;
     Flow FL = Body();
     uint64_t W = Cycles - C0;
+
+    // A tripped guard abandons the speculative run at the iteration
+    // boundary, before any trap from this iteration is inspected: the serial
+    // re-execution decides what really happens (including re-raising a trap
+    // the mis-speculated state may have caused spuriously).
+    if (Speculate && GuardTripped) {
+      DoFallback = true;
+      break;
+    }
 
     if (FL == Flow::Break || FL == Flow::Return) {
       trap("break/return escaping a parallel loop");
@@ -519,6 +914,58 @@ Flow ExecState::runForParallel(
   RecordOrdered = false;
   InParallelLoop = false;
   CurTid = 0;
+  LoopCtxStack.pop_back();
+
+  if (DoFallback) {
+    // Rollback: restore the pre-invocation world exactly, then run the loop
+    // serially on the original (copy-0) structures. Guard counters from the
+    // abandoned attempt are re-applied on top of the restored stats so the
+    // attempt stays visible in the accounting.
+    LoopStats Snap = Loops[LoopId];
+    Mem.rollbackSpeculation();
+    Cycles = SavedCycles;
+    TimeAdjust = SavedTimeAdjust;
+    Output = std::move(SavedOutput);
+    Loops = std::move(SavedLoops);
+    RtShadow = std::move(SavedRtShadow);
+    GuardWatch = std::move(SavedWatch);
+    RtPrivTranslations = SavedRtPrivTranslations;
+    RtPrivBytesCopied = SavedRtPrivBytesCopied;
+    ExitCode = SavedExitCode;
+    ReturnValue = SavedReturnValue;
+    Halted = SavedHalted;
+    Trapped = false;
+    TrapMessage.clear();
+    TrapLoopId = -1;
+    TrapIteration = -1;
+    TrapThread = -1;
+    GuardActive = false;
+    GuardTripped = false;
+    guardTeardownRegions();
+    updateGuardHooks();
+    LoopStats &L2 = Loops[LoopId];
+    L2.Kind = Kind;
+    L2.GuardedInvocations = Snap.GuardedInvocations;
+    L2.GuardChecks = Snap.GuardChecks;
+    L2.GuardViolations = Snap.GuardViolations;
+    ++L2.GuardFallbacks;
+    if (Obs)
+      Obs->onLoopExit(LoopId);
+    return runForSerial(LoopId, Kind, IVType, EvalBounds, Body);
+  }
+
+  if (GuardActive) {
+    // Clean (or check-mode) guarded invocation: commit. The divergence scan
+    // arms the post-loop watch that catches output-dependence
+    // misclassifications the in-loop checks cannot see.
+    GuardActive = false;
+    guardCommit(GP, N);
+    guardTeardownRegions();
+    updateGuardHooks();
+  }
+  if (Speculate)
+    Mem.commitSpeculation();
+
   rtPrivCommitAll();
   if (Obs)
     Obs->onLoopExit(LoopId);
@@ -559,11 +1006,24 @@ void ExecState::resetRun() {
   Trapped = false;
   Halted = false;
   TrapMessage.clear();
+  TrapLoopId = -1;
+  TrapIteration = -1;
+  TrapThread = -1;
+  LoopCtxStack.clear();
   Output.clear();
   ExitCode = 0;
   Loops.clear();
   RtPrivTranslations = 0;
   RtPrivBytesCopied = 0;
+  GuardActive = false;
+  GuardTripped = false;
+  GuardLoop = 0;
+  GuardIter = 0;
+  GuardRegions.clear();
+  GuardRegionHit = -1;
+  GuardViolationLog.clear();
+  GuardWatch.clear();
+  updateGuardHooks();
 
   for (uint64_t Addr : GlobalBlocks)
     Mem.deallocate(Addr);

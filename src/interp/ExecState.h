@@ -134,10 +134,23 @@ struct ExecState {
   bool Trapped = false;
   bool Halted = false;
   std::string TrapMessage;
+  /// Structured trap context (satellite of the guard work): filled when the
+  /// trap fired inside a counted loop, -1/-1/-1 otherwise.
+  int64_t TrapLoopId = -1;
+  int64_t TrapIteration = -1;
+  int TrapThread = -1;
   int64_t ExitCode = 0;
   VMValue ReturnValue;
   std::string Output;
   unsigned CallDepth = 0;
+
+  /// Innermost-first stack of active counted loops, for trap attribution.
+  /// Maintained by runForSerial/runForParallel around their iteration loops.
+  struct LoopCtx {
+    unsigned LoopId = 0;
+    uint64_t Iter = 0;
+  };
+  std::vector<LoopCtx> LoopCtxStack;
 
   std::map<unsigned, LoopStats> Loops;
 
@@ -155,6 +168,75 @@ struct ExecState {
   /// collectRegisterVars in ir/AccessInfo.h).
   std::set<const VarDecl *> RegisterVars;
 
+  //===------------------------------------------------------------------===//
+  // Guarded execution state (see Guard.h)
+  //===------------------------------------------------------------------===//
+
+  /// Merged lookup over Opts.GuardPlans: access id -> (loop, class) for
+  /// every claimed-private access of every guarded loop.
+  struct GuardAccess {
+    unsigned LoopId = 0;
+    unsigned Class = 0;
+  };
+  std::map<uint32_t, GuardAccess> GuardAccessMap;
+  /// Loop id -> plan (owned by Opts.GuardPlans).
+  std::map<unsigned, const GuardPlan *> GuardPlanOf;
+
+  /// One expanded structure under guard during a parallel invocation: a live
+  /// allocation from a plan's RegionSites, with a per-byte first-write
+  /// shadow (LRPD-style). WriteIter uses UINT32_MAX as "never written this
+  /// invocation"; WriteClass is -1 for writes outside any private class.
+  struct GuardRegion {
+    uint64_t Base = 0;
+    uint64_t Size = 0;
+    uint64_t Span = 0; ///< bytes per thread copy (Size / NumThreads)
+    uint32_t SiteId = 0;
+    std::vector<uint32_t> WriteIter;
+    std::vector<int8_t> WriteTid;
+    std::vector<int32_t> WriteClass;
+    /// Window of offsets written into copies > 0, bounding the commit scan.
+    uint64_t PrivMin = UINT64_MAX;
+    uint64_t PrivMax = 0;
+  };
+  std::vector<GuardRegion> GuardRegions;
+
+  bool GuardActive = false;  ///< inside a guarded parallel invocation
+  bool GuardTripped = false; ///< violation seen in this invocation (fallback)
+  bool GuardHooksOn = false; ///< GuardActive || !GuardWatch.empty()
+  unsigned GuardLoop = 0;    ///< loop id of the active guarded invocation
+  uint64_t GuardIter = 0;    ///< current iteration, for shadow stamps
+  std::vector<DependenceViolation> GuardViolationLog;
+
+  /// Post-loop watch for output-dependence misclassifications: copy-0 bytes
+  /// whose serially-final value was left in a discarded thread copy at
+  /// commit. A later load of such a byte (before any store) is a
+  /// DownwardsExposedStore violation; in fallback mode the watch values are
+  /// patched in (LRPD last-value copy-out) so execution continues with the
+  /// serial program's data.
+  struct GuardWatchByte {
+    uint8_t Value = 0; ///< the serially-final value of this byte
+    unsigned LoopId = 0;
+    unsigned Class = 0;
+    uint64_t Iter = 0;
+    int Tid = 0;
+  };
+  std::map<uint64_t, GuardWatchByte> GuardWatch;
+
+  //===------------------------------------------------------------------===//
+  // Guarded execution API
+  //===------------------------------------------------------------------===//
+
+  /// Fast-path hooks: the engines call these on every scalar/aggregate
+  /// access, but only when GuardHooksOn — which is permanently false in
+  /// GuardMode::Off, so the unguarded cost is one predictable branch. The
+  /// guard charges no cycles and emits no observer events in any mode.
+  void guardLoad(uint32_t Id, uint64_t Addr, uint64_t Size);
+  void guardStore(uint32_t Id, uint64_t Addr, uint64_t Size);
+  /// Bulk effects (memcpy/memset/realloc) and frees, from execBuiltinOp.
+  void guardBulkRead(uint64_t Addr, uint64_t Size);
+  void guardBulkWrite(uint64_t Addr, uint64_t Size);
+  void guardFree(uint64_t Base, uint64_t Size);
+
   ExecState(Module &M, InterpOptions Opts);
   ExecState(const ExecState &) = delete;
   ExecState &operator=(const ExecState &) = delete;
@@ -164,12 +246,11 @@ struct ExecState {
   // Diagnostics and cycle accounting
   //===------------------------------------------------------------------===//
 
-  void trap(const std::string &Msg) {
-    if (Trapped)
-      return;
-    Trapped = true;
-    TrapMessage = Msg;
-  }
+  /// Records the first trap. Traps raised inside a counted loop carry the
+  /// innermost loop id, iteration, and virtual thread — appended to the
+  /// message and exposed structurally via TrapLoopId/TrapIteration/
+  /// TrapThread (implemented in ExecState.cpp).
+  void trap(const std::string &Msg);
 
   bool dead() const { return Trapped || Halted; }
 
@@ -309,6 +390,21 @@ private:
   Flow runForParallel(unsigned LoopId, ParallelKind Kind, Type *IVType,
                       const std::function<void(ForBounds &)> &EvalBounds,
                       const std::function<Flow()> &Body);
+
+  // Guarded-execution internals (ExecState.cpp).
+  GuardRegion *guardRegionContaining(uint64_t Addr);
+  void guardSetupRegions(const GuardPlan *GP, unsigned NumThreads);
+  void guardTeardownRegions();
+  void guardCommit(const GuardPlan *GP, unsigned NumThreads);
+  void guardWatchLoad(uint64_t Addr, uint64_t Size);
+  void guardWatchStore(uint64_t Addr, uint64_t Size);
+  void guardViolation(ViolationKind K, unsigned LoopId, unsigned Class,
+                      uint64_t Iter, int Tid, uint64_t Addr, uint32_t Access);
+  void updateGuardHooks() {
+    GuardHooksOn = GuardActive || !GuardWatch.empty();
+  }
+  /// Index into GuardRegions answered last (clustered accesses), or -1.
+  int GuardRegionHit = -1;
 };
 
 } // namespace gdse

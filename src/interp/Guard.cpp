@@ -1,0 +1,84 @@
+//===- Guard.cpp - Guarded execution: modes and violation rendering --------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Guard.h"
+
+#include "support/Support.h"
+
+#include <cstdlib>
+
+using namespace gdse;
+
+bool gdse::parseGuardMode(const std::string &S, GuardMode &Out) {
+  if (S == "off") {
+    Out = GuardMode::Off;
+    return true;
+  }
+  if (S == "check") {
+    Out = GuardMode::Check;
+    return true;
+  }
+  if (S == "fallback") {
+    Out = GuardMode::Fallback;
+    return true;
+  }
+  return false;
+}
+
+GuardMode gdse::guardModeFromEnv(GuardMode Default) {
+  const char *V = std::getenv("GDSE_GUARD");
+  if (!V || !*V)
+    return Default;
+  GuardMode M;
+  if (parseGuardMode(V, M))
+    return M;
+  envWarnOnce("GDSE_GUARD",
+              formatString("unrecognized value '%s' for GDSE_GUARD; using "
+                           "'%s' (use off/check/fallback)",
+                           V, guardModeName(Default)));
+  return Default;
+}
+
+const char *gdse::guardModeName(GuardMode M) {
+  switch (M) {
+  case GuardMode::Off:
+    return "off";
+  case GuardMode::Check:
+    return "check";
+  case GuardMode::Fallback:
+    return "fallback";
+  }
+  return "off";
+}
+
+const char *gdse::violationKindName(ViolationKind K) {
+  switch (K) {
+  case ViolationKind::UpwardsExposedLoad:
+    return "upwards-exposed-load";
+  case ViolationKind::CarriedFlow:
+    return "carried-flow";
+  case ViolationKind::SpanEscape:
+    return "span-escape";
+  case ViolationKind::DownwardsExposedStore:
+    return "downwards-exposed-store";
+  }
+  return "unknown";
+}
+
+std::string DependenceViolation::str() const {
+  std::string S = formatString(
+      "%s in loop %u class %u at iteration %llu on thread %d",
+      violationKindName(Kind), LoopId, ClassIndex,
+      static_cast<unsigned long long>(Iteration), Thread);
+  S += formatString(" (access #%u, address 0x%llx", Access,
+                    static_cast<unsigned long long>(Addr));
+  if (Count > 1)
+    S += formatString(", %llu occurrences",
+                      static_cast<unsigned long long>(Count));
+  S += ")";
+  return S;
+}

@@ -1,0 +1,137 @@
+//===- Guard.h - Guarded execution: plans, modes, violations ----*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guarded-execution contract between the expansion pass and the runtime.
+///
+/// The paper's thread-private classification (Definitions 2-5) is only as
+/// sound as its input dependence graph, which comes from profiling plus
+/// programmer verification (§2) — a mis-verified edge silently miscompiles
+/// the loop. Guarded execution is the safety net: the expansion pass emits a
+/// GuardPlan recording, per privatized loop, which accesses it claimed
+/// private (and in which access class) and which allocation sites carry the
+/// per-thread copies. Both execution engines then maintain an LRPD-style
+/// first-write shadow over those allocations during guarded parallel
+/// invocations, and a commit-time validator turns any mismatch between the
+/// observed accesses and the claimed classification into a structured
+/// DependenceViolation — reported in `check` mode, and additionally recovered
+/// from (rollback + serial re-execution) in `fallback` mode.
+///
+/// This header is intentionally free of interpreter dependencies so the
+/// expansion pass can produce plans without linking the runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_INTERP_GUARD_H
+#define GDSE_INTERP_GUARD_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace gdse {
+
+/// How much runtime dependence validation the VM performs on loops the
+/// expansion pass privatized speculatively.
+enum class GuardMode : uint8_t {
+  /// No validation; bit-identical to the unguarded VM (cycles, SimTime,
+  /// observer streams, peak memory).
+  Off,
+  /// Validate every guarded parallel invocation and report violations as
+  /// structured diagnostics, but keep executing the transformed code. The
+  /// guard charges no cycles and emits no observer events, so a clean run is
+  /// bit-identical to `Off` on every virtual metric.
+  Check,
+  /// Validate, and on the first violation discard all thread copies (memory
+  /// rollback to the loop entry checkpoint) and re-execute the loop serially
+  /// on copy 0, so the run's output matches the original serial program even
+  /// when the dependence graph was wrong.
+  Fallback,
+};
+
+/// GuardMode from the GDSE_GUARD environment variable: "off", "check", or
+/// "fallback"; anything else (or unset) yields \p Default.
+GuardMode guardModeFromEnv(GuardMode Default = GuardMode::Off);
+
+/// "off" / "check" / "fallback".
+const char *guardModeName(GuardMode M);
+
+/// Parses "off"/"check"/"fallback" into \p Out; false on anything else.
+bool parseGuardMode(const std::string &S, GuardMode &Out);
+
+/// The ways a guarded run can contradict the classification that justified
+/// privatizing a class (the three conditions of Definition 5, plus escaping
+/// the claimed byte range).
+enum class ViolationKind : uint8_t {
+  /// A "private" access read a byte of its thread copy that no iteration had
+  /// written yet — the load is upwards-exposed, violating condition (1).
+  UpwardsExposedLoad,
+  /// A "private" access read a byte last written by an earlier iteration — a
+  /// loop-carried flow dependence into the class, violating condition (2).
+  CarriedFlow,
+  /// A "private" access touched a guarded region outside its thread's
+  /// claimed byte range (another thread's copy, or copy 0 from a worker).
+  /// Accesses landing outside every guarded region are NOT escapes: a
+  /// redirected access can legitimately reach shared objects at runtime
+  /// (zero-span fat pointers), and fat-pointer metadata reads share the
+  /// data access's id.
+  SpanEscape,
+  /// Code after the loop read a byte whose serially-final value was left in a
+  /// discarded thread copy — the store was downwards-exposed, violating
+  /// condition (1) (an output-dependence misclassification).
+  DownwardsExposedStore,
+};
+
+/// Stable lowercase name, e.g. "upwards-exposed-load".
+const char *violationKindName(ViolationKind K);
+
+/// Everything the runtime needs to validate one privatized loop. Produced by
+/// expandLoop() alongside the rewritten IR; carried through PipelineResult
+/// into InterpOptions.
+struct GuardPlan {
+  /// The privatized loop this plan guards.
+  unsigned LoopId = 0;
+  /// Number of access classes the classification built (for rendering).
+  unsigned NumClasses = 0;
+  /// AccessId -> class index, for every member of a thread-private class.
+  /// These are the accesses redirected into per-thread copies.
+  std::map<uint32_t, unsigned> PrivateClassOf;
+  /// Allocation-site ids of the expanded structures: the multiplied original
+  /// heap sites plus the backing mallocs created for expanded variables.
+  /// Each live allocation from one of these sites is a guarded region whose
+  /// per-thread span is Size / NumThreads (copy 0 shared, copies 1..N-1
+  /// private).
+  std::set<uint32_t> RegionSites;
+
+  bool empty() const { return PrivateClassOf.empty() || RegionSites.empty(); }
+};
+
+/// One detected violation, with full attribution. Deduplicated by
+/// (LoopId, ClassIndex, Kind): the first occurrence keeps its iteration /
+/// thread / address, later ones only bump Count.
+struct DependenceViolation {
+  ViolationKind Kind = ViolationKind::UpwardsExposedLoad;
+  unsigned LoopId = 0;
+  /// Index of the offending access class in the loop's classification.
+  unsigned ClassIndex = 0;
+  uint64_t Iteration = 0;
+  int Thread = 0;
+  uint64_t Addr = 0;
+  /// Offending access id (0 when unattributable, e.g. a bulk access).
+  uint32_t Access = 0;
+  /// Occurrences of this (loop, class, kind) in the run.
+  uint64_t Count = 1;
+
+  /// "upwards-exposed-load in loop 3 class 1 at iteration 5 on thread 2
+  ///  (access #12, address 0x..., 4 occurrences)"
+  std::string str() const;
+};
+
+} // namespace gdse
+
+#endif // GDSE_INTERP_GUARD_H

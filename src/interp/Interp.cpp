@@ -34,13 +34,19 @@ InterpObserver::~InterpObserver() = default;
 
 ExecEngine gdse::engineFromEnv(ExecEngine Default) {
   const char *E = std::getenv("GDSE_ENGINE");
-  if (!E)
+  if (!E || !*E)
     return Default;
   std::string V(E);
   if (V == "tree" || V == "treewalk")
     return ExecEngine::TreeWalk;
   if (V == "bytecode" || V == "bc")
     return ExecEngine::Bytecode;
+  envWarnOnce("GDSE_ENGINE",
+              formatString("unrecognized value '%s' for GDSE_ENGINE; using "
+                           "'%s' (use tree/treewalk or bytecode/bc)",
+                           E,
+                           Default == ExecEngine::TreeWalk ? "tree"
+                                                           : "bytecode"));
   return Default;
 }
 
@@ -158,6 +164,8 @@ struct Interp::Impl : ExecState {
         charge(Opts.Costs.Load);
       if (Obs)
         Obs->onLoad(L->getAccessId(), Addr, Size);
+      if (GuardHooksOn)
+        guardLoad(L->getAccessId(), Addr, Size);
       return loadScalar(Addr, L->getType());
     }
     case Expr::Kind::Unary:
@@ -555,6 +563,10 @@ struct Interp::Impl : ExecState {
         Obs->onLoad(RL->getAccessId(), Src, Size);
         Obs->onStore(A->getAccessId(), Dst, Size);
       }
+      if (GuardHooksOn) {
+        guardLoad(RL->getAccessId(), Src, Size);
+        guardStore(A->getAccessId(), Dst, Size);
+      }
       std::memmove(reinterpret_cast<void *>(Dst),
                    reinterpret_cast<void *>(Src), Size);
       return dead() ? Flow::Halt : Flow::Normal;
@@ -569,6 +581,8 @@ struct Interp::Impl : ExecState {
     storeScalar(Addr, T, V);
     if (Obs)
       Obs->onStore(A->getAccessId(), Addr, Size);
+    if (GuardHooksOn)
+      guardStore(A->getAccessId(), Addr, Size);
     return dead() ? Flow::Halt : Flow::Normal;
   }
 
@@ -646,6 +660,9 @@ struct Interp::Impl : ExecState {
 
     R.Trapped = Trapped;
     R.TrapMessage = TrapMessage;
+    R.TrapLoopId = TrapLoopId;
+    R.TrapIteration = TrapIteration;
+    R.TrapThread = TrapThread;
     R.ExitCode = Trapped ? -1 : ExitCode;
     R.WorkCycles = Cycles;
     int64_t Sim = static_cast<int64_t>(Cycles) + TimeAdjust;
@@ -655,6 +672,7 @@ struct Interp::Impl : ExecState {
     R.Loops = std::move(Loops);
     R.RtPrivTranslations = RtPrivTranslations;
     R.RtPrivBytesCopied = RtPrivBytesCopied;
+    R.Violations = std::move(GuardViolationLog);
     R.HostNanos = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - HostStart)

@@ -25,6 +25,7 @@
 #define GDSE_INTERP_INTERP_H
 
 #include "interp/CostModel.h"
+#include "interp/Guard.h"
 #include "interp/Memory.h"
 #include "ir/IR.h"
 
@@ -36,6 +37,7 @@
 namespace gdse {
 
 struct BytecodeModule;
+class DiagnosticEngine;
 
 /// Which engine executes the program. Both produce bit-identical results
 /// (cycles, timeline, observer events, traps, peak memory — enforced by
@@ -110,6 +112,18 @@ struct InterpOptions {
   /// Bytecode engine; when its baked-in cost table differs from Costs the
   /// interpreter silently relowers instead.
   std::shared_ptr<const BytecodeModule> Precompiled;
+  /// Runtime dependence validation for speculatively privatized loops (see
+  /// Guard.h). Off charges nothing and hooks nothing; Check/Fallback consult
+  /// GuardPlans but never perturb cycles, SimTime, or observer streams.
+  GuardMode Guard = GuardMode::Off;
+  /// The plans emitted by the expansion pass for this module's privatized
+  /// loops (PipelineResult::Guard / AnalysisManager::guardPlans()). Loops
+  /// without a plan run unguarded in every mode.
+  std::vector<std::shared_ptr<const GuardPlan>> GuardPlans;
+  /// When set, every distinct DependenceViolation is also reported here
+  /// (pass "guard", severity Error in Check mode, Warning in Fallback where
+  /// the run recovered). Violations are always recorded in RunResult.
+  DiagnosticEngine *GuardDiags = nullptr;
 };
 
 /// Per-loop accounting, keyed by loop id.
@@ -126,11 +140,23 @@ struct LoopStats {
   std::vector<uint64_t> SyncStallPerThread;
   std::vector<uint64_t> IdlePerThread;
   std::vector<uint64_t> DispatchPerThread;
+  /// Guarded-execution accounting (non-zero only under Check/Fallback).
+  uint64_t GuardedInvocations = 0; ///< parallel invocations run with a plan
+  uint64_t GuardChecks = 0;        ///< private-class accesses validated
+  uint64_t GuardViolations = 0;    ///< violation occurrences (not deduped)
+  uint64_t GuardFallbacks = 0;     ///< rollbacks + last-value recoveries
 };
 
 struct RunResult {
   bool Trapped = false;
   std::string TrapMessage;
+  /// Execution context of the trap when it was raised inside a counted loop
+  /// (runForLoop); -1 / -1 / -1 otherwise. LoopId and Iteration are the
+  /// innermost loop's; Thread is the virtual thread (0 outside parallel
+  /// loops).
+  int64_t TrapLoopId = -1;
+  int64_t TrapIteration = -1;
+  int TrapThread = -1;
   int64_t ExitCode = 0;
   /// Pure work cycles executed (all code, one-core view).
   uint64_t WorkCycles = 0;
@@ -148,6 +174,10 @@ struct RunResult {
   /// Runtime-privatization accounting (non-zero only when rtpriv_ptr ran).
   uint64_t RtPrivTranslations = 0;
   uint64_t RtPrivBytesCopied = 0;
+  /// Guarded execution: every distinct (loop, class, kind) violation, first
+  /// occurrence's attribution, with Count totalling repeats. Empty in Off
+  /// mode and on clean guarded runs.
+  std::vector<DependenceViolation> Violations;
 
   bool ok() const { return !Trapped; }
 };

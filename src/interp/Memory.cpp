@@ -48,11 +48,85 @@ bool VMMemory::deallocate(uint64_t Base) {
   --NumLive;
   if (LastHit == &It->second)
     LastHit = nullptr;
+  if (Speculating && It->second.Generation < SpecBeginGeneration) {
+    // Pre-checkpoint block freed under speculation: keep the host block (the
+    // address must stay reserved so rollback can resurrect it) and the
+    // registry entry, only marked dead.
+    It->second.Live = false;
+    SpecQuarantine.push_back(Base);
+    return true;
+  }
   ::operator delete(reinterpret_cast<void *>(Base));
   // The host allocator may hand the same address out again; drop the entry
   // entirely (Generation uniqueness is preserved by NextGeneration).
   ByBase.erase(It);
   return true;
+}
+
+void VMMemory::beginSpeculation() {
+  if (Speculating)
+    reportFatalError("VMMemory: nested speculation checkpoint");
+  Speculating = true;
+  SpecBeginGeneration = NextGeneration;
+  SpecCurBytes = CurBytes;
+  SpecNumLive = NumLive;
+  SpecSnapshot.clear();
+  SpecSnapshot.reserve(NumLive);
+  for (const auto &[Base, A] : ByBase) {
+    if (!A.Live)
+      continue;
+    SpecSaved S;
+    S.Meta = A;
+    S.Bytes.reset(new uint8_t[A.Size ? A.Size : 1]);
+    std::memcpy(S.Bytes.get(), reinterpret_cast<void *>(Base),
+                A.Size ? A.Size : 1);
+    SpecSnapshot.push_back(std::move(S));
+  }
+}
+
+void VMMemory::commitSpeculation() {
+  if (!Speculating)
+    return;
+  for (uint64_t Base : SpecQuarantine) {
+    ::operator delete(reinterpret_cast<void *>(Base));
+    ByBase.erase(Base);
+  }
+  SpecQuarantine.clear();
+  SpecSnapshot.clear();
+  LastHit = nullptr;
+  Speculating = false;
+}
+
+void VMMemory::rollbackSpeculation() {
+  if (!Speculating)
+    return;
+  // Blocks created during speculation (dead ones were reclaimed eagerly in
+  // deallocate(), so every survivor with a post-checkpoint generation is
+  // live): delete for real.
+  for (auto It = ByBase.begin(); It != ByBase.end();) {
+    if (It->second.Generation >= SpecBeginGeneration) {
+      ::operator delete(reinterpret_cast<void *>(It->first));
+      It = ByBase.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  // Resurrect and restore every checkpointed block.
+  for (SpecSaved &S : SpecSnapshot) {
+    auto It = ByBase.find(S.Meta.Base);
+    if (It == ByBase.end())
+      reportFatalError("VMMemory: checkpointed block vanished");
+    It->second = S.Meta;
+    std::memcpy(reinterpret_cast<void *>(S.Meta.Base), S.Bytes.get(),
+                S.Meta.Size ? S.Meta.Size : 1);
+  }
+  CurBytes = SpecCurBytes;
+  NumLive = SpecNumLive;
+  NextGeneration = SpecBeginGeneration;
+  SpecQuarantine.clear();
+  SpecSnapshot.clear();
+  LastHit = nullptr;
+  Speculating = false;
 }
 
 const Allocation *VMMemory::containing(uint64_t Addr) const {

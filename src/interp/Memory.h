@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 namespace gdse {
@@ -77,7 +78,48 @@ public:
   uint64_t peakBytes() const { return PeakBytes; }
   uint32_t liveAllocations() const { return NumLive; }
 
+  /// Calls \p Fn on every live allocation, in base-address order.
+  template <typename FnT> void forEachLive(FnT Fn) const {
+    for (const auto &[Base, A] : ByBase)
+      if (A.Live)
+        Fn(A);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Speculation checkpoints (guarded execution's fallback mode)
+  //===------------------------------------------------------------------===//
+  //
+  // beginSpeculation() snapshots every live allocation (registry metadata
+  // and contents). While speculating, deallocate() of a pre-checkpoint block
+  // only marks it dead and defers the host delete (so the address cannot be
+  // reused and the block can be resurrected), while blocks both created and
+  // freed during speculation are reclaimed eagerly. rollbackSpeculation()
+  // restores the checkpoint exactly: contents, registry, CurBytes, NumLive,
+  // and NextGeneration (so a re-execution hands out the same generation
+  // numbers); only PeakBytes keeps the speculative high-water mark.
+  // commitSpeculation() keeps the current state and reclaims the quarantine.
+
+  /// Starts a checkpointed region; must not already be speculating.
+  void beginSpeculation();
+  /// Keeps all changes since beginSpeculation().
+  void commitSpeculation();
+  /// Reverts all changes since beginSpeculation().
+  void rollbackSpeculation();
+  bool speculating() const { return Speculating; }
+
 private:
+  struct SpecSaved {
+    Allocation Meta;
+    std::unique_ptr<uint8_t[]> Bytes;
+  };
+  std::vector<SpecSaved> SpecSnapshot;
+  /// Bases of pre-checkpoint blocks freed during speculation (host delete
+  /// deferred; registry entry kept with Live = false).
+  std::vector<uint64_t> SpecQuarantine;
+  bool Speculating = false;
+  uint32_t SpecBeginGeneration = 0;
+  uint64_t SpecCurBytes = 0;
+  uint32_t SpecNumLive = 0;
   // The registry is a sorted interval structure keyed by base address
   // (allocations never overlap, so base order is interval order); lookup is
   // an upper_bound probe on the predecessor interval. std::map keeps node

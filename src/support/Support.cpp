@@ -7,9 +7,13 @@
 
 #include "support/Support.h"
 
+#include "support/Diagnostics.h"
+
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 #include <vector>
 
 using namespace gdse;
@@ -42,6 +46,26 @@ std::string gdse::formatString(const char *Fmt, ...) {
   return std::string(Buf.data(), static_cast<size_t>(Len));
 }
 
+DiagnosticEngine &gdse::envDiags() {
+  static DiagnosticEngine DE;
+  return DE;
+}
+
+// Warns once per variable name for the process lifetime, so a hot path
+// calling envInt per run does not spam.
+void gdse::envWarnOnce(const char *Name, const std::string &Msg) {
+  static std::mutex Mu;
+  static std::set<std::string> Warned;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Warned.insert(Name).second)
+      return;
+  }
+  Diagnostic &D = envDiags().warning(Msg);
+  D.Pass = "env";
+  std::fprintf(stderr, "%s\n", D.str().c_str());
+}
+
 bool gdse::envFlag(const char *Name, bool Default) {
   const char *Env = std::getenv(Name);
   if (!Env || !*Env)
@@ -51,6 +75,10 @@ bool gdse::envFlag(const char *Name, bool Default) {
     C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
   if (V == "0" || V == "false" || V == "off" || V == "no")
     return false;
+  if (V != "1" && V != "true" && V != "on" && V != "yes")
+    envWarnOnce(Name, formatString("unrecognized value '%s' for %s; treating as "
+                               "enabled (use 1/true/on/yes or 0/false/off/no)",
+                               Env, Name));
   return true;
 }
 
@@ -60,7 +88,12 @@ long gdse::envInt(const char *Name, long Default) {
     return Default;
   char *End = nullptr;
   long V = std::strtol(Env, &End, 10);
-  return (End && *End == '\0') ? V : Default;
+  if (!End || *End != '\0') {
+    envWarnOnce(Name, formatString("malformed integer '%s' for %s; using %ld",
+                               Env, Name, Default));
+    return Default;
+  }
+  return V;
 }
 
 std::string gdse::formatByteSize(uint64_t Bytes) {

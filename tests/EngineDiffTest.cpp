@@ -16,7 +16,11 @@
 // baseline), plus a battery of small adversarial programs covering the
 // corners where a lowering bug would hide: casts, shifts, short-circuiting,
 // conditional expressions, pointer arithmetic, aggregate assignment,
-// recursion, break/continue through ordered regions, and builtins. Trapping
+// recursion, break/continue through ordered regions, and builtins. Every
+// transformed configuration additionally re-runs both engines under
+// GuardMode::Check with the expansion's guard plans, asserting zero
+// violations and bit-identical metrics/streams to the unguarded run — the
+// guard must be invisible on every virtual axis. Trapping
 // programs compare trap message and prior output (cycle totals on trapped
 // runs are documented as engine-specific).
 //
@@ -30,6 +34,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -129,10 +134,14 @@ struct EngineRun {
   std::vector<std::string> Events;
 };
 
-EngineRun runEngine(Module &M, ExecEngine E, int Threads, bool KeepEvents) {
+EngineRun runEngine(Module &M, ExecEngine E, int Threads, bool KeepEvents,
+                    GuardMode Guard = GuardMode::Off,
+                    std::vector<std::shared_ptr<const GuardPlan>> Plans = {}) {
   InterpOptions IO;
   IO.Engine = E;
   IO.NumThreads = Threads;
+  IO.Guard = Guard;
+  IO.GuardPlans = std::move(Plans);
   Interp I(M, IO);
   NormalizingObserver O(KeepEvents);
   I.setObserver(&O);
@@ -188,6 +197,43 @@ void diffModule(Module &M, int Threads, const std::string &What,
   expectIdentical(T, B, What);
 }
 
+/// diffModule, plus the guarded-execution invariance contract: re-running
+/// the same module under GuardMode::Check with the expansion's plans must
+/// report zero violations (the transformation was sound) and must be
+/// bit-identical to the unguarded run on every virtual metric, the whole
+/// per-loop stats map, and the full observer event stream — the guard is
+/// host-side only. Guard counters must also agree across engines.
+void diffModuleGuarded(Module &M, int Threads, const std::string &What,
+                       std::vector<std::shared_ptr<const GuardPlan>> Plans,
+                       bool KeepEvents = false) {
+  EngineRun T = runEngine(M, ExecEngine::TreeWalk, Threads, KeepEvents);
+  EngineRun B = runEngine(M, ExecEngine::Bytecode, Threads, KeepEvents);
+  ASSERT_FALSE(T.R.Trapped) << What << ": " << T.R.TrapMessage;
+  expectIdentical(T, B, What);
+
+  EngineRun TC = runEngine(M, ExecEngine::TreeWalk, Threads, KeepEvents,
+                           GuardMode::Check, Plans);
+  EngineRun BC = runEngine(M, ExecEngine::Bytecode, Threads, KeepEvents,
+                           GuardMode::Check, Plans);
+  for (const EngineRun *C : {&TC, &BC})
+    for (const DependenceViolation &V : C->R.Violations)
+      ADD_FAILURE() << What << "/check: " << V.str();
+  expectIdentical(T, TC, What + "/check-vs-off-tree");
+  expectIdentical(B, BC, What + "/check-vs-off-bytecode");
+  for (const auto &[Id, TS] : TC.R.Loops) {
+    auto It = BC.R.Loops.find(Id);
+    ASSERT_NE(It, BC.R.Loops.end()) << What << " loop " << Id;
+    EXPECT_EQ(TS.GuardedInvocations, It->second.GuardedInvocations)
+        << What << " loop " << Id;
+    EXPECT_EQ(TS.GuardChecks, It->second.GuardChecks)
+        << What << " loop " << Id;
+    EXPECT_EQ(TS.GuardViolations, It->second.GuardViolations)
+        << What << " loop " << Id;
+    EXPECT_EQ(TS.GuardFallbacks, It->second.GuardFallbacks)
+        << What << " loop " << Id;
+  }
+}
+
 void diffSource(const std::string &Source, const std::string &What,
                 int Threads = 1) {
   std::unique_ptr<Module> M = parseMiniCOrDie(Source, What.c_str());
@@ -236,12 +282,16 @@ TEST_P(WorkloadDiff, TransformedParallel) {
   const WorkloadInfo *W = findWorkload(GetParam());
   ASSERT_NE(W, nullptr);
   std::unique_ptr<Module> M = parseMiniCOrDie(W->Source, W->Name);
+  std::vector<std::shared_ptr<const GuardPlan>> Plans;
   for (unsigned LoopId : findCandidateLoops(*M)) {
     PipelineResult PR = transformLoop(*M, LoopId);
     ASSERT_TRUE(PR.Ok) << W->Name << ": "
                        << (PR.Errors.empty() ? "?" : PR.Errors.front());
+    if (PR.Guard)
+      Plans.push_back(PR.Guard);
   }
-  diffModule(*M, 4, std::string(W->Name) + "/expanded@4");
+  diffModuleGuarded(*M, 4, std::string(W->Name) + "/expanded@4",
+                    std::move(Plans));
 }
 
 TEST_P(WorkloadDiff, RuntimePrivatized) {
@@ -445,11 +495,15 @@ int main() {
   return 0;
 })";
   std::unique_ptr<Module> M = parseMiniCOrDie(Src, "ordered-doacross");
+  std::vector<std::shared_ptr<const GuardPlan>> Plans;
   for (unsigned LoopId : findCandidateLoops(*M)) {
     PipelineResult PR = transformLoop(*M, LoopId);
     ASSERT_TRUE(PR.Ok) << (PR.Errors.empty() ? "?" : PR.Errors.front());
+    if (PR.Guard)
+      Plans.push_back(PR.Guard);
   }
-  diffModule(*M, 4, "ordered-doacross@4", /*KeepEvents=*/true);
+  diffModuleGuarded(*M, 4, "ordered-doacross@4", std::move(Plans),
+                    /*KeepEvents=*/true);
 }
 
 TEST(EngineDiff, GlobalsTidAndExit) {

@@ -1,0 +1,459 @@
+//===- GuardTest.cpp - Guarded execution fault-injection matrix -*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Runtime dependence validation for speculatively privatized loops, tested
+// the only way a validator can be: by breaking the inputs it defends
+// against. Each case profiles a program, mutates the verified dependence
+// graph (or the resulting guard plan) the way a stale or wrong
+// programmer-supplied graph would, re-runs the transformation on the lie,
+// and asserts that
+//   - GuardMode::Check reports exactly the injected violation kind with
+//     correct (loop, class, iteration, thread) attribution, and
+//   - GuardMode::Fallback rolls the parallel invocation back (or patches
+//     last values at commit) and reproduces the serial program's output
+//     bit-identically,
+// on BOTH execution engines. A clean plan is also run under both modes to
+// pin the no-violation path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AccessClasses.h"
+#include "analysis/DepGraph.h"
+#include "frontend/Parser.h"
+#include "interp/Guard.h"
+#include "interp/Interp.h"
+#include "parallel/Pipeline.h"
+#include "profile/DepProfiler.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace gdse;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Harness
+//===----------------------------------------------------------------------===//
+
+/// Drops every loop-carried flow edge: the mutation that makes a class with
+/// a real cross-iteration value chain look privatizable.
+LoopDepGraph dropCarriedFlow(LoopDepGraph G) {
+  std::set<DepEdge> Kept;
+  for (const DepEdge &E : G.Edges)
+    if (!(E.Carried && E.Kind == DepKind::Flow))
+      Kept.insert(E);
+  G.Edges = std::move(Kept);
+  return G;
+}
+
+LoopDepGraph clearUpwardsExposed(LoopDepGraph G) {
+  G.UpwardsExposedLoads.clear();
+  return G;
+}
+
+LoopDepGraph clearDownwardsExposed(LoopDepGraph G) {
+  G.DownwardsExposedStores.clear();
+  return G;
+}
+
+struct Transformed {
+  std::unique_ptr<Module> M;
+  unsigned LoopId = 0;
+  PipelineResult PR;
+};
+
+/// Profiles \p Src's (single) candidate loop and returns the true graph.
+LoopDepGraph profiled(const char *Src, unsigned &LoopId) {
+  std::unique_ptr<Module> M = parseMiniCOrDie(Src, "guard profile");
+  LoopId = findCandidateLoops(*M).front();
+  return std::move(profileLoop(*M, LoopId).Graph);
+}
+
+/// Fresh parse of \p Src transformed under the (possibly mutated) external
+/// graph \p G. The transformation must succeed and must emit a guard plan —
+/// a fault injection that fails to privatize anything tests nothing.
+Transformed transformWith(const char *Src, const LoopDepGraph &G) {
+  Transformed T;
+  T.M = parseMiniCOrDie(Src, "guard transform");
+  T.LoopId = findCandidateLoops(*T.M).front();
+  PipelineOptions Opts;
+  Opts.Source = GraphSource::External;
+  Opts.ExternalGraph = &G;
+  T.PR = transformLoop(*T.M, T.LoopId, Opts);
+  return T;
+}
+
+RunResult runSerial(const char *Src) {
+  std::unique_ptr<Module> M = parseMiniCOrDie(Src, "guard serial ref");
+  Interp I(*M);
+  return I.run();
+}
+
+RunResult runGuarded(Module &M, ExecEngine E, GuardMode Mode,
+                     std::shared_ptr<const GuardPlan> Plan,
+                     DiagnosticEngine *Diags = nullptr) {
+  InterpOptions IO;
+  IO.NumThreads = 4;
+  IO.Engine = E;
+  IO.Guard = Mode;
+  if (Plan)
+    IO.GuardPlans.push_back(std::move(Plan));
+  IO.GuardDiags = Diags;
+  Interp I(M, IO);
+  return I.run();
+}
+
+const char *engName(ExecEngine E) {
+  return E == ExecEngine::TreeWalk ? "tree" : "bytecode";
+}
+
+/// The full matrix for one injected fault: Check must attribute the first
+/// violation exactly; Fallback must recover the serial output on the same
+/// module. \p ExpectIter / \p ExpectThread of -1 skip that attribution
+/// check (for faults whose placement depends on the schedule).
+struct ExpectedViolation {
+  ViolationKind Kind;
+  int64_t Iter;
+  int Thread;
+};
+
+void expectFaultCaught(const char *Src, Transformed &T,
+                       std::shared_ptr<const GuardPlan> Plan,
+                       const ExpectedViolation &Want, ExecEngine E) {
+  SCOPED_TRACE(std::string("engine=") + engName(E));
+  ASSERT_TRUE(Plan && !Plan->empty());
+  RunResult Serial = runSerial(Src);
+  ASSERT_FALSE(Serial.Trapped) << Serial.TrapMessage;
+
+  // --- Check: detect, attribute, never perturb execution. ---
+  DiagnosticEngine CheckDiags;
+  RunResult Check = runGuarded(*T.M, E, GuardMode::Check, Plan, &CheckDiags);
+  ASSERT_FALSE(Check.Trapped) << Check.TrapMessage;
+  ASSERT_FALSE(Check.Violations.empty())
+      << "injected fault not detected in check mode";
+  const DependenceViolation &V = Check.Violations.front();
+  EXPECT_EQ(V.Kind, Want.Kind) << V.str();
+  EXPECT_EQ(V.LoopId, T.LoopId) << V.str();
+  if (Want.Iter >= 0) {
+    EXPECT_EQ(V.Iteration, static_cast<uint64_t>(Want.Iter)) << V.str();
+  }
+  if (Want.Thread >= 0) {
+    EXPECT_EQ(V.Thread, Want.Thread) << V.str();
+  }
+  // Class attribution: when the violating access is one the plan claims
+  // private, the reported class must be that access's class.
+  auto It = Plan->PrivateClassOf.find(V.Access);
+  if (It != Plan->PrivateClassOf.end()) {
+    EXPECT_EQ(V.ClassIndex, It->second) << V.str();
+  }
+  EXPECT_GE(Check.Loops.at(T.LoopId).GuardViolations, 1u);
+  EXPECT_EQ(Check.Loops.at(T.LoopId).GuardFallbacks, 0u);
+  // Diagnostics surfaced as errors through the engine.
+  bool SawGuardError = false;
+  for (const Diagnostic &D : CheckDiags.diagnostics())
+    if (D.Pass == "guard" && D.Severity == DiagSeverity::Error)
+      SawGuardError = true;
+  EXPECT_TRUE(SawGuardError);
+
+  // --- Fallback: recover the serial semantics exactly. ---
+  DiagnosticEngine FbDiags;
+  RunResult Fb = runGuarded(*T.M, E, GuardMode::Fallback, Plan, &FbDiags);
+  ASSERT_FALSE(Fb.Trapped) << Fb.TrapMessage;
+  EXPECT_EQ(Fb.Output, Serial.Output);
+  EXPECT_EQ(Fb.ExitCode, Serial.ExitCode);
+  EXPECT_GE(Fb.Loops.at(T.LoopId).GuardFallbacks, 1u);
+  bool SawGuardWarning = false;
+  for (const Diagnostic &D : FbDiags.diagnostics())
+    if (D.Pass == "guard" && D.Severity == DiagSeverity::Warning)
+      SawGuardWarning = true;
+  EXPECT_TRUE(SawGuardWarning);
+}
+
+//===----------------------------------------------------------------------===//
+// Upwards-exposed load: the first iteration reads a value that flowed in
+// from before the loop; privatizing the structure severs it.
+//===----------------------------------------------------------------------===//
+
+const char *UpSrc = R"(
+  int main() {
+    int* buf = malloc(4 * sizeof(int));
+    buf[0] = 100;
+    long acc = 0;
+    @candidate for (int i = 0; i < 8; i++) {
+      int s = buf[0];
+      buf[0] = s + i;
+      acc += buf[0];
+    }
+    print_int(acc);
+    free(buf);
+    return 0;
+  }
+)";
+
+class GuardFault : public ::testing::TestWithParam<ExecEngine> {};
+
+TEST_P(GuardFault, UpwardsExposedLoad) {
+  unsigned LoopId;
+  LoopDepGraph True = profiled(UpSrc, LoopId);
+  // The true graph must actually contain the facts we are about to erase.
+  ASSERT_FALSE(True.UpwardsExposedLoads.empty());
+  LoopDepGraph Lie = clearDownwardsExposed(
+      clearUpwardsExposed(dropCarriedFlow(std::move(True))));
+
+  Transformed T = transformWith(UpSrc, Lie);
+  ASSERT_TRUE(T.PR.Ok) << (T.PR.Errors.empty() ? "?" : T.PR.Errors.front());
+  ASSERT_TRUE(T.PR.Guard) << "fault injection privatized nothing";
+
+  // `int s = buf[0]` at iteration 0 on thread 0 reads its never-written
+  // private copy: the very first guarded access violates.
+  expectFaultCaught(UpSrc, T, T.PR.Guard,
+                    {ViolationKind::UpwardsExposedLoad, 0, 0}, GetParam());
+}
+
+//===----------------------------------------------------------------------===//
+// Loop-carried flow: every read is covered by an earlier iteration's write
+// (so NOT upwards-exposed); dropping the carried flow edges is the lie.
+//===----------------------------------------------------------------------===//
+
+const char *CarriedSrc = R"(
+  int main() {
+    int* buf = malloc(4 * sizeof(int));
+    buf[0] = 7;
+    long acc = 0;
+    @candidate for (int i = 0; i < 8; i++) {
+      if (i > 0) {
+        acc = acc + buf[0];
+      }
+      buf[0] = i * 3 + 1;
+    }
+    print_int(acc);
+    free(buf);
+    return 0;
+  }
+)";
+
+TEST_P(GuardFault, LoopCarriedFlow) {
+  unsigned LoopId;
+  LoopDepGraph True = profiled(CarriedSrc, LoopId);
+  bool HadCarriedFlow = false;
+  for (const DepEdge &E : True.Edges)
+    HadCarriedFlow |= E.Carried && E.Kind == DepKind::Flow;
+  ASSERT_TRUE(HadCarriedFlow);
+  LoopDepGraph Lie = clearDownwardsExposed(
+      clearUpwardsExposed(dropCarriedFlow(std::move(True))));
+
+  Transformed T = transformWith(CarriedSrc, Lie);
+  ASSERT_TRUE(T.PR.Ok) << (T.PR.Errors.empty() ? "?" : T.PR.Errors.front());
+  ASSERT_TRUE(T.PR.Guard) << "fault injection privatized nothing";
+
+  // DOALL chunking puts iterations 0 and 1 on thread 0: iteration 1's read
+  // of buf[0] sees thread 0's own iteration-0 write — a cross-iteration
+  // flow into a "private" class, the first violation of the run.
+  expectFaultCaught(CarriedSrc, T, T.PR.Guard,
+                    {ViolationKind::CarriedFlow, 1, 0}, GetParam());
+}
+
+//===----------------------------------------------------------------------===//
+// Span escape: the plan (not the graph) is stale — it claims as private,
+// and as a guarded region, a shared lookup table the rewrite never
+// expanded. Every thread then reads the whole table, so reads land in
+// other threads' claimed spans: the guard must flag the escape.
+//===----------------------------------------------------------------------===//
+
+const char *SpanSrc = R"(
+  int main() {
+    int* table = malloc(16 * sizeof(int));
+    for (int k = 0; k < 16; k++) { table[k] = k * 5; }
+    int* tmp = malloc(4 * sizeof(int));
+    long acc = 0;
+    @candidate for (int i = 0; i < 8; i++) {
+      for (int k = 0; k < 4; k++) { tmp[k] = table[4 + k] + i; }
+      int b = 0;
+      for (int k = 0; k < 4; k++) { b = b + tmp[k]; }
+      acc = acc + b;
+    }
+    print_int(acc);
+    free(tmp);
+    free(table);
+    return 0;
+  }
+)";
+
+/// Maps heap allocations and the loads that touch them, to recover the
+/// shared table's allocation site and access id from a dry run.
+class HeapSpy : public InterpObserver {
+public:
+  struct Block {
+    uint64_t Base, Size;
+    uint32_t Site;
+  };
+  std::vector<Block> Heap;
+  std::map<uint32_t, uint32_t> LoadSite; // access id -> touched site
+
+  void onAlloc(const Allocation &A) override {
+    if (A.Kind == AllocKind::Heap)
+      Heap.push_back({A.Base, A.Size, A.SiteId});
+  }
+  void onLoad(AccessId Id, uint64_t Addr, uint64_t Size) override {
+    (void)Size;
+    if (Id == InvalidAccessId)
+      return;
+    for (const Block &B : Heap)
+      if (Addr - B.Base < B.Size) {
+        LoadSite[Id] = B.Site;
+        break;
+      }
+  }
+};
+
+TEST_P(GuardFault, SpanEscape) {
+  // A perfectly clean program and a correct transformation...
+  unsigned LoopId;
+  LoopDepGraph True = profiled(SpanSrc, LoopId);
+  Transformed T = transformWith(SpanSrc, True);
+  ASSERT_TRUE(T.PR.Ok) << (T.PR.Errors.empty() ? "?" : T.PR.Errors.front());
+  ASSERT_TRUE(T.PR.Guard);
+
+  // ...whose shared table we locate with a dry run: the heap load whose
+  // target allocation site the plan does NOT claim.
+  HeapSpy Spy;
+  {
+    InterpOptions IO;
+    IO.Engine = GetParam();
+    Interp I(*T.M, IO);
+    I.setObserver(&Spy);
+    RunResult R = I.run();
+    ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  }
+  uint32_t VictimId = 0, VictimSite = 0;
+  for (const auto &[Id, Site] : Spy.LoadSite)
+    if (Site && !T.PR.Guard->RegionSites.count(Site) &&
+        !T.PR.Guard->PrivateClassOf.count(Id)) {
+      VictimId = Id;
+      VictimSite = Site;
+      break;
+    }
+  ASSERT_NE(VictimId, 0u) << "no shared heap load to misattribute";
+
+  // The corrupt plan claims the table as a privatized region and its load
+  // as a private access. Thread 0's very first table read, table[4] on
+  // iteration 0, lands in "thread 1's span" (byte 16 of a 64-byte region
+  // split 4 ways): a span escape with exact attribution.
+  auto Mut = std::make_shared<GuardPlan>(*T.PR.Guard);
+  Mut->PrivateClassOf[VictimId] = 0;
+  Mut->RegionSites.insert(VictimSite);
+  expectFaultCaught(SpanSrc, T, Mut, {ViolationKind::SpanEscape, 0, 0},
+                    GetParam());
+}
+
+//===----------------------------------------------------------------------===//
+// Downwards-exposed store: the loop's final values are read after the loop;
+// privatization strands them in the last writer's copy. Check mode pins the
+// misattributed read; fallback recovers via last-value copy-out.
+//===----------------------------------------------------------------------===//
+
+const char *DownSrc = R"(
+  int main() {
+    int* buf = malloc(4 * sizeof(int));
+    @candidate for (int i = 0; i < 8; i++) {
+      for (int k = 0; k < 4; k++) { buf[k] = i * 10 + k; }
+    }
+    print_int(buf[2]);
+    free(buf);
+    return 0;
+  }
+)";
+
+TEST_P(GuardFault, DownwardsExposedStore) {
+  unsigned LoopId;
+  LoopDepGraph True = profiled(DownSrc, LoopId);
+  ASSERT_FALSE(True.DownwardsExposedStores.empty());
+  LoopDepGraph Lie = clearDownwardsExposed(std::move(True));
+
+  Transformed T = transformWith(DownSrc, Lie);
+  ASSERT_TRUE(T.PR.Ok) << (T.PR.Errors.empty() ? "?" : T.PR.Errors.front());
+  ASSERT_TRUE(T.PR.Guard) << "fault injection privatized nothing";
+
+  // In-loop execution is clean (each iteration writes before reading); the
+  // violation only exists at the post-loop read of buf[2], whose serially
+  // final value was written by iteration 7 — on thread 3 under DOALL
+  // chunking of 8 iterations over 4 threads — but stranded in that
+  // thread's copy.
+  expectFaultCaught(DownSrc, T, T.PR.Guard,
+                    {ViolationKind::DownwardsExposedStore, 7, 3}, GetParam());
+
+  // And check mode really observed the stale value (the bug is real):
+  RunResult Serial = runSerial(DownSrc);
+  RunResult Check = runGuarded(*T.M, GetParam(), GuardMode::Check, T.PR.Guard);
+  EXPECT_NE(Check.Output, Serial.Output)
+      << "misclassification produced no observable effect";
+}
+
+//===----------------------------------------------------------------------===//
+// Clean plan: the guard stays silent and invisible in both modes.
+//===----------------------------------------------------------------------===//
+
+TEST_P(GuardFault, CleanPlanNoViolations) {
+  unsigned LoopId;
+  LoopDepGraph True = profiled(SpanSrc, LoopId);
+  Transformed T = transformWith(SpanSrc, True);
+  ASSERT_TRUE(T.PR.Ok);
+  ASSERT_TRUE(T.PR.Guard);
+  RunResult Serial = runSerial(SpanSrc);
+
+  RunResult Off = runGuarded(*T.M, GetParam(), GuardMode::Off, T.PR.Guard);
+  for (GuardMode Mode : {GuardMode::Check, GuardMode::Fallback}) {
+    DiagnosticEngine Diags;
+    RunResult R = runGuarded(*T.M, GetParam(), Mode, T.PR.Guard, &Diags);
+    SCOPED_TRACE(guardModeName(Mode));
+    ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+    EXPECT_TRUE(R.Violations.empty());
+    EXPECT_TRUE(Diags.diagnostics().empty());
+    EXPECT_EQ(R.Output, Serial.Output);
+    EXPECT_EQ(R.WorkCycles, Off.WorkCycles);
+    EXPECT_EQ(R.SimTime, Off.SimTime);
+    EXPECT_EQ(R.PeakMemoryBytes, Off.PeakMemoryBytes);
+    const LoopStats &L = R.Loops.at(T.LoopId);
+    EXPECT_GE(L.GuardedInvocations, 1u);
+    EXPECT_GT(L.GuardChecks, 0u);
+    EXPECT_EQ(L.GuardViolations, 0u);
+    EXPECT_EQ(L.GuardFallbacks, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, GuardFault,
+                         ::testing::Values(ExecEngine::TreeWalk,
+                                           ExecEngine::Bytecode),
+                         [](const auto &Info) {
+                           return Info.param == ExecEngine::TreeWalk
+                                      ? "TreeWalk"
+                                      : "Bytecode";
+                         });
+
+//===----------------------------------------------------------------------===//
+// Mode plumbing.
+//===----------------------------------------------------------------------===//
+
+TEST(GuardMode, ParseAndNames) {
+  GuardMode M = GuardMode::Off;
+  EXPECT_TRUE(parseGuardMode("check", M));
+  EXPECT_EQ(M, GuardMode::Check);
+  EXPECT_TRUE(parseGuardMode("fallback", M));
+  EXPECT_EQ(M, GuardMode::Fallback);
+  EXPECT_TRUE(parseGuardMode("off", M));
+  EXPECT_EQ(M, GuardMode::Off);
+  EXPECT_FALSE(parseGuardMode("bogus", M));
+  EXPECT_STREQ(guardModeName(GuardMode::Check), "check");
+}
+
+} // namespace
