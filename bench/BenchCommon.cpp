@@ -50,6 +50,9 @@ struct JsonSink {
     std::vector<GuardLoopRec> GuardLoops;
   };
   std::vector<Rec> Recs;
+  /// Bench-specific records (complete JSON object literals) appended via
+  /// addJsonRecord; emitted verbatim under "records".
+  std::vector<std::string> Extra;
 };
 
 JsonSink &jsonSink() {
@@ -104,11 +107,24 @@ void writeJson() {
     }
     std::fprintf(F, "]}");
   }
-  std::fprintf(F, "\n  ]\n}\n");
+  std::fprintf(F, "\n  ]");
+  if (!S.Extra.empty()) {
+    std::fprintf(F, ",\n  \"records\": [");
+    for (size_t I = 0; I != S.Extra.size(); ++I)
+      std::fprintf(F, "%s\n    %s", I ? "," : "", S.Extra[I].c_str());
+    std::fprintf(F, "\n  ]");
+  }
+  std::fprintf(F, "\n}\n");
   std::fclose(F);
 }
 
 } // namespace
+
+void gdse::bench::addJsonRecord(const std::string &JsonObject) {
+  JsonSink &S = jsonSink();
+  if (S.Enabled)
+    S.Extra.push_back(JsonObject);
+}
 
 void gdse::bench::initBenchIO(int &argc, char **argv) {
   JsonSink &S = jsonSink();
@@ -245,12 +261,12 @@ PreparedProgram &gdse::bench::preparedForAll(const WorkloadInfo &W,
   // Key on every field that changes compilation output. ExternalGraph is a
   // pointer identity: two different graphs must never share an entry.
   std::string Key = formatString(
-      "%d|%s|%d|%p|%d%d%d%d", static_cast<int>(Opts.Method),
+      "%d|%s|%d|%p|%d%d%d%d%d", static_cast<int>(Opts.Method),
       Opts.Entry.c_str(), static_cast<int>(Opts.Source),
       static_cast<const void *>(Opts.ExternalGraph),
       static_cast<int>(Opts.Expansion.Layout), Opts.Expansion.SelectivePromotion,
       Opts.Expansion.SpanConstantPropagation,
-      Opts.Expansion.DeadSpanStoreElimination);
+      Opts.Expansion.DeadSpanStoreElimination, Opts.Expansion.GuardPruning);
   static std::map<std::string, std::vector<PreparedProgram>> Cache;
   auto It = Cache.find(Key);
   if (It == Cache.end()) {

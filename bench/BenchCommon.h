@@ -100,6 +100,11 @@ void reportCompileTiming(const PreparedProgram &P, bool Force = false);
 /// unknown flags.
 void initBenchIO(int &argc, char **argv);
 
+/// Appends one bench-specific record — a complete JSON object literal — to
+/// the --json output's "records" array (fig7's per-loop graph precision
+/// counts, guard_overhead's elision tallies, ...). No-op without --json.
+void addJsonRecord(const std::string &JsonObject);
+
 /// Executes a prepared program. \p Threads is the simulated core count;
 /// \p SimulateParallel=false forces sequential execution of parallel-marked
 /// loops (the Figure 9/10 single-core overhead methodology). Runs on

@@ -21,6 +21,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/CompilationSession.h"
 #include "frontend/Parser.h"
 #include "interp/Interp.h"
 #include "ir/IRPrinter.h"
@@ -51,6 +52,8 @@ int main(int argc, char **argv) {
   int Threads = 1;
   unsigned Jobs = 1;
   bool Transform = false, DumpIR = false, TimePasses = false, Stats = false;
+  bool AuditDeps = false;
+  std::string Dump;
   // Engine default follows GDSE_ENGINE (bytecode when unset); --engine wins.
   ExecEngine Engine = engineFromEnv();
   // Guard default follows GDSE_GUARD (off when unset); --guard wins.
@@ -83,6 +86,19 @@ int main(int argc, char **argv) {
       Jobs = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (Arg == "--transform")
       Transform = true;
+    else if (Arg == "--audit-deps")
+      AuditDeps = true;
+    else if (Arg.rfind("--dump=", 0) == 0) {
+      Dump = Arg.substr(7);
+      if (Dump != "points-to" && Dump != "static-deps" && Dump != "classes" &&
+          Dump != "witness") {
+        std::fprintf(stderr,
+                     "unknown dump '%s' "
+                     "(points-to|static-deps|classes|witness)\n",
+                     Dump.c_str());
+        return 1;
+      }
+    }
     else if (Arg == "--dump-ir")
       DumpIR = true;
     else if (Arg == "--time-passes")
@@ -96,10 +112,16 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "usage: minic <file.mc>... [--threads N] [--jobs N] "
                  "[--engine tree|bytecode] [--guard off|check|fallback] "
-                 "[--transform] [--dump-ir] [--time-passes] [--stats]\n");
+                 "[--transform] [--audit-deps] "
+                 "[--dump=points-to|static-deps|classes|witness] "
+                 "[--dump-ir] [--time-passes] [--stats]\n");
     return 1;
   }
   const bool Multi = Paths.size() > 1;
+  if (AuditDeps && !Transform) {
+    std::fprintf(stderr, "--audit-deps requires --transform\n");
+    return 1;
+  }
 
   std::vector<InputProgram> Programs;
   for (const std::string &Path : Paths) {
@@ -119,13 +141,50 @@ int main(int argc, char **argv) {
     Programs.push_back({Path, std::move(PR.M), {}});
   }
 
+  if (!Dump.empty()) {
+    // Analysis dumps are a compilation mode of their own: print one
+    // deterministic, diffable report per file on the UNTRANSFORMED module
+    // and exit without executing anything.
+    for (InputProgram &P : Programs) {
+      if (Multi)
+        std::printf("== %s ==\n", P.Path.c_str());
+      CompilationSession S(*P.M);
+      AnalysisManager &AM = S.analyses();
+      if (Dump == "points-to") {
+        std::printf("%s", AM.pointsTo().str().c_str());
+        continue;
+      }
+      for (unsigned LoopId : S.candidateLoops()) {
+        if (Dump == "static-deps") {
+          const LoopDepGraph *G = AM.depGraph(LoopId, GraphSource::Static);
+          if (G)
+            std::printf("%s", G->str().c_str());
+        } else if (Dump == "classes") {
+          std::printf("loop %u\n", LoopId);
+          const AccessClasses *C =
+              AM.accessClasses(LoopId, GraphSource::Static);
+          if (C)
+            std::printf("%s", C->str().c_str());
+        } else { // witness
+          std::printf("%s", AM.staticWitness(LoopId)->str().c_str());
+        }
+      }
+      for (const Diagnostic &D : S.diags().diagnostics())
+        std::fprintf(stderr, "%s%s%s\n", Multi ? P.Path.c_str() : "",
+                     Multi ? ": " : "", D.str().c_str());
+    }
+    return 0;
+  }
+
   if (Transform) {
     std::vector<BatchUnit> Units;
     for (InputProgram &P : Programs) {
       BatchUnit U;
       U.M = P.M.get();
+      U.Opts.AuditDeps = AuditDeps;
       Units.push_back(U);
     }
+    unsigned AuditRefutedTotal = 0;
     std::vector<BatchUnitResult> Results =
         CompilationSession::compileBatch(Units, Jobs);
     for (size_t I = 0; I < Programs.size(); ++I) {
@@ -138,6 +197,20 @@ int main(int argc, char **argv) {
             if (D.Severity == DiagSeverity::Error)
               std::fprintf(stderr, "%s%s%s\n", Prefix, Sep, D.str().c_str());
           return 1;
+        }
+        if (AuditDeps) {
+          // The audit is a report: show its findings (refuted and
+          // unsupported claims are warnings) plus a one-line tally.
+          for (const Diagnostic &D : R.Diags)
+            if (D.Pass == "audit-deps" &&
+                D.Severity == DiagSeverity::Warning)
+              std::fprintf(stderr, "%s%s%s\n", Prefix, Sep, D.str().c_str());
+          std::fprintf(stderr,
+                       "%s%sloop %u: audit %u private class claim(s): "
+                       "%u confirmed, %u unsupported, %u refuted\n",
+                       Prefix, Sep, R.LoopId, R.AuditChecked,
+                       R.AuditConfirmed, R.AuditUnsupported, R.AuditRefuted);
+          AuditRefutedTotal += R.AuditRefuted;
         }
         std::fprintf(stderr, "%s%sloop %u: %s, %u structure(s) expanded\n",
                      Prefix, Sep, R.LoopId,
@@ -161,6 +234,10 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "%s", B.StatsReport.c_str());
       }
     }
+    // A refuted claim means the dependence graph the transform just ran on
+    // contradicts a static proof — fail before executing anything.
+    if (AuditRefutedTotal)
+      return 1;
   }
 
   int Exit = 0;

@@ -7,6 +7,7 @@
 
 #include "analysis/AccessClasses.h"
 
+#include "support/Support.h"
 #include "support/UnionFind.h"
 
 #include <algorithm>
@@ -75,6 +76,25 @@ std::set<AccessId> AccessClasses::privateAccesses() const {
   for (const AccessClassInfo &C : Classes)
     if (C.Private)
       Out.insert(C.Members.begin(), C.Members.end());
+  return Out;
+}
+
+std::string AccessClasses::str() const {
+  std::string Out;
+  for (unsigned I = 0; I < Classes.size(); ++I) {
+    const AccessClassInfo &C = Classes[I];
+    Out += formatString("class %u%s", I, C.Private ? " private" : "");
+    if (C.HasExposedAccess)
+      Out += " exposed";
+    if (C.HasCarriedFlow)
+      Out += " carried-flow";
+    if (C.HasCarriedAntiOrOutput)
+      Out += " carried-anti-output";
+    Out += " members";
+    for (AccessId Id : C.Members)
+      Out += formatString(" %u", Id);
+    Out += "\n";
+  }
   return Out;
 }
 

@@ -68,6 +68,10 @@ public:
   /// All accesses of thread-private classes.
   std::set<AccessId> privateAccesses() const;
 
+  /// Deterministic, diffable dump (the `--dump=classes` printer): one line
+  /// per class with its Definition 5 verdict flags and member ids.
+  std::string str() const;
+
 private:
   std::vector<AccessClassInfo> Classes;
   std::map<AccessId, unsigned> ClassIndex;

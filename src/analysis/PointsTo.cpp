@@ -444,3 +444,18 @@ uint32_t PointsTo::objectOfSite(uint32_t SiteId) const {
   assert(It != SiteObj.end() && "unknown allocation site");
   return It->second;
 }
+
+std::string PointsTo::str() const {
+  std::string Out;
+  for (uint32_t Id = 0; Id < Objects.size(); ++Id) {
+    Out += formatString("object %u %s", Id, Objects[Id].str().c_str());
+    const std::set<uint32_t> &Pts = ContentPts[Id];
+    if (!Pts.empty()) {
+      Out += " ->";
+      for (uint32_t O : Pts)
+        Out += formatString(" %u", O);
+    }
+    Out += "\n";
+  }
+  return Out;
+}

@@ -82,6 +82,10 @@ public:
     return SiteObj.count(SiteId) != 0;
   }
 
+  /// Deterministic, diffable dump (the `--dump=points-to` printer): one
+  /// line per object, plus each object's content points-to set.
+  std::string str() const;
+
 private:
   std::vector<MemObject> Objects;
   std::map<const VarDecl *, uint32_t> VarObj;

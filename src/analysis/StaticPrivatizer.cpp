@@ -1,0 +1,1279 @@
+//===- StaticPrivatizer.cpp - Static privatization witness -----------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// The engine is an abstract interpretation of ONE iteration of the candidate
+// loop body. The abstract state tracks, per points-to object, the byte
+// intervals certainly written so far this iteration (must-coverage, with
+// strong updates), the intervals possibly written (may-coverage, for the
+// proven-shared rule), and the symbolic values of never-address-taken local
+// scalars/pointers (so `short* sview = (short*)workbuf; sview[k] = ...`
+// resolves to workbuf bytes).
+//
+// Inner loops with compile-time-constant bounds and unit step are analyzed
+// symbolically: the induction variable becomes a range symbol, stores at
+// affine offsets accumulate as pending records, and when the loop commits,
+// a mixed-radix density check turns `a[y*8+x]` nests into one dense interval.
+// Inner loops with unknown trip counts run to a meet-over-iterations
+// fixpoint and contribute nothing after the loop unless re-established
+// (zero-trip safety).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticPrivatizer.h"
+
+#include "ir/IRVisitor.h"
+#include "support/Support.h"
+
+#include <algorithm>
+
+using namespace gdse;
+
+const char *gdse::privatizationVerdictName(PrivatizationVerdict V) {
+  switch (V) {
+  case PrivatizationVerdict::ProvenPrivate:
+    return "proven-private";
+  case PrivatizationVerdict::ProvenShared:
+    return "proven-shared";
+  case PrivatizationVerdict::Unknown:
+    return "unknown";
+  }
+  gdse_unreachable("bad verdict");
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Abstract values
+//===----------------------------------------------------------------------===//
+
+/// Affine form over the active inner-loop induction variables:
+/// Const + sum(Terms[iv] * iv).
+struct Affine {
+  int64_t Const = 0;
+  std::map<const VarDecl *, int64_t> Terms;
+
+  bool isConst() const { return Terms.empty(); }
+  bool operator==(const Affine &O) const {
+    return Const == O.Const && Terms == O.Terms;
+  }
+  bool operator<(const Affine &O) const {
+    if (Const != O.Const)
+      return Const < O.Const;
+    return Terms < O.Terms;
+  }
+
+  Affine operator+(const Affine &O) const {
+    Affine R = *this;
+    R.Const += O.Const;
+    for (const auto &[V, C] : O.Terms) {
+      R.Terms[V] += C;
+      if (R.Terms[V] == 0)
+        R.Terms.erase(V);
+    }
+    return R;
+  }
+  Affine operator-(const Affine &O) const {
+    Affine N = O;
+    N.Const = -N.Const;
+    for (auto &[V, C] : N.Terms)
+      C = -C;
+    return *this + N;
+  }
+  Affine scaled(int64_t K) const {
+    Affine R;
+    if (K == 0)
+      return R;
+    R.Const = Const * K;
+    for (const auto &[V, C] : Terms)
+      R.Terms[V] = C * K;
+    return R;
+  }
+};
+
+/// An abstract r-value.
+struct Value {
+  enum class K : uint8_t { Unknown, Int, Ptr } Kind = K::Unknown;
+  Affine A;         ///< Int: the value; Ptr: the byte offset into Obj.
+  uint32_t Obj = 0; ///< Ptr: points-to object id.
+
+  static Value unknown() { return Value(); }
+  static Value intConst(int64_t V) {
+    Value R;
+    R.Kind = K::Int;
+    R.A.Const = V;
+    return R;
+  }
+  static Value intAffine(Affine A) {
+    Value R;
+    R.Kind = K::Int;
+    R.A = std::move(A);
+    return R;
+  }
+  static Value ptr(uint32_t Obj, Affine Off) {
+    Value R;
+    R.Kind = K::Ptr;
+    R.Obj = Obj;
+    R.A = std::move(Off);
+    return R;
+  }
+  bool isConstInt() const { return Kind == K::Int && A.isConst(); }
+  bool operator==(const Value &O) const {
+    return Kind == O.Kind && Obj == O.Obj && A == O.A;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Interval sets
+//===----------------------------------------------------------------------===//
+
+/// Sorted, disjoint, half-open byte intervals.
+class IntervalSet {
+  std::vector<std::pair<int64_t, int64_t>> Iv;
+
+public:
+  void add(int64_t Lo, int64_t Hi) {
+    if (Lo >= Hi)
+      return;
+    std::vector<std::pair<int64_t, int64_t>> Out;
+    for (const auto &[L, H] : Iv) {
+      if (H < Lo || L > Hi) {
+        Out.emplace_back(L, H);
+      } else {
+        Lo = std::min(Lo, L);
+        Hi = std::max(Hi, H);
+      }
+    }
+    Out.emplace_back(Lo, Hi);
+    std::sort(Out.begin(), Out.end());
+    Iv = std::move(Out);
+  }
+
+  bool covers(int64_t Lo, int64_t Hi) const {
+    if (Lo >= Hi)
+      return true;
+    for (const auto &[L, H] : Iv)
+      if (L <= Lo && Hi <= H)
+        return true;
+    return false;
+  }
+
+  bool overlaps(int64_t Lo, int64_t Hi) const {
+    for (const auto &[L, H] : Iv)
+      if (L < Hi && Lo < H)
+        return true;
+    return false;
+  }
+
+  bool empty() const { return Iv.empty(); }
+
+  void intersectWith(const IntervalSet &O) {
+    std::vector<std::pair<int64_t, int64_t>> Out;
+    for (const auto &[L1, H1] : Iv)
+      for (const auto &[L2, H2] : O.Iv) {
+        int64_t L = std::max(L1, L2), H = std::min(H1, H2);
+        if (L < H)
+          Out.emplace_back(L, H);
+      }
+    std::sort(Out.begin(), Out.end());
+    Iv = std::move(Out);
+  }
+
+  void unionWith(const IntervalSet &O) {
+    for (const auto &[L, H] : O.Iv)
+      add(L, H);
+  }
+
+  bool operator==(const IntervalSet &O) const { return Iv == O.Iv; }
+};
+
+/// A must-executed store at an affine offset, awaiting commit of the loops
+/// its offset still references.
+struct PendingStore {
+  uint32_t Obj = 0;
+  Affine Off;
+  int64_t Width = 0;
+
+  bool operator<(const PendingStore &O) const {
+    if (Obj != O.Obj)
+      return Obj < O.Obj;
+    if (Width != O.Width)
+      return Width < O.Width;
+    return Off < O.Off;
+  }
+  bool operator==(const PendingStore &O) const {
+    return Obj == O.Obj && Width == O.Width && Off == O.Off;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Abstract state
+//===----------------------------------------------------------------------===//
+
+struct AbsState {
+  std::map<uint32_t, IntervalSet> Must;
+  std::map<uint32_t, IntervalSet> May;
+  std::set<uint32_t> MayAll; ///< objects possibly written at unknown offsets
+  bool MayCalls = false;     ///< a user call already ran this iteration
+  std::map<const VarDecl *, Value> Env;
+  std::set<PendingStore> Pending;
+  bool Unreachable = false;
+
+  bool operator==(const AbsState &O) const {
+    return Must == O.Must && May == O.May && MayAll == O.MayAll &&
+           MayCalls == O.MayCalls && Env == O.Env && Pending == O.Pending &&
+           Unreachable == O.Unreachable;
+  }
+};
+
+/// Control-flow join: must facts intersect, may facts union, disagreeing
+/// environment entries drop to Unknown. Unreachable is the identity.
+AbsState meet(const AbsState &A, const AbsState &B) {
+  if (A.Unreachable)
+    return B;
+  if (B.Unreachable)
+    return A;
+  AbsState R;
+  for (const auto &[Obj, S] : A.Must) {
+    auto It = B.Must.find(Obj);
+    if (It == B.Must.end())
+      continue;
+    IntervalSet M = S;
+    M.intersectWith(It->second);
+    if (!M.empty())
+      R.Must[Obj] = std::move(M);
+  }
+  R.May = A.May;
+  for (const auto &[Obj, S] : B.May)
+    R.May[Obj].unionWith(S);
+  R.MayAll = A.MayAll;
+  R.MayAll.insert(B.MayAll.begin(), B.MayAll.end());
+  R.MayCalls = A.MayCalls || B.MayCalls;
+  for (const auto &[V, Val] : A.Env) {
+    auto It = B.Env.find(V);
+    if (It != B.Env.end() && It->second == Val)
+      R.Env.emplace(V, Val);
+  }
+  for (const PendingStore &P : A.Pending)
+    if (B.Pending.count(P))
+      R.Pending.insert(P);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// The engine
+//===----------------------------------------------------------------------===//
+
+struct LValue {
+  /// Singleton object when resolved; 0xffffffff marks "unresolved".
+  static constexpr uint32_t NoObj = 0xffffffffu;
+  uint32_t Obj = NoObj;
+  bool OffKnown = false;
+  Affine Off;
+  int64_t Width = 0;
+};
+
+} // namespace
+
+namespace gdse {
+
+class PrivatizerEngine {
+public:
+  PrivatizerEngine(Module &M, unsigned LoopId, const PointsTo &PT,
+                   const AccessNumbering &Num, const LoopDepGraph &G)
+      : M(M), PT(PT), Num(Num), G(G), LoopId(LoopId) {}
+
+  void run(PrivatizationWitness &W);
+
+private:
+  Module &M;
+  const PointsTo &PT;
+  const AccessNumbering &Num;
+  const LoopDepGraph &G;
+  unsigned LoopId;
+
+  // Pre-pass facts.
+  std::set<AccessId> Vertices;
+  std::set<Function *> Callees;
+  std::set<uint32_t> Fresh;        ///< objects allocated inside the loop
+  std::set<uint32_t> ReadOutside;  ///< objects loaded outside the loop
+  std::map<const VarDecl *, int64_t> ConstGlobals;
+  std::set<const VarDecl *> RegisterVars;
+  std::set<uint32_t> CalleeFrees;
+  std::set<uint32_t> CalleeMayStore;
+  bool Unmodeled = false;
+
+  // Walk state.
+  std::map<const VarDecl *, std::pair<int64_t, int64_t>> ActiveIVs;
+  bool MustPath = true;
+  std::vector<AbsState> *BreakSink = nullptr;
+  std::vector<AbsState> *ContinueSink = nullptr;
+
+  // Verdict accumulation.
+  std::set<AccessId> Walked;
+  std::set<AccessId> Unproven; ///< at least one unproven walked occurrence
+  struct ExposedLoad {
+    AccessId Id;
+    uint32_t Obj;
+    int64_t Lo, Hi;
+  };
+  std::vector<ExposedLoad> Exposed;
+  std::set<AccessId> MustCarried;
+
+  int64_t typeSize(Type *T) { return (int64_t)M.getTypes().getLayout(T).Size; }
+  bool objFresh(uint32_t Obj) const { return Fresh.count(Obj) != 0; }
+
+  void prepass(const ForStmt *Loop, Function *LoopFn);
+  void analyzeStmt(Stmt *S, AbsState &St);
+  void analyzeFor(ForStmt *F, AbsState &St);
+  void analyzeUnknownTrip(Expr *Cond, Stmt *Body, AbsState &St,
+                          bool TripAtLeastOne);
+  Value evalExpr(Expr *E, AbsState &St);
+  LValue resolveLValue(Expr *LV, AbsState &St);
+  void recordStore(AssignStmt *A, AbsState &St);
+  void checkLoad(LoadExpr *L, AbsState &St);
+  void applyCallEffects(CallExpr *C, AbsState &St);
+  void commitLoop(const VarDecl *IV, int64_t Lo, int64_t Hi, AbsState &St);
+  bool allRootsFresh(const std::set<uint32_t> &Roots) const {
+    if (Roots.empty())
+      return false;
+    for (uint32_t O : Roots)
+      if (!objFresh(O))
+        return false;
+    return true;
+  }
+};
+
+} // namespace gdse
+
+//===----------------------------------------------------------------------===//
+// Pre-pass: callees, freshness, outside reads, single-store-const globals
+//===----------------------------------------------------------------------===//
+
+void PrivatizerEngine::prepass(const ForStmt *Loop, Function *LoopFn) {
+  for (const auto &[Id, C] : G.DynCount) {
+    (void)C;
+    Vertices.insert(Id);
+  }
+  RegisterVars = collectRegisterVars(M);
+
+  // Transitively reachable callees (same closure StaticDeps uses).
+  std::vector<Stmt *> Roots = {Loop->getBody()};
+  auto scanExpr = [this](Expr *E) {
+    walkExpr(E, [this](Expr *Sub) {
+      if (auto *C = dyn_cast<CallExpr>(Sub))
+        if (!C->isBuiltin() && C->getCallee())
+          Callees.insert(C->getCallee());
+    });
+  };
+  walkStmts(Loop->getBody(),
+            [&](Stmt *S) { forEachTopLevelExpr(S, scanExpr); });
+  bool Grew = true;
+  while (Grew) {
+    Grew = false;
+    std::set<Function *> Snapshot = Callees;
+    for (Function *F : Snapshot) {
+      if (!F->getBody())
+        continue;
+      size_t Before = Callees.size();
+      walkStmts(F->getBody(),
+                [&](Stmt *S) { forEachTopLevelExpr(S, scanExpr); });
+      if (Callees.size() != Before)
+        Grew = true;
+    }
+  }
+
+  // Bail on bulk memory builtins inside the loop or a reachable callee; the
+  // coverage model cannot represent them.
+  auto scanUnmodeled = [this](Expr *E) {
+    if (auto *C = dyn_cast<CallExpr>(E)) {
+      Builtin B = C->getBuiltin();
+      if (B == Builtin::MemcpyFn || B == Builtin::MemsetFn ||
+          B == Builtin::ReallocFn)
+        Unmodeled = true;
+    }
+  };
+  walkExprs(const_cast<ForStmt *>(Loop)->getBody(), scanUnmodeled);
+  for (Function *F : Callees)
+    if (F->getBody())
+      walkExprs(F->getBody(), scanUnmodeled);
+
+  // Freshness: heap sites whose allocation call appears in the loop body or
+  // a reachable callee.
+  for (uint32_t Id = 0; Id < PT.objects().size(); ++Id) {
+    const MemObject &O = PT.object(Id);
+    if (O.K != MemObject::Kind::HeapSite)
+      continue;
+    bool Inside = false;
+    walkExprs(const_cast<ForStmt *>(Loop)->getBody(), [&](Expr *E) {
+      if (E == O.Site)
+        Inside = true;
+    });
+    for (Function *F : Callees)
+      if (!Inside && F->getBody())
+        walkExprs(F->getBody(), [&](Expr *E) {
+          if (E == O.Site)
+            Inside = true;
+        });
+    if (Inside)
+      Fresh.insert(Id);
+  }
+
+  // Objects loaded by any access outside the loop's vertex set: stores to
+  // them inside the loop are conservatively live-out.
+  for (const AccessDesc &D : Num.accesses()) {
+    if (D.IsStore || Vertices.count(D.Id))
+      continue;
+    for (uint32_t O : PT.lvalueRootObjects(D.location()))
+      ReadOutside.insert(O);
+  }
+
+  // Callee effect summaries (coarse: union over every reachable callee).
+  for (Function *F : Callees) {
+    if (!F->getBody())
+      continue;
+    walkExprs(F->getBody(), [this](Expr *E) {
+      auto *C = dyn_cast<CallExpr>(E);
+      if (C && C->getBuiltin() == Builtin::FreeFn && C->getNumArgs() == 1)
+        for (uint32_t O : PT.valueObjects(C->getArg(0)))
+          CalleeFrees.insert(O);
+    });
+  }
+  for (const AccessDesc &D : Num.accesses()) {
+    if (!D.IsStore || !Callees.count(D.InFunction))
+      continue;
+    for (uint32_t O : PT.lvalueRootObjects(D.location()))
+      CalleeMayStore.insert(O);
+  }
+
+  // Single-store constant globals: a scalar global written exactly once in
+  // the whole program, by a top-level straight-line statement of the loop's
+  // function that precedes the loop, with a constant RHS. Loads of it fold
+  // to that constant (dijkstra's `NV = 64` making `v < NV` a full sweep).
+  for (VarDecl *GV : M.getGlobals()) {
+    if (!GV->getType()->isInt())
+      continue;
+    uint32_t Obj = PT.objectOfVar(GV);
+    const AssignStmt *Single = nullptr;
+    bool Multiple = false;
+    for (const AccessDesc &D : Num.accesses()) {
+      if (!D.IsStore)
+        continue;
+      std::set<uint32_t> R = PT.lvalueRootObjects(D.location());
+      if (!R.count(Obj))
+        continue;
+      if (Single) {
+        Multiple = true;
+        break;
+      }
+      Single = D.StoreNode;
+    }
+    if (Multiple || !Single)
+      continue;
+    auto *LHSRef = dyn_cast<VarRefExpr>(Single->getLHS());
+    if (!LHSRef || LHSRef->getDecl() != GV)
+      continue;
+    auto *RHS = dyn_cast<IntLitExpr>(Single->getRHS());
+    if (!RHS)
+      continue;
+    // Position: the store must be a top-level statement of the loop's
+    // function body, strictly before the top-level statement containing the
+    // loop (so it dominates every loop execution on a straight-line path).
+    if (!LoopFn || !LoopFn->getBody())
+      continue;
+    int StoreIdx = -1, LoopIdx = -1, Idx = 0;
+    for (Stmt *Top : LoopFn->getBody()->getStmts()) {
+      if (Top == Single)
+        StoreIdx = Idx;
+      bool HasLoop = false;
+      walkStmts(Top, [&](Stmt *S) {
+        if (S == Loop)
+          HasLoop = true;
+      });
+      if (HasLoop)
+        LoopIdx = Idx;
+      ++Idx;
+    }
+    if (StoreIdx >= 0 && LoopIdx >= 0 && StoreIdx < LoopIdx)
+      ConstGlobals[GV] = RHS->getValue();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation
+//===----------------------------------------------------------------------===//
+
+Value PrivatizerEngine::evalExpr(Expr *E, AbsState &St) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return Value::intConst(cast<IntLitExpr>(E)->getValue());
+  case Expr::Kind::FloatLit:
+  case Expr::Kind::ThreadId:
+  case Expr::Kind::NumThreads:
+    return Value::unknown();
+  case Expr::Kind::SizeofType:
+    return Value::intConst(
+        typeSize(cast<SizeofTypeExpr>(E)->getQueriedType()));
+  case Expr::Kind::Load: {
+    auto *L = cast<LoadExpr>(E);
+    checkLoad(L, St);
+    // Value tracking: inner-loop IVs are range symbols, never-address-taken
+    // locals come from the environment, single-store globals fold.
+    if (auto *VR = dyn_cast<VarRefExpr>(L->getLocation())) {
+      const VarDecl *D = VR->getDecl();
+      if (auto It = ActiveIVs.find(D); It != ActiveIVs.end()) {
+        Affine A;
+        A.Terms[D] = 1;
+        return Value::intAffine(A);
+      }
+      if (auto It = St.Env.find(D); It != St.Env.end())
+        return It->second;
+      if (auto It = ConstGlobals.find(D); It != ConstGlobals.end())
+        return Value::intConst(It->second);
+    }
+    return Value::unknown();
+  }
+  case Expr::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    Value S = evalExpr(U->getSub(), St);
+    if (U->getOp() == UnaryOp::Neg && S.Kind == Value::K::Int)
+      return Value::intAffine(Affine{}.operator-(S.A));
+    return Value::unknown();
+  }
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    bool ShortCircuit = B->getOp() == BinaryOp::LogicalAnd ||
+                        B->getOp() == BinaryOp::LogicalOr;
+    Value L = evalExpr(B->getLHS(), St);
+    Value R;
+    if (ShortCircuit) {
+      bool SavedMust = MustPath;
+      MustPath = false;
+      R = evalExpr(B->getRHS(), St);
+      MustPath = SavedMust;
+      return Value::unknown();
+    }
+    R = evalExpr(B->getRHS(), St);
+    auto eltSize = [&]() -> int64_t {
+      if (auto *PT2 = dyn_cast<PointerType>(E->getType()))
+        if (!PT2->getPointee()->isVoid())
+          return typeSize(PT2->getPointee());
+      return 0;
+    };
+    switch (B->getOp()) {
+    case BinaryOp::Add:
+      if (L.Kind == Value::K::Int && R.Kind == Value::K::Int)
+        return Value::intAffine(L.A + R.A);
+      if (L.Kind == Value::K::Ptr && R.Kind == Value::K::Int) {
+        int64_t ES = eltSize();
+        if (ES > 0)
+          return Value::ptr(L.Obj, L.A + R.A.scaled(ES));
+      }
+      if (L.Kind == Value::K::Int && R.Kind == Value::K::Ptr) {
+        int64_t ES = eltSize();
+        if (ES > 0)
+          return Value::ptr(R.Obj, R.A + L.A.scaled(ES));
+      }
+      return Value::unknown();
+    case BinaryOp::Sub:
+      if (L.Kind == Value::K::Int && R.Kind == Value::K::Int)
+        return Value::intAffine(L.A - R.A);
+      if (L.Kind == Value::K::Ptr && R.Kind == Value::K::Int) {
+        int64_t ES = eltSize();
+        if (ES > 0)
+          return Value::ptr(L.Obj, L.A - R.A.scaled(ES));
+      }
+      return Value::unknown();
+    case BinaryOp::Mul:
+      if (L.Kind == Value::K::Int && R.Kind == Value::K::Int) {
+        if (L.A.isConst())
+          return Value::intAffine(R.A.scaled(L.A.Const));
+        if (R.A.isConst())
+          return Value::intAffine(L.A.scaled(R.A.Const));
+      }
+      return Value::unknown();
+    case BinaryOp::Div:
+      if (L.isConstInt() && R.isConstInt() && R.A.Const != 0)
+        return Value::intConst(L.A.Const / R.A.Const);
+      return Value::unknown();
+    case BinaryOp::Rem:
+      if (L.isConstInt() && R.isConstInt() && R.A.Const != 0)
+        return Value::intConst(L.A.Const % R.A.Const);
+      return Value::unknown();
+    default:
+      return Value::unknown();
+    }
+  }
+  case Expr::Kind::ArrayIndex:
+  case Expr::Kind::FieldAccess:
+  case Expr::Kind::Deref:
+  case Expr::Kind::VarRef:
+    // L-values are evaluated via resolveLValue from their Load/AddrOf/Decay
+    // consumers; reaching one here means an unhandled consumer — just walk
+    // children for load checks.
+    forEachChildExpr(E, [&](Expr *C) { (void)evalExpr(C, St); });
+    return Value::unknown();
+  case Expr::Kind::AddrOf: {
+    LValue LV = resolveLValue(cast<AddrOfExpr>(E)->getLocation(), St);
+    if (LV.Obj != LValue::NoObj && LV.OffKnown)
+      return Value::ptr(LV.Obj, LV.Off);
+    return Value::unknown();
+  }
+  case Expr::Kind::Decay: {
+    LValue LV = resolveLValue(cast<DecayExpr>(E)->getArrayLocation(), St);
+    if (LV.Obj != LValue::NoObj && LV.OffKnown)
+      return Value::ptr(LV.Obj, LV.Off);
+    return Value::unknown();
+  }
+  case Expr::Kind::Cast: {
+    Value S = evalExpr(cast<CastExpr>(E)->getSub(), St);
+    if (S.Kind == Value::K::Ptr && E->getType()->isPointer())
+      return S; // reinterpreting casts keep the byte offset
+    if (S.Kind == Value::K::Int && E->getType()->isInt() &&
+        cast<IntType>(E->getType())->getBits() >= 32)
+      return S; // no truncation at 32+ bits for in-range index math
+    return Value::unknown();
+  }
+  case Expr::Kind::Call: {
+    auto *C = cast<CallExpr>(E);
+    for (Expr *A : C->getArgs())
+      (void)evalExpr(A, St);
+    applyCallEffects(C, St);
+    if (isAllocationBuiltin(C->getBuiltin()) && PT.hasSite(C->getSiteId()))
+      return Value::ptr(PT.objectOfSite(C->getSiteId()), Affine{});
+    return Value::unknown();
+  }
+  case Expr::Kind::Cond: {
+    auto *C = cast<CondExpr>(E);
+    (void)evalExpr(C->getCond(), St);
+    bool SavedMust = MustPath;
+    MustPath = false;
+    (void)evalExpr(C->getThen(), St);
+    (void)evalExpr(C->getElse(), St);
+    MustPath = SavedMust;
+    return Value::unknown();
+  }
+  }
+  gdse_unreachable("unhandled expression kind");
+}
+
+LValue PrivatizerEngine::resolveLValue(Expr *LV, AbsState &St) {
+  LValue R;
+  switch (LV->getKind()) {
+  case Expr::Kind::VarRef: {
+    auto *VR = cast<VarRefExpr>(LV);
+    R.Obj = PT.objectOfVar(VR->getDecl());
+    R.OffKnown = true;
+    R.Width = typeSize(LV->getType());
+    return R;
+  }
+  case Expr::Kind::FieldAccess: {
+    auto *FA = cast<FieldAccessExpr>(LV);
+    LValue B = resolveLValue(FA->getBase(), St);
+    R.Width = typeSize(LV->getType());
+    if (B.Obj != LValue::NoObj) {
+      R.Obj = B.Obj;
+      if (B.OffKnown) {
+        const TypeLayout &L =
+            M.getTypes().getLayout(FA->getBase()->getType());
+        if (FA->getFieldIndex() < L.FieldOffsets.size()) {
+          Affine FO;
+          FO.Const = (int64_t)L.FieldOffsets[FA->getFieldIndex()];
+          R.Off = B.Off + FO;
+          R.OffKnown = true;
+        }
+      }
+    }
+    return R;
+  }
+  case Expr::Kind::ArrayIndex: {
+    auto *AI = cast<ArrayIndexExpr>(LV);
+    Value Base = evalExpr(AI->getBase(), St);
+    Value Idx = evalExpr(AI->getIndex(), St);
+    R.Width = typeSize(LV->getType());
+    if (Base.Kind == Value::K::Ptr) {
+      R.Obj = Base.Obj;
+      if (Idx.Kind == Value::K::Int) {
+        R.Off = Base.A + Idx.A.scaled(R.Width);
+        R.OffKnown = true;
+      }
+    }
+    return R;
+  }
+  case Expr::Kind::Deref: {
+    auto *D = cast<DerefExpr>(LV);
+    Value P = evalExpr(D->getPtr(), St);
+    R.Width = typeSize(LV->getType());
+    if (P.Kind == Value::K::Ptr) {
+      R.Obj = P.Obj;
+      R.Off = P.A;
+      R.OffKnown = true;
+    }
+    return R;
+  }
+  default:
+    // Not an l-value form; evaluate for load checks and give up.
+    (void)evalExpr(LV, St);
+    return R;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Loads, stores, calls
+//===----------------------------------------------------------------------===//
+
+/// Bounding byte interval of an affine offset over the active IV ranges.
+/// Returns false when a referenced IV is not active (cannot bound).
+static bool affineBounds(const Affine &A, int64_t Width,
+                         const std::map<const VarDecl *,
+                                        std::pair<int64_t, int64_t>> &IVs,
+                         int64_t &Lo, int64_t &Hi) {
+  int64_t Min = A.Const, Max = A.Const;
+  for (const auto &[V, C] : A.Terms) {
+    auto It = IVs.find(V);
+    if (It == IVs.end())
+      return false;
+    auto [L, H] = It->second; // iv in [L, H)
+    if (H <= L)
+      return false;
+    if (C >= 0) {
+      Min += C * L;
+      Max += C * (H - 1);
+    } else {
+      Min += C * (H - 1);
+      Max += C * L;
+    }
+  }
+  Lo = Min;
+  Hi = Max + Width;
+  return true;
+}
+
+void PrivatizerEngine::checkLoad(LoadExpr *L, AbsState &St) {
+  LValue LV = resolveLValue(L->getLocation(), St);
+  AccessId Id = L->getAccessId();
+  if (Id == InvalidAccessId || !Vertices.count(Id))
+    return;
+  Walked.insert(Id);
+
+  std::set<uint32_t> Roots = PT.lvalueRootObjects(L->getLocation());
+  bool Proven = false;
+  if (allRootsFresh(Roots)) {
+    Proven = true;
+  } else if (LV.Obj != LValue::NoObj && Roots.size() <= 1) {
+    uint32_t Obj = LV.Obj;
+    if (objFresh(Obj)) {
+      Proven = true;
+    } else if (LV.OffKnown) {
+      if (LV.Off.isConst()) {
+        auto It = St.Must.find(Obj);
+        Proven = It != St.Must.end() &&
+                 It->second.covers(LV.Off.Const, LV.Off.Const + LV.Width);
+      } else {
+        // Same-iteration exact match against a pending affine store, or the
+        // whole bounding interval already committed to must-coverage.
+        for (const PendingStore &P : St.Pending)
+          if (P.Obj == Obj && P.Off == LV.Off && P.Width >= LV.Width) {
+            Proven = true;
+            break;
+          }
+        int64_t Lo, Hi;
+        if (!Proven && affineBounds(LV.Off, LV.Width, ActiveIVs, Lo, Hi)) {
+          auto It = St.Must.find(Obj);
+          Proven = It != St.Must.end() && It->second.covers(Lo, Hi);
+        }
+      }
+    } else {
+      // Known object, unknown offset: whole-object coverage (variables only;
+      // heap sites have no static size).
+      const MemObject &O = PT.object(Obj);
+      if (O.K == MemObject::Kind::Variable) {
+        int64_t Size = typeSize(O.Var->getType());
+        auto It = St.Must.find(Obj);
+        Proven = It != St.Must.end() && It->second.covers(0, Size);
+      }
+    }
+  }
+
+  if (!Proven) {
+    Unproven.insert(Id);
+    // Proven-shared candidate: a must-executed load of bytes nothing this
+    // iteration can have written yet certainly reads an earlier iteration's
+    // state. If a later must-executed store overwrites those bytes, the
+    // carried flow dependence is certain.
+    if (MustPath && !St.MayCalls && LV.Obj != LValue::NoObj &&
+        Roots.size() <= 1 && !objFresh(LV.Obj) && LV.OffKnown &&
+        LV.Off.isConst() && !St.MayAll.count(LV.Obj)) {
+      auto It = St.May.find(LV.Obj);
+      if (It == St.May.end() ||
+          !It->second.overlaps(LV.Off.Const, LV.Off.Const + LV.Width))
+        Exposed.push_back({Id, LV.Obj, LV.Off.Const, LV.Off.Const + LV.Width});
+    }
+  }
+}
+
+void PrivatizerEngine::recordStore(AssignStmt *A, AbsState &St) {
+  Value RHSVal = evalExpr(A->getRHS(), St);
+  LValue LV = resolveLValue(A->getLHS(), St);
+  AccessId Id = A->getAccessId();
+  if (Id != InvalidAccessId && Vertices.count(Id))
+    Walked.insert(Id);
+
+  if (LV.Obj != LValue::NoObj && LV.OffKnown && LV.Width > 0) {
+    if (LV.Off.isConst()) {
+      if (LV.Off.Const >= 0) {
+        St.Must[LV.Obj].add(LV.Off.Const, LV.Off.Const + LV.Width);
+        St.May[LV.Obj].add(LV.Off.Const, LV.Off.Const + LV.Width);
+      }
+      if (MustPath && Id != InvalidAccessId)
+        for (const ExposedLoad &E : Exposed)
+          if (E.Obj == LV.Obj && E.Lo < LV.Off.Const + LV.Width &&
+              LV.Off.Const < E.Hi) {
+            MustCarried.insert(E.Id);
+            MustCarried.insert(Id);
+          }
+    } else {
+      St.Pending.insert(PendingStore{LV.Obj, LV.Off, LV.Width});
+      int64_t Lo, Hi;
+      if (affineBounds(LV.Off, LV.Width, ActiveIVs, Lo, Hi))
+        St.May[LV.Obj].add(Lo, Hi);
+      else
+        St.MayAll.insert(LV.Obj);
+    }
+  } else {
+    for (uint32_t O : PT.lvalueRootObjects(A->getLHS()))
+      St.MayAll.insert(O);
+  }
+
+  // Track never-address-taken local scalar/pointer values flow-sensitively.
+  if (auto *VR = dyn_cast<VarRefExpr>(A->getLHS()))
+    if (RegisterVars.count(VR->getDecl()))
+      St.Env[VR->getDecl()] = RHSVal;
+}
+
+void PrivatizerEngine::applyCallEffects(CallExpr *C, AbsState &St) {
+  if (C->isBuiltin()) {
+    switch (C->getBuiltin()) {
+    case Builtin::FreeFn:
+      if (C->getNumArgs() == 1)
+        for (uint32_t O : PT.valueObjects(C->getArg(0)))
+          St.Must.erase(O);
+      return;
+    case Builtin::ExitFn:
+      St.Unreachable = true;
+      return;
+    default:
+      return; // alloc handled by caller; the rest have no memory effects
+    }
+  }
+  // User call: coarse reachable-callee summary.
+  St.MayCalls = true;
+  for (uint32_t O : CalleeFrees)
+    St.Must.erase(O);
+  for (uint32_t O : CalleeMayStore)
+    St.MayAll.insert(O);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements and loops
+//===----------------------------------------------------------------------===//
+
+void PrivatizerEngine::analyzeStmt(Stmt *S, AbsState &St) {
+  if (St.Unreachable)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+    for (Stmt *C : cast<BlockStmt>(S)->getStmts())
+      analyzeStmt(C, St);
+    return;
+  case Stmt::Kind::ExprStmt:
+    (void)evalExpr(cast<ExprStmt>(S)->getExpr(), St);
+    return;
+  case Stmt::Kind::Assign:
+    recordStore(cast<AssignStmt>(S), St);
+    return;
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    (void)evalExpr(I->getCond(), St);
+    bool SavedMust = MustPath;
+    MustPath = false;
+    AbsState ThenSt = St;
+    analyzeStmt(I->getThen(), ThenSt);
+    AbsState ElseSt = St;
+    if (I->getElse())
+      analyzeStmt(I->getElse(), ElseSt);
+    MustPath = SavedMust;
+    St = meet(ThenSt, ElseSt);
+    return;
+  }
+  case Stmt::Kind::For:
+    analyzeFor(cast<ForStmt>(S), St);
+    return;
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    analyzeUnknownTrip(W->getCond(), W->getBody(), St,
+                       /*TripAtLeastOne=*/false);
+    return;
+  }
+  case Stmt::Kind::Return:
+    if (Expr *V = cast<ReturnStmt>(S)->getValue())
+      (void)evalExpr(V, St);
+    St.Unreachable = true;
+    return;
+  case Stmt::Kind::Break:
+    if (BreakSink)
+      BreakSink->push_back(St);
+    St.Unreachable = true;
+    return;
+  case Stmt::Kind::Continue:
+    // The continue path reaches the back edge with whatever it wrote so far;
+    // statements it skips must not count as executed on it.
+    if (ContinueSink)
+      ContinueSink->push_back(St);
+    St.Unreachable = true;
+    return;
+  case Stmt::Kind::Ordered:
+    analyzeStmt(cast<OrderedStmt>(S)->getBody(), St);
+    return;
+  }
+  gdse_unreachable("unhandled statement kind");
+}
+
+/// Meet-over-iterations fixpoint for loops the engine cannot count.
+void PrivatizerEngine::analyzeUnknownTrip(Expr *Cond, Stmt *Body, AbsState &St,
+                                          bool TripAtLeastOne) {
+  bool SavedMust = MustPath;
+  // The first condition check runs unconditionally in the enclosing context.
+  if (Cond)
+    (void)evalExpr(Cond, St);
+  std::vector<AbsState> Breaks;
+  std::vector<AbsState> *SavedBreak = BreakSink;
+  std::vector<AbsState> *SavedCont = ContinueSink;
+  BreakSink = &Breaks;
+
+  AbsState Entry = St;
+  Entry.Pending.clear(); // pendings never survive a back edge
+  AbsState Exit;
+  for (int Pass = 0; Pass < 8; ++Pass) {
+    std::vector<AbsState> Continues;
+    ContinueSink = &Continues;
+    AbsState BodySt = Entry;
+    MustPath = SavedMust && TripAtLeastOne && Pass == 0;
+    analyzeStmt(Body, BodySt);
+    Exit = BodySt;
+    for (const AbsState &C : Continues)
+      Exit = meet(Exit, C);
+    AbsState NextEntry = meet(Entry, Exit);
+    NextEntry.Pending.clear();
+    if (Cond)
+      (void)evalExpr(Cond, NextEntry); // back-edge condition re-check
+    if (NextEntry == Entry)
+      break;
+    Entry = std::move(NextEntry);
+  }
+  BreakSink = SavedBreak;
+  ContinueSink = SavedCont;
+  MustPath = SavedMust;
+
+  AbsState After = TripAtLeastOne ? Exit : meet(St, Exit);
+  for (const AbsState &B : Breaks)
+    After = meet(After, B);
+  After.Pending = St.Pending; // inner pendings don't commit without bounds
+  St = std::move(After);
+}
+
+void PrivatizerEngine::analyzeFor(ForStmt *F, AbsState &St) {
+  Value Init = evalExpr(F->getInit(), St);
+  Value Limit = evalExpr(F->getLimit(), St);
+  Value Step = evalExpr(F->getStep(), St);
+  const VarDecl *IV = F->getInductionVar();
+
+  bool Counted = Init.isConstInt() && Limit.isConstInt() &&
+                 Step.isConstInt() && Step.A.Const > 0;
+  if (Counted && Init.A.Const >= Limit.A.Const)
+    return; // zero-trip loop: no effect
+  if (Counted && Step.A.Const == 1 && !ActiveIVs.count(IV)) {
+    // Sweep mode: the IV is a range symbol; affine stores become pending
+    // records committed by the mixed-radix density check below.
+    int64_t Lo = Init.A.Const, Hi = Limit.A.Const;
+    ActiveIVs[IV] = {Lo, Hi};
+    std::vector<AbsState> Breaks;
+    std::vector<AbsState> *SavedBreak = BreakSink;
+    std::vector<AbsState> *SavedCont = ContinueSink;
+    BreakSink = &Breaks;
+
+    bool Continued = false;
+    AbsState Entry = St;
+    Entry.Pending.clear();
+    AbsState Exit;
+    for (int Pass = 0; Pass < 8; ++Pass) {
+      std::vector<AbsState> Continues;
+      ContinueSink = &Continues;
+      AbsState BodySt = Entry;
+      analyzeStmt(F->getBody(), BodySt);
+      Exit = BodySt;
+      Continued = Continued || !Continues.empty();
+      for (const AbsState &C : Continues)
+        Exit = meet(Exit, C);
+      AbsState NextEntry = meet(Entry, Exit);
+      NextEntry.Pending.clear();
+      if (NextEntry == Entry)
+        break;
+      Entry = std::move(NextEntry);
+    }
+    BreakSink = SavedBreak;
+    ContinueSink = SavedCont;
+
+    AbsState After = Exit; // trip >= 1 by the bound check above
+    bool Broke = !Breaks.empty() || Continued;
+    for (const AbsState &B : Breaks)
+      After = meet(After, B);
+    if (Broke) {
+      // A break truncates the sweep: pending images are no longer dense
+      // over the full IV range.
+      After.Pending = St.Pending;
+    } else {
+      commitLoop(IV, Lo, Hi, After);
+      // Pendings the commit could not discharge for this IV are gone;
+      // restore the enclosing iteration's own pendings on top.
+      for (const PendingStore &P : St.Pending)
+        After.Pending.insert(P);
+    }
+    ActiveIVs.erase(IV);
+    // Environment entries mentioning the dead IV are meaningless now.
+    for (auto It = After.Env.begin(); It != After.Env.end();) {
+      if (It->second.A.Terms.count(IV))
+        It = After.Env.erase(It);
+      else
+        ++It;
+    }
+    St = std::move(After);
+    return;
+  }
+  // Counted with step > 1 still guarantees at least one trip; anything else
+  // is an unknown-trip loop.
+  analyzeUnknownTrip(F->getLimit(), F->getBody(), St,
+                     /*TripAtLeastOne=*/Counted);
+}
+
+/// Commits pending affine stores when loop \p IV (range [Lo,Hi)) finishes:
+/// a store whose offset term in IV has stride <= its width extends into a
+/// dense image over the whole range (a[y*8+x]-style mixed radix, innermost
+/// first). Term-free results become concrete must-coverage.
+void PrivatizerEngine::commitLoop(const VarDecl *IV, int64_t Lo, int64_t Hi,
+                                  AbsState &St) {
+  std::set<PendingStore> Out;
+  int64_t N = Hi - Lo;
+  for (PendingStore P : St.Pending) {
+    auto It = P.Off.Terms.find(IV);
+    if (It == P.Off.Terms.end()) {
+      // Invariant in this loop (executed every iteration): keep for outer
+      // commits; if already term-free it was const and went to Must directly.
+      Out.insert(P);
+      continue;
+    }
+    int64_t C = It->second;
+    P.Off.Terms.erase(It);
+    if (C <= 0 || C > P.Width)
+      continue; // non-positive or strided: image not dense, drop
+    P.Off.Const += C * Lo;
+    P.Width += C * (N - 1);
+    if (P.Off.isConst()) {
+      if (P.Off.Const >= 0) {
+        St.Must[P.Obj].add(P.Off.Const, P.Off.Const + P.Width);
+        St.May[P.Obj].add(P.Off.Const, P.Off.Const + P.Width);
+      }
+    } else {
+      Out.insert(P);
+    }
+  }
+  St.Pending = std::move(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver: run the iteration analysis and assemble verdicts
+//===----------------------------------------------------------------------===//
+
+void PrivatizerEngine::run(PrivatizationWitness &W) {
+  W.LoopId = LoopId;
+
+  const LoopDesc *LD = nullptr;
+  for (const LoopDesc &L : Num.loops())
+    if (L.Id == LoopId)
+      LD = &L;
+  auto *Loop = LD ? dyn_cast<ForStmt>(LD->LoopStmt) : nullptr;
+
+  AccessClasses AC = AccessClasses::build(G);
+  W.Classes.clear();
+  W.Classes.resize(AC.classes().size());
+  for (unsigned I = 0; I < AC.classes().size(); ++I) {
+    W.Classes[I].Members = AC.classes()[I].Members;
+    for (AccessId Id : W.Classes[I].Members)
+      W.ClassIdx[Id] = I;
+  }
+
+  if (!Loop) {
+    W.Unmodeled = true;
+    for (ClassWitness &C : W.Classes)
+      C.Reason = "loop not in canonical form";
+    return;
+  }
+
+  prepass(Loop, LD->InFunction);
+  W.FreshObjects = Fresh;
+  if (Unmodeled) {
+    W.Unmodeled = true;
+    for (ClassWitness &C : W.Classes)
+      C.Reason = "unmodeled bulk memory operation in loop";
+    return;
+  }
+
+  // One symbolic iteration, starting from an empty (worst-case) state.
+  AbsState St;
+  MustPath = true;
+  analyzeStmt(Loop->getBody(), St);
+
+  // Per-access proofs.
+  for (AccessId Id : Vertices) {
+    const AccessDesc &D = Num.access(Id);
+    std::set<uint32_t> Roots = PT.lvalueRootObjects(D.location());
+    bool RootsFresh = allRootsFresh(Roots);
+    if (RootsFresh)
+      W.AllRootsFresh.insert(Id);
+    if (D.IsStore) {
+      bool Dead = !Roots.empty();
+      for (uint32_t O : Roots)
+        if (!objFresh(O) && ReadOutside.count(O))
+          Dead = false;
+      if (Dead || RootsFresh)
+        W.ProvenStores.insert(Id);
+    } else {
+      bool Covered = Walked.count(Id) && !Unproven.count(Id);
+      if (Covered || RootsFresh)
+        W.ProvenLoads.insert(Id);
+    }
+  }
+  W.MustCarried = MustCarried;
+
+  // Per-class verdicts.
+  for (ClassWitness &C : W.Classes) {
+    bool Loads = true, Stores = true, FreshAll = true, Carried = false;
+    for (AccessId Id : C.Members) {
+      const AccessDesc &D = Num.access(Id);
+      if (D.IsStore)
+        Stores = Stores && W.ProvenStores.count(Id) != 0;
+      else
+        Loads = Loads && W.ProvenLoads.count(Id) != 0;
+      FreshAll = FreshAll && W.AllRootsFresh.count(Id) != 0;
+      Carried = Carried || MustCarried.count(Id) != 0;
+    }
+    C.LoadsCovered = Loads;
+    C.StoresDead = Stores;
+    C.AllFresh = FreshAll;
+    if (Carried) {
+      C.Verdict = PrivatizationVerdict::ProvenShared;
+      C.Reason = "certain loop-carried flow dependence";
+    } else if (Loads && Stores) {
+      C.Verdict = PrivatizationVerdict::ProvenPrivate;
+      C.Reason = FreshAll ? "all storage freshly allocated per iteration"
+                          : "loads covered by same-iteration writes; stores "
+                            "dead outside the loop";
+    } else {
+      C.Verdict = PrivatizationVerdict::Unknown;
+      C.Reason = !Loads ? "a load may read earlier-iteration state"
+                        : "a store may be live after the loop";
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+PrivatizationWitness PrivatizationWitness::compute(Module &M, unsigned LoopId,
+                                                   const PointsTo &PT,
+                                                   const AccessNumbering &Num,
+                                                   const LoopDepGraph &G) {
+  PrivatizationWitness W;
+  PrivatizerEngine Engine(M, LoopId, PT, Num, G);
+  Engine.run(W);
+  return W;
+}
+
+PrivatizationVerdict PrivatizationWitness::verdictOf(AccessId Id) const {
+  auto It = ClassIdx.find(Id);
+  if (It == ClassIdx.end())
+    return PrivatizationVerdict::Unknown;
+  return Classes[It->second].Verdict;
+}
+
+unsigned PrivatizationWitness::count(PrivatizationVerdict V) const {
+  unsigned N = 0;
+  for (const ClassWitness &C : Classes)
+    if (C.Verdict == V)
+      ++N;
+  return N;
+}
+
+LoopDepGraph PrivatizationWitness::refineGraph(const LoopDepGraph &G) const {
+  LoopDepGraph W = G;
+  if (Unmodeled)
+    return W;
+  for (AccessId Id : ProvenLoads)
+    W.UpwardsExposedLoads.erase(Id);
+  for (AccessId Id : ProvenStores)
+    W.DownwardsExposedStores.erase(Id);
+  std::set<DepEdge> Kept;
+  for (const DepEdge &E : G.Edges) {
+    if (E.Carried) {
+      // Storage fresh on both ends cannot carry anything across iterations.
+      if (AllRootsFresh.count(E.Src) && AllRootsFresh.count(E.Dst))
+        continue;
+      // A covered load reads only same-iteration values: carried flow into
+      // it is refuted. Carried anti/output stay — they are condition (3).
+      if (E.Kind == DepKind::Flow && ProvenLoads.count(E.Dst))
+        continue;
+    }
+    Kept.insert(E);
+  }
+  W.Edges = std::move(Kept);
+  return W;
+}
+
+std::string PrivatizationWitness::str() const {
+  std::string Out = formatString("witness loop %u\n", LoopId);
+  if (Unmodeled)
+    Out += "unmodeled\n";
+  for (unsigned I = 0; I < Classes.size(); ++I) {
+    const ClassWitness &C = Classes[I];
+    Out += formatString("class %u %s", I,
+                        privatizationVerdictName(C.Verdict));
+    for (AccessId Id : C.Members)
+      Out += formatString(" %u", Id);
+    Out += "\n";
+    Out += formatString("  loads-covered %d stores-dead %d fresh %d  # %s\n",
+                        C.LoadsCovered ? 1 : 0, C.StoresDead ? 1 : 0,
+                        C.AllFresh ? 1 : 0, C.Reason.c_str());
+  }
+  auto emitSet = [&Out](const char *Name, const std::set<AccessId> &S) {
+    if (S.empty())
+      return;
+    Out += Name;
+    for (AccessId Id : S)
+      Out += formatString(" %u", Id);
+    Out += "\n";
+  };
+  emitSet("proven-loads", ProvenLoads);
+  emitSet("proven-stores", ProvenStores);
+  emitSet("must-carried", MustCarried);
+  if (!FreshObjects.empty()) {
+    Out += "fresh-objects";
+    for (uint32_t O : FreshObjects)
+      Out += formatString(" %u", O);
+    Out += "\n";
+  }
+  return Out;
+}

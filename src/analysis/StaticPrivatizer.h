@@ -1,0 +1,174 @@
+//===- StaticPrivatizer.h - Static privatization witness --------*- C++ -*-===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flow-sensitive, field-sensitive must-write-coverage analysis over one
+/// iteration of a candidate loop that re-derives the paper's Definitions 2-5
+/// statically instead of from the profile.
+///
+/// The conservative StaticDeps graph (the §4.1 foil) reports every
+/// may-aliasing pair as both loop-carried and loop-independent, which blocks
+/// privatization of exactly the working buffers the paper's workloads
+/// privatize. This analysis computes, per points-to object and per candidate
+/// iteration:
+///
+///  - must-write coverage: the byte intervals certainly written by the
+///    iteration before a given program point (strong updates from
+///    constant-offset stores, plus recognized dense sweep nests like
+///    `for (y) for (x) a[y*8+x] = ...` whose mixed-radix image is a single
+///    interval);
+///  - allocation freshness: heap objects whose allocation site executes
+///    inside the loop are private to their iteration by construction;
+///  - liveness outside the loop: an object never loaded outside the loop
+///    body (or its transitively reachable callees) cannot make a store
+///    downwards-exposed.
+///
+/// From these facts every access class of the conservative graph gets a
+/// verdict:
+///
+///  - ProvenPrivate: every member load reads only bytes the same iteration
+///    already wrote (or a per-iteration-fresh object), and every member
+///    store targets objects that are fresh or never read outside the loop.
+///    Conditions (1) and (2) of Definition 5 hold by construction; the
+///    access class needs no runtime guard.
+///  - ProvenShared: a must-executed load reads bytes no earlier statement of
+///    the iteration can have written, and a later must-executed store
+///    overwrites them — a certain loop-carried flow dependence. A profile
+///    that claims this class private is refuted.
+///  - Unknown: neither proof went through; defer to the profile (and keep
+///    the guards).
+///
+/// refineGraph() applies the per-access proofs to the conservative graph:
+/// proven loads stop being upwards-exposed and lose incident carried flow
+/// edges, proven stores stop being downwards-exposed, and accesses meeting
+/// only on fresh objects lose all carried edges. Carried anti/output edges
+/// between surviving accesses are kept — they are what licenses
+/// privatization (Definition 5, condition 3). The refined graph is served by
+/// AnalysisManager as GraphSource::Witness and is a drop-in input to the
+/// expansion pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GDSE_ANALYSIS_STATICPRIVATIZER_H
+#define GDSE_ANALYSIS_STATICPRIVATIZER_H
+
+#include "analysis/AccessClasses.h"
+#include "analysis/DepGraph.h"
+#include "analysis/PointsTo.h"
+#include "ir/AccessInfo.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gdse {
+
+/// What the static analysis can say about one access class.
+enum class PrivatizationVerdict : uint8_t {
+  ProvenPrivate, ///< conditions (1)+(2) of Definition 5 hold statically
+  ProvenShared,  ///< a loop-carried flow dependence certainly exists
+  Unknown,       ///< no proof either way; defer to the profile
+};
+
+/// "proven-private" / "proven-shared" / "unknown".
+const char *privatizationVerdictName(PrivatizationVerdict V);
+
+/// Verdict and supporting facts for one access class of the conservative
+/// static graph.
+struct ClassWitness {
+  std::vector<AccessId> Members;
+  PrivatizationVerdict Verdict = PrivatizationVerdict::Unknown;
+  /// Every member load is covered by same-iteration must-writes or reads a
+  /// per-iteration-fresh object.
+  bool LoadsCovered = false;
+  /// Every member store targets a fresh object or one never read outside
+  /// the loop.
+  bool StoresDead = false;
+  /// All objects the class touches are freshly allocated each iteration.
+  bool AllFresh = false;
+  /// Short deterministic explanation for diagnostics/dumps.
+  std::string Reason;
+};
+
+/// Result of the analysis for one candidate loop: per-access and per-class
+/// verdicts plus the facts needed to refine the conservative graph, prune
+/// guard plans, and audit the profile.
+class PrivatizationWitness {
+public:
+  /// Runs the analysis. \p StaticG must be the conservative graph built by
+  /// buildStaticDepGraph for the same loop of the same (untransformed)
+  /// module — access ids are shared.
+  static PrivatizationWitness compute(Module &M, unsigned LoopId,
+                                      const PointsTo &PT,
+                                      const AccessNumbering &Num,
+                                      const LoopDepGraph &StaticG);
+
+  unsigned loopId() const { return LoopId; }
+
+  /// True when the loop body (or a reachable callee) contains bulk memory
+  /// builtins the analysis does not model; every verdict is then Unknown.
+  bool unmodeled() const { return Unmodeled; }
+
+  /// Per-class results, index-aligned with AccessClasses::build(StaticG).
+  const std::vector<ClassWitness> &classes() const { return Classes; }
+
+  /// Verdict of the class containing \p Id (Unknown for accesses outside
+  /// the loop's vertex set).
+  PrivatizationVerdict verdictOf(AccessId Id) const;
+
+  /// True when \p Id belongs to a ProvenPrivate class.
+  bool provenPrivate(AccessId Id) const {
+    return verdictOf(Id) == PrivatizationVerdict::ProvenPrivate;
+  }
+
+  /// Number of classes with the given verdict.
+  unsigned count(PrivatizationVerdict V) const;
+
+  /// Per-access proof bits (keyed by vertex access id).
+  bool loadProven(AccessId Id) const { return ProvenLoads.count(Id) != 0; }
+  bool storeProven(AccessId Id) const { return ProvenStores.count(Id) != 0; }
+  bool mustCarried(AccessId Id) const { return MustCarried.count(Id) != 0; }
+  /// True when every root object of \p Id is freshly allocated each
+  /// iteration. Freshness-proven loads cannot refute a profiled
+  /// upwards-exposed-load observation (reading uninitialized fresh memory
+  /// is still exposed) — audits must require coverage, i.e.
+  /// loadProven(Id) && !rootsFresh(Id).
+  bool rootsFresh(AccessId Id) const { return AllRootsFresh.count(Id) != 0; }
+
+  /// Objects proven freshly allocated every iteration.
+  const std::set<uint32_t> &freshObjects() const { return FreshObjects; }
+
+  /// Applies the proofs to \p StaticG (normally the graph compute() saw):
+  /// removes refuted exposure sets and carried flow edges, keeps carried
+  /// anti/output between surviving accesses. Deterministic.
+  LoopDepGraph refineGraph(const LoopDepGraph &StaticG) const;
+
+  /// Deterministic, diffable dump (the `--dump=witness` printer).
+  std::string str() const;
+
+private:
+  unsigned LoopId = 0;
+  bool Unmodeled = false;
+  std::vector<ClassWitness> Classes;
+  std::map<AccessId, unsigned> ClassIdx;
+  /// Loads proven covered-or-fresh; stores proven fresh-or-dead-outside.
+  std::set<AccessId> ProvenLoads;
+  std::set<AccessId> ProvenStores;
+  /// Accesses participating in a proven loop-carried flow dependence.
+  std::set<AccessId> MustCarried;
+  std::set<uint32_t> FreshObjects;
+  /// Accesses whose every root object is fresh (used by refineGraph to drop
+  /// carried anti/output edges that cannot exist on fresh storage).
+  std::set<AccessId> AllRootsFresh;
+
+  friend class PrivatizerEngine;
+};
+
+} // namespace gdse
+
+#endif // GDSE_ANALYSIS_STATICPRIVATIZER_H

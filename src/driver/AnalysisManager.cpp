@@ -25,6 +25,8 @@ const char *gdse::graphSourceName(GraphSource S) {
     return "static-deps";
   case GraphSource::External:
     return "external";
+  case GraphSource::Witness:
+    return "witness";
   }
   gdse_unreachable("bad graph source");
 }
@@ -222,6 +224,16 @@ const LoopDepGraph *AnalysisManager::depGraph(unsigned LoopId,
     Entry.G = buildStaticDepGraph(M, LoopId, P, Numbering);
     break;
   }
+  case GraphSource::Witness: {
+    // Refine the conservative static graph with the witness's proofs. Both
+    // ingredients live in THIS shard and are computed inline under the lock
+    // we already hold — calling depGraph() here would self-deadlock.
+    const LoopDepGraph &SG = staticGraphLocked(Shard, LoopId, Numbering);
+    const PrivatizationWitness &W = witnessLocked(Shard, LoopId, Numbering);
+    TimerScope T(TR, "analysis.witness-refine");
+    Entry.G = W.refineGraph(SG);
+    break;
+  }
   case GraphSource::External:
     if (!External) {
       Entry.FailDiag = DE.error("GraphSource::External requires ExternalGraph");
@@ -239,6 +251,59 @@ const LoopDepGraph *AnalysisManager::depGraph(unsigned LoopId,
   auto [Pos, Inserted] = Shard.Graphs.emplace(Source, std::move(Entry));
   (void)Inserted;
   return Pos->second.Failed ? nullptr : &Pos->second.G;
+}
+
+const LoopDepGraph &
+AnalysisManager::staticGraphLocked(LoopShard &Shard, unsigned LoopId,
+                                   const AccessNumbering &Numbering) {
+  auto It = Shard.Graphs.find(GraphSource::Static);
+  if (It != Shard.Graphs.end())
+    return It->second.G; // static graphs never negatively cache
+  Stats.StaticGraphRuns.fetch_add(1, std::memory_order_relaxed);
+  const PointsTo &P = pointsTo(); // ModuleMu inside the shard lock: allowed
+  TimerScope T(TR, "analysis.static-deps");
+  CachedGraph Entry;
+  Entry.G = buildStaticDepGraph(M, LoopId, P, Numbering);
+  auto [Pos, Inserted] =
+      Shard.Graphs.emplace(GraphSource::Static, std::move(Entry));
+  (void)Inserted;
+  return Pos->second.G;
+}
+
+const PrivatizationWitness &
+AnalysisManager::witnessLocked(LoopShard &Shard, unsigned LoopId,
+                               const AccessNumbering &Numbering) {
+  if (Shard.Witness)
+    return *Shard.Witness;
+  const LoopDepGraph &SG = staticGraphLocked(Shard, LoopId, Numbering);
+  Stats.WitnessRuns.fetch_add(1, std::memory_order_relaxed);
+  const PointsTo &P = pointsTo();
+  TimerScope T(TR, "analysis.witness");
+  Shard.Witness = std::make_shared<const PrivatizationWitness>(
+      PrivatizationWitness::compute(M, LoopId, P, Numbering, SG));
+  return *Shard.Witness;
+}
+
+std::shared_ptr<const PrivatizationWitness>
+AnalysisManager::staticWitness(unsigned LoopId) {
+  LoopShard &Shard = shardFor(LoopId);
+  {
+    std::shared_lock<std::shared_mutex> Lock(Shard.Mu);
+    if (Shard.Witness) {
+      hit();
+      return Shard.Witness;
+    }
+  }
+  const AccessNumbering &Numbering = numbering(); // before the shard lock
+  std::unique_lock<std::shared_mutex> Lock(Shard.Mu);
+  if (Shard.Witness) {
+    hit();
+    return Shard.Witness;
+  }
+  miss();
+  DiagnosticScope Scope(DE, "witness", LoopId);
+  (void)witnessLocked(Shard, LoopId, Numbering);
+  return Shard.Witness;
 }
 
 const AccessClasses *AnalysisManager::accessClasses(unsigned LoopId,
@@ -309,6 +374,7 @@ void AnalysisManager::invalidateLoop(unsigned LoopId) {
       std::unique_lock<std::shared_mutex> Lock(It->second->Mu);
       It->second->Graphs.clear();
       It->second->Classes.clear();
+      It->second->Witness.reset();
     }
   }
   // The loop's body changed in place, and the module bytecode embeds it:
@@ -329,6 +395,7 @@ void AnalysisManager::invalidateModule() {
       std::unique_lock<std::shared_mutex> Lock(Shard->Mu);
       Shard->Graphs.clear();
       Shard->Classes.clear();
+      Shard->Witness.reset();
     }
   }
   std::unique_lock<std::shared_mutex> Lock(ModuleMu);
@@ -345,6 +412,7 @@ AnalysisStats AnalysisManager::stats() const {
   S.PointsToRuns = Stats.PointsToRuns.load(std::memory_order_relaxed);
   S.NumberingRuns = Stats.NumberingRuns.load(std::memory_order_relaxed);
   S.StaticGraphRuns = Stats.StaticGraphRuns.load(std::memory_order_relaxed);
+  S.WitnessRuns = Stats.WitnessRuns.load(std::memory_order_relaxed);
   S.ClassifyRuns = Stats.ClassifyRuns.load(std::memory_order_relaxed);
   S.BytecodeLowerings =
       Stats.BytecodeLowerings.load(std::memory_order_relaxed);

@@ -49,6 +49,7 @@
 #include "analysis/AccessClasses.h"
 #include "analysis/DepGraph.h"
 #include "analysis/PointsTo.h"
+#include "analysis/StaticPrivatizer.h"
 #include "ir/AccessInfo.h"
 #include "support/Diagnostics.h"
 #include "support/Timing.h"
@@ -73,6 +74,7 @@ enum class GraphSource : uint8_t {
   Profile,  ///< dependence profiling run (the paper's evaluation setup)
   Static,   ///< conservative compile-time analysis (the §4.1 foil)
   External, ///< caller-supplied, e.g. programmer-verified (GraphIO.h)
+  Witness,  ///< Static refined by the privatization witness's proofs
 };
 
 const char *graphSourceName(GraphSource S);
@@ -89,6 +91,8 @@ struct AnalysisStats {
   uint64_t PointsToRuns = 0;
   uint64_t NumberingRuns = 0;
   uint64_t StaticGraphRuns = 0;
+  /// Static privatization witness computations (one per loop per IR version).
+  uint64_t WitnessRuns = 0;
   uint64_t ClassifyRuns = 0;
   /// Register-bytecode lowerings of the whole module (each feeds every
   /// profiling run until the IR changes).
@@ -136,6 +140,14 @@ public:
   /// Definition 4/5 classification of depGraph(LoopId, Source). Null when
   /// the underlying graph is unavailable.
   const AccessClasses *accessClasses(unsigned LoopId, GraphSource Source);
+
+  /// The static privatization witness of \p LoopId: per-access-class
+  /// ProvenPrivate / ProvenShared / Unknown verdicts derived from the
+  /// conservative static graph (StaticPrivatizer.h). Never null; cached per
+  /// loop and dropped on the same invalidation path as the graphs. The
+  /// shared_ptr keeps a result alive across invalidation for callers that
+  /// captured it (guard plans reference verdicts of the pre-transform IR).
+  std::shared_ptr<const PrivatizationWitness> staticWitness(unsigned LoopId);
 
   //===--------------------------------------------------------------------===//
   // Guarded-execution metadata (transform OUTPUT, not an analysis)
@@ -190,6 +202,7 @@ private:
     mutable std::shared_mutex Mu;
     std::map<GraphSource, CachedGraph> Graphs;
     std::map<GraphSource, AccessClasses> Classes;
+    std::shared_ptr<const PrivatizationWitness> Witness;
   };
 
   void hit();
@@ -198,6 +211,15 @@ private:
   /// Serves a cache entry found in a shard: counts the hit, replays the
   /// failure diagnostic for negative entries. Caller holds the shard lock.
   const LoopDepGraph *served(const CachedGraph &Entry);
+  /// The conservative static graph entry of \p LoopId, computed and cached
+  /// in \p Shard on first use. Caller holds Shard.Mu exclusively (never
+  /// recurses into depGraph — that would self-deadlock on the shard).
+  const LoopDepGraph &staticGraphLocked(LoopShard &Shard, unsigned LoopId,
+                                        const AccessNumbering &Numbering);
+  /// The privatization witness of \p LoopId, computed from the static graph
+  /// and cached in \p Shard. Same locking contract as staticGraphLocked.
+  const PrivatizationWitness &witnessLocked(LoopShard &Shard, unsigned LoopId,
+                                            const AccessNumbering &Numbering);
 
   Module &M;
   DiagnosticEngine &DE;
@@ -230,6 +252,7 @@ private:
     std::atomic<uint64_t> PointsToRuns{0};
     std::atomic<uint64_t> NumberingRuns{0};
     std::atomic<uint64_t> StaticGraphRuns{0};
+    std::atomic<uint64_t> WitnessRuns{0};
     std::atomic<uint64_t> ClassifyRuns{0};
     std::atomic<uint64_t> BytecodeLowerings{0};
   } Stats;

@@ -58,6 +58,10 @@ PipelineResult CompilationSession::compileLoop(unsigned LoopId,
 
   // --- Privatization + planning as registered passes. ---------------------
   PassManager PM;
+  // The audit must see the untransformed module: witness access ids match
+  // the profiled graph only before expansion rewrites the loop.
+  if (Opts.AuditDeps || envFlag("GDSE_AUDIT_DEPS"))
+    PM.add(createAuditPass());
   switch (Opts.Method) {
   case PrivatizationMethod::Expansion:
     PM.add(createExpansionPass());
@@ -95,6 +99,7 @@ static AnalysisStats statsDelta(const AnalysisStats &After,
   D.PointsToRuns = After.PointsToRuns - Before.PointsToRuns;
   D.NumberingRuns = After.NumberingRuns - Before.NumberingRuns;
   D.StaticGraphRuns = After.StaticGraphRuns - Before.StaticGraphRuns;
+  D.WitnessRuns = After.WitnessRuns - Before.WitnessRuns;
   D.ClassifyRuns = After.ClassifyRuns - Before.ClassifyRuns;
   return D;
 }

@@ -81,6 +81,10 @@ private:
 
 /// The paper's compile-time general data structure expansion (Figure 7).
 std::unique_ptr<LoopTransformPass> createExpansionPass();
+/// The --audit-deps diff of the source graph's privatization claims against
+/// the static witness. Runs before any transform (access ids must still
+/// match the untransformed module); never mutates the IR.
+std::unique_ptr<LoopTransformPass> createAuditPass();
 /// The SpiceC-style runtime access-control baseline (§4.2.1).
 std::unique_ptr<LoopTransformPass> createRtPrivPass();
 /// DOALL/DOACROSS planning and ordered-region insertion (§4.3).

@@ -15,10 +15,109 @@
 #include "driver/PassManager.h"
 
 #include "rtpriv/RtPrivPass.h"
+#include "support/Support.h"
 
 using namespace gdse;
 
 namespace {
+
+/// --audit-deps: re-derive the source graph's privatization claims with the
+/// static witness and report every claim it refutes or cannot support.
+///
+/// Refutations (warnings, counted in Result.AuditRefuted) are facts the
+/// profile asserts that a static proof contradicts — a profiled-private
+/// class with a statically certain loop-carried flow dependence, a profiled
+/// upwards-exposed load covered by same-iteration must-writes, or a
+/// profiled carried flow edge into such a load. Any refutation means one of
+/// the two analyses is wrong and the graph must not be trusted.
+///
+/// Unsupported claims (warnings, Result.AuditUnsupported) are
+/// profiled-private classes the witness can only call Unknown: nothing is
+/// wrong, but runtime guards remain the only check for them.
+///
+/// Freshness-proven loads never refute exposure claims: a load of a
+/// per-iteration-fresh allocation can still read uninitialized bytes, which
+/// the profiler correctly reports as upwards-exposed. Only coverage proofs
+/// (loadProven && !rootsFresh) contradict the profile.
+class AuditTransformPass : public LoopTransformPass {
+public:
+  const char *name() const override { return "audit-deps"; }
+
+  PreservedAnalyses run(PassContext &Cx) override {
+    const LoopDepGraph *G = Cx.AM.depGraph(Cx.LoopId, Cx.Opts.Source);
+    const AccessClasses *Classes =
+        Cx.AM.accessClasses(Cx.LoopId, Cx.Opts.Source);
+    if (!G || !Classes) // acquisition already diagnosed upstream
+      return PreservedAnalyses::All;
+    std::shared_ptr<const PrivatizationWitness> W =
+        Cx.AM.staticWitness(Cx.LoopId);
+
+    auto MemberList = [](const std::vector<AccessId> &Ids) {
+      std::string S;
+      for (AccessId Id : Ids)
+        S += formatString("%s%u", S.empty() ? "" : " ", Id);
+      return S;
+    };
+
+    for (unsigned CI = 0; CI < Classes->classes().size(); ++CI) {
+      const AccessClassInfo &C = Classes->classes()[CI];
+      if (!C.Private)
+        continue;
+      ++Cx.Result.AuditChecked;
+      AccessId SharedId = InvalidAccessId;
+      bool AllPrivate = true;
+      for (AccessId Id : C.Members) {
+        PrivatizationVerdict V = W->verdictOf(Id);
+        if (V == PrivatizationVerdict::ProvenShared &&
+            SharedId == InvalidAccessId)
+          SharedId = Id;
+        if (V != PrivatizationVerdict::ProvenPrivate)
+          AllPrivate = false;
+      }
+      if (SharedId != InvalidAccessId) {
+        ++Cx.Result.AuditRefuted;
+        Cx.DE.warning(formatString(
+            "refuted: profiled-private class %u (members %s) has a "
+            "statically certain loop-carried flow dependence through "
+            "access %u",
+            CI, MemberList(C.Members).c_str(), SharedId));
+      } else if (AllPrivate) {
+        ++Cx.Result.AuditConfirmed;
+        Cx.DE.note(formatString(
+            "confirmed: profiled-private class %u (members %s) is "
+            "statically proven private",
+            CI, MemberList(C.Members).c_str()));
+      } else {
+        ++Cx.Result.AuditUnsupported;
+        Cx.DE.warning(formatString(
+            "unsupported: profiled-private class %u (members %s) could not "
+            "be proven private statically%s; runtime guards remain the "
+            "only check",
+            CI, MemberList(C.Members).c_str(),
+            W->unmodeled() ? " (unmodeled bulk memory operation)" : ""));
+      }
+    }
+
+    for (AccessId Id : G->UpwardsExposedLoads)
+      if (W->loadProven(Id) && !W->rootsFresh(Id)) {
+        ++Cx.Result.AuditRefuted;
+        Cx.DE.warning(formatString(
+            "refuted: profiled upwards-exposed load %u is covered by "
+            "same-iteration must-writes on every path",
+            Id));
+      }
+    for (const DepEdge &E : G->Edges)
+      if (E.Carried && E.Kind == DepKind::Flow && W->loadProven(E.Dst) &&
+          !W->rootsFresh(E.Dst)) {
+        ++Cx.Result.AuditRefuted;
+        Cx.DE.warning(formatString(
+            "refuted: profiled loop-carried flow %u -> %u targets a load "
+            "covered by same-iteration must-writes",
+            E.Src, E.Dst));
+      }
+    return PreservedAnalyses::All;
+  }
+};
 
 /// Step 3 of Figure 7: rewrite the module so every thread-private access
 /// class operates on per-thread copies (Tables 1-3).
@@ -37,6 +136,13 @@ public:
     In.PT = &Cx.AM.pointsTo();
     In.Classes = Cx.AM.accessClasses(Cx.LoopId, Cx.Opts.Source);
     In.Diags = &Cx.DE;
+    // The witness shared_ptr outlives the expandLoop call even if a
+    // concurrent invalidation drops the cache entry.
+    std::shared_ptr<const PrivatizationWitness> W;
+    if (Cx.Opts.Expansion.GuardPruning) {
+      W = Cx.AM.staticWitness(Cx.LoopId);
+      In.Witness = W.get();
+    }
     ExpansionResult ER =
         expandLoop(Cx.M, Cx.LoopId, *G, Cx.Opts.Expansion, In);
     if (!ER.Ok) {
@@ -95,6 +201,10 @@ public:
 
 std::unique_ptr<LoopTransformPass> gdse::createExpansionPass() {
   return std::make_unique<ExpansionTransformPass>();
+}
+
+std::unique_ptr<LoopTransformPass> gdse::createAuditPass() {
+  return std::make_unique<AuditTransformPass>();
 }
 
 std::unique_ptr<LoopTransformPass> gdse::createRtPrivPass() {

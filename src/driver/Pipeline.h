@@ -39,6 +39,11 @@ struct PipelineOptions {
   GraphSource Source = GraphSource::Profile;
   /// Required when Source == External: the verified graph for this loop.
   const LoopDepGraph *ExternalGraph = nullptr;
+  /// Run the dependence audit (minic --audit-deps): diff the source graph's
+  /// privatization claims against the static witness before transforming,
+  /// reporting refuted and unsupportable claims as structured warnings.
+  /// compileLoop also enables this when GDSE_AUDIT_DEPS is set.
+  bool AuditDeps = false;
 };
 
 struct PipelineResult {
@@ -59,6 +64,14 @@ struct PipelineResult {
   /// nothing was privatized or Method != Expansion). Hand to
   /// InterpOptions::GuardPlans to validate the privatization at run time.
   std::shared_ptr<const GuardPlan> Guard;
+  /// Dependence-audit tallies (all zero unless PipelineOptions::AuditDeps):
+  /// privatization claims of the source graph that were checked, refuted by
+  /// the static witness (the trust report's failures), confirmed outright,
+  /// and not statically supportable (guards stay, but nothing is wrong).
+  unsigned AuditChecked = 0;
+  unsigned AuditRefuted = 0;
+  unsigned AuditConfirmed = 0;
+  unsigned AuditUnsupported = 0;
 };
 
 /// Loop ids of the "@candidate" for-loops of \p M, in program order. Runs

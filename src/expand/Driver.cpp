@@ -13,6 +13,7 @@
 
 #include "expand/ExpansionImpl.h"
 
+#include "analysis/StaticPrivatizer.h"
 #include "ir/IRVisitor.h"
 #include "ir/Verifier.h"
 #include "support/Support.h"
@@ -559,6 +560,31 @@ ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
   // the class of every access redirected to a private copy, and the
   // allocation sites whose blocks hold the N per-thread copies.
   if (!Result.PrivateAccesses.empty() && !Cx.BackingSiteIds.empty()) {
+    // Static privatization witness: a class whose every member the witness
+    // proved private carries a compile-time proof of Definition 5's
+    // conditions (1)+(2) — runtime validation of it is redundant, so its
+    // accesses are elided from the plan. The per-access proofs are
+    // independent of how the source graph partitioned accesses, so the
+    // pruning is sound even against an external (possibly wrong) graph: a
+    // class the graph mislabels private has an unprovable member and keeps
+    // its guards.
+    const PrivatizationWitness *W =
+        Opts.GuardPruning ? Inputs.Witness : nullptr;
+    if (W && W->unmodeled())
+      W = nullptr;
+    std::set<unsigned> PrunedClasses;
+    if (W)
+      for (unsigned CI = 0; CI != Classes.classes().size(); ++CI) {
+        const AccessClassInfo &C = Classes.classes()[CI];
+        if (!C.Private)
+          continue;
+        bool AllProven = true;
+        for (AccessId Id : C.Members)
+          AllProven &= W->provenPrivate(Id);
+        if (AllProven)
+          PrunedClasses.insert(CI);
+      }
+
     auto GP = std::make_shared<GuardPlan>();
     GP->LoopId = LoopId;
     GP->NumClasses = static_cast<unsigned>(Classes.classes().size());
@@ -571,9 +597,41 @@ ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
       auto It = Cx.Plans.find(Id);
       if (It == Cx.Plans.end() || !It->second.Redirect || !It->second.Private)
         continue;
-      GP->PrivateClassOf[Id] = Classes.classOf(Id);
+      unsigned CI = Classes.classOf(Id);
+      if (PrunedClasses.count(CI)) {
+        ++Result.Stats.GuardAccessesElided;
+        continue;
+      }
+      GP->PrivateClassOf[Id] = CI;
     }
-    GP->RegionSites = Cx.BackingSiteIds;
+    // A region only exists to validate the claimed accesses that may land
+    // in it: a backing site whose pre-expansion object no surviving claimed
+    // access may touch (per the same points-to roots the targeting used)
+    // needs no first-write shadow. Objects are mapped through the ORIGINAL
+    // module: expanded heap sites keep their site ids, converted variables
+    // are recorded by the rewrite.
+    if (PrunedClasses.empty()) {
+      GP->RegionSites = Cx.BackingSiteIds;
+    } else {
+      std::set<uint32_t> GuardedObjs;
+      for (const auto &[Id, CI] : GP->PrivateClassOf) {
+        const auto &R = Roots[Id];
+        GuardedObjs.insert(R.begin(), R.end());
+      }
+      for (uint32_t Site : Cx.BackingSiteIds) {
+        uint32_t Obj = UINT32_MAX;
+        if (auto BIt = Cx.BackingVarOf.find(Site);
+            BIt != Cx.BackingVarOf.end())
+          Obj = PT.objectOfVar(BIt->second);
+        else if (PT.hasSite(Site))
+          Obj = PT.objectOfSite(Site);
+        if (Obj != UINT32_MAX && !GuardedObjs.count(Obj)) {
+          ++Result.Stats.GuardRegionsElided;
+          continue;
+        }
+        GP->RegionSites.insert(Site);
+      }
+    }
     if (!GP->empty())
       Result.Guard = GP;
   }

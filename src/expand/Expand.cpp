@@ -308,6 +308,7 @@ void ExpansionContext::runExpansionAndRedirection() {
       ConvertedBacking[V] = Backing;
       Expr *AllocCall = B.callBuiltin(Builtin::MallocFn, {Size}, PtrTy);
       BackingSiteIds.insert(cast<CallExpr>(AllocCall)->getSiteId());
+      BackingVarOf[cast<CallExpr>(AllocCall)->getSiteId()] = V;
       auto *Alloc = M.create<AssignStmt>(B.varRef(Backing), AllocCall);
       auto &Stmts = Main->getBody()->getStmts();
       Stmts.insert(Stmts.begin(), Alloc);
@@ -331,6 +332,7 @@ void ExpansionContext::runExpansionAndRedirection() {
     ConvertedBacking[V] = Backing;
     Expr *AllocCall = B.callBuiltin(Builtin::MallocFn, {Size}, PtrTy);
     BackingSiteIds.insert(cast<CallExpr>(AllocCall)->getSiteId());
+    BackingVarOf[cast<CallExpr>(AllocCall)->getSiteId()] = V;
     auto *Alloc = M.create<AssignStmt>(B.varRef(Backing), AllocCall);
     auto &Stmts = Owner->getBody()->getStmts();
     Stmts.insert(Stmts.begin(), Alloc);

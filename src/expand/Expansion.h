@@ -46,6 +46,8 @@
 
 namespace gdse {
 
+class PrivatizationWitness;
+
 /// Figure 2's two replication layouts.
 enum class LayoutMode : uint8_t {
   /// Whole-structure copies adjacent in memory (the paper's default: works
@@ -69,6 +71,12 @@ struct ExpansionOptions {
   /// §3.4: do not emit (and remove) span self-stores such as the
   /// p.span = p.span after p = p + 1.
   bool DeadSpanStoreElimination = true;
+  /// Prune the guard plan with the static privatization witness (when one
+  /// is supplied via ExpansionInputs::Witness): classes proven private at
+  /// compile time are dropped from the plan, and regions only they touch
+  /// emit no guarded shadow at all. Disable to keep the full plan — the
+  /// fault-injection tests need guards on claims a witness could discharge.
+  bool GuardPruning = true;
 };
 
 struct ExpansionStats {
@@ -80,6 +88,11 @@ struct ExpansionStats {
   unsigned SpanStoresEliminated = 0;
   unsigned PrivateAccessesRedirected = 0;
   unsigned SharedAccessesRedirected = 0;
+  /// Guard-plan pruning (static privatization witness): accesses of proven
+  /// classes dropped from GuardPlan::PrivateClassOf, and expanded
+  /// allocation sites that consequently emit no guarded region.
+  unsigned GuardAccessesElided = 0;
+  unsigned GuardRegionsElided = 0;
 };
 
 struct ExpansionResult {
@@ -107,6 +120,10 @@ struct ExpansionInputs {
   /// When set, every expansion error is also reported here, attributed to
   /// pass "expansion" and the target loop.
   DiagnosticEngine *Diags = nullptr;
+  /// Static privatization witness for the target loop (same access ids as
+  /// \p G). When set and ExpansionOptions::GuardPruning is on, classes the
+  /// witness proves private are elided from the guard plan.
+  const PrivatizationWitness *Witness = nullptr;
 };
 
 /// Applies general data structure expansion to the loop \p LoopId of \p M,

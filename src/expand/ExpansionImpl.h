@@ -116,6 +116,12 @@ struct ExpansionContext {
   /// repurposed: the expanded heap sites plus the backing mallocs created
   /// for converted locals/globals. These become GuardPlan::RegionSites.
   std::set<uint32_t> BackingSiteIds;
+  /// For backing mallocs of converted locals/globals: new site id -> the
+  /// ORIGINAL variable whose storage the block replaces. Lets the driver
+  /// map each backing site to its pre-expansion PointsTo object when
+  /// pruning guard regions (expanded heap sites keep their original ids
+  /// and need no entry).
+  std::map<uint32_t, VarDecl *> BackingVarOf;
 
   /// Parameter indices (original positions) promoted per function.
   std::map<const Function *, std::set<unsigned>> FatParamsOf;

@@ -89,6 +89,11 @@ Transformed transformWith(const char *Src, const LoopDepGraph &G) {
   PipelineOptions Opts;
   Opts.Source = GraphSource::External;
   Opts.ExternalGraph = &G;
+  // Fault injection must see the FULL plan: any claim the witness can
+  // legitimately discharge would vanish from a pruned plan and its injected
+  // fault would go unvalidated. (WitnessPrunedCleanRunBitIdentical covers
+  // the pruned path.)
+  Opts.Expansion.GuardPruning = false;
   T.PR = transformLoop(*T.M, T.LoopId, Opts);
   return T;
 }
@@ -428,6 +433,70 @@ TEST_P(GuardFault, CleanPlanNoViolations) {
     EXPECT_GT(L.GuardChecks, 0u);
     EXPECT_EQ(L.GuardViolations, 0u);
     EXPECT_EQ(L.GuardFallbacks, 0u);
+  }
+}
+
+/// A clean program whose private class the witness can fully discharge: the
+/// global scratch buffer is must-written across its whole extent before
+/// every read, so the coverage proof goes through (unlike SpanSrc, whose
+/// heap scratch buffer the analysis leaves Unknown).
+const char *ProvableSrc = R"(
+  int tmp[16];
+  long acc;
+  int main() {
+    acc = 1;
+    @candidate for (int i = 0; i < 8; i++) {
+      for (int k = 0; k < 16; k++) { tmp[k] = i * 3 + k; }
+      int b = 0;
+      for (int k = 0; k < 16; k++) { b = b + tmp[k]; }
+      acc = acc * 31 + b;
+    }
+    print_int(acc);
+    return 0;
+  }
+)";
+
+TEST_P(GuardFault, WitnessPrunedCleanRunBitIdentical) {
+  // The same clean program transformed WITHOUT disabling pruning: the
+  // static witness discharges every private-class claim of ProvableSrc, so
+  // no guard plan survives — and the check-mode run must still be
+  // bit-identical to the full plan's off-mode run on every virtual metric,
+  // with zero violations.
+  unsigned LoopId;
+  LoopDepGraph True = profiled(ProvableSrc, LoopId);
+  Transformed Full = transformWith(ProvableSrc, True);
+  ASSERT_TRUE(Full.PR.Ok);
+  ASSERT_TRUE(Full.PR.Guard);
+
+  Transformed Pruned;
+  Pruned.M = parseMiniCOrDie(ProvableSrc, "guard pruned");
+  Pruned.LoopId = findCandidateLoops(*Pruned.M).front();
+  PipelineOptions Opts;
+  Opts.Source = GraphSource::External;
+  Opts.ExternalGraph = &True;
+  Pruned.PR = transformLoop(*Pruned.M, Pruned.LoopId, Opts);
+  ASSERT_TRUE(Pruned.PR.Ok)
+      << (Pruned.PR.Errors.empty() ? "?" : Pruned.PR.Errors.front());
+  EXPECT_TRUE(!Pruned.PR.Guard || Pruned.PR.Guard->empty());
+  EXPECT_GT(Pruned.PR.Expansion.GuardAccessesElided, 0u);
+
+  RunResult Serial = runSerial(ProvableSrc);
+  RunResult FullOff =
+      runGuarded(*Full.M, GetParam(), GuardMode::Off, Full.PR.Guard);
+  DiagnosticEngine Diags;
+  RunResult Check = runGuarded(*Pruned.M, GetParam(), GuardMode::Check,
+                               Pruned.PR.Guard, &Diags);
+  ASSERT_FALSE(Check.Trapped) << Check.TrapMessage;
+  EXPECT_TRUE(Check.Violations.empty());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+  EXPECT_EQ(Check.Output, Serial.Output);
+  EXPECT_EQ(Check.WorkCycles, FullOff.WorkCycles);
+  EXPECT_EQ(Check.SimTime, FullOff.SimTime);
+  EXPECT_EQ(Check.PeakMemoryBytes, FullOff.PeakMemoryBytes);
+  auto It = Check.Loops.find(Pruned.LoopId);
+  if (It != Check.Loops.end()) {
+    EXPECT_EQ(It->second.GuardChecks, 0u);
+    EXPECT_EQ(It->second.GuardViolations, 0u);
   }
 }
 

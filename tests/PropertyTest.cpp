@@ -15,6 +15,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/StaticPrivatizer.h"
+#include "driver/CompilationSession.h"
 #include "frontend/Parser.h"
 #include "interp/Interp.h"
 #include "ir/IRPrinter.h"
@@ -22,6 +24,8 @@
 #include "support/Support.h"
 
 #include <gtest/gtest.h>
+
+#include <set>
 
 using namespace gdse;
 
@@ -334,5 +338,71 @@ TEST_P(PipelineProperty, TransformedEquivalentForAllConfigs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
                          ::testing::Range<uint64_t>(1, 61));
+
+//===----------------------------------------------------------------------===//
+// Static privatization witness soundness
+//===----------------------------------------------------------------------===//
+
+class WitnessProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// Cross-checks the compile-time proof against the runtime validator on the
+// same random programs: transform with the FULL guard plan (pruning off) and
+// run under GuardMode::Check — an access the witness proved private must
+// never be attributed a violation. Then the default (pruned) configuration
+// must also run violation-free with identical virtual metrics, i.e. eliding
+// the proven claims loses no checking power on clean programs.
+TEST_P(WitnessProperty, ProvenPrivateNeverViolates) {
+  GeneratedProgram G = generate(GetParam());
+  SCOPED_TRACE("--- generated program ---\n" + G.Source);
+
+  auto transformAndCheck = [&](bool Pruning, RunResult &Out,
+                               std::set<uint32_t> *Proven) {
+    ParseResult PR = parseMiniC(G.Source);
+    ASSERT_TRUE(PR.ok());
+    CompilationSession S(*PR.M);
+    std::vector<unsigned> Cands = S.candidateLoops();
+    ASSERT_EQ(Cands.size(), 1u);
+    PipelineOptions Opts;
+    Opts.Expansion.GuardPruning = Pruning;
+    if (Proven) {
+      auto W = S.analyses().staticWitness(Cands.front());
+      ASSERT_NE(W, nullptr);
+      for (const ClassWitness &C : W->classes())
+        if (C.Verdict == PrivatizationVerdict::ProvenPrivate)
+          Proven->insert(C.Members.begin(), C.Members.end());
+    }
+    PipelineResult R = S.compileLoop(Cands.front(), Opts);
+    ASSERT_TRUE(R.Ok) << (R.Errors.empty() ? "?" : R.Errors.front());
+    InterpOptions IO;
+    IO.NumThreads = 4;
+    IO.Guard = GuardMode::Check;
+    if (R.Guard)
+      IO.GuardPlans = {R.Guard};
+    Interp I(*PR.M, IO);
+    Out = I.run();
+    ASSERT_TRUE(Out.ok()) << Out.TrapMessage;
+  };
+
+  std::set<uint32_t> Proven;
+  RunResult Full, Pruned;
+  transformAndCheck(false, Full, &Proven);
+  transformAndCheck(true, Pruned, nullptr);
+
+  // Clean generated programs must not violate at all; but even if the
+  // generator ever produced a misclassified loop, a violation blamed on a
+  // witness-proven access would be a soundness bug in the analysis itself.
+  for (const DependenceViolation &V : Full.Violations)
+    EXPECT_EQ(Proven.count(V.Access), 0u)
+        << "witness-proven access " << V.Access
+        << " violated at runtime: " << V.str();
+  EXPECT_TRUE(Full.Violations.empty());
+  EXPECT_TRUE(Pruned.Violations.empty());
+  EXPECT_EQ(Pruned.Output, Full.Output);
+  EXPECT_EQ(Pruned.WorkCycles, Full.WorkCycles);
+  EXPECT_EQ(Pruned.SimTime, Full.SimTime);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessProperty,
+                         ::testing::Range<uint64_t>(1, 31));
 
 } // namespace
