@@ -25,7 +25,15 @@ using namespace gdse::bench;
 namespace {
 
 const char *engineName(ExecEngine E) {
-  return E == ExecEngine::Bytecode ? "bytecode" : "tree";
+  switch (E) {
+  case ExecEngine::TreeWalk:
+    return "tree";
+  case ExecEngine::Bytecode:
+    return "bytecode";
+  case ExecEngine::Threads:
+    return "threads";
+  }
+  return "?";
 }
 
 /// Everything the --json writer needs, accumulated across the process.
@@ -299,20 +307,27 @@ RunResult gdse::bench::execute(PreparedProgram &P, int Threads,
 
 RunResult gdse::bench::executeGuarded(PreparedProgram &P, int Threads,
                                       GuardMode Guard, bool SimulateParallel) {
+  return executeOnEngine(P, engineFromEnv(), Threads, Guard, SimulateParallel);
+}
+
+RunResult gdse::bench::executeOnEngine(PreparedProgram &P, ExecEngine Engine,
+                                       int Threads, GuardMode Guard,
+                                       bool SimulateParallel) {
   InterpOptions IO;
   IO.NumThreads = Threads;
   IO.SimulateParallel = SimulateParallel;
   // The transformed programs are test-verified; skip per-access bounds
   // checking for faster experiment turnaround.
   IO.BoundsCheck = false;
-  IO.Engine = engineFromEnv();
+  IO.Engine = Engine;
   IO.Guard = Guard;
   if (Guard != GuardMode::Off)
     for (const PipelineResult &PR : P.Pipelines)
       if (PR.Guard)
         IO.GuardPlans.push_back(PR.Guard);
-  if (IO.Engine == ExecEngine::Bytecode) {
-    // Lower once per prepared program; every thread count reuses it.
+  if (IO.Engine != ExecEngine::TreeWalk) {
+    // Lower once per prepared program; every thread count and both
+    // register-VM engines (bytecode, threads) reuse it.
     if (!P.Bytecode)
       P.Bytecode = lowerToBytecode(*P.M, IO.Costs);
     IO.Precompiled = P.Bytecode;

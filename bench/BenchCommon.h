@@ -120,6 +120,15 @@ RunResult execute(PreparedProgram &P, int Threads,
 RunResult executeGuarded(PreparedProgram &P, int Threads, GuardMode Guard,
                          bool SimulateParallel = true);
 
+/// execute() on an explicit engine, ignoring GDSE_ENGINE — the host-measured
+/// figures run the same program on the bytecode engine (serial reference)
+/// and the threads engine (real dispatch) back to back. HostNanos in the
+/// result is the wall-clock reading; all virtual metrics stay bit-identical
+/// across engines by the threads engine's contract.
+RunResult executeOnEngine(PreparedProgram &P, ExecEngine Engine, int Threads,
+                          GuardMode Guard = GuardMode::Off,
+                          bool SimulateParallel = true);
+
 /// Sum of SimTime over the program's candidate loops.
 uint64_t loopSimTime(const RunResult &R, const std::vector<unsigned> &LoopIds);
 /// Sum of WorkCycles over the program's candidate loops.

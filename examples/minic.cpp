@@ -8,7 +8,13 @@
 // Runs MiniC source files under the VM:
 //
 //   minic <file.mc>... [--threads N] [--jobs N] [--transform] [--dump-ir]
-//         [--guard off|check|fallback] [--time-passes] [--stats]
+//         [--engine tree|bytecode|threads] [--guard off|check|fallback]
+//         [--time-passes] [--stats]
+//
+// --engine threads executes eligible transformed parallel loops on real host
+// threads (--threads N workers) while reproducing the serial engines'
+// virtual metrics bit-for-bit; see ARCHITECTURE.md "Host-threaded
+// execution".
 //
 // With --transform, every @candidate loop of every file is run through the
 // expansion pipeline. Files are independent modules, so they compile through
@@ -68,8 +74,10 @@ int main(int argc, char **argv) {
         Engine = ExecEngine::TreeWalk;
       else if (E == "bytecode" || E == "bc")
         Engine = ExecEngine::Bytecode;
+      else if (E == "threads")
+        Engine = ExecEngine::Threads;
       else {
-        std::fprintf(stderr, "unknown engine '%s' (tree|bytecode)\n",
+        std::fprintf(stderr, "unknown engine '%s' (tree|bytecode|threads)\n",
                      E.c_str());
         return 1;
       }
@@ -111,7 +119,8 @@ int main(int argc, char **argv) {
   if (Paths.empty()) {
     std::fprintf(stderr,
                  "usage: minic <file.mc>... [--threads N] [--jobs N] "
-                 "[--engine tree|bytecode] [--guard off|check|fallback] "
+                 "[--engine tree|bytecode|threads] "
+                 "[--guard off|check|fallback] "
                  "[--transform] [--audit-deps] "
                  "[--dump=points-to|static-deps|classes|witness] "
                  "[--dump-ir] [--time-passes] [--stats]\n");

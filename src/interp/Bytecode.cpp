@@ -455,6 +455,30 @@ private:
 
       case BCOp::ForLoop: {
         const BCForMeta &FM = BF.Fors[I.Imm32];
+        // Under the Threads engine, offer the loop driver real host-threaded
+        // execution: each worker gets its own VM (register file, scope
+        // stack) over the shared bytecode and a private copy of this frame.
+        // Fresh zeroed registers are equivalent to the enclosing VM's
+        // because body segments never read registers written outside
+        // themselves (the lowering's per-statement register discipline).
+        // The driver still decides per invocation; ineligible loops run the
+        // simulated serial-order Body below.
+        ThreadLoopHooks Hooks;
+        const ThreadLoopHooks *Host = nullptr;
+        if (S.Opts.Engine == ExecEngine::Threads) {
+          Hooks.FrameBase = FrameBase;
+          Hooks.FrameSize = BF.FrameSize;
+          Hooks.IVInFrame = !FM.IVGlobal;
+          Hooks.MakeWorker = [this, &BF, &FM](ThreadState &WS,
+                                              uint64_t WorkerFrame) {
+            auto VM = std::make_shared<BytecodeVM>(WS, BM);
+            VM->allocRegs(BF.NumRegs);
+            return std::function<Flow()>([VM, &BF, &FM, WorkerFrame] {
+              return VM->dispatch(BF, WorkerFrame, 0, FM.BodyStart);
+            });
+          };
+          Host = &Hooks;
+        }
         Flow FL = S.runForLoop(
             FM.LoopId, FM.Kind, FM.IVType,
             [&](ExecState::ForBounds &B) {
@@ -466,7 +490,8 @@ private:
               B.Hi = RR[FM.HiReg].I;
               B.Step = RR[FM.StepReg].I;
             },
-            [&] { return dispatch(BF, FrameBase, RegBase, FM.BodyStart); });
+            [&] { return dispatch(BF, FrameBase, RegBase, FM.BodyStart); },
+            Host);
         R = Regs.data() + RegBase; // body calls may reallocate Regs
         if (FL == Flow::Return || FL == Flow::Halt) {
           Result = FL;
@@ -487,6 +512,11 @@ private:
         break;
 
       case BCOp::OrdEnter: {
+        // Under real DOACROSS threading, block until this worker's iteration
+        // holds the region ticket. Wall-clock only; the recorded entry offset
+        // below is in work cycles, which blocking does not advance.
+        if (S.DX)
+          S.orderedRealEnter(I.Imm32);
         ScopeEntry E;
         E.Ev.RegionId = I.Imm32;
         if (S.RecordOrdered)
@@ -532,7 +562,7 @@ private:
 
   uint64_t globalBase(uint32_t VarId) {
     uint64_t Base =
-        VarId < S.GlobalAddrById.size() ? S.GlobalAddrById[VarId] : 0;
+        VarId < S.P.GlobalAddrById.size() ? S.P.GlobalAddrById[VarId] : 0;
     if (!Base)
       S.trap("reference to unallocated global '" +
              S.M.getVarDecl(VarId)->getName() + "'");

@@ -1,4 +1,4 @@
-//===- ExecState.cpp - State and semantics shared by both engines ----------===//
+//===- ExecState.cpp - Per-thread state and shared semantics ---------------===//
 //
 // Part of the GDSE project, a reproduction of "General Data Structure
 // Expansion for Multi-threading" (PLDI 2013).
@@ -7,6 +7,7 @@
 
 #include "interp/ExecState.h"
 
+#include "interp/ParallelTimeline.h"
 #include "ir/AccessInfo.h"
 #include "support/Diagnostics.h"
 #include "support/Support.h"
@@ -17,7 +18,12 @@
 
 using namespace gdse;
 
-void ExecState::trap(const std::string &Msg) {
+ThreadState::ThreadState(ProgramContext &P)
+    : P(P), M(P.M), Ctx(P.Ctx), Opts(P.Opts), Mem(P.Mem) {}
+
+ThreadState::~ThreadState() = default;
+
+void ThreadState::trap(const std::string &Msg) {
   if (Trapped)
     return;
   Trapped = true;
@@ -32,23 +38,6 @@ void ExecState::trap(const std::string &Msg) {
   } else {
     TrapMessage = Msg;
   }
-}
-
-FrameLayout gdse::computeFrameLayout(TypeContext &Ctx, const Function *F) {
-  FrameLayout L;
-  uint64_t Offset = 0;
-  auto place = [&](const VarDecl *D) {
-    const TypeLayout &TL = Ctx.getLayout(D->getType());
-    Offset = (Offset + TL.Align - 1) / TL.Align * TL.Align;
-    L.Offsets[D] = Offset;
-    Offset += TL.Size;
-  };
-  for (const VarDecl *P : F->getParams())
-    place(P);
-  for (const VarDecl *V : F->getLocals())
-    place(V);
-  L.Size = std::max<uint64_t>(Offset, 1);
-  return L;
 }
 
 ScalarKind gdse::scalarKindOf(const Type *T) {
@@ -76,23 +65,7 @@ ScalarKind gdse::scalarKindOf(const Type *T) {
   }
 }
 
-ExecState::ExecState(Module &M, InterpOptions Opts)
-    : M(M), Ctx(M.getTypes()), Opts(std::move(Opts)),
-      RegisterVars(collectRegisterVars(M)) {
-  if (this->Opts.Guard != GuardMode::Off) {
-    for (const auto &GP : this->Opts.GuardPlans) {
-      if (!GP || GP->empty())
-        continue;
-      GuardPlanOf[GP->LoopId] = GP.get();
-      for (const auto &[Aid, Cls] : GP->PrivateClassOf)
-        GuardAccessMap[Aid] = GuardAccess{GP->LoopId, Cls};
-    }
-  }
-}
-
-ExecState::~ExecState() = default;
-
-bool ExecState::checkAccess(uint64_t Addr, uint64_t Size, const char *What) {
+bool ThreadState::checkAccess(uint64_t Addr, uint64_t Size, const char *What) {
   if (!Opts.BoundsCheck)
     return true;
   if (Addr == 0) {
@@ -109,7 +82,7 @@ bool ExecState::checkAccess(uint64_t Addr, uint64_t Size, const char *What) {
   return true;
 }
 
-VMValue ExecState::loadScalarKind(uint64_t Addr, ScalarKind K) {
+VMValue ThreadState::loadScalarKind(uint64_t Addr, ScalarKind K) {
   VMValue V;
   switch (K) {
   case ScalarKind::F32: {
@@ -137,7 +110,7 @@ VMValue ExecState::loadScalarKind(uint64_t Addr, ScalarKind K) {
   }
 }
 
-void ExecState::storeScalarKind(uint64_t Addr, ScalarKind K, VMValue V) {
+void ThreadState::storeScalarKind(uint64_t Addr, ScalarKind K, VMValue V) {
   switch (K) {
   case ScalarKind::F32: {
     float F32 = static_cast<float>(V.F);
@@ -161,7 +134,7 @@ void ExecState::storeScalarKind(uint64_t Addr, ScalarKind K, VMValue V) {
   }
 }
 
-VMValue ExecState::loadScalar(uint64_t Addr, Type *T) {
+VMValue ThreadState::loadScalar(uint64_t Addr, Type *T) {
   ScalarKind K = scalarKindOf(T);
   if (K == ScalarKind::Invalid) {
     trap("scalar load of aggregate type " + T->str());
@@ -170,7 +143,7 @@ VMValue ExecState::loadScalar(uint64_t Addr, Type *T) {
   return loadScalarKind(Addr, K);
 }
 
-void ExecState::storeScalar(uint64_t Addr, Type *T, VMValue V) {
+void ThreadState::storeScalar(uint64_t Addr, Type *T, VMValue V) {
   ScalarKind K = scalarKindOf(T);
   if (K == ScalarKind::Invalid) {
     trap("scalar store of aggregate type " + T->str());
@@ -179,16 +152,16 @@ void ExecState::storeScalar(uint64_t Addr, Type *T, VMValue V) {
   storeScalarKind(Addr, K, V);
 }
 
-bool ExecState::isRegisterAccess(const Expr *Loc) const {
-  return gdse::isRegisterAccess(RegisterVars, Loc);
+bool ThreadState::isRegisterAccess(const Expr *Loc) const {
+  return gdse::isRegisterAccess(P.RegisterVars, Loc);
 }
 
 //===----------------------------------------------------------------------===//
 // Builtins
 //===----------------------------------------------------------------------===//
 
-VMValue ExecState::execBuiltinOp(Builtin B, uint32_t SiteId,
-                                 const VMValue *Args, unsigned NumArgs) {
+VMValue ThreadState::execBuiltinOp(Builtin B, uint32_t SiteId,
+                                   const VMValue *Args, unsigned NumArgs) {
   (void)NumArgs;
   switch (B) {
   case Builtin::MallocFn: {
@@ -260,21 +233,21 @@ VMValue ExecState::execBuiltinOp(Builtin B, uint32_t SiteId,
     return VMValue::ofInt(static_cast<int64_t>(Base));
   }
   case Builtin::FreeFn: {
-    uint64_t P = static_cast<uint64_t>(Args[0].I);
-    if (!P)
+    uint64_t Ptr = static_cast<uint64_t>(Args[0].I);
+    if (!Ptr)
       return VMValue();
-    const Allocation *A = Mem.byBase(P);
+    const Allocation *A = Mem.byBase(Ptr);
     if (!A || A->Kind != AllocKind::Heap) {
       trap(formatString("invalid free of 0x%llx",
-                        static_cast<unsigned long long>(P)));
+                        static_cast<unsigned long long>(Ptr)));
       return VMValue();
     }
     charge(Opts.Costs.Free);
     if (Obs)
       Obs->onFree(*A);
     if (GuardHooksOn)
-      guardFree(P, A->Size);
-    Mem.deallocate(P);
+      guardFree(Ptr, A->Size);
+    Mem.deallocate(Ptr);
     return VMValue();
   }
   case Builtin::MemcpyFn: {
@@ -349,8 +322,8 @@ VMValue ExecState::execBuiltinOp(Builtin B, uint32_t SiteId,
   gdse_unreachable("unhandled builtin");
 }
 
-VMValue ExecState::rtPrivTranslate(uint64_t P) {
-  const Allocation *A = Mem.containing(P);
+VMValue ThreadState::rtPrivTranslate(uint64_t Ptr) {
+  const Allocation *A = Mem.containing(Ptr);
   if (!A) {
     trap("rtpriv_ptr of a dangling pointer");
     return VMValue();
@@ -367,10 +340,10 @@ VMValue ExecState::rtPrivTranslate(uint64_t P) {
     RtPrivBytesCopied += A->Size;
     It = RtShadow.emplace(Key, Shadow).first;
   }
-  return VMValue::ofInt(static_cast<int64_t>(It->second + (P - A->Base)));
+  return VMValue::ofInt(static_cast<int64_t>(It->second + (Ptr - A->Base)));
 }
 
-void ExecState::rtPrivCommitAll() {
+void ThreadState::rtPrivCommitAll() {
   for (auto &[Key, Shadow] : RtShadow) {
     const Allocation *A = Mem.byBase(Shadow);
     if (A) {
@@ -392,7 +365,7 @@ void ExecState::rtPrivCommitAll() {
 // enforces this). All hooks funnel through this shared core, which is what
 // keeps the two engines' guard behavior identical too.
 
-ExecState::GuardRegion *ExecState::guardRegionContaining(uint64_t Addr) {
+ThreadState::GuardRegion *ThreadState::guardRegionContaining(uint64_t Addr) {
   if (GuardRegionHit >= 0 &&
       static_cast<size_t>(GuardRegionHit) < GuardRegions.size()) {
     GuardRegion &R = GuardRegions[GuardRegionHit];
@@ -409,9 +382,9 @@ ExecState::GuardRegion *ExecState::guardRegionContaining(uint64_t Addr) {
   return nullptr;
 }
 
-void ExecState::guardViolation(ViolationKind K, unsigned LoopId, unsigned Cls,
-                               uint64_t Iter, int Tid, uint64_t Addr,
-                               uint32_t Access) {
+void ThreadState::guardViolation(ViolationKind K, unsigned LoopId,
+                                 unsigned Cls, uint64_t Iter, int Tid,
+                                 uint64_t Addr, uint32_t Access) {
   ++Loops[LoopId].GuardViolations;
   for (DependenceViolation &V : GuardViolationLog)
     if (V.LoopId == LoopId && V.ClassIndex == Cls && V.Kind == K) {
@@ -427,7 +400,7 @@ void ExecState::guardViolation(ViolationKind K, unsigned LoopId, unsigned Cls,
   V.Addr = Addr;
   V.Access = Access;
   GuardViolationLog.push_back(V);
-  if (Opts.GuardDiags) {
+  if (Opts.GuardDiags && !SuppressGuardDiags) {
     Diagnostic D;
     // In fallback mode the run recovers (serial re-execution / last-value
     // copy-out), so the violation is a warning; in check mode the result is
@@ -441,7 +414,7 @@ void ExecState::guardViolation(ViolationKind K, unsigned LoopId, unsigned Cls,
   }
 }
 
-void ExecState::guardSetupRegions(const GuardPlan *GP, unsigned NumThreads) {
+void ThreadState::guardSetupRegions(const GuardPlan *GP, unsigned NumThreads) {
   GuardRegions.clear();
   GuardRegionHit = -1;
   Mem.forEachLive([&](const Allocation &A) {
@@ -462,15 +435,15 @@ void ExecState::guardSetupRegions(const GuardPlan *GP, unsigned NumThreads) {
   });
 }
 
-void ExecState::guardTeardownRegions() {
+void ThreadState::guardTeardownRegions() {
   GuardRegions.clear();
   GuardRegionHit = -1;
 }
 
-void ExecState::guardLoad(uint32_t Id, uint64_t Addr, uint64_t Size) {
+void ThreadState::guardLoad(uint32_t Id, uint64_t Addr, uint64_t Size) {
   if (GuardActive && Id != InvalidAccessId) {
-    auto It = GuardAccessMap.find(Id);
-    if (It != GuardAccessMap.end() && It->second.LoopId == GuardLoop) {
+    auto It = P.GuardAccessMap.find(Id);
+    if (It != P.GuardAccessMap.end() && It->second.LoopId == GuardLoop) {
       unsigned Cls = It->second.Class;
       ++Loops[GuardLoop].GuardChecks;
       GuardRegion *R = guardRegionContaining(Addr);
@@ -510,13 +483,13 @@ void ExecState::guardLoad(uint32_t Id, uint64_t Addr, uint64_t Size) {
     guardWatchLoad(Addr, Size);
 }
 
-void ExecState::guardStore(uint32_t Id, uint64_t Addr, uint64_t Size) {
+void ThreadState::guardStore(uint32_t Id, uint64_t Addr, uint64_t Size) {
   if (GuardActive) {
     GuardRegion *R = guardRegionContaining(Addr);
     int32_t Cls = -1;
     if (Id != InvalidAccessId) {
-      auto It = GuardAccessMap.find(Id);
-      if (It != GuardAccessMap.end() && It->second.LoopId == GuardLoop) {
+      auto It = P.GuardAccessMap.find(Id);
+      if (It != P.GuardAccessMap.end() && It->second.LoopId == GuardLoop) {
         Cls = static_cast<int32_t>(It->second.Class);
         ++Loops[GuardLoop].GuardChecks;
         uint64_t Tid = static_cast<uint64_t>(CurTid);
@@ -539,12 +512,12 @@ void ExecState::guardStore(uint32_t Id, uint64_t Addr, uint64_t Size) {
       // private read.
       uint64_t O = Addr - R->Base;
       uint64_t End = std::min(O + Size, R->Size);
-      for (uint64_t P = O; P < End; ++P) {
-        R->WriteIter[P] = static_cast<uint32_t>(GuardIter);
-        R->WriteTid[P] = static_cast<int8_t>(CurTid);
-        R->WriteClass[P] = Cls;
-        if (P >= R->Span) {
-          uint64_t Norm = P % R->Span;
+      for (uint64_t Pos = O; Pos < End; ++Pos) {
+        R->WriteIter[Pos] = static_cast<uint32_t>(GuardIter);
+        R->WriteTid[Pos] = static_cast<int8_t>(CurTid);
+        R->WriteClass[Pos] = Cls;
+        if (Pos >= R->Span) {
+          uint64_t Norm = Pos % R->Span;
           R->PrivMin = std::min(R->PrivMin, Norm);
           R->PrivMax = std::max(R->PrivMax, Norm);
         }
@@ -555,32 +528,31 @@ void ExecState::guardStore(uint32_t Id, uint64_t Addr, uint64_t Size) {
     guardWatchStore(Addr, Size);
 }
 
-void ExecState::guardBulkRead(uint64_t Addr, uint64_t Size) {
+void ThreadState::guardBulkRead(uint64_t Addr, uint64_t Size) {
   if (!GuardWatch.empty())
     guardWatchLoad(Addr, Size);
 }
 
-void ExecState::guardBulkWrite(uint64_t Addr, uint64_t Size) {
+void ThreadState::guardBulkWrite(uint64_t Addr, uint64_t Size) {
   if (GuardActive)
     guardStore(InvalidAccessId, Addr, Size);
   else if (!GuardWatch.empty())
     guardWatchStore(Addr, Size);
 }
 
-void ExecState::guardFree(uint64_t Base, uint64_t Size) {
+void ThreadState::guardFree(uint64_t Base, uint64_t Size) {
   if (!GuardWatch.empty())
     guardWatchStore(Base, Size);
   if (GuardActive)
     for (size_t I = 0; I != GuardRegions.size(); ++I)
       if (GuardRegions[I].Base == Base) {
-        GuardRegions.erase(GuardRegions.begin() +
-                           static_cast<ptrdiff_t>(I));
+        GuardRegions.erase(GuardRegions.begin() + static_cast<ptrdiff_t>(I));
         GuardRegionHit = -1;
         break;
       }
 }
 
-void ExecState::guardWatchLoad(uint64_t Addr, uint64_t Size) {
+void ThreadState::guardWatchLoad(uint64_t Addr, uint64_t Size) {
   auto It = GuardWatch.lower_bound(Addr);
   if (It == GuardWatch.end() || It->first >= Addr + Size)
     return;
@@ -601,7 +573,7 @@ void ExecState::guardWatchLoad(uint64_t Addr, uint64_t Size) {
   }
 }
 
-void ExecState::guardWatchStore(uint64_t Addr, uint64_t Size) {
+void ThreadState::guardWatchStore(uint64_t Addr, uint64_t Size) {
   auto It = GuardWatch.lower_bound(Addr);
   bool Erased = false;
   while (It != GuardWatch.end() && It->first < Addr + Size) {
@@ -612,7 +584,7 @@ void ExecState::guardWatchStore(uint64_t Addr, uint64_t Size) {
     updateGuardHooks();
 }
 
-void ExecState::guardCommit(const GuardPlan *GP, unsigned NumThreads) {
+void ThreadState::guardCommit(const GuardPlan *GP, unsigned NumThreads) {
   for (GuardRegion &R : GuardRegions) {
     if (R.PrivMin > R.PrivMax)
       continue; // no write ever landed in a copy > 0
@@ -624,16 +596,16 @@ void ExecState::guardCommit(const GuardPlan *GP, unsigned NumThreads) {
       uint32_t BestIter = 0;
       uint64_t BestOff = 0;
       for (unsigned S = 0; S != NumThreads; ++S) {
-        uint64_t P = static_cast<uint64_t>(S) * R.Span + Norm;
-        if (P >= R.Size)
+        uint64_t Pos = static_cast<uint64_t>(S) * R.Span + Norm;
+        if (Pos >= R.Size)
           break;
-        uint32_t WI = R.WriteIter[P];
+        uint32_t WI = R.WriteIter[Pos];
         if (WI == UINT32_MAX)
           continue;
         if (!Any || WI >= BestIter) {
           Any = true;
           BestIter = WI;
-          BestOff = P;
+          BestOff = Pos;
         }
       }
       if (!Any || BestOff / R.Span == 0)
@@ -660,19 +632,60 @@ void ExecState::guardCommit(const GuardPlan *GP, unsigned NumThreads) {
 // Counted loops
 //===----------------------------------------------------------------------===//
 
-Flow ExecState::runForLoop(unsigned LoopId, ParallelKind Kind, Type *IVType,
-                           const std::function<void(ForBounds &)> &EvalBounds,
-                           const std::function<Flow()> &Body) {
+Flow ThreadState::runForLoop(unsigned LoopId, ParallelKind Kind, Type *IVType,
+                             const std::function<void(ForBounds &)> &EvalBounds,
+                             const std::function<Flow()> &Body,
+                             const ThreadLoopHooks *Host) {
   bool Parallel =
       Opts.SimulateParallel && Kind != ParallelKind::None && !InParallelLoop;
+  if (Parallel && threadedEligible(LoopId, Kind, Host))
+    return runForThreaded(LoopId, Kind, IVType, EvalBounds, *Host);
   if (Parallel)
     return runForParallel(LoopId, Kind, IVType, EvalBounds, Body);
   return runForSerial(LoopId, Kind, IVType, EvalBounds, Body);
 }
 
-Flow ExecState::runForSerial(unsigned LoopId, ParallelKind Kind, Type *IVType,
-                             const std::function<void(ForBounds &)> &EvalBounds,
-                             const std::function<Flow()> &Body) {
+bool ThreadState::threadedEligible(unsigned LoopId, ParallelKind Kind,
+                                   const ThreadLoopHooks *Host) const {
+  // The engine must have offered host execution at all (only the bytecode
+  // engine does, and only under ExecEngine::Threads), and the induction
+  // variable must live in the frame the runner is about to privatize.
+  if (!Host || !Host->MakeWorker || !Host->IVInFrame)
+    return false;
+  if (Opts.Engine != ExecEngine::Threads || Opts.NumThreads < 2)
+    return false;
+  // An installed observer expects the serial-order event stream; a cycle
+  // budget needs a monotonic global cycle counter; an armed guard watch must
+  // see every access in serial order. All three force the simulated path.
+  if (Obs || Opts.MaxCycles != 0 || !GuardWatch.empty())
+    return false;
+  const ProgramContext::LoopTraits *T = P.loopTraits(LoopId);
+  // Runtime privatization keeps a serial-order shadow map: simulate.
+  if (!T || T->UsesRtPriv)
+    return false;
+  const unsigned N = static_cast<unsigned>(std::max(1, Opts.NumThreads));
+  const GuardPlan *GP = nullptr;
+  if (Opts.Guard != GuardMode::Off && N <= 127) {
+    auto It = P.GuardPlanOf.find(LoopId);
+    if (It != P.GuardPlanOf.end())
+      GP = It->second;
+  }
+  // Fallback speculation checkpoints and re-runs serially; the threaded
+  // runner only supports check-mode guarding (per-worker shadow merge).
+  if (GP && Opts.Guard == GuardMode::Fallback)
+    return false;
+  // DOACROSS virtual thread assignment (argmin of the simulated timeline) is
+  // only known after the fact, so bodies that observe __tid, and guard
+  // shadows that stamp it, cannot run on real threads in DOACROSS form.
+  if (Kind == ParallelKind::DOACROSS && (T->UsesTid || GP))
+    return false;
+  return true;
+}
+
+Flow ThreadState::runForSerial(unsigned LoopId, ParallelKind Kind,
+                               Type *IVType,
+                               const std::function<void(ForBounds &)> &EvalBounds,
+                               const std::function<Flow()> &Body) {
   LoopStats &LS = Loops[LoopId];
   LS.Kind = Kind;
   ++LS.Invocations;
@@ -728,7 +741,7 @@ Flow ExecState::runForSerial(unsigned LoopId, ParallelKind Kind, Type *IVType,
   return Result;
 }
 
-Flow ExecState::runForParallel(
+Flow ThreadState::runForParallel(
     unsigned LoopId, ParallelKind Kind, Type *IVType,
     const std::function<void(ForBounds &)> &EvalBounds,
     const std::function<Flow()> &Body) {
@@ -739,8 +752,8 @@ Flow ExecState::runForParallel(
   // configuration exists in practice).
   const GuardPlan *GP = nullptr;
   if (Opts.Guard != GuardMode::Off && N <= 127) {
-    auto GIt = GuardPlanOf.find(LoopId);
-    if (GIt != GuardPlanOf.end())
+    auto GIt = P.GuardPlanOf.find(LoopId);
+    if (GIt != P.GuardPlanOf.end())
       GP = GIt->second;
   }
   // Fallback mode re-executes a tripped invocation serially, so everything
@@ -799,9 +812,8 @@ Flow ExecState::runForParallel(
     return Flow::Halt;
   }
   uint64_t Total =
-      B.Hi > B.Lo
-          ? static_cast<uint64_t>((B.Hi - B.Lo + B.Step - 1) / B.Step)
-          : 0;
+      B.Hi > B.Lo ? static_cast<uint64_t>((B.Hi - B.Lo + B.Step - 1) / B.Step)
+                  : 0;
   uint64_t IVSize = Ctx.getLayout(IVType).Size;
 
   if (Obs)
@@ -829,16 +841,9 @@ Flow ExecState::runForParallel(
     }
   }
 
-  const CostModel &CM = Opts.Costs;
-  std::vector<uint64_t> Ready(N, 0), Work(N, 0), Stall(N, 0), Dispatch(N, 0);
-  std::map<unsigned, uint64_t> RegionFree;
   bool DOALL = Kind == ParallelKind::DOALL;
+  ParallelTimeline TL(Opts.Costs, N, DOALL);
   uint64_t Chunk = DOALL ? std::max<uint64_t>(1, (Total + N - 1) / N) : 1;
-  if (DOALL)
-    for (unsigned T = 0; T != N; ++T) {
-      Ready[T] = CM.ChunkStartup;
-      Dispatch[T] = CM.ChunkStartup;
-    }
 
   Flow Result = Flow::Normal;
   bool DoFallback = false;
@@ -849,17 +854,10 @@ Flow ExecState::runForParallel(
       Result = Flow::Halt;
       break;
     }
-    unsigned T;
-    if (DOALL) {
-      T = static_cast<unsigned>(std::min<uint64_t>(It / Chunk, N - 1));
-    } else {
-      T = 0;
-      for (unsigned I = 1; I != N; ++I)
-        if (Ready[I] < Ready[T])
-          T = I;
-      Ready[T] += CM.IterDispatch;
-      Dispatch[T] += CM.IterDispatch;
-    }
+    unsigned T = DOALL
+                     ? static_cast<unsigned>(std::min<uint64_t>(It / Chunk,
+                                                                N - 1))
+                     : TL.dispatchDoacross();
     CurTid = static_cast<int>(T);
 
     int64_t IVal = B.Lo + static_cast<int64_t>(It) * B.Step;
@@ -894,21 +892,7 @@ Flow ExecState::runForParallel(
       break;
     }
 
-    // Timeline update.
-    uint64_t StartT = Ready[T];
-    uint64_t Shift = 0;
-    for (const OrderedEvent &Ev : OrderedEvents) {
-      uint64_t Entry = StartT + Ev.EntryOff + Shift;
-      auto &Free = RegionFree[Ev.RegionId];
-      if (Free > Entry) {
-        uint64_t S = Free - Entry;
-        Shift += S;
-        Stall[T] += S;
-      }
-      Free = StartT + Ev.ExitOff + Shift;
-    }
-    Ready[T] = StartT + W + Shift;
-    Work[T] += W;
+    TL.completeIter(T, W, OrderedEvents);
   }
 
   RecordOrdered = false;
@@ -971,20 +955,12 @@ Flow ExecState::runForParallel(
     Obs->onLoopExit(LoopId);
 
   uint64_t WorkDelta = Cycles - Before;
-  uint64_t MaxReady = 0;
-  for (unsigned T = 0; T != N; ++T)
-    MaxReady = std::max(MaxReady, Ready[T]);
-  uint64_t SimTime = MaxReady + CM.ForkJoin;
+  uint64_t SimTime = TL.maxReady() + Opts.Costs.ForkJoin;
 
   LS.Iterations += Total;
   LS.WorkCycles += WorkDelta;
   LS.SimTime += SimTime;
-  for (unsigned T = 0; T != N; ++T) {
-    LS.WorkPerThread[T] += Work[T];
-    LS.SyncStallPerThread[T] += Stall[T];
-    LS.DispatchPerThread[T] += Dispatch[T];
-    LS.IdlePerThread[T] += MaxReady - Ready[T];
-  }
+  TL.accumulate(LS);
 
   // Program simulated time: replace this loop's work span by its simulated
   // duration.
@@ -998,7 +974,7 @@ Flow ExecState::runForParallel(
 // Run scaffolding
 //===----------------------------------------------------------------------===//
 
-void ExecState::resetRun() {
+void ThreadState::resetRun() {
   Cycles = 0;
   TimeAdjust = 0;
   CurTid = 0;
@@ -1025,14 +1001,5 @@ void ExecState::resetRun() {
   GuardWatch.clear();
   updateGuardHooks();
 
-  for (uint64_t Addr : GlobalBlocks)
-    Mem.deallocate(Addr);
-  GlobalBlocks.clear();
-  GlobalAddrById.assign(M.getNumVarDecls() + 1, 0);
-  for (VarDecl *G : M.getGlobals()) {
-    uint64_t Addr = Mem.allocate(Ctx.getLayout(G->getType()).Size,
-                                 AllocKind::Global, G->getId());
-    GlobalAddrById[G->getId()] = Addr;
-    GlobalBlocks.push_back(Addr);
-  }
+  P.resetGlobals();
 }

@@ -1,4 +1,4 @@
-//===- ExecState.h - State and semantics shared by both engines -*- C++ -*-===//
+//===- ExecState.h - Per-thread state and shared semantics ------*- C++ -*-===//
 //
 // Part of the GDSE project, a reproduction of "General Data Structure
 // Expansion for Multi-threading" (PLDI 2013).
@@ -6,16 +6,26 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Everything the two execution engines (the tree-walking reference
-/// interpreter and the register-bytecode VM) must agree on lives here: the
-/// runtime value representation, frame layout, memory/trap/cycle accounting,
+/// The per-thread half of the execution-state split (the shared half is
+/// ProgramContext.h). Everything the execution engines (the tree-walking
+/// reference interpreter and the register-bytecode VM) must agree on lives
+/// here: the runtime value representation, memory/trap/cycle accounting,
 /// builtin semantics, the runtime-privatization runtime, loop bookkeeping,
-/// and — most importantly — the counted-loop driver that implements both the
-/// serial `for` semantics and the virtual-multicore DOALL/DOACROSS timeline.
-/// The engines differ only in how they evaluate straight-line code; every
-/// observable effect (observer callbacks, cycle charges at loop/region
-/// boundaries, allocation order, trap messages) funnels through this one
-/// implementation, which is what makes the engines bit-identical.
+/// and — most importantly — the counted-loop driver that implements the
+/// serial `for` semantics, the virtual-multicore DOALL/DOACROSS timeline,
+/// and (for the Threads engine) dispatch to the real host-threaded runner in
+/// ThreadedLoop.cpp. The engines differ only in how they evaluate
+/// straight-line code; every observable effect (observer callbacks, cycle
+/// charges at loop/region boundaries, allocation order, trap messages)
+/// funnels through this one implementation, which is what makes the engines
+/// bit-identical.
+///
+/// A ThreadState is one virtual hardware thread: it owns its cycle counter,
+/// frame/output/trap state, ordered-event buffer, and guard-shadow shard,
+/// and references the ProgramContext everything else hangs off. The main
+/// thread's ThreadState lives for the whole run; worker ThreadStates are
+/// created per host-threaded loop invocation and merged back
+/// deterministically at the join (ThreadedLoop.cpp).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +33,7 @@
 #define GDSE_INTERP_EXECSTATE_H
 
 #include "interp/Interp.h"
+#include "interp/ProgramContext.h"
 #include "ir/IR.h"
 
 #include <functional>
@@ -54,16 +65,6 @@ struct VMValue {
 
 /// Statement-level control flow.
 enum class Flow : uint8_t { Normal, Break, Continue, Return, Halt };
-
-struct FrameLayout {
-  uint64_t Size = 0;
-  std::map<const VarDecl *, uint64_t> Offsets;
-};
-
-/// The canonical frame layout of \p F: parameters then locals at naturally
-/// aligned offsets, frame size at least one byte. Both engines use this one
-/// definition, so frame addresses and peak-memory accounting agree.
-FrameLayout computeFrameLayout(TypeContext &Ctx, const Function *F);
 
 /// One ordered-region entry/exit observed during an iteration, as work-cycle
 /// offsets from the iteration start.
@@ -110,21 +111,41 @@ inline unsigned scalarSize(ScalarKind K) {
   }
 }
 
-/// The mutable machine state of one run plus the semantics both engines
-/// share. The tree-walker's Impl and the bytecode VM both operate on this;
-/// any behavior implemented here is bit-identical across engines by
-/// construction.
-struct ExecState {
+struct ThreadState;
+struct DoacrossSync;
+
+/// How an engine hands the host-threaded loop runner the means to execute
+/// body iterations on worker ThreadStates. Supplied by the bytecode engine's
+/// ForLoop handler (the tree-walker never threads; it stays the pure serial
+/// reference). FrameBase/FrameSize describe the enclosing function frame so
+/// the runner can give each worker a private copy; MakeWorker is called once
+/// per worker with the worker's ThreadState and its frame copy's base, and
+/// returns the thunk that runs one iteration's body segment.
+struct ThreadLoopHooks {
+  uint64_t FrameBase = 0;
+  uint64_t FrameSize = 0;
+  /// False when the induction variable lives in a global (workers would race
+  /// on its slot): not eligible for host threading.
+  bool IVInFrame = true;
+  std::function<std::function<Flow()>(ThreadState &WS, uint64_t WorkerFrame)>
+      MakeWorker;
+};
+
+/// The mutable machine state of one virtual thread plus the semantics both
+/// engines share. The tree-walker's evaluator and the bytecode VM both
+/// operate on this; any behavior implemented here is bit-identical across
+/// engines by construction.
+struct ThreadState {
+  ProgramContext &P;
+
+  // Aliases into the shared context, kept under their historical names so
+  // engine code reads the same before and after the split.
   Module &M;
   TypeContext &Ctx;
-  InterpOptions Opts;
-  InterpObserver *Obs = nullptr;
-  VMMemory Mem;
+  const InterpOptions &Opts;
+  VMMemory &Mem;
 
-  /// Global base addresses indexed by VarDecl::getId() (the module's dense
-  /// numbering); 0 = not allocated.
-  std::vector<uint64_t> GlobalAddrById;
-  std::vector<uint64_t> GlobalBlocks;
+  InterpObserver *Obs = nullptr;
 
   uint64_t Cycles = 0;    ///< pure work cycles
   int64_t TimeAdjust = 0; ///< SimTime - work inside parallel loops (signed)
@@ -145,7 +166,7 @@ struct ExecState {
   unsigned CallDepth = 0;
 
   /// Innermost-first stack of active counted loops, for trap attribution.
-  /// Maintained by runForSerial/runForParallel around their iteration loops.
+  /// Maintained by the loop drivers around their iteration loops.
   struct LoopCtx {
     unsigned LoopId = 0;
     uint64_t Iter = 0;
@@ -154,38 +175,36 @@ struct ExecState {
 
   std::map<unsigned, LoopStats> Loops;
 
-  // Ordered-region event recording (active during DOACROSS simulation).
+  // Ordered-region event recording (active during DOACROSS simulation and in
+  // DOACROSS worker threads).
   bool RecordOrdered = false;
   uint64_t IterStartCycles = 0;
   std::vector<OrderedEvent> OrderedEvents;
+
+  /// Real cross-iteration synchronization for ordered regions, non-null only
+  /// on worker ThreadStates inside a host-threaded DOACROSS loop. The
+  /// engines call orderedRealEnter() on region entry when set.
+  DoacrossSync *DX = nullptr;
+  /// The iteration this worker is currently executing (ticket number).
+  uint64_t DXIter = 0;
 
   // Runtime privatization (SpiceC-style baseline).
   std::map<std::pair<int, uint64_t>, uint64_t> RtShadow;
   uint64_t RtPrivTranslations = 0;
   uint64_t RtPrivBytesCopied = 0;
 
-  /// Locals/params whose accesses are free in the cost model (see
-  /// collectRegisterVars in ir/AccessInfo.h).
-  std::set<const VarDecl *> RegisterVars;
-
   //===------------------------------------------------------------------===//
   // Guarded execution state (see Guard.h)
   //===------------------------------------------------------------------===//
-
-  /// Merged lookup over Opts.GuardPlans: access id -> (loop, class) for
-  /// every claimed-private access of every guarded loop.
-  struct GuardAccess {
-    unsigned LoopId = 0;
-    unsigned Class = 0;
-  };
-  std::map<uint32_t, GuardAccess> GuardAccessMap;
-  /// Loop id -> plan (owned by Opts.GuardPlans).
-  std::map<unsigned, const GuardPlan *> GuardPlanOf;
 
   /// One expanded structure under guard during a parallel invocation: a live
   /// allocation from a plan's RegionSites, with a per-byte first-write
   /// shadow (LRPD-style). WriteIter uses UINT32_MAX as "never written this
   /// invocation"; WriteClass is -1 for writes outside any private class.
+  /// Under host threading each worker gets its own GuardRegion copies (the
+  /// per-thread first-write logs); the join merges them byte-wise,
+  /// latest-iteration-wins, back into the main ThreadState's regions before
+  /// the ordinary commit scan runs.
   struct GuardRegion {
     uint64_t Base = 0;
     uint64_t Size = 0;
@@ -205,6 +224,10 @@ struct ExecState {
   bool GuardHooksOn = false; ///< GuardActive || !GuardWatch.empty()
   unsigned GuardLoop = 0;    ///< loop id of the active guarded invocation
   uint64_t GuardIter = 0;    ///< current iteration, for shadow stamps
+  /// Set on worker ThreadStates: violations are logged but not reported to
+  /// the diagnostic engine (the join reports merged entries once, in
+  /// iteration order, exactly as a serial run would).
+  bool SuppressGuardDiags = false;
   std::vector<DependenceViolation> GuardViolationLog;
 
   /// Post-loop watch for output-dependence misclassifications: copy-0 bytes
@@ -237,19 +260,19 @@ struct ExecState {
   void guardBulkWrite(uint64_t Addr, uint64_t Size);
   void guardFree(uint64_t Base, uint64_t Size);
 
-  ExecState(Module &M, InterpOptions Opts);
-  ExecState(const ExecState &) = delete;
-  ExecState &operator=(const ExecState &) = delete;
-  ~ExecState();
+  explicit ThreadState(ProgramContext &P);
+  ThreadState(const ThreadState &) = delete;
+  ThreadState &operator=(const ThreadState &) = delete;
+  ~ThreadState();
 
   //===------------------------------------------------------------------===//
   // Diagnostics and cycle accounting
   //===------------------------------------------------------------------===//
 
   /// Records the first trap. Traps raised inside a counted loop carry the
-  /// innermost loop id, iteration, and virtual thread — appended to the
-  /// message and exposed structurally via TrapLoopId/TrapIteration/
-  /// TrapThread (implemented in ExecState.cpp).
+  /// innermost loop id, iteration, and thread — appended to the message and
+  /// exposed structurally via TrapLoopId/TrapIteration/TrapThread
+  /// (implemented in ExecState.cpp).
   void trap(const std::string &Msg);
 
   bool dead() const { return Trapped || Halted; }
@@ -270,8 +293,9 @@ struct ExecState {
 
   /// Base address of global \p D; traps (and returns 0) when unallocated.
   uint64_t globalAddr(const VarDecl *D) {
-    uint64_t Addr =
-        D->getId() < GlobalAddrById.size() ? GlobalAddrById[D->getId()] : 0;
+    uint64_t Addr = D->getId() < P.GlobalAddrById.size()
+                        ? P.GlobalAddrById[D->getId()]
+                        : 0;
     if (!Addr)
       trap("reference to unallocated global '" + D->getName() + "'");
     return Addr;
@@ -354,6 +378,12 @@ struct ExecState {
     LS.SimTime += Cycles - L.Before;
   }
 
+  /// Ordered-region entry under real DOACROSS threading: blocks until this
+  /// worker's iteration holds the region's ticket (ThreadedLoop.cpp). Called
+  /// by the engines when DX is set; charges nothing (the OrderedEnter charge
+  /// is the engine's, exactly as in the simulated path).
+  void orderedRealEnter(unsigned RegionId);
+
   //===------------------------------------------------------------------===//
   // Counted loops: serial semantics and the multicore timeline
   //===------------------------------------------------------------------===//
@@ -372,9 +402,17 @@ struct ExecState {
   /// iteration protocol and the DOALL/DOACROSS virtual-multicore timeline
   /// exactly once for both engines. Returns Normal (also for break),
   /// Return, or Halt.
+  ///
+  /// \p Host, when non-null, offers real host-threaded execution of the
+  /// loop (Threads engine). The driver still decides per invocation: loops
+  /// that are ineligible (observer installed, N < 2, cycle budget active,
+  /// armed guard watch, fallback-mode guard plan, rtpriv bodies, global
+  /// induction variable, tid-sensitive or guarded DOACROSS) take the
+  /// serial-order simulated path, which is bit-identical by construction.
   Flow runForLoop(unsigned LoopId, ParallelKind Kind, Type *IVType,
                   const std::function<void(ForBounds &)> &EvalBounds,
-                  const std::function<Flow()> &Body);
+                  const std::function<Flow()> &Body,
+                  const ThreadLoopHooks *Host = nullptr);
 
   //===------------------------------------------------------------------===//
   // Run scaffolding
@@ -390,8 +428,17 @@ private:
   Flow runForParallel(unsigned LoopId, ParallelKind Kind, Type *IVType,
                       const std::function<void(ForBounds &)> &EvalBounds,
                       const std::function<Flow()> &Body);
+  /// The real host-threaded runner (ThreadedLoop.cpp). Bit-identical virtual
+  /// metrics to runForParallel on every eligible loop.
+  Flow runForThreaded(unsigned LoopId, ParallelKind Kind, Type *IVType,
+                      const std::function<void(ForBounds &)> &EvalBounds,
+                      const ThreadLoopHooks &Host);
+  /// True when this invocation can run on real host threads.
+  bool threadedEligible(unsigned LoopId, ParallelKind Kind,
+                        const ThreadLoopHooks *Host) const;
 
-  // Guarded-execution internals (ExecState.cpp).
+  // Guarded-execution internals (ExecState.cpp). ThreadedLoop.cpp reuses
+  // guardSetupRegions/guardCommit and the merge helpers below.
   GuardRegion *guardRegionContaining(uint64_t Addr);
   void guardSetupRegions(const GuardPlan *GP, unsigned NumThreads);
   void guardTeardownRegions();
@@ -406,6 +453,10 @@ private:
   /// Index into GuardRegions answered last (clustered accesses), or -1.
   int GuardRegionHit = -1;
 };
+
+/// Historical name: ExecState was split into ProgramContext + ThreadState;
+/// the per-thread half keeps the semantic role the old monolith had.
+using ExecState = ThreadState;
 
 } // namespace gdse
 

@@ -41,21 +41,34 @@ ExecEngine gdse::engineFromEnv(ExecEngine Default) {
     return ExecEngine::TreeWalk;
   if (V == "bytecode" || V == "bc")
     return ExecEngine::Bytecode;
+  if (V == "threads")
+    return ExecEngine::Threads;
   envWarnOnce("GDSE_ENGINE",
               formatString("unrecognized value '%s' for GDSE_ENGINE; using "
-                           "'%s' (use tree/treewalk or bytecode/bc)",
+                           "'%s' (use tree/treewalk, bytecode/bc, or threads)",
                            E,
-                           Default == ExecEngine::TreeWalk ? "tree"
-                                                           : "bytecode"));
+                           Default == ExecEngine::TreeWalk    ? "tree"
+                           : Default == ExecEngine::Bytecode ? "bytecode"
+                                                             : "threads"));
   return Default;
 }
 
-struct Interp::Impl : ExecState {
-  using Value = VMValue;
+namespace {
+/// Owns the shared ProgramContext. A base class rather than a member so it is
+/// fully constructed before the ThreadState base that holds references into
+/// it.
+struct ContextHolder {
+  ProgramContext PC;
+  ContextHolder(Module &M, InterpOptions O) : PC(M, std::move(O)) {}
+};
+} // namespace
 
-  /// Frame layouts are cached per function and referenced by address, so the
-  /// map must never invalidate node addresses (std::map guarantees this).
-  std::map<const Function *, FrameLayout> Layouts;
+/// The tree-walking evaluator is the ProgramContext + main ThreadState pair:
+/// Impl *is* the main thread's state (so evaluator code reads fields
+/// directly), and the ContextHolder base owns the shared program half that
+/// worker ThreadStates of host-threaded loops attach to.
+struct Interp::Impl : ContextHolder, ExecState {
+  using Value = VMValue;
 
   struct Frame {
     const Function *F = nullptr;
@@ -64,19 +77,16 @@ struct Interp::Impl : ExecState {
   };
   std::vector<Frame> Frames;
 
-  /// Lazily-lowered (or precompiled) bytecode for the Bytecode engine.
+  /// Lazily-lowered (or precompiled) bytecode for the Bytecode/Threads
+  /// engines.
   std::shared_ptr<const BytecodeModule> BC;
 
-  Impl(Module &M, InterpOptions O) : ExecState(M, std::move(O)) {
+  Impl(Module &M, InterpOptions O)
+      : ContextHolder(M, std::move(O)), ExecState(PC) {
     BC = Opts.Precompiled;
   }
 
-  const FrameLayout &layoutOf(const Function *F) {
-    auto It = Layouts.find(F);
-    if (It == Layouts.end())
-      It = Layouts.emplace(F, computeFrameLayout(Ctx, F)).first;
-    return It->second;
-  }
+  const FrameLayout &layoutOf(const Function *F) { return PC.layoutOf(F); }
 
   uint64_t addrOfVar(const VarDecl *D) {
     if (D->isGlobal())
@@ -648,9 +658,12 @@ struct Interp::Impl : ExecState {
       return R;
     }
 
-    if (Opts.Engine == ExecEngine::Bytecode) {
+    if (Opts.Engine == ExecEngine::Bytecode ||
+        Opts.Engine == ExecEngine::Threads) {
       // Lower lazily; a precompiled module is usable only if it was built
-      // against the exact cost table of this run.
+      // against the exact cost table of this run. The Threads engine is the
+      // bytecode evaluator plus host-threaded parallel loops — only the
+      // bytecode VM supplies the worker hooks (ThreadLoopHooks).
       if (!BC || !(BC->Costs == Opts.Costs))
         BC = lowerToBytecode(M, Opts.Costs);
       runBytecodeEntry(*this, *BC, F);

@@ -51,12 +51,22 @@ enum class ExecEngine : uint8_t {
   /// type sizes, jump targets) and run by a dispatch loop. Several times
   /// faster on loop-heavy programs.
   Bytecode,
+  /// The bytecode VM with *real* host threads under eligible parallel loops:
+  /// DOALL chunks and DOACROSS iterations execute concurrently on a worker
+  /// pool of NumThreads threads over the shared VMMemory, with ordered
+  /// regions enforced by cross-iteration tickets. Virtual metrics (cycles,
+  /// SimTime, peak bytes, per-loop stats, guard counters) are reconstructed
+  /// at the join to stay bit-identical to the serial engines; wall-clock
+  /// time actually drops on multi-core hosts. Loops a given invocation
+  /// cannot thread safely fall back to the simulated serial-order path.
+  Threads,
 };
 
 /// Engine selection from the GDSE_ENGINE environment variable:
-/// "tree"/"treewalk" or "bytecode"/"bc"; anything else (or unset) yields
-/// \p Default. Benchmarks and tools use this with the Bytecode default; the
-/// library-level InterpOptions default stays TreeWalk.
+/// "tree"/"treewalk", "bytecode"/"bc", or "threads"; anything else (or
+/// unset) yields \p Default. Benchmarks and tools use this with the
+/// Bytecode default; the library-level InterpOptions default stays
+/// TreeWalk.
 ExecEngine engineFromEnv(ExecEngine Default = ExecEngine::Bytecode);
 
 /// Instrumentation callbacks. Addresses are VM (host) addresses; sizes in

@@ -9,9 +9,14 @@
 
 #include "support/Support.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace gdse;
+
+thread_local MemDeltaSink *VMMemory::TLSink = nullptr;
+
+void VMMemory::setDeltaSink(MemDeltaSink *S) { TLSink = S; }
 
 VMMemory::~VMMemory() {
   for (auto &[Base, A] : ByBase)
@@ -28,12 +33,25 @@ uint64_t VMMemory::allocate(uint64_t Size, AllocKind Kind, uint32_t SiteId) {
   Allocation A;
   A.Base = Base;
   A.Size = Size;
-  A.Generation = NextGeneration++;
   A.SiteId = SiteId;
   A.Kind = Kind;
   A.Live = true;
-  ByBase[Base] = A;
 
+  if (Concurrent) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    A.Generation = NextGeneration++;
+    ByBase[Base] = A;
+    CurBytes += Size;
+    ++NumLive;
+    if (TLSink)
+      TLSink->note(static_cast<int64_t>(Size));
+    else
+      PeakBytes = std::max(PeakBytes, CurBytes);
+    return Base;
+  }
+
+  A.Generation = NextGeneration++;
+  ByBase[Base] = A;
   CurBytes += Size;
   PeakBytes = std::max(PeakBytes, CurBytes);
   ++NumLive;
@@ -41,6 +59,23 @@ uint64_t VMMemory::allocate(uint64_t Size, AllocKind Kind, uint32_t SiteId) {
 }
 
 bool VMMemory::deallocate(uint64_t Base) {
+  if (Concurrent) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = ByBase.find(Base);
+    if (It == ByBase.end() || !It->second.Live)
+      return false;
+    CurBytes -= It->second.Size;
+    --NumLive;
+    if (TLSink)
+      TLSink->note(-static_cast<int64_t>(It->second.Size));
+    // Defer the host delete and the registry erase: another worker may hold
+    // an Allocation pointer from containing()/byBase(), and the host
+    // allocator must not recycle the address mid-loop.
+    It->second.Live = false;
+    ConcQuarantine.push_back(Base);
+    return true;
+  }
+
   auto It = ByBase.find(Base);
   if (It == ByBase.end() || !It->second.Live)
     return false;
@@ -63,9 +98,64 @@ bool VMMemory::deallocate(uint64_t Base) {
   return true;
 }
 
+uint64_t VMMemory::allocateUntracked(uint64_t Size) {
+  if (Concurrent)
+    reportFatalError("VMMemory: untracked allocation while concurrent");
+  uint64_t HostSize = Size ? Size : 1;
+  void *P = ::operator new(HostSize);
+  std::memset(P, 0, HostSize);
+  uint64_t Base = reinterpret_cast<uint64_t>(P);
+  Allocation A;
+  A.Base = Base;
+  A.Size = Size;
+  A.Generation = NextGeneration++;
+  A.SiteId = 0;
+  A.Kind = AllocKind::Frame;
+  A.Live = true;
+  A.Untracked = true;
+  ByBase[Base] = A;
+  return Base;
+}
+
+void VMMemory::releaseUntracked(uint64_t Base) {
+  if (Concurrent)
+    reportFatalError("VMMemory: untracked release while concurrent");
+  auto It = ByBase.find(Base);
+  if (It == ByBase.end() || !It->second.Untracked)
+    reportFatalError("VMMemory: releaseUntracked of a tracked block");
+  if (LastHit == &It->second)
+    LastHit = nullptr;
+  ::operator delete(reinterpret_cast<void *>(Base));
+  ByBase.erase(It);
+}
+
+void VMMemory::beginConcurrent() {
+  if (Concurrent)
+    reportFatalError("VMMemory: nested concurrent mode");
+  if (Speculating)
+    reportFatalError("VMMemory: concurrent mode during speculation");
+  // The cache slot must not be touched (even read) while workers run.
+  LastHit = nullptr;
+  Concurrent = true;
+}
+
+void VMMemory::endConcurrent() {
+  if (!Concurrent)
+    return;
+  Concurrent = false;
+  for (uint64_t Base : ConcQuarantine) {
+    ::operator delete(reinterpret_cast<void *>(Base));
+    ByBase.erase(Base);
+  }
+  ConcQuarantine.clear();
+  LastHit = nullptr;
+}
+
 void VMMemory::beginSpeculation() {
   if (Speculating)
     reportFatalError("VMMemory: nested speculation checkpoint");
+  if (Concurrent)
+    reportFatalError("VMMemory: speculation during concurrent mode");
   Speculating = true;
   SpecBeginGeneration = NextGeneration;
   SpecCurBytes = CurBytes;
@@ -130,6 +220,19 @@ void VMMemory::rollbackSpeculation() {
 }
 
 const Allocation *VMMemory::containing(uint64_t Addr) const {
+  if (Concurrent) {
+    // No last-hit cache here: the slot is written by const lookups and would
+    // race between concurrent readers (the bug this mode exists to avoid).
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = ByBase.upper_bound(Addr);
+    if (It == ByBase.begin())
+      return nullptr;
+    --It;
+    const Allocation &A = It->second;
+    if (!A.Live || Addr >= A.Base + std::max<uint64_t>(A.Size, 1))
+      return nullptr;
+    return &A;
+  }
   // Fast path: repeated accesses into the block we answered last time.
   if (LastHit && Addr - LastHit->Base < std::max<uint64_t>(LastHit->Size, 1))
     return LastHit;
@@ -145,6 +248,13 @@ const Allocation *VMMemory::containing(uint64_t Addr) const {
 }
 
 const Allocation *VMMemory::byBase(uint64_t Base) const {
+  if (Concurrent) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = ByBase.find(Base);
+    if (It == ByBase.end() || !It->second.Live)
+      return nullptr;
+    return &It->second;
+  }
   auto It = ByBase.find(Base);
   if (It == ByBase.end() || !It->second.Live)
     return nullptr;

@@ -18,6 +18,17 @@
 ///    runtime-privatization baseline's heap prefix);
 ///  - current/peak byte accounting (Figure 14).
 ///
+/// The registry has two operating modes. In the default serial mode there is
+/// no locking and containing() uses a single-slot last-hit cache. Inside a
+/// host-threaded parallel loop (ThreadedLoop.cpp) the owning ProgramContext
+/// puts the arena into *concurrent mode*: every registry operation takes a
+/// mutex, the last-hit cache is neither read nor written (it was mutated on
+/// every lookup and would race between concurrent readers), deallocation
+/// defers the host delete and registry erase so Allocation pointers handed
+/// to one thread stay valid while another frees, and peak accounting is
+/// replaced by per-iteration deltas that the post-join merge replays in
+/// serial iteration order — so peakBytes() is bit-identical to a serial run.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDSE_INTERP_MEMORY_H
@@ -26,6 +37,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace gdse {
@@ -42,6 +54,28 @@ struct Allocation {
   uint32_t SiteId = 0;
   AllocKind Kind = AllocKind::Heap;
   bool Live = true;
+  /// Excluded from current/peak byte accounting: the per-worker frame copies
+  /// of a host-threaded loop have no serial counterpart, so charging them
+  /// would break the bit-identity of peakBytes() with the serial engines.
+  bool Untracked = false;
+};
+
+/// Per-iteration allocation deltas recorded by a worker thread while the
+/// arena is in concurrent mode. The post-join merge replays these in serial
+/// iteration order to reconstruct the exact peak a serial execution would
+/// have seen: peak = max over iterations of (bytes-live-before + MaxPrefix).
+struct MemDeltaSink {
+  int64_t Cur = 0;       ///< net bytes allocated so far this iteration
+  int64_t MaxPrefix = 0; ///< running max of Cur within the iteration
+  void note(int64_t Delta) {
+    Cur += Delta;
+    if (Cur > MaxPrefix)
+      MaxPrefix = Cur;
+  }
+  void beginIter() {
+    Cur = 0;
+    MaxPrefix = 0;
+  }
 };
 
 class VMMemory {
@@ -86,6 +120,40 @@ public:
   }
 
   //===------------------------------------------------------------------===//
+  // Concurrent mode (host-threaded parallel loops)
+  //===------------------------------------------------------------------===//
+
+  /// Enters concurrent mode: registry operations lock, the last-hit cache is
+  /// bypassed, deallocation is quarantined, and peak accounting switches to
+  /// the calling worker's MemDeltaSink (see setDeltaSink). Must not be
+  /// nested and must not overlap a speculation checkpoint.
+  void beginConcurrent();
+  /// Leaves concurrent mode and reclaims quarantined blocks. The caller is
+  /// responsible for replaying the workers' deltas (notePeak) first if peak
+  /// accounting is to stay serial-exact.
+  void endConcurrent();
+  bool concurrent() const { return Concurrent; }
+
+  /// Installs the calling thread's delta sink (thread-local; pass null to
+  /// clear). While concurrent, allocate/deallocate report +/-Size to it.
+  static void setDeltaSink(MemDeltaSink *S);
+
+  /// Raises the peak high-water mark to \p Peak if higher — the post-join
+  /// replay's output.
+  void notePeak(uint64_t Peak) {
+    if (Peak > PeakBytes)
+      PeakBytes = Peak;
+  }
+
+  /// Registers a block excluded from byte accounting (worker frame copies):
+  /// visible to containing()/bounds checks but invisible to currentBytes/
+  /// peakBytes/liveAllocations. Serial-mode only (create worker frames
+  /// before beginConcurrent()).
+  uint64_t allocateUntracked(uint64_t Size);
+  /// Releases a block created by allocateUntracked. Serial-mode only.
+  void releaseUntracked(uint64_t Base);
+
+  //===------------------------------------------------------------------===//
   // Speculation checkpoints (guarded execution's fallback mode)
   //===------------------------------------------------------------------===//
   //
@@ -127,13 +195,27 @@ private:
   std::map<uint64_t, Allocation> ByBase;
   // Accesses are heavily clustered (a loop walking one array hits the same
   // allocation millions of times), so containing() first re-checks the last
-  // allocation it returned before probing the tree — O(1) amortized.
-  // Invalidated when the cached allocation is freed.
+  // allocation it returned before probing the tree — O(1) amortized. The
+  // cache is a single mutable slot written by const lookups, so concurrent
+  // mode must not touch it at all (reads and writes both race); it is
+  // invalidated when the cached allocation is freed.
   mutable const Allocation *LastHit = nullptr;
   uint64_t CurBytes = 0;
   uint64_t PeakBytes = 0;
   uint32_t NextGeneration = 1;
   uint32_t NumLive = 0;
+
+  // Concurrent-mode state. The mutex serializes registry structure and byte
+  // counters; block *contents* are the program's own to race (that is what
+  // the expansion transformation exists to prevent, and what the tsan
+  // negative fixture demonstrates when it is absent).
+  bool Concurrent = false;
+  mutable std::mutex Mu;
+  /// Blocks freed while concurrent: marked dead immediately (so lookups say
+  /// "not live") but host-deleted and erased only at endConcurrent(), so
+  /// Allocation pointers other threads hold stay dereferenceable.
+  std::vector<uint64_t> ConcQuarantine;
+  static thread_local MemDeltaSink *TLSink;
 };
 
 } // namespace gdse

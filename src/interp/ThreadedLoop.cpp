@@ -1,0 +1,543 @@
+//===- ThreadedLoop.cpp - Host-threaded parallel loop execution ------------===//
+//
+// Part of the GDSE project, a reproduction of "General Data Structure
+// Expansion for Multi-threading" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// The real host-threaded runner behind ExecEngine::Threads. Where the
+// simulated path (ExecState.cpp) executes iterations in serial order and
+// *computes* an N-core timeline, this runner actually dispatches them to N
+// worker ThreadStates over the shared VMMemory:
+//
+//  - DOALL: the same static chunking as the virtual schedule
+//    (Chunk = ceil(Total/N), thread T owns [T*Chunk, (T+1)*Chunk)), one pool
+//    task per chunk;
+//  - DOACROSS: workers grab iterations in order from an atomic counter;
+//    ordered regions are enforced by per-region tickets — an iteration's
+//    first entry into a region blocks until every earlier iteration has
+//    released it, and an iteration releases all of the loop's regions when
+//    it completes (slightly more conservative than the virtual schedule's
+//    exit-to-exit handoff, which costs real wall-clock but cannot change the
+//    virtual metrics, because those are replayed from recorded events).
+//
+// Each worker is a full ThreadState sharing the ProgramContext: it owns its
+// cycles, output, trap state, ordered-event buffer, nested-loop stats, and
+// (under check-mode guarding) its own copy of the guard shadow. Workers run
+// over a private copy of the enclosing function's frame (registered
+// untracked, so byte accounting is unaffected) and the shared heap/globals —
+// which is exactly the paper's bet: the expansion transformation has already
+// privatized what iterations would otherwise race on.
+//
+// After the join everything is merged back deterministically, in serial
+// iteration order: output concatenation, per-iteration work cycles, the
+// peak-memory replay (per-iteration allocation deltas re-run in iteration
+// order), frame byte-diffs (last-writing chunk wins, as in serial order),
+// guard-shadow merge (latest-iteration byte wins) followed by the ordinary
+// commit scan, and the virtual timeline replay through the exact arithmetic
+// the simulated path uses (ParallelTimeline.h). On loop invocations that
+// complete normally, every virtual metric is therefore bit-identical to the
+// serial engines (EngineDiffTest enforces this); on invocations that trap or
+// halt mid-loop, iterations past the (lowest) faulting one may or may not
+// have run on other workers, so — as with the bytecode engine's existing
+// trap-run license (Bytecode.h) — cycle totals, output, and side effects
+// past the fault may diverge, while the trap message itself keeps exact
+// loop/iteration attribution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/ExecState.h"
+
+#include "interp/ParallelTimeline.h"
+#include "support/Diagnostics.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <set>
+
+namespace gdse {
+
+/// Cross-iteration synchronization for ordered regions under real DOACROSS
+/// threading: one ticket lane per region id. Iteration I may enter a region
+/// once every iteration < I has released it; NextIter is the smallest
+/// iteration that has not yet released, and Released holds out-of-order
+/// completions ahead of it.
+struct DoacrossSync {
+  struct Region {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    uint64_t NextIter = 0;
+    std::set<uint64_t> Released;
+  };
+  std::map<unsigned, Region> Regions;
+
+  explicit DoacrossSync(const std::vector<unsigned> &Ids) {
+    for (unsigned Id : Ids)
+      Regions[Id];
+  }
+
+  void enter(unsigned Id, uint64_t Iter) {
+    auto It = Regions.find(Id);
+    if (It == Regions.end())
+      return;
+    Region &R = It->second;
+    std::unique_lock<std::mutex> Lock(R.Mu);
+    // A second entry by the same iteration sees NextIter == Iter and passes
+    // straight through: the ticket is held for the whole iteration.
+    R.Cv.wait(Lock, [&] { return R.NextIter >= Iter; });
+  }
+
+  /// Called exactly once per started iteration, at its end (normal or not):
+  /// liveness of the protocol depends on every grabbed iteration releasing.
+  void releaseAll(uint64_t Iter) {
+    for (auto &[Id, R] : Regions) {
+      std::unique_lock<std::mutex> Lock(R.Mu);
+      R.Released.insert(Iter);
+      while (!R.Released.empty() && *R.Released.begin() == R.NextIter) {
+        R.Released.erase(R.Released.begin());
+        ++R.NextIter;
+      }
+      R.Cv.notify_all();
+    }
+  }
+};
+
+} // namespace gdse
+
+using namespace gdse;
+
+void ThreadState::orderedRealEnter(unsigned RegionId) {
+  if (DX)
+    DX->enter(RegionId, DXIter);
+}
+
+namespace {
+
+/// Everything one iteration leaves behind, indexed by iteration so the merge
+/// can walk in serial order regardless of which worker ran what.
+struct IterRec {
+  uint64_t W = 0;                    ///< work cycles of the body
+  std::vector<OrderedEvent> Events;  ///< ordered entries/exits (DOACROSS)
+  std::string Out;                   ///< print output of this iteration
+  int64_t MemNet = 0;                ///< net tracked bytes allocated
+  int64_t MemMaxPrefix = 0;          ///< max net-bytes prefix within the iter
+  Flow FL = Flow::Normal;
+  int Worker = -1;
+  bool Ran = false;
+};
+
+struct WorkerCtx {
+  std::unique_ptr<ThreadState> WS;
+  uint64_t FrameBase = 0;
+  /// Highest iteration this worker started (frame-merge order); UINT64_MAX
+  /// when it never ran one.
+  uint64_t LastIter = UINT64_MAX;
+  // Declared after WS so it is destroyed first: the thunk holds the
+  // engine-side worker VM, which references *WS.
+  std::function<Flow()> Body;
+};
+
+} // namespace
+
+Flow ThreadState::runForThreaded(
+    unsigned LoopId, ParallelKind Kind, Type *IVType,
+    const std::function<void(ForBounds &)> &EvalBounds,
+    const ThreadLoopHooks &Host) {
+  const unsigned N = static_cast<unsigned>(std::max(1, Opts.NumThreads));
+  const bool DOALL = Kind == ParallelKind::DOALL;
+
+  // Guard plan lookup mirrors the simulated path; eligibility already
+  // restricted guarded invocations to DOALL + Check mode.
+  const GuardPlan *GP = nullptr;
+  if (Opts.Guard != GuardMode::Off && N <= 127) {
+    auto GIt = P.GuardPlanOf.find(LoopId);
+    if (GIt != P.GuardPlanOf.end())
+      GP = GIt->second;
+  }
+
+  LoopStats &LS = Loops[LoopId];
+  LS.Kind = Kind;
+  ++LS.Invocations;
+  if (LS.WorkPerThread.size() != N) {
+    LS.WorkPerThread.assign(N, 0);
+    LS.SyncStallPerThread.assign(N, 0);
+    LS.IdlePerThread.assign(N, 0);
+    LS.DispatchPerThread.assign(N, 0);
+  }
+
+  uint64_t Before = Cycles;
+  ForBounds B;
+  EvalBounds(B);
+  if (dead())
+    return Flow::Halt;
+  if (B.Step <= 0) {
+    trap("parallel for loop with non-positive step");
+    return Flow::Halt;
+  }
+  uint64_t Total =
+      B.Hi > B.Lo ? static_cast<uint64_t>((B.Hi - B.Lo + B.Step - 1) / B.Step)
+                  : 0;
+
+  if (GP) {
+    guardSetupRegions(GP, N);
+    if (GuardRegions.empty())
+      GP = nullptr;
+    else
+      ++LS.GuardedInvocations;
+  }
+
+  const uint64_t Chunk =
+      DOALL ? std::max<uint64_t>(1, (Total + N - 1) / N) : 1;
+  Flow Result = Flow::Normal;
+  std::vector<IterRec> Recs(Total);
+  uint64_t AbnIt = UINT64_MAX; // lowest iteration that trapped/halted
+
+  if (Total != 0) {
+    const unsigned NumWorkers =
+        DOALL ? static_cast<unsigned>(
+                    std::min<uint64_t>((Total + Chunk - 1) / Chunk, N))
+              : N;
+
+    // The frame state every chunk starts from: the enclosing frame exactly
+    // as iteration 0 would see it (bounds already evaluated).
+    std::vector<uint8_t> FrameSnap(Host.FrameSize ? Host.FrameSize : 1);
+    std::memcpy(FrameSnap.data(), reinterpret_cast<void *>(Host.FrameBase),
+                Host.FrameSize);
+    const uint64_t IVOff = B.IVAddr - Host.FrameBase;
+    const uint64_t MemStart = Mem.currentBytes();
+
+    static const std::vector<unsigned> NoRegions;
+    const ProgramContext::LoopTraits *Traits = P.loopTraits(LoopId);
+    DoacrossSync Sync(Traits ? Traits->RegionIds : NoRegions);
+    std::atomic<uint64_t> NextGrab{0};
+    std::atomic<bool> Abort{false};
+
+    std::vector<WorkerCtx> Workers(NumWorkers);
+    for (unsigned T = 0; T != NumWorkers; ++T) {
+      WorkerCtx &W = Workers[T];
+      W.WS.reset(new ThreadState(P));
+      ThreadState &WS = *W.WS;
+      WS.CurTid = static_cast<int>(T);
+      WS.InParallelLoop = true;
+      WS.SuppressGuardDiags = true;
+      WS.RecordOrdered = !DOALL;
+      if (!DOALL)
+        WS.DX = &Sync;
+      if (GP) {
+        WS.GuardActive = true;
+        WS.GuardLoop = LoopId;
+        WS.GuardRegions = GuardRegions; // private first-write shadow copy
+        WS.updateGuardHooks();
+      }
+      // Worker frames must exist before the arena goes concurrent and are
+      // excluded from byte accounting (no serial counterpart).
+      W.FrameBase = Mem.allocateUntracked(Host.FrameSize);
+      std::memcpy(reinterpret_cast<void *>(W.FrameBase), FrameSnap.data(),
+                  Host.FrameSize);
+      W.Body = Host.MakeWorker(WS, W.FrameBase);
+      WS.LoopCtxStack.push_back({LoopId, 0});
+    }
+
+    auto runIter = [&](WorkerCtx &W, uint64_t It) -> bool {
+      ThreadState &WS = *W.WS;
+      IterRec &R = Recs[It];
+      WS.LoopCtxStack.back().Iter = It;
+      WS.GuardIter = It;
+      WS.DXIter = It;
+      int64_t IVal = B.Lo + static_cast<int64_t>(It) * B.Step;
+      WS.storeScalar(W.FrameBase + IVOff, IVType, VMValue::ofInt(IVal));
+      WS.Output.clear();
+      WS.OrderedEvents.clear();
+      WS.IterStartCycles = WS.Cycles;
+      MemDeltaSink Sink;
+      VMMemory::setDeltaSink(&Sink);
+      uint64_t C0 = WS.Cycles;
+      Flow FL = W.Body();
+      VMMemory::setDeltaSink(nullptr);
+      R.W = WS.Cycles - C0;
+      R.Events = std::move(WS.OrderedEvents);
+      WS.OrderedEvents.clear();
+      R.Out = std::move(WS.Output);
+      WS.Output.clear();
+      R.MemNet = Sink.Cur;
+      R.MemMaxPrefix = Sink.MaxPrefix;
+      R.Worker = static_cast<int>(WS.CurTid);
+      R.Ran = true;
+      W.LastIter = It;
+      if (FL == Flow::Break || FL == Flow::Return) {
+        WS.trap("break/return escaping a parallel loop");
+        FL = Flow::Halt;
+      }
+      if (FL == Flow::Halt || WS.dead()) {
+        R.FL = Flow::Halt;
+        Abort.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      R.FL = FL;
+      return true;
+    };
+
+    Mem.beginConcurrent();
+    {
+      TaskGroup TG(P.loopPool());
+      if (DOALL) {
+        for (unsigned T = 0; T != NumWorkers; ++T) {
+          uint64_t LoIt = static_cast<uint64_t>(T) * Chunk;
+          uint64_t HiIt = std::min<uint64_t>(LoIt + Chunk, Total);
+          TG.submit([&, T, LoIt, HiIt] {
+            for (uint64_t It = LoIt; It != HiIt; ++It) {
+              if (Abort.load(std::memory_order_relaxed))
+                break;
+              if (!runIter(Workers[T], It))
+                break;
+            }
+          });
+        }
+      } else {
+        for (unsigned T = 0; T != NumWorkers; ++T) {
+          TG.submit([&, T] {
+            for (;;) {
+              uint64_t It = NextGrab.fetch_add(1, std::memory_order_relaxed);
+              if (It >= Total)
+                break;
+              if (Abort.load(std::memory_order_relaxed)) {
+                // Grabbed but not run: still release, so iterations behind
+                // us that are already inside the loop can drain.
+                Sync.releaseAll(It);
+                break;
+              }
+              bool OK = runIter(Workers[T], It);
+              Sync.releaseAll(It);
+              if (!OK)
+                break;
+            }
+          });
+        }
+      }
+      TG.wait();
+    }
+    Mem.endConcurrent();
+
+    //===------------------------------------------------------------------===//
+    // Deterministic post-join merge, in serial iteration order.
+    //===------------------------------------------------------------------===//
+
+    for (uint64_t It = 0; It != Total; ++It)
+      if (Recs[It].Ran && Recs[It].FL == Flow::Halt) {
+        AbnIt = It;
+        break;
+      }
+
+    // Work cycles and output, in iteration order (through the faulting
+    // iteration when one exists — later iterations other workers may have
+    // executed are dropped, per the trap-run license).
+    for (uint64_t It = 0; It != Total && It <= AbnIt; ++It) {
+      if (!Recs[It].Ran)
+        continue;
+      Cycles += Recs[It].W;
+      Output += Recs[It].Out;
+    }
+
+    // Peak-memory replay: re-run the per-iteration allocation deltas in
+    // serial iteration order, reconstructing the exact high-water mark the
+    // simulated execution would have recorded.
+    int64_t Running = static_cast<int64_t>(MemStart);
+    for (uint64_t It = 0; It != Total && It <= AbnIt; ++It) {
+      if (!Recs[It].Ran)
+        continue;
+      int64_t IterPeak = Running + Recs[It].MemMaxPrefix;
+      if (IterPeak > 0)
+        Mem.notePeak(static_cast<uint64_t>(IterPeak));
+      Running += Recs[It].MemNet;
+    }
+
+    // Frame merge: apply each worker's frame byte-diff against the shared
+    // snapshot, in ascending order of last-started iteration, so the byte a
+    // serially-later iteration wrote wins — exactly serial last-writer
+    // semantics for DOALL (chunks are iteration-ordered).
+    std::vector<unsigned> Order(NumWorkers);
+    std::iota(Order.begin(), Order.end(), 0u);
+    std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned C) {
+      uint64_t LA = Workers[A].LastIter, LC = Workers[C].LastIter;
+      return (LA + 1) < (LC + 1); // UINT64_MAX (never ran) sorts first
+    });
+    uint8_t *MainFrame = reinterpret_cast<uint8_t *>(Host.FrameBase);
+    for (unsigned T : Order) {
+      const uint8_t *WF =
+          reinterpret_cast<const uint8_t *>(Workers[T].FrameBase);
+      for (uint64_t I = 0; I != Host.FrameSize; ++I)
+        if (WF[I] != FrameSnap[I])
+          MainFrame[I] = WF[I];
+    }
+
+    // Nested-loop and guard counters: every LoopStats field a worker touched
+    // is additive; fold in merge order for determinism.
+    for (unsigned T : Order) {
+      for (const auto &[Id, S] : Workers[T].WS->Loops) {
+        LoopStats &D = Loops[Id];
+        if (D.Kind == ParallelKind::None)
+          D.Kind = S.Kind;
+        D.Invocations += S.Invocations;
+        D.Iterations += S.Iterations;
+        D.WorkCycles += S.WorkCycles;
+        D.SimTime += S.SimTime;
+        D.GuardedInvocations += S.GuardedInvocations;
+        D.GuardChecks += S.GuardChecks;
+        D.GuardViolations += S.GuardViolations;
+        D.GuardFallbacks += S.GuardFallbacks;
+      }
+    }
+
+    if (GP) {
+      // Guard-shadow merge. A region survives only if no worker freed its
+      // block mid-loop (guardFree drops it from that worker's copy); for
+      // survivors, each byte takes the stamp of the latest-iteration writer
+      // across workers — iteration sets are disjoint, so that is exactly the
+      // serial first-write shadow's final state.
+      std::vector<GuardRegion> Survivors;
+      for (GuardRegion &R : GuardRegions) {
+        std::vector<const GuardRegion *> Copies;
+        for (unsigned T = 0; T != NumWorkers; ++T) {
+          const GuardRegion *Found = nullptr;
+          for (const GuardRegion &C : Workers[T].WS->GuardRegions)
+            if (C.Base == R.Base) {
+              Found = &C;
+              break;
+            }
+          if (!Found)
+            break;
+          Copies.push_back(Found);
+        }
+        if (Copies.size() != NumWorkers)
+          continue;
+        for (uint64_t Pos = 0; Pos != R.Size; ++Pos) {
+          const GuardRegion *BestR = nullptr;
+          for (const GuardRegion *C : Copies) {
+            uint32_t WI = C->WriteIter[Pos];
+            if (WI == UINT32_MAX)
+              continue;
+            if (!BestR || WI >= BestR->WriteIter[Pos])
+              BestR = C;
+          }
+          if (!BestR)
+            continue;
+          R.WriteIter[Pos] = BestR->WriteIter[Pos];
+          R.WriteTid[Pos] = BestR->WriteTid[Pos];
+          R.WriteClass[Pos] = BestR->WriteClass[Pos];
+        }
+        for (const GuardRegion *C : Copies) {
+          R.PrivMin = std::min(R.PrivMin, C->PrivMin);
+          R.PrivMax = std::max(R.PrivMax, C->PrivMax);
+        }
+        Survivors.push_back(std::move(R));
+      }
+      GuardRegions = std::move(Survivors);
+      GuardRegionHit = -1;
+
+      // Violation-log merge: workers already deduped per (loop, class,
+      // kind); fold their entries in first-occurrence iteration order so the
+      // surviving attribution matches what a serial scan would have kept,
+      // and report each genuinely new entry once.
+      std::vector<DependenceViolation> All;
+      for (unsigned T = 0; T != NumWorkers; ++T)
+        All.insert(All.end(), Workers[T].WS->GuardViolationLog.begin(),
+                   Workers[T].WS->GuardViolationLog.end());
+      std::stable_sort(All.begin(), All.end(),
+                       [](const DependenceViolation &A,
+                          const DependenceViolation &C) {
+                         return A.Iteration < C.Iteration;
+                       });
+      for (const DependenceViolation &V : All) {
+        bool Dup = false;
+        for (DependenceViolation &E : GuardViolationLog)
+          if (E.LoopId == V.LoopId && E.ClassIndex == V.ClassIndex &&
+              E.Kind == V.Kind) {
+            E.Count += V.Count;
+            Dup = true;
+            break;
+          }
+        if (Dup)
+          continue;
+        GuardViolationLog.push_back(V);
+        if (Opts.GuardDiags) {
+          Diagnostic D;
+          D.Severity = DiagSeverity::Error; // threaded guarding is Check-only
+          D.Pass = "guard";
+          D.LoopId = V.LoopId;
+          D.Message = V.str();
+          Opts.GuardDiags->report(std::move(D));
+        }
+      }
+    }
+
+    // Trap/halt transfer: the lowest faulting iteration wins; its worker's
+    // attribution (loop, iteration, thread) is already baked into the
+    // message by ThreadState::trap on the worker.
+    if (AbnIt != UINT64_MAX) {
+      Result = Flow::Halt;
+      ThreadState &WS = *Workers[static_cast<unsigned>(
+                                     Recs[AbnIt].Worker < 0
+                                         ? 0
+                                         : Recs[AbnIt].Worker)]
+                             .WS;
+      if (WS.Trapped && !Trapped) {
+        Trapped = true;
+        TrapMessage = WS.TrapMessage;
+        TrapLoopId = WS.TrapLoopId;
+        TrapIteration = WS.TrapIteration;
+        TrapThread = WS.TrapThread;
+      }
+      if (WS.Halted) {
+        Halted = true;
+        ExitCode = WS.ExitCode;
+      }
+      if (!Trapped && !Halted)
+        Halted = true; // defensive: a faulting iteration must end the run
+    }
+
+    for (WorkerCtx &W : Workers)
+      Mem.releaseUntracked(W.FrameBase);
+  }
+
+  if (GP) {
+    // Same epilogue as a simulated guarded invocation: the commit scan over
+    // the (merged) shadow arms the post-loop watch, then the shadow goes
+    // away. Runs for Total == 0 too (fresh shadow, no-op scan).
+    guardCommit(GP, N);
+    guardTeardownRegions();
+    updateGuardHooks();
+  }
+
+  rtPrivCommitAll();
+
+  // Virtual timeline replay: identical arithmetic, fed in iteration order.
+  // The faulting iteration (when one exists) contributes its work cycles and
+  // output above but not a timeline completion — exactly where the simulated
+  // path breaks out of its iteration loop.
+  ParallelTimeline TL(Opts.Costs, N, DOALL);
+  for (uint64_t It = 0; It != Total && It < AbnIt; ++It) {
+    if (!Recs[It].Ran)
+      continue;
+    unsigned T =
+        DOALL ? static_cast<unsigned>(std::min<uint64_t>(It / Chunk, N - 1))
+              : TL.dispatchDoacross();
+    TL.completeIter(T, Recs[It].W, Recs[It].Events);
+  }
+
+  uint64_t WorkDelta = Cycles - Before;
+  uint64_t SimTime = TL.maxReady() + Opts.Costs.ForkJoin;
+  LS.Iterations += Total;
+  LS.WorkCycles += WorkDelta;
+  LS.SimTime += SimTime;
+  TL.accumulate(LS);
+  TimeAdjust +=
+      static_cast<int64_t>(SimTime) - static_cast<int64_t>(WorkDelta);
+
+  return Result;
+}

@@ -16,6 +16,13 @@
 /// data: workers own their task's state exclusively while it runs, and all
 /// cross-task merging happens after the join point on the calling thread.
 ///
+/// TaskGroup layers a fork/join scope with a *work-helping* wait on top of a
+/// pool: the waiter drains the group's own queue inline before blocking, so
+/// a task that itself submits a group and waits (a pool worker running an
+/// interpreter whose loop fans out chunks) can never deadlock on pool
+/// starvation — the host-threaded loop runner (interp/ThreadedLoop.cpp)
+/// depends on this.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GDSE_SUPPORT_THREADPOOL_H
@@ -24,6 +31,7 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -106,6 +114,82 @@ private:
   std::vector<std::thread> Workers;
   size_t Unfinished = 0;
   bool Stopping = false;
+};
+
+/// A fork/join scope over a ThreadPool whose wait() *helps*: tasks live in
+/// the group's own queue, pool workers and the waiter both pop from it, and
+/// the waiter runs tasks inline until the queue drains before blocking on
+/// the last stragglers. Because the waiter can always make progress on its
+/// own submissions, submitting and waiting from inside a pool task (nested
+/// parallelism) cannot deadlock even on a one-worker pool.
+class TaskGroup {
+  /// All mutable group state lives behind shared ownership: every pool
+  /// runner submitted on the group's behalf holds a reference, so a runner
+  /// that loses the race with the helping waiter — the waiter drains the
+  /// queue, wait() returns, the group's scope ends — still lands on live
+  /// state and no-ops instead of locking a destroyed mutex. (The
+  /// alternative, having the destructor wait for runners to retire, is a
+  /// deadlock on a pool whose every worker is inside a task that owns a
+  /// group: nobody is left to run the runners being waited for.)
+  struct State {
+    std::mutex Mu;
+    std::condition_variable Done;
+    std::deque<std::function<void()>> Tasks;
+    size_t Unfinished = 0;
+
+    /// Pops and runs one task; returns false when the queue is empty.
+    bool runOne() {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        if (Tasks.empty())
+          return false;
+        Task = std::move(Tasks.front());
+        Tasks.pop_front();
+      }
+      Task();
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        if (--Unfinished == 0)
+          Done.notify_all();
+      }
+      return true;
+    }
+  };
+
+public:
+  explicit TaskGroup(ThreadPool &Pool)
+      : Pool(Pool), S(std::make_shared<State>()) {}
+  TaskGroup(const TaskGroup &) = delete;
+  TaskGroup &operator=(const TaskGroup &) = delete;
+  /// The destructor joins: no group task outlives the scope. (Late pool
+  /// runners may outlive it; they share ownership of the state and find an
+  /// empty queue.)
+  ~TaskGroup() { wait(); }
+
+  void submit(std::function<void()> Task) {
+    {
+      std::unique_lock<std::mutex> Lock(S->Mu);
+      S->Tasks.push_back(std::move(Task));
+      ++S->Unfinished;
+    }
+    // The pool runner pops from *this group's* queue; if the waiter already
+    // helped the task away, the runner is a cheap no-op.
+    Pool.submit([St = S] { St->runOne(); });
+  }
+
+  /// Blocks until every submitted task has finished, executing queued tasks
+  /// inline while any remain.
+  void wait() {
+    while (S->runOne()) {
+    }
+    std::unique_lock<std::mutex> Lock(S->Mu);
+    S->Done.wait(Lock, [this] { return S->Unfinished == 0; });
+  }
+
+private:
+  ThreadPool &Pool;
+  std::shared_ptr<State> S;
 };
 
 } // namespace gdse

@@ -29,6 +29,7 @@
 #include "driver/Pipeline.h"
 #include "frontend/Parser.h"
 #include "interp/Interp.h"
+#include "ir/IRVisitor.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
@@ -324,6 +325,205 @@ INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadDiff,
                                C = '_';
                            return N;
                          });
+
+//===----------------------------------------------------------------------===//
+// Threads engine: real host threads, same virtual metrics.
+//===----------------------------------------------------------------------===//
+
+/// Like runEngine but with no observer installed — the configuration under
+/// which the Threads engine actually dispatches eligible loops to host
+/// threads (an observer forces the serial-order simulated path).
+EngineRun runNoObs(Module &M, ExecEngine E, int Threads,
+                   GuardMode Guard = GuardMode::Off,
+                   std::vector<std::shared_ptr<const GuardPlan>> Plans = {}) {
+  InterpOptions IO;
+  IO.Engine = E;
+  IO.NumThreads = Threads;
+  IO.Guard = Guard;
+  IO.GuardPlans = std::move(Plans);
+  Interp I(M, IO);
+  EngineRun ER;
+  ER.R = I.run();
+  return ER;
+}
+
+/// The Threads engine must reproduce the serial engines' results bit-for-bit
+/// at 1, 2, and 4 host threads: exit code, output, work cycles, SimTime,
+/// peak memory, rtpriv counters, and the entire per-loop stats map including
+/// the per-thread work/stall/idle/dispatch vectors. With an observer it must
+/// further reproduce the serial-order event stream (it simulates then, by
+/// design — asserting so keeps that contract honest).
+void diffThreadsModule(Module &M, const std::string &What,
+                       std::vector<std::shared_ptr<const GuardPlan>> Plans =
+                           {}) {
+  for (int N : {1, 2, 4}) {
+    std::string Tag = What + "/threads@" + std::to_string(N);
+    EngineRun B = runNoObs(M, ExecEngine::Bytecode, N);
+    EngineRun H = runNoObs(M, ExecEngine::Threads, N);
+    ASSERT_FALSE(B.R.Trapped) << Tag << ": " << B.R.TrapMessage;
+    expectIdentical(B, H, Tag);
+
+    if (!Plans.empty()) {
+      EngineRun BC =
+          runNoObs(M, ExecEngine::Bytecode, N, GuardMode::Check, Plans);
+      EngineRun HC =
+          runNoObs(M, ExecEngine::Threads, N, GuardMode::Check, Plans);
+      for (const DependenceViolation &V : HC.R.Violations)
+        ADD_FAILURE() << Tag << "/check: " << V.str();
+      expectIdentical(B, HC, Tag + "/check-vs-off");
+      for (const auto &[Id, BS] : BC.R.Loops) {
+        auto It = HC.R.Loops.find(Id);
+        ASSERT_NE(It, HC.R.Loops.end()) << Tag << " loop " << Id;
+        EXPECT_EQ(BS.GuardedInvocations, It->second.GuardedInvocations)
+            << Tag << " loop " << Id;
+        EXPECT_EQ(BS.GuardChecks, It->second.GuardChecks)
+            << Tag << " loop " << Id;
+        EXPECT_EQ(BS.GuardViolations, It->second.GuardViolations)
+            << Tag << " loop " << Id;
+        EXPECT_EQ(BS.GuardFallbacks, It->second.GuardFallbacks)
+            << Tag << " loop " << Id;
+      }
+    }
+  }
+
+  // Observed run: the threads engine must fall back to the simulated path
+  // and reproduce the full serial-order event stream.
+  EngineRun TO = runEngine(M, ExecEngine::TreeWalk, 4, /*KeepEvents=*/false);
+  EngineRun HO = runEngine(M, ExecEngine::Threads, 4, /*KeepEvents=*/false);
+  expectIdentical(TO, HO, What + "/threads@4+observer");
+}
+
+class WorkloadThreads : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadThreads, OriginalSerial) {
+  const WorkloadInfo *W = findWorkload(GetParam());
+  ASSERT_NE(W, nullptr);
+  std::unique_ptr<Module> M = parseMiniCOrDie(W->Source, W->Name);
+  diffThreadsModule(*M, std::string(W->Name) + "/original");
+}
+
+TEST_P(WorkloadThreads, TransformedParallel) {
+  const WorkloadInfo *W = findWorkload(GetParam());
+  ASSERT_NE(W, nullptr);
+  std::unique_ptr<Module> M = parseMiniCOrDie(W->Source, W->Name);
+  std::vector<std::shared_ptr<const GuardPlan>> Plans;
+  for (unsigned LoopId : findCandidateLoops(*M)) {
+    PipelineResult PR = transformLoop(*M, LoopId);
+    ASSERT_TRUE(PR.Ok) << W->Name << ": "
+                       << (PR.Errors.empty() ? "?" : PR.Errors.front());
+    if (PR.Guard)
+      Plans.push_back(PR.Guard);
+  }
+  diffThreadsModule(*M, std::string(W->Name) + "/expanded",
+                    std::move(Plans));
+}
+
+TEST_P(WorkloadThreads, RuntimePrivatized) {
+  const WorkloadInfo *W = findWorkload(GetParam());
+  ASSERT_NE(W, nullptr);
+  std::unique_ptr<Module> M = parseMiniCOrDie(W->Source, W->Name);
+  PipelineOptions PO;
+  PO.Method = PrivatizationMethod::Runtime;
+  for (unsigned LoopId : findCandidateLoops(*M)) {
+    PipelineResult PR = transformLoop(*M, LoopId, PO);
+    ASSERT_TRUE(PR.Ok) << W->Name << ": "
+                       << (PR.Errors.empty() ? "?" : PR.Errors.front());
+  }
+  // rtpriv loops are ineligible for host threading (serial-order shadow
+  // map); the engine must detect that per invocation and simulate.
+  diffThreadsModule(*M, std::string(W->Name) + "/rtpriv");
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadThreads,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &Info) {
+                           std::string N = Info.param;
+                           for (char &C : N)
+                             if (C == '-' || C == '.')
+                               C = '_';
+                           return N;
+                         });
+
+TEST(ThreadsEngine, DoacrossOrderedRegions) {
+  // DOACROSS under real threads: iterations run concurrently, ordered
+  // regions serialize through cross-iteration tickets, and the replayed
+  // timeline (SimTime, per-thread stall vectors) must still be bit-identical
+  // to the simulated schedule.
+  const char *Src = R"(
+int out;
+int main() {
+  int n = 64;
+  int* data = (int*)malloc(256);
+  int i;
+  for (i = 0; i < n; i++) data[i] = (i * 37 + 11) % 50;
+  @candidate for (int it = 0; it < n; it++) {
+    int v = data[it];
+    int w = 0;
+    int k;
+    for (k = 0; k < v; k++) w = w + k * k;
+    out = out + w % 101;
+    print_int(w % 101);
+  }
+  print_int(out);
+  free(data);
+  return 0;
+})";
+  std::unique_ptr<Module> M = parseMiniCOrDie(Src, "threads-doacross");
+  for (unsigned LoopId : findCandidateLoops(*M)) {
+    PipelineResult PR = transformLoop(*M, LoopId);
+    ASSERT_TRUE(PR.Ok) << (PR.Errors.empty() ? "?" : PR.Errors.front());
+  }
+  diffThreadsModule(*M, "threads-doacross");
+}
+
+TEST(ThreadsEngine, TrapInParallelLoopAttribution) {
+  // A trap inside a host-threaded DOALL: the lowest faulting iteration must
+  // win, with exact loop/iteration attribution in the message and the
+  // structured fields. (Cycle totals and output on trapping parallel runs
+  // are documented engine-specific, so only the trap contract is compared.)
+  const char *Src = R"(
+int main() {
+  int n = 40;
+  int* a = (int*)malloc(160);
+  int i;
+  for (i = 0; i < n; i++) a[i] = i - 17;
+  @candidate for (int it = 0; it < n; it++) {
+    int d = a[it];
+    a[it] = 1000 / d;
+  }
+  print_int(a[0]);
+  free(a);
+  return 0;
+})";
+  std::unique_ptr<Module> M = parseMiniCOrDie(Src, "threads-trap");
+  // The pipeline's profiling run would trip over the planted fault, so mark
+  // the (independent-iteration) loop DOALL directly — the engines must agree
+  // on trap attribution regardless of how the loop got its parallel kind.
+  std::vector<unsigned> Cands = findCandidateLoops(*M);
+  ASSERT_EQ(Cands.size(), 1u);
+  bool Marked = false;
+  for (Function *F : M->getFunctions()) {
+    if (!F->isDefinition())
+      continue;
+    walkStmts(F->getBody(), [&](Stmt *S) {
+      if (auto *FS = dyn_cast<ForStmt>(S))
+        if (FS->getLoopId() == Cands.front()) {
+          FS->setParallelKind(ParallelKind::DOALL);
+          Marked = true;
+        }
+    });
+  }
+  ASSERT_TRUE(Marked);
+  EngineRun B = runNoObs(*M, ExecEngine::Bytecode, 4);
+  EngineRun H = runNoObs(*M, ExecEngine::Threads, 4);
+  ASSERT_TRUE(B.R.Trapped);
+  ASSERT_TRUE(H.R.Trapped);
+  // Iteration 17 computes 1000 / 0 first (lowest faulting iteration).
+  EXPECT_EQ(H.R.TrapMessage, B.R.TrapMessage);
+  EXPECT_EQ(H.R.TrapLoopId, B.R.TrapLoopId);
+  EXPECT_EQ(H.R.TrapIteration, 17);
+  EXPECT_EQ(H.R.TrapThread, B.R.TrapThread);
+}
 
 //===----------------------------------------------------------------------===//
 // Adversarial corners.

@@ -119,7 +119,15 @@ RunResult runGuarded(Module &M, ExecEngine E, GuardMode Mode,
 }
 
 const char *engName(ExecEngine E) {
-  return E == ExecEngine::TreeWalk ? "tree" : "bytecode";
+  switch (E) {
+  case ExecEngine::TreeWalk:
+    return "tree";
+  case ExecEngine::Bytecode:
+    return "bytecode";
+  case ExecEngine::Threads:
+    return "threads";
+  }
+  return "?";
 }
 
 /// The full matrix for one injected fault: Check must attribute the first
@@ -500,13 +508,25 @@ TEST_P(GuardFault, WitnessPrunedCleanRunBitIdentical) {
   }
 }
 
+// The Threads row runs the whole fault matrix on real host threads: check
+// mode detects each injected violation from the merged per-worker shadow
+// logs with the same (iteration, thread) attribution the serial engines
+// compute, and fallback mode (ineligible for real dispatch by design) must
+// still recover serial output through the simulated schedule.
 INSTANTIATE_TEST_SUITE_P(Engines, GuardFault,
                          ::testing::Values(ExecEngine::TreeWalk,
-                                           ExecEngine::Bytecode),
+                                           ExecEngine::Bytecode,
+                                           ExecEngine::Threads),
                          [](const auto &Info) {
-                           return Info.param == ExecEngine::TreeWalk
-                                      ? "TreeWalk"
-                                      : "Bytecode";
+                           switch (Info.param) {
+                           case ExecEngine::TreeWalk:
+                             return "TreeWalk";
+                           case ExecEngine::Bytecode:
+                             return "Bytecode";
+                           case ExecEngine::Threads:
+                             return "Threads";
+                           }
+                           return "Unknown";
                          });
 
 //===----------------------------------------------------------------------===//
