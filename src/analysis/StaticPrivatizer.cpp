@@ -40,8 +40,26 @@ const char *gdse::privatizationVerdictName(PrivatizationVerdict V) {
     return "proven-shared";
   case PrivatizationVerdict::Unknown:
     return "unknown";
+  case PrivatizationVerdict::ProvenCommutative:
+    return "proven-commutative";
   }
   gdse_unreachable("bad verdict");
+}
+
+const char *gdse::commutativeOpName(CommutativeOp Op) {
+  switch (Op) {
+  case CommutativeOp::None:
+    return "none";
+  case CommutativeOp::Add:
+    return "add";
+  case CommutativeOp::Mul:
+    return "mul";
+  case CommutativeOp::Min:
+    return "min";
+  case CommutativeOp::Max:
+    return "max";
+  }
+  gdse_unreachable("bad commutative op");
 }
 
 namespace {
@@ -327,6 +345,7 @@ private:
   bool objFresh(uint32_t Obj) const { return Fresh.count(Obj) != 0; }
 
   void prepass(const ForStmt *Loop, Function *LoopFn);
+  void detectCommutative(PrivatizationWitness &W, const ForStmt *Loop);
   void analyzeStmt(Stmt *S, AbsState &St);
   void analyzeFor(ForStmt *F, AbsState &St);
   void analyzeUnknownTrip(Expr *Cond, Stmt *Body, AbsState &St,
@@ -1094,6 +1113,237 @@ void PrivatizerEngine::commitLoop(const VarDecl *IV, int64_t Lo, int64_t Hi,
 }
 
 //===----------------------------------------------------------------------===//
+// Commutative reduction detection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Structural equality of expressions, ignoring access ids (the same l-value
+/// written syntactically twice carries two ids). Calls never compare equal:
+/// two evaluations may differ.
+bool structEq(const Expr *A, const Expr *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->getKind() != B->getKind())
+    return false;
+  switch (A->getKind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(A)->getValue() == cast<IntLitExpr>(B)->getValue();
+  case Expr::Kind::FloatLit:
+    return cast<FloatLitExpr>(A)->getValue() ==
+           cast<FloatLitExpr>(B)->getValue();
+  case Expr::Kind::VarRef:
+    return cast<VarRefExpr>(A)->getDecl() == cast<VarRefExpr>(B)->getDecl();
+  case Expr::Kind::Load:
+    return structEq(cast<LoadExpr>(A)->getLocation(),
+                    cast<LoadExpr>(B)->getLocation());
+  case Expr::Kind::Unary: {
+    auto *UA = cast<UnaryExpr>(A), *UB = cast<UnaryExpr>(B);
+    return UA->getOp() == UB->getOp() && structEq(UA->getSub(), UB->getSub());
+  }
+  case Expr::Kind::Binary: {
+    auto *BA = cast<BinaryExpr>(A), *BB = cast<BinaryExpr>(B);
+    return BA->getOp() == BB->getOp() &&
+           structEq(BA->getLHS(), BB->getLHS()) &&
+           structEq(BA->getRHS(), BB->getRHS());
+  }
+  case Expr::Kind::ArrayIndex: {
+    auto *IA = cast<ArrayIndexExpr>(A), *IB = cast<ArrayIndexExpr>(B);
+    return structEq(IA->getBase(), IB->getBase()) &&
+           structEq(IA->getIndex(), IB->getIndex());
+  }
+  case Expr::Kind::FieldAccess: {
+    auto *FA = cast<FieldAccessExpr>(A), *FB = cast<FieldAccessExpr>(B);
+    return FA->getFieldIndex() == FB->getFieldIndex() &&
+           structEq(FA->getBase(), FB->getBase());
+  }
+  case Expr::Kind::Deref:
+    return structEq(cast<DerefExpr>(A)->getPtr(),
+                    cast<DerefExpr>(B)->getPtr());
+  case Expr::Kind::AddrOf:
+    return structEq(cast<AddrOfExpr>(A)->getLocation(),
+                    cast<AddrOfExpr>(B)->getLocation());
+  case Expr::Kind::Decay:
+    return structEq(cast<DecayExpr>(A)->getArrayLocation(),
+                    cast<DecayExpr>(B)->getArrayLocation());
+  case Expr::Kind::Cast:
+    return A->getType() == B->getType() &&
+           structEq(cast<CastExpr>(A)->getSub(), cast<CastExpr>(B)->getSub());
+  case Expr::Kind::SizeofType:
+    return cast<SizeofTypeExpr>(A)->getQueriedType() ==
+           cast<SizeofTypeExpr>(B)->getQueriedType();
+  case Expr::Kind::ThreadId:
+  case Expr::Kind::NumThreads:
+    return true;
+  case Expr::Kind::Cond: {
+    auto *CA = cast<CondExpr>(A), *CB = cast<CondExpr>(B);
+    return structEq(CA->getCond(), CB->getCond()) &&
+           structEq(CA->getThen(), CB->getThen()) &&
+           structEq(CA->getElse(), CB->getElse());
+  }
+  case Expr::Kind::Call:
+    return false;
+  }
+  gdse_unreachable("bad expr kind");
+}
+
+} // namespace
+
+void PrivatizerEngine::detectCommutative(PrivatizationWitness &W,
+                                         const ForStmt *Loop) {
+  // Guarded min/max candidates: every IfStmt in the loop body with no else
+  // whose then-branch is exactly one assignment. The single-statement
+  // requirement is load-bearing: `if (s > best[0]) { best[0] = s;
+  // best[1] = i; }` must NOT match — privatizing best[0] changes which
+  // iterations take the branch and corrupts best[1]. Callee bodies are not
+  // scanned, so a guarded update inside a callee conservatively fails.
+  std::map<const AssignStmt *, const IfStmt *> GuardOf;
+  walkStmts(const_cast<ForStmt *>(Loop)->getBody(), [&](Stmt *S) {
+    auto *If = dyn_cast<IfStmt>(S);
+    if (!If || If->getElse())
+      return;
+    Stmt *T = If->getThen();
+    if (auto *Blk = dyn_cast<BlockStmt>(T)) {
+      if (Blk->getStmts().size() != 1)
+        return;
+      T = Blk->getStmts()[0];
+    }
+    if (auto *A = dyn_cast<AssignStmt>(T))
+      GuardOf[A] = If;
+  });
+
+  for (ClassWitness &C : W.Classes) {
+    if (C.Verdict == PrivatizationVerdict::ProvenPrivate)
+      continue;
+
+    std::set<AccessId> MemberIds(C.Members.begin(), C.Members.end());
+    std::set<uint32_t> ClassRoots;
+    bool HasStore = false, HasLoad = false;
+    for (AccessId Id : C.Members) {
+      const AccessDesc &D = Num.access(Id);
+      (D.IsStore ? HasStore : HasLoad) = true;
+      for (uint32_t O : PT.lvalueRootObjects(D.location()))
+        ClassRoots.insert(O);
+    }
+    if (!HasStore || !HasLoad)
+      continue;
+
+    // An operand is pure w.r.t. the class when it calls nothing and reads
+    // no bytes the class may touch — its value cannot observe unmerged
+    // per-thread partials.
+    auto pureOperand = [&](Expr *E) {
+      bool Pure = true;
+      walkExpr(E, [&](Expr *Sub) {
+        if (isa<CallExpr>(Sub))
+          Pure = false;
+        if (auto *L = dyn_cast<LoadExpr>(Sub))
+          for (uint32_t O : PT.lvalueRootObjects(L->getLocation()))
+            if (ClassRoots.count(O))
+              Pure = false;
+      });
+      return Pure;
+    };
+
+    CommutativeOp ClassOp = CommutativeOp::None;
+    std::set<AccessId> Consumed; // member loads absorbed by a matched store
+    bool Ok = true;
+    for (AccessId Id : C.Members) {
+      const AccessDesc &D = Num.access(Id);
+      if (!D.IsStore)
+        continue;
+      AssignStmt *A = D.StoreNode;
+      // Exact ops only: wrap-around integer + and * are fully associative
+      // and commutative; float reductions would reassociate.
+      if (!A || !A->getLHS()->getType()->isInt()) {
+        Ok = false;
+        break;
+      }
+      CommutativeOp Op = CommutativeOp::None;
+      AccessId LoadId = InvalidAccessId;
+
+      // Form 1: X = load(X) + E  /  X = E + load(X)  (likewise *). The
+      // purity check on the other operand also rejects X = X + X.
+      if (auto *B = dyn_cast<BinaryExpr>(A->getRHS())) {
+        if (B->getOp() == BinaryOp::Add || B->getOp() == BinaryOp::Mul) {
+          auto matchSide = [&](Expr *Side, Expr *Other) {
+            auto *L = dyn_cast<LoadExpr>(Side);
+            if (!L || !MemberIds.count(L->getAccessId()) ||
+                !structEq(L->getLocation(), A->getLHS()) ||
+                !pureOperand(Other))
+              return false;
+            Op = B->getOp() == BinaryOp::Add ? CommutativeOp::Add
+                                             : CommutativeOp::Mul;
+            LoadId = L->getAccessId();
+            return true;
+          };
+          if (!matchSide(B->getLHS(), B->getRHS()))
+            matchSide(B->getRHS(), B->getLHS());
+        }
+      }
+
+      // Form 2: if (E REL load(X)) X = E;  with REL in {<,<=,>,>=} and the
+      // store the sole then-statement.
+      if (Op == CommutativeOp::None) {
+        auto GIt = GuardOf.find(A);
+        if (GIt != GuardOf.end()) {
+          if (auto *Cond =
+                  dyn_cast<BinaryExpr>(GIt->second->getCond())) {
+            BinaryOp R = Cond->getOp();
+            if (R == BinaryOp::Lt || R == BinaryOp::Le ||
+                R == BinaryOp::Gt || R == BinaryOp::Ge) {
+              auto matchCond = [&](Expr *LoadSide, Expr *ESide,
+                                   bool LoadOnRight) {
+                auto *L = dyn_cast<LoadExpr>(LoadSide);
+                if (!L || !MemberIds.count(L->getAccessId()) ||
+                    !structEq(L->getLocation(), A->getLHS()) ||
+                    !structEq(ESide, A->getRHS()) ||
+                    !pureOperand(A->getRHS()))
+                  return false;
+                bool Less = R == BinaryOp::Lt || R == BinaryOp::Le;
+                // `if (e < x) x = e` keeps the smaller -> min;
+                // `if (x < e) x = e` keeps the larger -> max.
+                Op = LoadOnRight
+                         ? (Less ? CommutativeOp::Min : CommutativeOp::Max)
+                         : (Less ? CommutativeOp::Max : CommutativeOp::Min);
+                LoadId = L->getAccessId();
+                return true;
+              };
+              if (!matchCond(Cond->getRHS(), Cond->getLHS(),
+                             /*LoadOnRight=*/true))
+                matchCond(Cond->getLHS(), Cond->getRHS(),
+                          /*LoadOnRight=*/false);
+            }
+          }
+        }
+      }
+
+      if (Op == CommutativeOp::None ||
+          (ClassOp != CommutativeOp::None && Op != ClassOp)) {
+        Ok = false;
+        break;
+      }
+      ClassOp = Op;
+      Consumed.insert(LoadId);
+    }
+    if (!Ok || ClassOp == CommutativeOp::None)
+      continue;
+
+    // Every member load must be the read half of a matched update; any
+    // other read could observe an unmerged per-thread partial.
+    for (AccessId Id : C.Members)
+      if (!Num.access(Id).IsStore && !Consumed.count(Id))
+        Ok = false;
+    if (!Ok)
+      continue;
+
+    C.Verdict = PrivatizationVerdict::ProvenCommutative;
+    C.Op = ClassOp;
+    C.Reason = formatString("every carried use is a single %s reduction",
+                            commutativeOpName(ClassOp));
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Driver: run the iteration analysis and assemble verdicts
 //===----------------------------------------------------------------------===//
 
@@ -1187,6 +1437,11 @@ void PrivatizerEngine::run(PrivatizationWitness &W) {
                         : "a store may be live after the loop";
     }
   }
+
+  // Third verdict tier: a shared/unknown class whose every carried use is
+  // one associative+commutative reduction op can still run on per-thread
+  // copies, folded deterministically at loop exit.
+  detectCommutative(W, Loop);
 }
 
 //===----------------------------------------------------------------------===//
@@ -1251,6 +1506,8 @@ std::string PrivatizationWitness::str() const {
     const ClassWitness &C = Classes[I];
     Out += formatString("class %u %s", I,
                         privatizationVerdictName(C.Verdict));
+    if (C.Verdict == PrivatizationVerdict::ProvenCommutative)
+      Out += formatString(" op=%s", commutativeOpName(C.Op));
     for (AccessId Id : C.Members)
       Out += formatString(" %u", Id);
     Out += "\n";

@@ -70,13 +70,26 @@ namespace gdse {
 
 /// What the static analysis can say about one access class.
 enum class PrivatizationVerdict : uint8_t {
-  ProvenPrivate, ///< conditions (1)+(2) of Definition 5 hold statically
-  ProvenShared,  ///< a loop-carried flow dependence certainly exists
-  Unknown,       ///< no proof either way; defer to the profile
+  ProvenPrivate,    ///< conditions (1)+(2) of Definition 5 hold statically
+  ProvenShared,     ///< a loop-carried flow dependence certainly exists
+  Unknown,          ///< no proof either way; defer to the profile
+  ProvenCommutative, ///< carried flow exists but every carried use is one
+                     ///< associative/commutative reduction op — per-thread
+                     ///< copies merged at loop exit are exact
 };
 
-/// "proven-private" / "proven-shared" / "unknown".
+/// "proven-private" / "proven-shared" / "unknown" / "proven-commutative".
 const char *privatizationVerdictName(PrivatizationVerdict V);
+
+/// The reduction operator of a ProvenCommutative class. Only exact
+/// (integer) operators are admitted: wrap-around + and * are fully
+/// associative and commutative, min/max are idempotent besides, so folding
+/// per-thread partial results in any fixed order reproduces the serial
+/// value bit for bit.
+enum class CommutativeOp : uint8_t { None, Add, Mul, Min, Max };
+
+/// "none" / "add" / "mul" / "min" / "max".
+const char *commutativeOpName(CommutativeOp Op);
 
 /// Verdict and supporting facts for one access class of the conservative
 /// static graph.
@@ -93,6 +106,10 @@ struct ClassWitness {
   bool AllFresh = false;
   /// Short deterministic explanation for diagnostics/dumps.
   std::string Reason;
+  /// The reduction operator when Verdict == ProvenCommutative; None
+  /// otherwise. The identity element follows from the op and the element
+  /// type (0 for +, 1 for *, type max/min for min/max).
+  CommutativeOp Op = CommutativeOp::None;
 };
 
 /// Result of the analysis for one candidate loop: per-access and per-class
@@ -124,6 +141,19 @@ public:
   /// True when \p Id belongs to a ProvenPrivate class.
   bool provenPrivate(AccessId Id) const {
     return verdictOf(Id) == PrivatizationVerdict::ProvenPrivate;
+  }
+
+  /// The reduction operator of the ProvenCommutative class containing
+  /// \p Id; None when the access is unknown or its class is not
+  /// commutative.
+  CommutativeOp commutativeOpOf(AccessId Id) const {
+    auto It = ClassIdx.find(Id);
+    if (It == ClassIdx.end())
+      return CommutativeOp::None;
+    const ClassWitness &C = Classes[It->second];
+    return C.Verdict == PrivatizationVerdict::ProvenCommutative
+               ? C.Op
+               : CommutativeOp::None;
   }
 
   /// Number of classes with the given verdict.

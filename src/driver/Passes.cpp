@@ -137,9 +137,12 @@ public:
     In.Classes = Cx.AM.accessClasses(Cx.LoopId, Cx.Opts.Source);
     In.Diags = &Cx.DE;
     // The witness shared_ptr outlives the expandLoop call even if a
-    // concurrent invalidation drops the cache entry.
+    // concurrent invalidation drops the cache entry. Commutative
+    // privatization needs it even when guard pruning is off: the
+    // reduction-op proof lives in the witness.
     std::shared_ptr<const PrivatizationWitness> W;
-    if (Cx.Opts.Expansion.GuardPruning) {
+    if (Cx.Opts.Expansion.GuardPruning ||
+        Cx.Opts.Expansion.CommutativePrivatization) {
       W = Cx.AM.staticWitness(Cx.LoopId);
       In.Witness = W.get();
     }

@@ -18,6 +18,9 @@
 #include "ir/Verifier.h"
 #include "support/Support.h"
 
+#include <cstdint>
+#include <functional>
+
 using namespace gdse;
 
 namespace {
@@ -166,6 +169,125 @@ ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
   for (const AccessDesc &D : Num.accesses())
     Roots[D.Id] = PT.lvalueRootObjects(D.location());
 
+  // --- Commutative reduction selection. -----------------------------------
+  // A class the witness proved commutative (every carried use one reduction
+  // op) rides the private path: its accesses redirect to copy `tid`, and a
+  // synthesized pair of helpers initializes copies 1..N-1 to the op's
+  // identity before the loop and folds them into copy 0 (serial copy order,
+  // so the result is deterministic) after it.
+  struct CommObjInfo {
+    VarDecl *Var = nullptr;
+    unsigned ClassIdx = 0; ///< profile access-class index, for the guard
+    CommutativeOp Op = CommutativeOp::None;
+  };
+  std::map<uint32_t, CommObjInfo> CommObjs; // points-to object id -> info
+  std::set<AccessId> CommAccesses;
+  do {
+    const PrivatizationWitness *W = Inputs.Witness;
+    if (!Opts.CommutativePrivatization || !W || W->unmodeled())
+      break;
+    // The init/merge calls are spliced around the loop statement, so the
+    // loop must sit directly in a block we can rewrite.
+    bool HaveSplicePoint = false;
+    if (Cx.LoopFunction->getBody())
+      walkStmts(Cx.LoopFunction->getBody(), [&](Stmt *S) {
+        if (auto *Blk = dyn_cast<BlockStmt>(S))
+          for (Stmt *Child : Blk->getStmts())
+            if (Child == Cx.TargetLoop)
+              HaveSplicePoint = true;
+      });
+    if (!HaveSplicePoint)
+      break;
+
+    std::set<AccessId> InLoop; // the graph's vertex set
+    for (const auto &[Id, Cnt] : G.DynCount) {
+      (void)Cnt;
+      InLoop.insert(Id);
+    }
+
+    for (unsigned CI = 0; CI != Classes.classes().size(); ++CI) {
+      const AccessClassInfo &C = Classes.classes()[CI];
+      if (C.Private || C.Members.empty())
+        continue;
+      CommutativeOp Op = CommutativeOp::None;
+      bool Ok = true;
+      for (AccessId Id : C.Members) {
+        CommutativeOp MOp = W->commutativeOpOf(Id);
+        if (MOp == CommutativeOp::None ||
+            (Op != CommutativeOp::None && MOp != Op)) {
+          Ok = false;
+          break;
+        }
+        Op = MOp;
+      }
+      if (!Ok)
+        continue;
+      // Object purity: every root must be a module variable holding an int
+      // scalar or a one-dimensional int array (the helpers need a static
+      // element count), must not be the induction variable or a parameter,
+      // and a local must belong to the loop's own function — a carried
+      // accumulator cannot live in a callee frame.
+      std::set<uint32_t> ObjSet;
+      for (AccessId Id : C.Members) {
+        const auto &R = Roots[Id];
+        if (R.empty())
+          Ok = false;
+        ObjSet.insert(R.begin(), R.end());
+      }
+      for (uint32_t Obj : ObjSet) {
+        if (!Ok)
+          break;
+        const MemObject &O = PT.object(Obj);
+        if (O.K != MemObject::Kind::Variable || O.Var->isParam() ||
+            O.Var == Cx.TargetLoop->getInductionVar()) {
+          Ok = false;
+          break;
+        }
+        Type *Elem = O.Var->getType();
+        if (auto *AT = dyn_cast<ArrayType>(Elem))
+          Elem = AT->getElement();
+        if (!Elem->isInt()) {
+          Ok = false;
+          break;
+        }
+        if (O.Var->isLocal()) {
+          bool Owned = false;
+          for (VarDecl *L : Cx.LoopFunction->getLocals())
+            Owned |= L == O.Var;
+          if (!Owned)
+            Ok = false;
+        }
+        if (CommObjs.count(Obj))
+          Ok = false; // two reduction classes must not share storage
+      }
+      if (!Ok)
+        continue;
+      // No foreign in-loop access may reach the reduction storage: a read
+      // would observe an unmerged partial, a write would survive the merge
+      // only on one thread's copy.
+      std::set<AccessId> MemberSet(C.Members.begin(), C.Members.end());
+      for (AccessId Id : InLoop) {
+        if (MemberSet.count(Id))
+          continue;
+        auto RIt = Roots.find(Id);
+        if (RIt != Roots.end() && !intersect(RIt->second, ObjSet).empty()) {
+          Ok = false;
+          break;
+        }
+      }
+      if (!Ok)
+        continue;
+      for (uint32_t Obj : ObjSet)
+        CommObjs[Obj] = {PT.object(Obj).Var, CI, Op};
+      CommAccesses.insert(C.Members.begin(), C.Members.end());
+      ++Result.Stats.CommutativeClasses;
+    }
+    Result.Stats.CommutativeObjects =
+        static_cast<unsigned>(CommObjs.size());
+    for (AccessId Id : CommAccesses)
+      Result.PrivateAccesses.insert(Id);
+  } while (false);
+
   std::set<uint32_t> &E = Cx.ExpandedObjs;
   for (AccessId Id : Result.PrivateAccesses) {
     const auto &R = Roots[Id];
@@ -215,7 +337,11 @@ ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
       bool RuntimePrivatizable =
           O.K == MemObject::Kind::Variable && O.Var->isLocal() &&
           (O.Var->getType()->isScalar() || O.Var->getType()->isPointer()) &&
-          !AddressTaken.count(O.Var);
+          !AddressTaken.count(O.Var) &&
+          // Reduction storage must stay expanded: per-worker frame copies
+          // (last-writer-wins at join) would lose the partial sums the
+          // synthesized merge needs to fold.
+          !CommObjs.count(*It);
       if (RuntimePrivatizable)
         It = E.erase(It);
       else
@@ -544,6 +670,181 @@ ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
   if (Cx.failed())
     return Result;
 
+  // --- Commutative merge synthesis. ---------------------------------------
+  // The helpers are appended as new module functions — AccessNumbering
+  // numbers them after every existing loop and access, so the profiled ids
+  // of other candidate loops in this module stay stable — and called around
+  // the target loop. Copies 1..N-1 take the op's identity at loop entry;
+  // copy 0 keeps the pre-loop value and absorbs the others in serial copy
+  // order at loop exit, so `v0 op x1 op ... op xk` is only reassociated,
+  // never reordered across a non-identity — exact for wrap-around integer
+  // + and *, idempotent for min/max. Under guard fallback the loop-entry
+  // checkpoint lands after the init calls: rollback restores identities,
+  // the serial re-run accumulates on copy 0, and the merge degenerates to
+  // a no-op.
+  if (!CommObjs.empty()) {
+    TypeContext &Ctx = Cx.types();
+    IRBuilder &B = Cx.B;
+    std::vector<Stmt *> InitCalls, MergeCalls;
+    for (const auto &Entry : CommObjs) {
+      uint32_t Obj = Entry.first;
+      VarDecl *V = Entry.second.Var;
+      CommutativeOp Op = Entry.second.Op;
+      auto BIt = Cx.ConvertedBacking.find(V);
+      if (BIt == Cx.ConvertedBacking.end()) {
+        Cx.error("commutative object '" + V->getName() +
+                 "' has no converted backing");
+        return Result;
+      }
+      VarDecl *Backing = BIt->second;
+      Type *CopyTy = V->getType(); // already translated; int or int[]
+      Type *ElemTy = CopyTy;
+      int64_t NumElems = 1;
+      if (auto *AT = dyn_cast<ArrayType>(CopyTy)) {
+        ElemTy = AT->getElement();
+        NumElems = static_cast<int64_t>(AT->getNumElements());
+      }
+      auto *IT = cast<IntType>(ElemTy);
+      int64_t TypeMax =
+          IT->isSigned()
+              ? (IT->getBits() >= 64
+                     ? INT64_MAX
+                     : (int64_t(1) << (IT->getBits() - 1)) - 1)
+              : (IT->getBits() >= 64 ? int64_t(-1)
+                                     : (int64_t(1) << IT->getBits()) - 1);
+      int64_t TypeMin = IT->isSigned()
+                            ? (IT->getBits() >= 64
+                                   ? INT64_MIN
+                                   : -(int64_t(1) << (IT->getBits() - 1)))
+                            : 0;
+      int64_t Identity = 0;
+      switch (Op) {
+      case CommutativeOp::Add:
+        Identity = 0;
+        break;
+      case CommutativeOp::Mul:
+        Identity = 1;
+        break;
+      case CommutativeOp::Min:
+        Identity = TypeMax;
+        break;
+      case CommutativeOp::Max:
+        Identity = TypeMin;
+        break;
+      case CommutativeOp::None:
+        break;
+      }
+
+      Type *PtrElem = Ctx.getPointerType(ElemTy);
+      FunctionType *FT = Ctx.getFunctionType(Ctx.getVoidType(), {PtrElem});
+
+      // Builds one helper over the N-copy block: for every copy t in
+      // 1..N-1 (and every element for arrays), Emit produces the statement
+      // over fresh l-values — LV(true) addresses copy t's element, LV(false)
+      // copy 0's.
+      auto makeHelper =
+          [&](const std::string &Name,
+              const std::function<Stmt *(const std::function<Expr *(bool)> &)>
+                  &Emit) -> Function * {
+        Function *F = M.createFunction(Name, FT);
+        VarDecl *P = M.createVar("p", PtrElem, VarDecl::Storage::Param);
+        F->addParam(P);
+        VarDecl *TV =
+            M.createVar("t", Ctx.getInt32(), VarDecl::Storage::Local);
+        F->addLocal(TV);
+        VarDecl *EV = NumElems == 1
+                          ? nullptr
+                          : M.createVar("e", Ctx.getInt32(),
+                                        VarDecl::Storage::Local);
+        if (EV)
+          F->addLocal(EV);
+        // Flat element index of element e in copy c: bonded copies are
+        // whole-structure adjacent (c*NumElems + e), interleaved replicates
+        // per element (e*N + c).
+        auto LV = [&, P, TV, EV](bool CopyT) -> Expr * {
+          Expr *CopyIdx = CopyT ? static_cast<Expr *>(B.loadVar(TV))
+                                : static_cast<Expr *>(B.intLit(0));
+          if (!EV)
+            return B.index(B.loadVar(P), CopyIdx);
+          Expr *Flat =
+              Cx.Opts.Layout == LayoutMode::Bonded
+                  ? B.add(B.mul(CopyIdx,
+                                B.intLit(NumElems, Ctx.getInt64())),
+                          B.loadVar(EV))
+                  : B.add(B.mul(B.loadVar(EV),
+                                B.convert(B.numThreads(), Ctx.getInt64())),
+                          CopyIdx);
+          return B.index(B.loadVar(P), Flat);
+        };
+        Stmt *Inner = Emit(LV);
+        if (EV)
+          Inner = B.forStmt(EV, B.intLit(0), B.intLit(NumElems), B.intLit(1),
+                            B.block({Inner}));
+        Stmt *Loop = B.forStmt(TV, B.intLit(1), B.numThreads(), B.intLit(1),
+                               B.block({Inner}));
+        F->setBody(B.block({Loop}));
+        return F;
+      };
+
+      Function *InitF = makeHelper(
+          formatString("__gdse_comm_init_l%u_o%u", LoopId, Obj),
+          [&](const std::function<Expr *(bool)> &LV) -> Stmt * {
+            return B.assign(LV(true), B.intLit(Identity, ElemTy));
+          });
+      Function *MergeF = makeHelper(
+          formatString("__gdse_comm_merge_l%u_o%u", LoopId, Obj),
+          [&](const std::function<Expr *(bool)> &LV) -> Stmt * {
+            switch (Op) {
+            case CommutativeOp::Add:
+              return B.assign(LV(false),
+                              B.add(B.load(LV(false)), B.load(LV(true))));
+            case CommutativeOp::Mul:
+              return B.assign(LV(false),
+                              B.mul(B.load(LV(false)), B.load(LV(true))));
+            case CommutativeOp::Min:
+              return B.ifStmt(
+                  B.lt(B.load(LV(true)), B.load(LV(false))),
+                  B.block({B.assign(LV(false), B.load(LV(true)))}));
+            case CommutativeOp::Max:
+              return B.ifStmt(
+                  B.binary(BinaryOp::Gt, B.load(LV(true)), B.load(LV(false))),
+                  B.block({B.assign(LV(false), B.load(LV(true)))}));
+            case CommutativeOp::None:
+              break;
+            }
+            gdse_unreachable("bad commutative op");
+          });
+
+      InitCalls.push_back(B.exprStmt(
+          B.call(InitF, {B.castTo(B.loadVar(Backing), PtrElem)})));
+      MergeCalls.push_back(B.exprStmt(
+          B.call(MergeF, {B.castTo(B.loadVar(Backing), PtrElem)})));
+    }
+
+    // Splice the calls around the loop statement (verified to exist at
+    // selection time; rewrites replace bodies, never the loop node itself).
+    BlockStmt *Parent = nullptr;
+    size_t Idx = 0;
+    walkStmts(Cx.LoopFunction->getBody(), [&](Stmt *S) {
+      if (auto *Blk = dyn_cast<BlockStmt>(S)) {
+        auto &Sv = Blk->getStmts();
+        for (size_t I = 0; I < Sv.size(); ++I)
+          if (Sv[I] == Cx.TargetLoop) {
+            Parent = Blk;
+            Idx = I;
+          }
+      }
+    });
+    if (!Parent) {
+      Cx.error("commutative synthesis lost the target loop's parent block");
+      return Result;
+    }
+    std::vector<Stmt *> Wrapped = std::move(InitCalls);
+    Wrapped.push_back(Cx.TargetLoop);
+    Wrapped.insert(Wrapped.end(), MergeCalls.begin(), MergeCalls.end());
+    Parent->getStmts()[Idx] = B.block(std::move(Wrapped));
+  }
+
   std::vector<std::string> VerifyErrs = verifyModule(M);
   for (const std::string &Err : VerifyErrs)
     Cx.error("post-expansion verification: " + Err);
@@ -598,12 +899,32 @@ ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
       if (It == Cx.Plans.end() || !It->second.Redirect || !It->second.Private)
         continue;
       unsigned CI = Classes.classOf(Id);
+      if (CommAccesses.count(Id)) {
+        // Commutative members are validated in commit-time-merge mode (the
+        // region is watched for foreign touches, not first writes) and are
+        // never witness-pruned: the commutativity proof is exactly what the
+        // guard is there to check.
+        GP->CommClassOf[Id] = CI;
+        continue;
+      }
       if (PrunedClasses.count(CI)) {
         ++Result.Stats.GuardAccessesElided;
         continue;
       }
       GP->PrivateClassOf[Id] = CI;
     }
+    // Backing sites of the commutative objects anchor the watched regions;
+    // they carry no first-write shadow and must not look like ordinary
+    // guarded regions.
+    std::map<uint32_t, unsigned> CommSiteOf;
+    for (uint32_t Site : Cx.BackingSiteIds)
+      if (auto BIt = Cx.BackingVarOf.find(Site);
+          BIt != Cx.BackingVarOf.end()) {
+        auto CIt = CommObjs.find(PT.objectOfVar(BIt->second));
+        if (CIt != CommObjs.end())
+          CommSiteOf[Site] = CIt->second.ClassIdx;
+      }
+    GP->CommSiteClass = CommSiteOf;
     // A region only exists to validate the claimed accesses that may land
     // in it: a backing site whose pre-expansion object no surviving claimed
     // access may touch (per the same points-to roots the targeting used)
@@ -611,7 +932,9 @@ ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
     // module: expanded heap sites keep their site ids, converted variables
     // are recorded by the rewrite.
     if (PrunedClasses.empty()) {
-      GP->RegionSites = Cx.BackingSiteIds;
+      for (uint32_t Site : Cx.BackingSiteIds)
+        if (!CommSiteOf.count(Site))
+          GP->RegionSites.insert(Site);
     } else {
       std::set<uint32_t> GuardedObjs;
       for (const auto &[Id, CI] : GP->PrivateClassOf) {
@@ -619,6 +942,8 @@ ExpansionResult gdse::expandLoop(Module &M, unsigned LoopId,
         GuardedObjs.insert(R.begin(), R.end());
       }
       for (uint32_t Site : Cx.BackingSiteIds) {
+        if (CommSiteOf.count(Site))
+          continue;
         uint32_t Obj = UINT32_MAX;
         if (auto BIt = Cx.BackingVarOf.find(Site);
             BIt != Cx.BackingVarOf.end())

@@ -77,6 +77,12 @@ struct ExpansionOptions {
   /// emit no guarded shadow at all. Disable to keep the full plan — the
   /// fault-injection tests need guards on claims a witness could discharge.
   bool GuardPruning = true;
+  /// Expand proven-commutative classes (reductions) onto per-thread copies:
+  /// copies 1..N-1 are initialized to the op's identity at loop entry and
+  /// folded into copy 0 in serial copy order at loop exit, by synthesized
+  /// module-level init/merge helpers. Requires a privatization witness
+  /// (ExpansionInputs::Witness); without one the option is inert.
+  bool CommutativePrivatization = true;
 };
 
 struct ExpansionStats {
@@ -93,6 +99,10 @@ struct ExpansionStats {
   /// allocation sites that consequently emit no guarded region.
   unsigned GuardAccessesElided = 0;
   unsigned GuardRegionsElided = 0;
+  /// Commutative privatization: reduction classes expanded onto per-thread
+  /// copies with a synthesized identity-init + serial-order merge.
+  unsigned CommutativeClasses = 0;
+  unsigned CommutativeObjects = 0;
 };
 
 struct ExpansionResult {

@@ -417,9 +417,13 @@ void ThreadState::guardViolation(ViolationKind K, unsigned LoopId,
 void ThreadState::guardSetupRegions(const GuardPlan *GP, unsigned NumThreads) {
   GuardRegions.clear();
   GuardRegionHit = -1;
+  GuardHasComm = false;
   Mem.forEachLive([&](const Allocation &A) {
-    if (A.Kind != AllocKind::Heap || !A.SiteId ||
-        !GP->RegionSites.count(A.SiteId))
+    if (A.Kind != AllocKind::Heap || !A.SiteId)
+      return;
+    auto CIt = GP->CommSiteClass.find(A.SiteId);
+    bool Comm = CIt != GP->CommSiteClass.end();
+    if (!Comm && !GP->RegionSites.count(A.SiteId))
       return;
     GuardRegion R;
     R.Base = A.Base;
@@ -428,9 +432,20 @@ void ThreadState::guardSetupRegions(const GuardPlan *GP, unsigned NumThreads) {
     R.SiteId = A.SiteId;
     if (!R.Span)
       return;
-    R.WriteIter.assign(A.Size, UINT32_MAX);
-    R.WriteTid.assign(A.Size, -1);
-    R.WriteClass.assign(A.Size, -1);
+    if (Comm) {
+      // Commit-time-merge mode: no first-write shadow. The class's RMW loads
+      // are carried by construction (that is what the commutativity proof
+      // licenses), so per-byte exposure tracking would only report what the
+      // witness already justified; the violations that remain possible are
+      // foreign touches and members escaping their copy's span.
+      R.Commutative = true;
+      R.CommClass = CIt->second;
+      GuardHasComm = true;
+    } else {
+      R.WriteIter.assign(A.Size, UINT32_MAX);
+      R.WriteTid.assign(A.Size, -1);
+      R.WriteClass.assign(A.Size, -1);
+    }
     GuardRegions.push_back(std::move(R));
   });
 }
@@ -438,13 +453,19 @@ void ThreadState::guardSetupRegions(const GuardPlan *GP, unsigned NumThreads) {
 void ThreadState::guardTeardownRegions() {
   GuardRegions.clear();
   GuardRegionHit = -1;
+  GuardHasComm = false;
 }
 
 void ThreadState::guardLoad(uint32_t Id, uint64_t Addr, uint64_t Size) {
-  if (GuardActive && Id != InvalidAccessId) {
-    auto It = P.GuardAccessMap.find(Id);
-    if (It != P.GuardAccessMap.end() && It->second.LoopId == GuardLoop) {
-      unsigned Cls = It->second.Class;
+  if (GuardActive) {
+    const ProgramContext::GuardAccess *GA = nullptr;
+    if (Id != InvalidAccessId) {
+      auto It = P.GuardAccessMap.find(Id);
+      if (It != P.GuardAccessMap.end() && It->second.LoopId == GuardLoop)
+        GA = &It->second;
+    }
+    if (GA && !GA->Commutative) {
+      unsigned Cls = GA->Class;
       ++Loops[GuardLoop].GuardChecks;
       GuardRegion *R = guardRegionContaining(Addr);
       uint64_t Tid = static_cast<uint64_t>(CurTid);
@@ -454,6 +475,13 @@ void ThreadState::guardLoad(uint32_t Id, uint64_t Addr, uint64_t Size) {
         // rewrite left shared (zero-span fat pointer), or a fat-pointer
         // metadata read, which shares the data access's id (Promote.cpp).
         // Neither is this plan's to validate.
+      } else if (R->Commutative) {
+        // A claimed-private access reading another class's commutative
+        // region observes a partial accumulator the merge has not folded.
+        guardViolation(ViolationKind::NonCommutativeTouch, GuardLoop,
+                       R->CommClass, GuardIter, CurTid, Addr, Id);
+        if (Opts.Guard == GuardMode::Fallback)
+          GuardTripped = true;
       } else if ((Addr - R->Base) / R->Span != Tid ||
                  (Addr - R->Base + Last) / R->Span != Tid) {
         guardViolation(ViolationKind::SpanEscape, GuardLoop, Cls, GuardIter,
@@ -477,6 +505,33 @@ void ThreadState::guardLoad(uint32_t Id, uint64_t Addr, uint64_t Size) {
           break;
         }
       }
+    } else if (GA) {
+      // Commutative member: the RMW load of its own copy is licensed; the
+      // only checkable facts are that it stays inside that copy's span of a
+      // region of its own class.
+      ++Loops[GuardLoop].GuardChecks;
+      GuardRegion *R = guardRegionContaining(Addr);
+      uint64_t Tid = static_cast<uint64_t>(CurTid);
+      uint64_t Last = Size ? Size - 1 : 0;
+      if (R && (!R->Commutative || R->CommClass != GA->Class ||
+                (Addr - R->Base) / R->Span != Tid ||
+                (Addr - R->Base + Last) / R->Span != Tid)) {
+        guardViolation(ViolationKind::SpanEscape, GuardLoop, GA->Class,
+                       GuardIter, CurTid, Addr, Id);
+        if (Opts.Guard == GuardMode::Fallback)
+          GuardTripped = true;
+      }
+    } else if (GuardHasComm) {
+      // Unclaimed load: normally not this plan's to validate, but reading a
+      // commutative region mid-loop observes a partial accumulator — the
+      // "every carried use is one reduction op" claim was wrong.
+      GuardRegion *R = guardRegionContaining(Addr);
+      if (R && R->Commutative) {
+        guardViolation(ViolationKind::NonCommutativeTouch, GuardLoop,
+                       R->CommClass, GuardIter, CurTid, Addr, Id);
+        if (Opts.Guard == GuardMode::Fallback)
+          GuardTripped = true;
+      }
     }
   }
   if (!GuardWatch.empty())
@@ -486,27 +541,59 @@ void ThreadState::guardLoad(uint32_t Id, uint64_t Addr, uint64_t Size) {
 void ThreadState::guardStore(uint32_t Id, uint64_t Addr, uint64_t Size) {
   if (GuardActive) {
     GuardRegion *R = guardRegionContaining(Addr);
-    int32_t Cls = -1;
+    const ProgramContext::GuardAccess *GA = nullptr;
     if (Id != InvalidAccessId) {
       auto It = P.GuardAccessMap.find(Id);
-      if (It != P.GuardAccessMap.end() && It->second.LoopId == GuardLoop) {
-        Cls = static_cast<int32_t>(It->second.Class);
-        ++Loops[GuardLoop].GuardChecks;
-        uint64_t Tid = static_cast<uint64_t>(CurTid);
-        uint64_t Last = Size ? Size - 1 : 0;
-        // As in guardLoad: addresses outside every region are shared or
-        // metadata instances, not escapes.
-        if (R && ((Addr - R->Base) / R->Span != Tid ||
-                  (Addr - R->Base + Last) / R->Span != Tid)) {
-          guardViolation(ViolationKind::SpanEscape, GuardLoop,
-                         static_cast<unsigned>(Cls), GuardIter, CurTid, Addr,
-                         Id);
-          if (Opts.Guard == GuardMode::Fallback)
-            GuardTripped = true;
-        }
-      }
+      if (It != P.GuardAccessMap.end() && It->second.LoopId == GuardLoop)
+        GA = &It->second;
     }
-    if (R) {
+    int32_t Cls = -1;
+    if (GA && !GA->Commutative) {
+      Cls = static_cast<int32_t>(GA->Class);
+      ++Loops[GuardLoop].GuardChecks;
+      uint64_t Tid = static_cast<uint64_t>(CurTid);
+      uint64_t Last = Size ? Size - 1 : 0;
+      // As in guardLoad: addresses outside every region are shared or
+      // metadata instances, not escapes.
+      if (R && R->Commutative) {
+        guardViolation(ViolationKind::NonCommutativeTouch, GuardLoop,
+                       R->CommClass, GuardIter, CurTid, Addr, Id);
+        if (Opts.Guard == GuardMode::Fallback)
+          GuardTripped = true;
+      } else if (R && ((Addr - R->Base) / R->Span != Tid ||
+                       (Addr - R->Base + Last) / R->Span != Tid)) {
+        guardViolation(ViolationKind::SpanEscape, GuardLoop,
+                       static_cast<unsigned>(Cls), GuardIter, CurTid, Addr,
+                       Id);
+        if (Opts.Guard == GuardMode::Fallback)
+          GuardTripped = true;
+      }
+    } else if (GA) {
+      // Commutative member: must stay inside its own copy's span of a
+      // region of its own class. Aliasing into a first-write-shadowed
+      // region falls through to the stamp below as a foreign (Cls = -1)
+      // write, exactly like any unclaimed store.
+      ++Loops[GuardLoop].GuardChecks;
+      uint64_t Tid = static_cast<uint64_t>(CurTid);
+      uint64_t Last = Size ? Size - 1 : 0;
+      if (R && R->Commutative &&
+          (R->CommClass != GA->Class ||
+           (Addr - R->Base) / R->Span != Tid ||
+           (Addr - R->Base + Last) / R->Span != Tid)) {
+        guardViolation(ViolationKind::SpanEscape, GuardLoop, GA->Class,
+                       GuardIter, CurTid, Addr, Id);
+        if (Opts.Guard == GuardMode::Fallback)
+          GuardTripped = true;
+      }
+    } else if (R && R->Commutative) {
+      // Unclaimed (or bulk) store into a commutative region clobbers
+      // partial accumulators behind the merge's back.
+      guardViolation(ViolationKind::NonCommutativeTouch, GuardLoop,
+                     R->CommClass, GuardIter, CurTid, Addr, Id);
+      if (Opts.Guard == GuardMode::Fallback)
+        GuardTripped = true;
+    }
+    if (R && !R->Commutative) {
       // Stamp the first-write shadow. Every write counts — shared (copy 0)
       // stores included — because any of them can satisfy or break a later
       // private read.
@@ -586,6 +673,9 @@ void ThreadState::guardWatchStore(uint64_t Addr, uint64_t Size) {
 
 void ThreadState::guardCommit(const GuardPlan *GP, unsigned NumThreads) {
   for (GuardRegion &R : GuardRegions) {
+    if (R.Commutative)
+      continue; // reconciled by the generated merge IR, which runs after
+                // this commit and must not trip a divergence watch
     if (R.PrivMin > R.PrivMax)
       continue; // no write ever landed in a copy > 0
     for (uint64_t Norm = R.PrivMin; Norm <= R.PrivMax && Norm < R.Span;
@@ -997,6 +1087,7 @@ void ThreadState::resetRun() {
   GuardIter = 0;
   GuardRegions.clear();
   GuardRegionHit = -1;
+  GuardHasComm = false;
   GuardViolationLog.clear();
   GuardWatch.clear();
   updateGuardHooks();

@@ -216,8 +216,19 @@ struct ThreadState {
     /// Window of offsets written into copies > 0, bounding the commit scan.
     uint64_t PrivMin = UINT64_MAX;
     uint64_t PrivMax = 0;
+    /// Commit-time-merge mode (the backing of a proven-commutative class):
+    /// the shadow vectors stay empty — carried flow through the copies is
+    /// licensed by the commutativity proof and reconciled by the generated
+    /// merge IR. The region is instead watched for accesses from outside
+    /// the class (NonCommutativeTouch) and for members escaping their span.
+    bool Commutative = false;
+    unsigned CommClass = 0;
   };
   std::vector<GuardRegion> GuardRegions;
+  /// Some active region is in commit-time-merge mode: unclaimed accesses
+  /// must be screened against commutative regions too (they are otherwise
+  /// ignored by guardLoad, and guardStore must not stamp a missing shadow).
+  bool GuardHasComm = false;
 
   bool GuardActive = false;  ///< inside a guarded parallel invocation
   bool GuardTripped = false; ///< violation seen in this invocation (fallback)

@@ -65,6 +65,8 @@ const char *gdse::violationKindName(ViolationKind K) {
     return "span-escape";
   case ViolationKind::DownwardsExposedStore:
     return "downwards-exposed-store";
+  case ViolationKind::NonCommutativeTouch:
+    return "non-commutative-touch";
   }
   return "unknown";
 }

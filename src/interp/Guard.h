@@ -85,6 +85,11 @@ enum class ViolationKind : uint8_t {
   /// discarded thread copy — the store was downwards-exposed, violating
   /// condition (1) (an output-dependence misclassification).
   DownwardsExposedStore,
+  /// An access outside a proven-commutative class touched that class's
+  /// guarded region during the loop — the "every carried use is one
+  /// reduction op" witness was wrong, and the commit-time merge would fold
+  /// state the foreign access already observed or clobbered.
+  NonCommutativeTouch,
 };
 
 /// Stable lowercase name, e.g. "upwards-exposed-load".
@@ -107,8 +112,19 @@ struct GuardPlan {
   /// per-thread span is Size / NumThreads (copy 0 shared, copies 1..N-1
   /// private).
   std::set<uint32_t> RegionSites;
+  /// AccessId -> class index for members of proven-commutative classes.
+  /// These accesses are exempt from first-write shadow validation (the RMW
+  /// load of a reduction is carried by construction); the region is watched
+  /// for non-member touches instead (commit-time-merge guard mode).
+  std::map<uint32_t, unsigned> CommClassOf;
+  /// Backing-site id -> class index for the expanded commutative objects.
+  /// Disjoint from RegionSites: these regions carry no first-write shadow.
+  std::map<uint32_t, unsigned> CommSiteClass;
 
-  bool empty() const { return PrivateClassOf.empty() || RegionSites.empty(); }
+  bool empty() const {
+    return (PrivateClassOf.empty() || RegionSites.empty()) &&
+           (CommClassOf.empty() || CommSiteClass.empty());
+  }
 };
 
 /// One detected violation, with full attribution. Deduplicated by

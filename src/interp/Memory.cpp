@@ -233,8 +233,14 @@ const Allocation *VMMemory::containing(uint64_t Addr) const {
       return nullptr;
     return &A;
   }
-  // Fast path: repeated accesses into the block we answered last time.
-  if (LastHit && Addr - LastHit->Base < std::max<uint64_t>(LastHit->Size, 1))
+  // Fast path: repeated accesses into the block we answered last time. The
+  // Live check is load-bearing: every path that kills or erases an entry
+  // must null the cache slot (deallocate, releaseUntracked, the concurrent
+  // and speculation transitions), but a stale hit here would resurrect a
+  // freed block whose address the host allocator may already have recycled
+  // for a different allocation — so a dead cached entry is never trusted.
+  if (LastHit && LastHit->Live &&
+      Addr - LastHit->Base < std::max<uint64_t>(LastHit->Size, 1))
     return LastHit;
   auto It = ByBase.upper_bound(Addr);
   if (It == ByBase.begin())

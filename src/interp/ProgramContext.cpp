@@ -222,7 +222,9 @@ ProgramContext::ProgramContext(Module &M, InterpOptions O)
         continue;
       GuardPlanOf[GP->LoopId] = GP.get();
       for (const auto &[Aid, Cls] : GP->PrivateClassOf)
-        GuardAccessMap[Aid] = GuardAccess{GP->LoopId, Cls};
+        GuardAccessMap[Aid] = GuardAccess{GP->LoopId, Cls, false};
+      for (const auto &[Aid, Cls] : GP->CommClassOf)
+        GuardAccessMap[Aid] = GuardAccess{GP->LoopId, Cls, true};
     }
   }
 

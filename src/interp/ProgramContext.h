@@ -73,10 +73,14 @@ struct ProgramContext {
   std::set<const VarDecl *> RegisterVars;
 
   /// Merged lookup over Opts.GuardPlans: access id -> (loop, class) for
-  /// every claimed-private access of every guarded loop.
+  /// every claimed-private access of every guarded loop. Commutative entries
+  /// are members of proven-commutative (reduction) classes: their region is
+  /// validated in commit-time-merge mode (span containment plus foreign-touch
+  /// watching) instead of carrying a first-write shadow.
   struct GuardAccess {
     unsigned LoopId = 0;
     unsigned Class = 0;
+    bool Commutative = false;
   };
   std::map<uint32_t, GuardAccess> GuardAccessMap;
   /// Loop id -> plan (owned by Opts.GuardPlans).

@@ -93,11 +93,18 @@ struct DoacrossSync {
     R.Cv.wait(Lock, [&] { return R.NextIter >= Iter; });
   }
 
-  /// Called exactly once per started iteration, at its end (normal or not):
-  /// liveness of the protocol depends on every grabbed iteration releasing.
+  /// Called exactly once per grabbed iteration, at its end — normal exit,
+  /// trap inside an ordered region, or abort-after-grab alike: liveness of
+  /// the protocol depends on every grabbed ticket releasing every lane.
   void releaseAll(uint64_t Iter) {
     for (auto &[Id, R] : Regions) {
       std::unique_lock<std::mutex> Lock(R.Mu);
+      // A duplicate or stale release must be inert: inserting an iteration
+      // already below the lane frontier would park it at Released.begin(),
+      // where it never matches NextIter and blocks the drain loop below —
+      // wedging every later waiter on this lane forever.
+      if (Iter < R.NextIter)
+        continue;
       R.Released.insert(Iter);
       while (!R.Released.empty() && *R.Released.begin() == R.NextIter) {
         R.Released.erase(R.Released.begin());
@@ -233,6 +240,7 @@ Flow ThreadState::runForThreaded(
         WS.GuardActive = true;
         WS.GuardLoop = LoopId;
         WS.GuardRegions = GuardRegions; // private first-write shadow copy
+        WS.GuardHasComm = GuardHasComm;
         WS.updateGuardHooks();
       }
       // Worker frames must exist before the arena goes concurrent and are
@@ -416,24 +424,28 @@ Flow ThreadState::runForThreaded(
         }
         if (Copies.size() != NumWorkers)
           continue;
-        for (uint64_t Pos = 0; Pos != R.Size; ++Pos) {
-          const GuardRegion *BestR = nullptr;
-          for (const GuardRegion *C : Copies) {
-            uint32_t WI = C->WriteIter[Pos];
-            if (WI == UINT32_MAX)
+        // Commutative regions carry no shadow: workers logged any foreign
+        // touches directly, so only the violation-log merge below applies.
+        if (!R.Commutative) {
+          for (uint64_t Pos = 0; Pos != R.Size; ++Pos) {
+            const GuardRegion *BestR = nullptr;
+            for (const GuardRegion *C : Copies) {
+              uint32_t WI = C->WriteIter[Pos];
+              if (WI == UINT32_MAX)
+                continue;
+              if (!BestR || WI >= BestR->WriteIter[Pos])
+                BestR = C;
+            }
+            if (!BestR)
               continue;
-            if (!BestR || WI >= BestR->WriteIter[Pos])
-              BestR = C;
+            R.WriteIter[Pos] = BestR->WriteIter[Pos];
+            R.WriteTid[Pos] = BestR->WriteTid[Pos];
+            R.WriteClass[Pos] = BestR->WriteClass[Pos];
           }
-          if (!BestR)
-            continue;
-          R.WriteIter[Pos] = BestR->WriteIter[Pos];
-          R.WriteTid[Pos] = BestR->WriteTid[Pos];
-          R.WriteClass[Pos] = BestR->WriteClass[Pos];
-        }
-        for (const GuardRegion *C : Copies) {
-          R.PrivMin = std::min(R.PrivMin, C->PrivMin);
-          R.PrivMax = std::max(R.PrivMax, C->PrivMax);
+          for (const GuardRegion *C : Copies) {
+            R.PrivMin = std::min(R.PrivMin, C->PrivMin);
+            R.PrivMax = std::max(R.PrivMax, C->PrivMax);
+          }
         }
         Survivors.push_back(std::move(R));
       }

@@ -52,7 +52,12 @@ DiagnosticEngine &gdse::envDiags() {
 }
 
 // Warns once per variable name for the process lifetime, so a hot path
-// calling envInt per run does not spam.
+// calling envInt per run does not spam. Reachable from compileBatch worker
+// threads, so every piece of shared state here must be synchronized: the
+// once-latch is mutex-guarded, and the pass attribution rides through a
+// DiagnosticScope so it is stamped inside the engine's own lock — mutating
+// the returned Diagnostic after report() would race with concurrent
+// snapshot readers (diagnostics()/errorStrings()).
 void gdse::envWarnOnce(const char *Name, const std::string &Msg) {
   static std::mutex Mu;
   static std::set<std::string> Warned;
@@ -61,8 +66,8 @@ void gdse::envWarnOnce(const char *Name, const std::string &Msg) {
     if (!Warned.insert(Name).second)
       return;
   }
-  Diagnostic &D = envDiags().warning(Msg);
-  D.Pass = "env";
+  DiagnosticScope Scope(envDiags(), "env");
+  Diagnostic D = envDiags().warning(Msg); // copy: render outside the lock
   std::fprintf(stderr, "%s\n", D.str().c_str());
 }
 

@@ -573,6 +573,153 @@ int main() {
 }
 )";
 
+//===----------------------------------------------------------------------===//
+// Reduction kernels (commutative privatization tier). Each candidate loop's
+// only loop-carried state is one or more single-op reductions: profiled
+// shared (so ordinary privatization cannot touch them), proven commutative
+// by the static witness, and expanded onto per-thread copies with a
+// synthesized identity-init + serial-order merge. The per-iteration hash
+// rounds give the loop enough work for real host threads to win.
+//===----------------------------------------------------------------------===//
+
+const char *HistogramSource = R"(
+int data[4096];
+int hist[256];
+long total;
+
+int main() {
+  int n = 4096;
+  int seed = 42;
+  for (int i = 0; i < n; i++) {
+    seed = seed * 1103515245 + 12345;
+    data[i] = (seed >> 8) & 65535;
+  }
+  total = 0;
+  @candidate for (int i = 0; i < n; i++) {
+    int v = data[i];
+    for (int r = 0; r < 24; r++) {
+      v = v * 31 + 7;
+      v = v ^ (v >> 11);
+    }
+    int b = (v ^ (v >> 7)) & 255;
+    hist[b] = hist[b] + 1;
+    total = total + (long)(v & 1023);
+  }
+  long check = total;
+  for (int b = 0; b < 256; b++) { check = check * 31 + (long)hist[b]; }
+  print_int(check);
+  return 0;
+}
+)";
+
+const char *MinMaxSource = R"(
+int data[4096];
+int minv;
+int maxv;
+long prod;
+
+int main() {
+  int n = 4096;
+  int seed = 1234;
+  for (int i = 0; i < n; i++) {
+    seed = seed * 1103515245 + 12345;
+    data[i] = (seed >> 9) & 32767;
+  }
+  minv = 1000000000;
+  maxv = 0 - 1000000000;
+  prod = 1;
+  @candidate for (int i = 0; i < n; i++) {
+    int v = data[i];
+    for (int r = 0; r < 24; r++) {
+      v = v * 69069 + 1;
+      v = v ^ (v >> 9);
+    }
+    int s = v & 1048575;
+    if (s < minv) { minv = s; }
+    if (s > maxv) { maxv = s; }
+    prod = prod * (long)(s | 1);
+  }
+  print_int((long)minv);
+  print_int((long)maxv);
+  print_int(prod);
+  return 0;
+}
+)";
+
+const char *DotProdSource = R"(
+int va[4096];
+int vb[4096];
+
+int main() {
+  int n = 4096;
+  int seed = 31337;
+  for (int i = 0; i < n; i++) {
+    seed = seed * 1103515245 + 12345;
+    va[i] = (seed >> 5) & 4095;
+    seed = seed * 1103515245 + 12345;
+    vb[i] = (seed >> 5) & 4095;
+  }
+  long acc = 0;
+  @candidate for (int i = 0; i < n; i++) {
+    int x = va[i];
+    int y = vb[i];
+    for (int r = 0; r < 16; r++) {
+      x = x * 31 + y;
+      y = y ^ (x >> 7);
+    }
+    acc = acc + (long)x * (long)y;
+  }
+  print_int(acc);
+  return 0;
+}
+)";
+
+const char *FatHistSource = R"(
+int data[4096];
+int histA[128];
+int histB[256];
+int* h;
+
+int main() {
+  int n = 4096;
+  int seed = 99;
+  for (int i = 0; i < n; i++) {
+    seed = seed * 1103515245 + 12345;
+    data[i] = (seed >> 7) & 65535;
+  }
+  @candidate for (int i = 0; i < n; i++) {
+    int v = data[i];
+    for (int r = 0; r < 24; r++) {
+      v = v * 1103515245 + 12345;
+      v = v ^ (v >> 13);
+    }
+    int c = 0;
+    if ((v & 1) == 0) { h = histA; c = (v >> 1) & 127; }
+    else              { h = histB; c = (v >> 1) & 255; }
+    h[c] = h[c] + 1;
+  }
+  long check = 0;
+  for (int j = 0; j < 128; j++) { check = check * 31 + (long)histA[j]; }
+  for (int j = 0; j < 256; j++) { check = check * 31 + (long)histB[j]; }
+  print_int(check);
+  return 0;
+}
+)";
+
+const std::vector<WorkloadInfo> &reductionTable() {
+  static const std::vector<WorkloadInfo> Table = {
+      {"histogram", "reduction", "main", 1, ParallelKind::DOALL, 1,
+       HistogramSource},
+      {"minmax-scan", "reduction", "main", 1, ParallelKind::DOALL, 1,
+       MinMaxSource},
+      {"dotprod", "reduction", "main", 1, ParallelKind::DOALL, 1,
+       DotProdSource},
+      {"fat-histogram", "reduction", "main", 1, ParallelKind::DOALL, 1,
+       FatHistSource},
+  };
+  return Table;
+}
+
 const std::vector<WorkloadInfo> &workloadTable() {
   static const std::vector<WorkloadInfo> Table = {
       {"dijkstra", "MiBench", "main", 1, ParallelKind::DOACROSS, 1,
@@ -600,8 +747,15 @@ const std::vector<WorkloadInfo> &gdse::allWorkloads() {
   return workloadTable();
 }
 
+const std::vector<WorkloadInfo> &gdse::reductionWorkloads() {
+  return reductionTable();
+}
+
 const WorkloadInfo *gdse::findWorkload(const std::string &Name) {
   for (const WorkloadInfo &W : workloadTable())
+    if (Name == W.Name)
+      return &W;
+  for (const WorkloadInfo &W : reductionTable())
     if (Name == W.Name)
       return &W;
   return nullptr;

@@ -66,7 +66,17 @@ struct WorkloadInfo {
 /// All eight benchmarks, in the paper's Table 4 order.
 const std::vector<WorkloadInfo> &allWorkloads();
 
-/// Lookup by name; null when unknown.
+/// Reduction-heavy kernels exercising the commutative privatization tier:
+/// every candidate loop's only carried dependences are single-op reductions
+/// (+, *, guarded min/max) over scalars, arrays, or fat-pointer-selected
+/// arrays — profiled shared, proven commutative, expanded to identity-
+/// initialized per-thread copies with a post-loop merge, and DOALL-run on
+/// real host threads. Not part of Table 4; kept in their own list so the
+/// paper-figure benches stay paper-shaped.
+const std::vector<WorkloadInfo> &reductionWorkloads();
+
+/// Lookup by name over allWorkloads() then reductionWorkloads(); null when
+/// unknown.
 const WorkloadInfo *findWorkload(const std::string &Name);
 
 } // namespace gdse

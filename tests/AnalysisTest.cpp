@@ -473,11 +473,14 @@ TEST(ParallelSim, ImbalancedDoallShowsIdleTime) {
 }
 
 TEST(ParallelSim, DoacrossDispatchCostAppears) {
+  // The recurrence mixes * and +, so the commutative tier cannot claim it:
+  // the carried flow survives and the loop stays DOACROSS (a plain `acc += i`
+  // would now be proven-commutative and go DOALL with zero dispatches).
   const char *Src = R"(
     int main() {
       long acc = 0;
       @candidate for (int i = 0; i < 64; i++) {
-        acc += i;
+        acc = acc * 3 + i;
       }
       print_int(acc);
       return 0;

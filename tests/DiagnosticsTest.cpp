@@ -13,8 +13,12 @@
 #include "frontend/Parser.h"
 #include "interp/Interp.h"
 #include "parallel/Pipeline.h"
+#include "support/Support.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
 
 using namespace gdse;
 
@@ -218,6 +222,52 @@ TEST(Diagnostics, ExpansionErrorsCarryPassAndLoop) {
     if (E == D->Message)
       InErrors = true;
   EXPECT_TRUE(InErrors);
+}
+
+TEST(Diagnostics, EnvWarnOnceConcurrentIsRaceFreeAndExactlyOnce) {
+  // The warn-once sink is reachable from compileBatch worker threads: many
+  // threads hammering envFlag/envInt with malformed values must (a) be
+  // tsan-clean (this suite runs in the tsan CI matrix) and (b) emit exactly
+  // one warning per variable name, even while other threads concurrently
+  // snapshot the shared engine.
+  static const char *Names[] = {
+      "GDSE_TEST_WARNONCE_A", "GDSE_TEST_WARNONCE_B", "GDSE_TEST_WARNONCE_C",
+      "GDSE_TEST_WARNONCE_D"};
+  // setenv before any thread starts: getenv itself is only safe against a
+  // quiescent environment.
+  setenv(Names[0], "maybe", 1);
+  setenv(Names[1], "12abc", 1);
+  setenv(Names[2], "yes-ish", 1);
+  setenv(Names[3], "0x10", 1);
+
+  size_t Before = envDiags().size();
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 8; ++T) {
+    Threads.emplace_back([T] {
+      for (unsigned I = 0; I < 200; ++I) {
+        envFlag(Names[(T + I) % 2], false);
+        envInt(Names[2 + ((T + I) % 2)], 7);
+        if (I % 16 == 0)
+          (void)envDiags().diagnostics(); // concurrent snapshot reader
+      }
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  for (const char *Name : Names) {
+    unsigned Count = 0;
+    for (const Diagnostic &D : envDiags().diagnosticsSince(Before)) {
+      if (D.Message.find(Name) == std::string::npos)
+        continue;
+      ++Count;
+      EXPECT_EQ(D.Pass, "env");
+      EXPECT_EQ(D.Severity, DiagSeverity::Warning);
+    }
+    EXPECT_EQ(Count, 1u) << Name;
+  }
+  for (const char *Name : Names)
+    unsetenv(Name);
 }
 
 //===----------------------------------------------------------------------===//

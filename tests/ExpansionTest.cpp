@@ -98,8 +98,11 @@ TEST(Expansion, ZptrScratchBuffer) {
   expectEquivalent(R);
   EXPECT_GE(R.Pipeline.Expansion.ExpandedObjects, 1u);
   EXPECT_GT(R.Pipeline.Expansion.PrivateAccessesRedirected, 0u);
-  // 'check' carries a flow dependence: the loop must be DOACROSS.
-  EXPECT_EQ(R.Pipeline.Plan.Kind, ParallelKind::DOACROSS);
+  // 'check' carries a flow dependence, but it is a pure `+=` reduction: the
+  // commutative tier proves it, expands it onto per-thread copies, and the
+  // loop goes DOALL instead of DOACROSS.
+  EXPECT_GE(R.Pipeline.Expansion.CommutativeClasses, 1u);
+  EXPECT_EQ(R.Pipeline.Plan.Kind, ParallelKind::DOALL);
 }
 
 TEST(Expansion, ZptrBecomesDoallWithoutReduction) {

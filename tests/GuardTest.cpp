@@ -413,6 +413,108 @@ TEST_P(GuardFault, DownwardsExposedStore) {
 }
 
 //===----------------------------------------------------------------------===//
+// Non-commutative touch: an access outside a proven-commutative class
+// sneaks into that class's region mid-loop. SpanSrc's `acc` accumulator is
+// genuinely commutative, so its plan carries commit-time-merge machinery;
+// the corrupt plan then relabels another region as commutative so real
+// foreign accesses land in it.
+//===----------------------------------------------------------------------===//
+
+TEST_P(GuardFault, NonCommutativeTouchOnForeignRead) {
+  unsigned LoopId;
+  LoopDepGraph True = profiled(SpanSrc, LoopId);
+  Transformed T = transformWith(SpanSrc, True);
+  ASSERT_TRUE(T.PR.Ok) << (T.PR.Errors.empty() ? "?" : T.PR.Errors.front());
+  ASSERT_TRUE(T.PR.Guard);
+  // The tentpole contract: acc's reduction really is claimed commutative.
+  ASSERT_FALSE(T.PR.Guard->CommClassOf.empty());
+  ASSERT_FALSE(T.PR.Guard->CommSiteClass.empty());
+
+  // Locate the shared lookup table (the heap load the plan claims nothing
+  // about) with a dry run, as in SpanEscape.
+  HeapSpy Spy;
+  {
+    InterpOptions IO;
+    IO.Engine = GetParam();
+    Interp I(*T.M, IO);
+    I.setObserver(&Spy);
+    RunResult R = I.run();
+    ASSERT_FALSE(R.Trapped) << R.TrapMessage;
+  }
+  uint32_t VictimSite = 0;
+  for (const auto &[Id, Site] : Spy.LoadSite)
+    if (Site && !T.PR.Guard->RegionSites.count(Site) &&
+        !T.PR.Guard->CommSiteClass.count(Site) &&
+        !T.PR.Guard->PrivateClassOf.count(Id) &&
+        !T.PR.Guard->CommClassOf.count(Id)) {
+      VictimSite = Site;
+      break;
+    }
+  ASSERT_NE(VictimSite, 0u) << "no shared heap region to misattribute";
+
+  // The corrupt plan claims the table carries a commutative class's
+  // per-thread accumulators. Every iteration's unclaimed table reads then
+  // observe "partial accumulator" state: thread 0's first read, iteration
+  // 0, must be flagged as a non-commutative touch attributed to the
+  // relabeled class.
+  const unsigned CommCls = T.PR.Guard->NumClasses + 1;
+  auto Mut = std::make_shared<GuardPlan>(*T.PR.Guard);
+  Mut->CommSiteClass[VictimSite] = CommCls;
+  expectFaultCaught(SpanSrc, T, Mut,
+                    {ViolationKind::NonCommutativeTouch, 0, 0}, GetParam());
+
+  DiagnosticEngine Diags;
+  RunResult Check = runGuarded(*T.M, GetParam(), GuardMode::Check, Mut, &Diags);
+  ASSERT_FALSE(Check.Violations.empty());
+  EXPECT_EQ(Check.Violations.front().ClassIndex, CommCls)
+      << Check.Violations.front().str();
+}
+
+TEST_P(GuardFault, NonCommutativeTouchOnForeignWrite) {
+  unsigned LoopId;
+  LoopDepGraph True = profiled(SpanSrc, LoopId);
+  Transformed T = transformWith(SpanSrc, True);
+  ASSERT_TRUE(T.PR.Ok) << (T.PR.Errors.empty() ? "?" : T.PR.Errors.front());
+  ASSERT_TRUE(T.PR.Guard);
+  ASSERT_FALSE(T.PR.Guard->RegionSites.empty());
+
+  // Relabel the expanded private scratch (`tmp`) as a commutative region:
+  // its claimed-private stores now "sneak into" a commutative class. The
+  // first body statement writes tmp[0] on iteration 0, thread 0 — that
+  // write must be flagged with the relabeled class and the writer's access
+  // id, before any of tmp's reads pile onto the same deduplicated record.
+  const unsigned CommCls = T.PR.Guard->NumClasses + 2;
+  auto Mut = std::make_shared<GuardPlan>(*T.PR.Guard);
+  uint32_t TmpSite = *Mut->RegionSites.begin();
+  Mut->RegionSites.erase(TmpSite);
+  Mut->CommSiteClass[TmpSite] = CommCls;
+
+  RunResult Serial = runSerial(SpanSrc);
+  ASSERT_FALSE(Serial.Trapped) << Serial.TrapMessage;
+
+  DiagnosticEngine Diags;
+  RunResult Check = runGuarded(*T.M, GetParam(), GuardMode::Check, Mut, &Diags);
+  ASSERT_FALSE(Check.Trapped) << Check.TrapMessage;
+  ASSERT_FALSE(Check.Violations.empty())
+      << "foreign write into commutative region not detected";
+  const DependenceViolation &V = Check.Violations.front();
+  EXPECT_EQ(V.Kind, ViolationKind::NonCommutativeTouch) << V.str();
+  EXPECT_EQ(V.LoopId, T.LoopId) << V.str();
+  EXPECT_EQ(V.ClassIndex, CommCls) << V.str();
+  EXPECT_EQ(V.Iteration, 0u) << V.str();
+  EXPECT_EQ(V.Thread, 0) << V.str();
+  // The attribution names the sneaking writer: one of the accesses the
+  // plan itself claims private (tmp's class), not an anonymous bulk touch.
+  EXPECT_TRUE(Mut->PrivateClassOf.count(V.Access)) << V.str();
+
+  // Fallback: rollback plus serial re-run must recover the serial output.
+  RunResult Fb = runGuarded(*T.M, GetParam(), GuardMode::Fallback, Mut);
+  ASSERT_FALSE(Fb.Trapped) << Fb.TrapMessage;
+  EXPECT_EQ(Fb.Output, Serial.Output);
+  EXPECT_GE(Fb.Loops.at(T.LoopId).GuardFallbacks, 1u);
+}
+
+//===----------------------------------------------------------------------===//
 // Clean plan: the guard stays silent and invisible in both modes.
 //===----------------------------------------------------------------------===//
 

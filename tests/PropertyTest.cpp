@@ -405,4 +405,152 @@ TEST_P(WitnessProperty, ProvenPrivateNeverViolates) {
 INSTANTIATE_TEST_SUITE_P(Seeds, WitnessProperty,
                          ::testing::Range<uint64_t>(1, 31));
 
+//===----------------------------------------------------------------------===//
+// Commutative merge-order determinism
+//===----------------------------------------------------------------------===//
+
+/// One generated reduction: a commutative accumulator the tier must claim.
+/// Bodies touch ONLY their own accumulator (never sink), so the loop's every
+/// carried dependence is commutative and the plan must be DOALL.
+Fragment reductionAddFragment(Rng &R, int Id) {
+  Fragment F;
+  F.Globals = formatString("long radd%d;\n", Id);
+  F.Setup = formatString("  radd%d = %d;\n", Id, R.range(0, 9));
+  F.Body = formatString("    radd%d = radd%d + (long)(it * %d + %d);\n", Id,
+                        Id, R.range(2, 13), R.range(0, 7));
+  F.Final = formatString("  sink = sink * 31 + radd%d;\n", Id);
+  return F;
+}
+
+Fragment reductionMulFragment(Rng &R, int Id) {
+  Fragment F;
+  F.Globals = formatString("long rmul%d;\n", Id);
+  F.Setup = formatString("  rmul%d = 1;\n", Id);
+  // Factors forced odd and small: wrapping products stay deterministic.
+  F.Body = formatString("    rmul%d = rmul%d * (long)(((it + %d) & 7) | 1);\n",
+                        Id, Id, R.range(0, 5));
+  F.Final = formatString("  sink = sink * 13 + rmul%d;\n", Id);
+  return F;
+}
+
+Fragment reductionMinMaxFragment(Rng &R, int Id) {
+  bool Min = R.chance(50);
+  Fragment F;
+  F.Globals = formatString("int rmm%d;\n", Id);
+  F.Setup = formatString("  rmm%d = %s;\n", Id,
+                         Min ? "1000000000" : "0 - 1000000000");
+  F.Body = formatString(
+      "    int c%d = (int)(((it * %d) ^ %d) %% 997);\n"
+      "    if (c%d %s rmm%d) { rmm%d = c%d; }\n",
+      Id, R.range(3, 17), R.range(0, 255), Id, Min ? "<" : ">", Id, Id, Id);
+  F.Final = formatString("  sink = sink * 7 + rmm%d;\n", Id);
+  return F;
+}
+
+Fragment reductionHistFragment(Rng &R, int Id) {
+  int Size = R.range(8, 32);
+  Fragment F;
+  F.Globals = formatString("int rh%d[%d];\n", Id, Size);
+  F.Body = formatString(
+      "    int ix%d = (it * %d + %d) %% %d;\n"
+      "    rh%d[ix%d] = rh%d[ix%d] + 1;\n",
+      Id, R.range(3, 11), R.range(0, 5), Size, Id, Id, Id, Id);
+  F.Final = formatString(
+      "  for (int i = 0; i < %d; i++) { sink = sink * 3 + rh%d[i]; }\n",
+      Size, Id);
+  return F;
+}
+
+GeneratedProgram generateReduction(uint64_t Seed) {
+  Rng R(Seed);
+  using FragFn = Fragment (*)(Rng &, int);
+  static const FragFn Pool[] = {
+      reductionAddFragment, reductionMulFragment, reductionMinMaxFragment,
+      reductionHistFragment,
+  };
+  int NumFrags = R.range(1, 3);
+  std::vector<Fragment> Frags;
+  for (int I = 0; I < NumFrags; ++I)
+    Frags.push_back(Pool[R.range(0, 3)](R, I));
+  // A read-only table keeps some non-reduction traffic in the mix.
+  if (R.chance(50))
+    Frags.push_back(readOnlyTableFragment(R, NumFrags));
+
+  int Iters = R.range(16, 64);
+  GeneratedProgram G;
+  std::string &S = G.Source;
+  for (const Fragment &F : Frags)
+    S += F.Globals;
+  S += "long sink;\n";
+  S += "int main() {\n  sink = 1;\n";
+  for (const Fragment &F : Frags)
+    S += F.Setup;
+  S += formatString("  @candidate for (int it = 0; it < %d; it++) {\n", Iters);
+  for (const Fragment &F : Frags)
+    S += F.Body;
+  S += "  }\n";
+  for (const Fragment &F : Frags)
+    S += F.Final;
+  S += "  print_int(sink);\n  return 0;\n}\n";
+  return G;
+}
+
+class ReductionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// The merge folds per-thread copies in serial copy order, so the result must
+// be bit-identical to the sequential run — for every seed, thread count,
+// engine, and across repeated runs (determinism, not mere plausibility).
+TEST_P(ReductionProperty, MergeOrderDeterministic) {
+  GeneratedProgram G = generateReduction(GetParam());
+  SCOPED_TRACE("--- generated program ---\n" + G.Source);
+
+  ParseResult PR = parseMiniC(G.Source);
+  ASSERT_TRUE(PR.ok()) << (PR.Errors.empty() ? "?" : PR.Errors.front());
+  RunResult Seq;
+  {
+    Interp I(*PR.M);
+    Seq = I.run();
+    ASSERT_TRUE(Seq.ok()) << Seq.TrapMessage;
+  }
+
+  ParseResult P2 = parseMiniC(G.Source);
+  ASSERT_TRUE(P2.ok());
+  std::vector<unsigned> Cands = findCandidateLoops(*P2.M);
+  ASSERT_EQ(Cands.size(), 1u);
+  PipelineResult R = transformLoop(*P2.M, Cands.front());
+  ASSERT_TRUE(R.Ok) << (R.Errors.empty() ? "?" : R.Errors.front());
+  ASSERT_GE(R.Expansion.CommutativeClasses, 1u);
+  EXPECT_EQ(R.Plan.Kind, ParallelKind::DOALL);
+
+  for (int N : {1, 3, 8}) {
+    InterpOptions IO;
+    IO.NumThreads = N;
+    Interp I(*P2.M, IO);
+    RunResult Par = I.run();
+    ASSERT_TRUE(Par.ok()) << "N=" << N << ": " << Par.TrapMessage;
+    EXPECT_EQ(Par.Output, Seq.Output) << "N=" << N;
+  }
+
+  // Host threads: two runs, both bit-identical to the sequential output and
+  // to each other on the virtual clock — real scheduling variance must never
+  // leak through the merge.
+  uint64_t FirstSimTime = 0;
+  for (int Rep = 0; Rep < 2; ++Rep) {
+    InterpOptions IO;
+    IO.Engine = ExecEngine::Threads;
+    IO.NumThreads = 4;
+    Interp I(*P2.M, IO);
+    RunResult Par = I.run();
+    ASSERT_TRUE(Par.ok()) << "threads rep " << Rep << ": " << Par.TrapMessage;
+    EXPECT_EQ(Par.Output, Seq.Output) << "threads rep " << Rep;
+    if (Rep == 0)
+      FirstSimTime = Par.SimTime;
+    else
+      EXPECT_EQ(Par.SimTime, FirstSimTime) << "threaded SimTime wobbled";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionProperty,
+                         ::testing::Range<uint64_t>(1, 41));
+
 } // namespace

@@ -193,13 +193,15 @@ TEST(StaticPrivatizer, ProvenPrivateScratchStruct) {
 TEST(StaticPrivatizer, ProvenSharedCarriedAccumulator) {
   // acc[0] is unconditionally read before any same-iteration write and then
   // unconditionally overwritten: a certain loop-carried flow dependence. A
-  // profile claiming this class private would be refuted.
+  // profile claiming this class private would be refuted. The recurrence
+  // mixes * and + so the commutative tier cannot claim it either (a plain
+  // `acc[0] = acc[0] + i` would be proven-commutative, not proven-shared).
   WitnessFixture F = witnessFor(R"(
     int acc[4];
     int main() {
       acc[0] = 1;
       @candidate for (int i = 0; i < 8; i++) {
-        acc[0] = acc[0] + i;
+        acc[0] = acc[0] * 3 + i;
       }
       print_int(acc[0]);
       return 0;
@@ -227,7 +229,7 @@ TEST(StaticPrivatizer, ProvenSharedNeverProvenPrivate) {
       sum = 0;
       @candidate for (int i = 0; i < 6; i++) {
         for (int k = 0; k < 8; k++) { tmp[k] = i + k; }
-        for (int k = 0; k < 8; k++) { sum = sum + tmp[k]; }
+        for (int k = 0; k < 8; k++) { sum = sum * 3 + tmp[k]; }
       }
       print_int(sum);
       return 0;
@@ -243,6 +245,143 @@ TEST(StaticPrivatizer, ProvenSharedNeverProvenPrivate) {
     for (AccessId Id : C.Members)
       EXPECT_FALSE(F.W->provenPrivate(Id));
   }
+}
+
+//===----------------------------------------------------------------------===//
+// ProvenCommutative: the reduction tier's detection matrix
+//===----------------------------------------------------------------------===//
+
+/// Op of the (unique) commutative class touching \p Var's object.
+CommutativeOp opOfVar(WitnessFixture &F, const char *Var) {
+  const PointsTo &PT = F.S->analyses().pointsTo();
+  const AccessNumbering &Num = F.S->analyses().numbering();
+  uint32_t Obj = PT.objectOfVar(findVar(*F.M, Var));
+  for (const ClassWitness &C : F.W->classes()) {
+    if (C.Verdict != PrivatizationVerdict::ProvenCommutative)
+      continue;
+    for (AccessId Id : C.Members)
+      if (PT.lvalueRootObjects(Num.access(Id).location()).count(Obj))
+        return C.Op;
+  }
+  return CommutativeOp::None;
+}
+
+TEST(StaticPrivatizer, CommutativeDetectionMatrix) {
+  // One loop, four accepted reduction forms: += on a scalar, *= with odd
+  // factors, guarded min and guarded max. Each must be proven commutative
+  // with the right operator.
+  WitnessFixture F = witnessFor(R"(
+    long s;
+    long p;
+    int lo;
+    int hi;
+    int main() {
+      s = 0; p = 1; lo = 1000000000; hi = 0 - 1000000000;
+      @candidate for (int i = 0; i < 32; i++) {
+        int v = (i * 37 + 11) % 997;
+        s = s + (long)v;
+        p = p * (long)((v & 7) | 1);
+        if (v < lo) { lo = v; }
+        if (v > hi) { hi = v; }
+      }
+      print_int(s); print_int(p); print_int(lo); print_int(hi);
+      return 0;
+    }
+  )",
+                                "comm-matrix");
+  ASSERT_TRUE(F.W);
+  EXPECT_EQ(verdictOfVar(F, "s"), PrivatizationVerdict::ProvenCommutative);
+  EXPECT_EQ(opOfVar(F, "s"), CommutativeOp::Add);
+  EXPECT_EQ(verdictOfVar(F, "p"), PrivatizationVerdict::ProvenCommutative);
+  EXPECT_EQ(opOfVar(F, "p"), CommutativeOp::Mul);
+  EXPECT_EQ(verdictOfVar(F, "lo"), PrivatizationVerdict::ProvenCommutative);
+  EXPECT_EQ(opOfVar(F, "lo"), CommutativeOp::Min);
+  EXPECT_EQ(verdictOfVar(F, "hi"), PrivatizationVerdict::ProvenCommutative);
+  EXPECT_EQ(opOfVar(F, "hi"), CommutativeOp::Max);
+}
+
+TEST(StaticPrivatizer, CommutativeArrayElementAdd) {
+  // Histogram form: h[e] = h[e] + 1 with structurally equal index
+  // expressions on both sides.
+  WitnessFixture F = witnessFor(R"(
+    int h[64];
+    int main() {
+      @candidate for (int i = 0; i < 48; i++) {
+        int b = (i * 13 + 5) % 64;
+        h[b] = h[b] + 1;
+      }
+      long c = 0;
+      for (int k = 0; k < 64; k++) { c = c + h[k]; }
+      print_int(c);
+      return 0;
+    }
+  )",
+                                "comm-hist");
+  ASSERT_TRUE(F.W);
+  EXPECT_EQ(verdictOfVar(F, "h"), PrivatizationVerdict::ProvenCommutative);
+  EXPECT_EQ(opOfVar(F, "h"), CommutativeOp::Add);
+}
+
+TEST(StaticPrivatizer, CommutativeRejections) {
+  // Each accumulator here carries a real flow dependence that is NOT a
+  // single associative op, so none may be proven commutative (they fall to
+  // proven-shared or unknown — anything but commutative/private).
+  WitnessFixture F = witnessFor(R"(
+    long mixed;
+    long sub;
+    long selfref;
+    long viacall;
+    int helper(int x) { return x * 2; }
+    int main() {
+      mixed = 0; sub = 100000; selfref = 1; viacall = 0;
+      @candidate for (int i = 0; i < 16; i++) {
+        mixed = mixed * 3 + i;
+        sub = sub - i;
+        selfref = selfref + selfref;
+        viacall = viacall + helper(i);
+      }
+      print_int(mixed); print_int(sub); print_int(selfref);
+      print_int(viacall);
+      return 0;
+    }
+  )",
+                                "comm-reject");
+  ASSERT_TRUE(F.W);
+  for (const char *Var : {"mixed", "sub", "selfref", "viacall"}) {
+    PrivatizationVerdict V = verdictOfVar(F, Var);
+    EXPECT_NE(V, PrivatizationVerdict::ProvenCommutative) << Var;
+    EXPECT_NE(V, PrivatizationVerdict::ProvenPrivate) << Var;
+  }
+}
+
+TEST(StaticPrivatizer, CommutativeRejectsFloatAndFatThen) {
+  // Floating-point addition is not associative: a double accumulator must
+  // never be proven commutative. A guarded min whose Then block does more
+  // than the single store (the hmmer beststore shape) must also be
+  // rejected — the extra statement is a non-reduction carried use.
+  WitnessFixture F = witnessFor(R"(
+    double facc;
+    int best;
+    int bestidx;
+    int main() {
+      facc = 0.0; best = 1000000000; bestidx = 0 - 1;
+      @candidate for (int i = 0; i < 16; i++) {
+        int v = (i * 29 + 3) % 211;
+        facc = facc + (double)v;
+        if (v < best) { best = v; bestidx = i; }
+      }
+      print_int((int)facc); print_int(best); print_int(bestidx);
+      return 0;
+    }
+  )",
+                                "comm-float-fat");
+  ASSERT_TRUE(F.W);
+  EXPECT_NE(verdictOfVar(F, "facc"),
+            PrivatizationVerdict::ProvenCommutative);
+  EXPECT_NE(verdictOfVar(F, "best"),
+            PrivatizationVerdict::ProvenCommutative);
+  EXPECT_NE(verdictOfVar(F, "bestidx"),
+            PrivatizationVerdict::ProvenCommutative);
 }
 
 //===----------------------------------------------------------------------===//
