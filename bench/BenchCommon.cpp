@@ -54,6 +54,8 @@ struct JsonSink {
     bool Trapped;
     uint64_t WorkCycles, SimTime, HostNanos, PeakBytes;
     const char *GuardMode;
+    /// Resilience ladder activity, summed over loops (0 on clean runs).
+    uint64_t Degradations = 0, WatchdogFires = 0;
     /// Per-loop guard counters; empty when no loop was guarded.
     std::vector<GuardLoopRec> GuardLoops;
   };
@@ -94,13 +96,16 @@ void writeJson() {
         "%s\n    {\"workload\": \"%s\", \"engine\": \"%s\", \"threads\": %d, "
         "\"simulate_parallel\": %s, \"trapped\": %s, \"work_cycles\": %llu, "
         "\"sim_time\": %llu, \"host_ns\": %llu, \"peak_bytes\": %llu, "
-        "\"guard_mode\": \"%s\", \"guard_loops\": [",
+        "\"guard_mode\": \"%s\", \"degradations\": %llu, "
+        "\"watchdog_fires\": %llu, \"guard_loops\": [",
         I ? "," : "", R.Workload.c_str(), R.Engine, R.Threads,
         R.SimulateParallel ? "true" : "false", R.Trapped ? "true" : "false",
         static_cast<unsigned long long>(R.WorkCycles),
         static_cast<unsigned long long>(R.SimTime),
         static_cast<unsigned long long>(R.HostNanos),
-        static_cast<unsigned long long>(R.PeakBytes), R.GuardMode);
+        static_cast<unsigned long long>(R.PeakBytes), R.GuardMode,
+        static_cast<unsigned long long>(R.Degradations),
+        static_cast<unsigned long long>(R.WatchdogFires));
     for (size_t J = 0; J != R.GuardLoops.size(); ++J) {
       const JsonSink::GuardLoopRec &G = R.GuardLoops[J];
       std::fprintf(F,
@@ -313,9 +318,19 @@ RunResult gdse::bench::executeGuarded(PreparedProgram &P, int Threads,
 RunResult gdse::bench::executeOnEngine(PreparedProgram &P, ExecEngine Engine,
                                        int Threads, GuardMode Guard,
                                        bool SimulateParallel) {
+  return executeResilient(P, Engine, Threads, ResilienceOptions(), Guard,
+                          SimulateParallel);
+}
+
+RunResult gdse::bench::executeResilient(PreparedProgram &P, ExecEngine Engine,
+                                        int Threads,
+                                        const ResilienceOptions &Resilience,
+                                        GuardMode Guard,
+                                        bool SimulateParallel) {
   InterpOptions IO;
   IO.NumThreads = Threads;
   IO.SimulateParallel = SimulateParallel;
+  IO.Resilience = Resilience;
   // The transformed programs are test-verified; skip per-access bounds
   // checking for faster experiment turnaround.
   IO.BoundsCheck = false;
@@ -341,10 +356,13 @@ RunResult gdse::bench::executeOnEngine(PreparedProgram &P, ExecEngine Engine,
                       Threads, SimulateParallel,   R.Trapped,  R.WorkCycles,
                       R.SimTime, R.HostNanos,      R.PeakMemoryBytes,
                       guardModeName(Guard),        {}};
-    for (const auto &[LoopId, L] : R.Loops)
+    for (const auto &[LoopId, L] : R.Loops) {
+      Rec.Degradations += L.Degradations;
+      Rec.WatchdogFires += L.WatchdogFires;
       if (L.GuardedInvocations || L.GuardViolations || L.GuardFallbacks)
         Rec.GuardLoops.push_back({LoopId, L.GuardedInvocations, L.GuardChecks,
                                   L.GuardViolations, L.GuardFallbacks});
+    }
     S.Recs.push_back(std::move(Rec));
   }
   return R;

@@ -129,6 +129,14 @@ RunResult executeOnEngine(PreparedProgram &P, ExecEngine Engine, int Threads,
                           GuardMode Guard = GuardMode::Off,
                           bool SimulateParallel = true);
 
+/// executeOnEngine() with an explicit resilience policy (budgets, watchdog,
+/// fault injection) — resilience_overhead arms unbreachable budgets and
+/// measures the polling cost against the default-off run.
+RunResult executeResilient(PreparedProgram &P, ExecEngine Engine, int Threads,
+                           const ResilienceOptions &Resilience,
+                           GuardMode Guard = GuardMode::Off,
+                           bool SimulateParallel = true);
+
 /// Sum of SimTime over the program's candidate loops.
 uint64_t loopSimTime(const RunResult &R, const std::vector<unsigned> &LoopIds);
 /// Sum of WorkCycles over the program's candidate loops.

@@ -9,7 +9,8 @@
 //
 //   minic <file.mc>... [--threads N] [--jobs N] [--transform] [--dump-ir]
 //         [--engine tree|bytecode|threads] [--guard off|check|fallback]
-//         [--time-passes] [--stats]
+//         [--deadline-ms N] [--mem-budget N] [--watchdog-ms N] [--faults SPEC]
+//         [--no-ladder] [--time-passes] [--stats]
 //
 // --engine threads executes eligible transformed parallel loops on real host
 // threads (--threads N workers) while reproducing the serial engines'
@@ -64,6 +65,9 @@ int main(int argc, char **argv) {
   ExecEngine Engine = engineFromEnv();
   // Guard default follows GDSE_GUARD (off when unset); --guard wins.
   GuardMode Guard = guardModeFromEnv();
+  // Resilience defaults follow GDSE_DEADLINE_MS / GDSE_MEM_BUDGET /
+  // GDSE_WATCHDOG_MS / GDSE_LADDER / GDSE_FAULTS; the flags below win.
+  ResilienceOptions Resilience = resilienceFromEnv();
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--threads" && I + 1 < argc)
@@ -92,6 +96,23 @@ int main(int argc, char **argv) {
     }
     else if (Arg == "--jobs" && I + 1 < argc)
       Jobs = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (Arg == "--deadline-ms" && I + 1 < argc)
+      Resilience.Budget.DeadlineMs =
+          static_cast<uint64_t>(std::atoll(argv[++I]));
+    else if (Arg == "--mem-budget" && I + 1 < argc)
+      Resilience.Budget.MaxBytes = static_cast<uint64_t>(std::atoll(argv[++I]));
+    else if (Arg == "--watchdog-ms" && I + 1 < argc)
+      Resilience.WatchdogMs = static_cast<uint64_t>(std::atoll(argv[++I]));
+    else if (Arg == "--no-ladder")
+      Resilience.Ladder = false;
+    else if (Arg == "--faults" && I + 1 < argc) {
+      std::string Err;
+      Resilience.Faults = FaultInjector::parse(argv[++I], Err);
+      if (!Resilience.Faults) {
+        std::fprintf(stderr, "bad --faults spec: %s\n", Err.c_str());
+        return 1;
+      }
+    }
     else if (Arg == "--transform")
       Transform = true;
     else if (Arg == "--audit-deps")
@@ -121,6 +142,8 @@ int main(int argc, char **argv) {
                  "usage: minic <file.mc>... [--threads N] [--jobs N] "
                  "[--engine tree|bytecode|threads] "
                  "[--guard off|check|fallback] "
+                 "[--deadline-ms N] [--mem-budget N] [--watchdog-ms N] "
+                 "[--faults SPEC] [--no-ladder] "
                  "[--transform] [--audit-deps] "
                  "[--dump=points-to|static-deps|classes|witness] "
                  "[--dump-ir] [--time-passes] [--stats]\n");
@@ -259,10 +282,13 @@ int main(int argc, char **argv) {
     IO.Engine = Engine;
     IO.Guard = Guard;
     IO.GuardPlans = P.Guards;
+    IO.Resilience = Resilience;
     DiagnosticEngine RunDiags;
     IO.GuardDiags = &RunDiags;
-    Interp I(*P.M, IO);
-    RunResult R = I.run();
+    IO.Resilience.Diags = &RunDiags;
+    // runResilient retries an engine fault (watchdog fire, pool loss mid-run)
+    // on the next rung down the ladder; resource breaches stay traps.
+    RunResult R = runResilient(*P.M, IO, "main", &RunDiags);
     std::fputs(R.Output.c_str(), stdout);
     // Guard diagnostics (violations in check mode, fallback warnings).
     for (const Diagnostic &D : RunDiags.diagnostics())

@@ -48,6 +48,12 @@ public:
   void runEntry(const Function *F) {
     const BytecodeFunction &BF = BM.Funcs[BM.Index.at(F)];
     uint64_t Base = S.Mem.allocate(BF.FrameSize, AllocKind::Frame, 0);
+    if (!Base) {
+      S.trap(formatString("out of memory: frame of %llu bytes for '%s' failed",
+                          static_cast<unsigned long long>(BF.FrameSize),
+                          F->getName().c_str()));
+      return;
+    }
     if (S.Obs)
       S.Obs->onAlloc(*S.Mem.byBase(Base));
     S.ReturnValue = VMValue();
@@ -84,6 +90,12 @@ private:
   VMValue callFunction(const BytecodeFunction &BF, const VMValue *Args,
                        unsigned NArgs) {
     uint64_t Base = S.Mem.allocate(BF.FrameSize, AllocKind::Frame, 0);
+    if (!Base) {
+      S.trap(formatString("out of memory: frame of %llu bytes for '%s' failed",
+                          static_cast<unsigned long long>(BF.FrameSize),
+                          BF.F->getName().c_str()));
+      return VMValue();
+    }
     if (S.Obs)
       S.Obs->onAlloc(*S.Mem.byBase(Base));
     ++S.CallDepth;

@@ -19,9 +19,63 @@
 using namespace gdse;
 
 ThreadState::ThreadState(ProgramContext &P)
-    : P(P), M(P.M), Ctx(P.Ctx), Opts(P.Opts), Mem(P.Mem) {}
+    : P(P), M(P.M), Ctx(P.Ctx), Opts(P.Opts), Mem(P.Mem),
+      DeadlineArmed(P.Opts.Resilience.Budget.DeadlineMs != 0) {}
 
 ThreadState::~ThreadState() = default;
+
+bool ThreadState::deadlineExpired() {
+  uint64_t D = P.DeadlineNs.load(std::memory_order_relaxed);
+  if (!D || monotonicNowNs() < D)
+    return false;
+  trap(formatString("deadline of %llu ms exceeded",
+                    static_cast<unsigned long long>(
+                        Opts.Resilience.Budget.DeadlineMs)));
+  return true;
+}
+
+void ThreadState::noteDegradation(unsigned LoopId, bool Watchdog,
+                                  const std::string &Why) {
+  LoopStats &LS = Loops[LoopId];
+  ++LS.Degradations;
+  if (Watchdog)
+    ++LS.WatchdogFires;
+  if (DiagnosticEngine *DE = Opts.Resilience.Diags) {
+    // Watchdog fires are rare and each one matters; a dead pool degrades
+    // every invocation, so only the loop's first hop is reported (the pool
+    // failure itself was already reported once by loopPoolOrNull()).
+    if (Watchdog || LS.Degradations == 1) {
+      Diagnostic D;
+      D.Severity = DiagSeverity::Warning;
+      D.Pass = "resilience";
+      D.LoopId = LoopId;
+      D.Message = Why;
+      DE->report(std::move(D));
+    }
+  }
+}
+
+namespace {
+
+/// Shared heap-allocation wrapper: polls the wall-clock deadline (an
+/// allocation boundary is a cancellation point on every engine), applies the
+/// alloc-fail injection point, and converts registry failure (host OOM or
+/// byte-budget breach) into an attributed out-of-memory trap. Returns 0 iff
+/// the caller must bail out (a trap has been recorded).
+uint64_t heapAllocOrTrap(ThreadState &S, uint64_t Size, uint32_t SiteId,
+                         const char *What) {
+  if (S.DeadlineArmed && S.deadlineExpired())
+    return 0;
+  uint64_t Base = 0;
+  if (!S.injectFault(FaultInjector::Point::AllocFail))
+    Base = S.Mem.allocate(Size, AllocKind::Heap, SiteId);
+  if (!Base)
+    S.trap(formatString("out of memory: %s of %llu bytes failed", What,
+                        static_cast<unsigned long long>(Size)));
+  return Base;
+}
+
+} // namespace
 
 void ThreadState::trap(const std::string &Msg) {
   if (Trapped)
@@ -173,7 +227,9 @@ VMValue ThreadState::execBuiltinOp(Builtin B, uint32_t SiteId,
     }
     charge(Opts.Costs.Alloc);
     uint64_t Base =
-        Mem.allocate(static_cast<uint64_t>(N), AllocKind::Heap, SiteId);
+        heapAllocOrTrap(*this, static_cast<uint64_t>(N), SiteId, "malloc");
+    if (!Base)
+      return VMValue();
     if (Obs)
       Obs->onAlloc(*Mem.byBase(Base));
     return VMValue::ofInt(static_cast<int64_t>(Base));
@@ -186,7 +242,9 @@ VMValue ThreadState::execBuiltinOp(Builtin B, uint32_t SiteId,
     }
     uint64_t Size = static_cast<uint64_t>(N * Sz);
     charge(Opts.Costs.Alloc + Size * Opts.Costs.PerByteCopy);
-    uint64_t Base = Mem.allocate(Size, AllocKind::Heap, SiteId);
+    uint64_t Base = heapAllocOrTrap(*this, Size, SiteId, "calloc");
+    if (!Base)
+      return VMValue();
     if (Obs) {
       Obs->onAlloc(*Mem.byBase(Base));
       Obs->onBulkAccess(/*IsWrite=*/true, Base, Size, B, SiteId);
@@ -203,7 +261,9 @@ VMValue ThreadState::execBuiltinOp(Builtin B, uint32_t SiteId,
     uint64_t Size = static_cast<uint64_t>(N);
     if (!Old) {
       charge(Opts.Costs.Alloc);
-      uint64_t Base = Mem.allocate(Size, AllocKind::Heap, SiteId);
+      uint64_t Base = heapAllocOrTrap(*this, Size, SiteId, "realloc");
+      if (!Base)
+        return VMValue();
       if (Obs)
         Obs->onAlloc(*Mem.byBase(Base));
       return VMValue::ofInt(static_cast<int64_t>(Base));
@@ -216,7 +276,9 @@ VMValue ThreadState::execBuiltinOp(Builtin B, uint32_t SiteId,
     uint64_t CopySize = std::min(A->Size, Size);
     charge(Opts.Costs.Alloc + Opts.Costs.Free +
            CopySize * Opts.Costs.PerByteCopy);
-    uint64_t Base = Mem.allocate(Size, AllocKind::Heap, SiteId);
+    uint64_t Base = heapAllocOrTrap(*this, Size, SiteId, "realloc");
+    if (!Base)
+      return VMValue(); // the old block stays live, as host realloc promises
     std::memcpy(reinterpret_cast<void *>(Base), reinterpret_cast<void *>(Old),
                 CopySize);
     if (Obs) {
@@ -333,7 +395,9 @@ VMValue ThreadState::rtPrivTranslate(uint64_t Ptr) {
   auto Key = std::make_pair(CurTid, A->Base);
   auto It = RtShadow.find(Key);
   if (It == RtShadow.end()) {
-    uint64_t Shadow = Mem.allocate(A->Size, AllocKind::Heap, 0);
+    uint64_t Shadow = heapAllocOrTrap(*this, A->Size, 0, "rtpriv shadow");
+    if (!Shadow)
+      return VMValue();
     std::memcpy(reinterpret_cast<void *>(Shadow),
                 reinterpret_cast<void *>(A->Base), A->Size);
     charge(Opts.Costs.Alloc + A->Size * Opts.Costs.PerByteCopy);
@@ -728,8 +792,18 @@ Flow ThreadState::runForLoop(unsigned LoopId, ParallelKind Kind, Type *IVType,
                              const ThreadLoopHooks *Host) {
   bool Parallel =
       Opts.SimulateParallel && Kind != ParallelKind::None && !InParallelLoop;
-  if (Parallel && threadedEligible(LoopId, Kind, Host))
-    return runForThreaded(LoopId, Kind, IVType, EvalBounds, *Host);
+  if (Parallel && threadedEligible(LoopId, Kind, Host)) {
+    // First rung of the degradation ladder: a dead worker pool (thread
+    // creation failed, or an injected worker-start fault) sends the
+    // invocation down to the simulated serial-order path — bit-identical by
+    // construction — instead of crashing or trapping.
+    if (ThreadPool *Pool = P.loopPoolOrNull())
+      return runForThreaded(LoopId, Kind, IVType, EvalBounds, Body, *Host,
+                            *Pool);
+    noteDegradation(LoopId, /*Watchdog=*/false,
+                    "degrading to the simulated serial-order path: worker "
+                    "pool unavailable");
+  }
   if (Parallel)
     return runForParallel(LoopId, Kind, IVType, EvalBounds, Body);
   return runForSerial(LoopId, Kind, IVType, EvalBounds, Body);
@@ -745,9 +819,12 @@ bool ThreadState::threadedEligible(unsigned LoopId, ParallelKind Kind,
   if (Opts.Engine != ExecEngine::Threads || Opts.NumThreads < 2)
     return false;
   // An installed observer expects the serial-order event stream; a cycle
-  // budget needs a monotonic global cycle counter; an armed guard watch must
-  // see every access in serial order. All three force the simulated path.
-  if (Obs || Opts.MaxCycles != 0 || !GuardWatch.empty())
+  // budget (legacy MaxCycles or the resilience budget's cap, folded into
+  // EffMaxCycles) needs a monotonic global cycle counter; an armed guard
+  // watch must see every access in serial order. All three force the
+  // simulated path. Wall-clock deadlines and byte budgets are order-free
+  // and stay threaded-compatible.
+  if (Obs || P.EffMaxCycles != 0 || !GuardWatch.empty())
     return false;
   const ProgramContext::LoopTraits *T = P.loopTraits(LoopId);
   // Runtime privatization keeps a serial-order shadow map: simulate.
@@ -963,6 +1040,16 @@ Flow ThreadState::runForParallel(
     Flow FL = Body();
     uint64_t W = Cycles - C0;
 
+    // Fault injection: a spurious dependence violation at the iteration
+    // boundary of a guarded invocation, exercising the check/fallback paths
+    // without needing a program that actually races.
+    if (GuardActive && injectFault(FaultInjector::Point::GuardViolation)) {
+      guardViolation(ViolationKind::CarriedFlow, GuardLoop, 0, It, CurTid, 0,
+                     InvalidAccessId);
+      if (Opts.Guard == GuardMode::Fallback)
+        GuardTripped = true;
+    }
+
     // A tripped guard abandons the speculative run at the iteration
     // boundary, before any trap from this iteration is inspected: the serial
     // re-execution decides what really happens (including re-raising a trap
@@ -1075,6 +1162,9 @@ void ThreadState::resetRun() {
   TrapLoopId = -1;
   TrapIteration = -1;
   TrapThread = -1;
+  EngineFault = false;
+  BudgetPolls = 0;
+  P.armDeadline();
   LoopCtxStack.clear();
   Output.clear();
   ExitCode = 0;

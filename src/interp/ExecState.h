@@ -152,6 +152,13 @@ struct ThreadState {
   int CurTid = 0;
   bool InParallelLoop = false;
 
+  /// Deadline-poll decimation counter (see checkBudget); per-thread, so
+  /// workers poll independently without sharing a cache line.
+  uint32_t BudgetPolls = 0;
+  /// Constructor-time constant: a wall-clock deadline is configured for this
+  /// run (Opts.Resilience.Budget.DeadlineMs != 0).
+  const bool DeadlineArmed;
+
   bool Trapped = false;
   bool Halted = false;
   std::string TrapMessage;
@@ -160,6 +167,9 @@ struct ThreadState {
   int64_t TrapLoopId = -1;
   int64_t TrapIteration = -1;
   int TrapThread = -1;
+  /// The trap is an engine-level fault (see RunResult::EngineFault): the
+  /// degradation ladder may retry the run on a lower engine.
+  bool EngineFault = false;
   int64_t ExitCode = 0;
   VMValue ReturnValue;
   std::string Output;
@@ -290,13 +300,38 @@ struct ThreadState {
 
   void charge(uint64_t C) { Cycles += C; }
 
+  /// The per-iteration budget gate: the folded cycle cap (exact, checked
+  /// every call) and the wall-clock deadline (polled every 64th call — the
+  /// clock read is the expensive part, and a deadline is approximate by
+  /// nature). Traps and returns false on breach. DeadlineArmed is a
+  /// constructor-time constant, so with no deadline configured the extra
+  /// cost is one predictable branch.
   bool checkBudget() {
-    if (Opts.MaxCycles && Cycles > Opts.MaxCycles) {
+    if (P.EffMaxCycles && Cycles > P.EffMaxCycles) {
       trap("cycle budget exceeded (runaway loop?)");
       return false;
     }
+    if (DeadlineArmed && (++BudgetPolls & 63) == 0 && deadlineExpired())
+      return false;
     return true;
   }
+
+  /// True — after recording the attributed trap — when the run's armed
+  /// wall-clock deadline has passed. Callers on allocation boundaries use
+  /// this directly (no cycle-cap interaction there).
+  bool deadlineExpired();
+
+  /// True when the injection point \p Pt should fire now (no injector or no
+  /// armed rule = never).
+  bool injectFault(FaultInjector::Point Pt) {
+    FaultInjector *FI = Opts.Resilience.Faults.get();
+    return FI && FI->shouldFire(Pt);
+  }
+
+  /// Records one degradation hop of loop \p LoopId onto the simulated
+  /// serial-order path: per-loop counters plus a structured warning through
+  /// Opts.Resilience.Diags (pass "resilience").
+  void noteDegradation(unsigned LoopId, bool Watchdog, const std::string &Why);
 
   //===------------------------------------------------------------------===//
   // Addressing and raw memory
@@ -440,10 +475,15 @@ private:
                       const std::function<void(ForBounds &)> &EvalBounds,
                       const std::function<Flow()> &Body);
   /// The real host-threaded runner (ThreadedLoop.cpp). Bit-identical virtual
-  /// metrics to runForParallel on every eligible loop.
+  /// metrics to runForParallel on every eligible loop. \p Body is the serial
+  /// body thunk, kept for the watchdog recovery path (a wedged DOACROSS
+  /// attempt rolls back and re-runs through runForParallel). \p Pool is the
+  /// already-materialized worker pool (runForLoop resolved it; a null pool
+  /// degrades before ever reaching here).
   Flow runForThreaded(unsigned LoopId, ParallelKind Kind, Type *IVType,
                       const std::function<void(ForBounds &)> &EvalBounds,
-                      const ThreadLoopHooks &Host);
+                      const std::function<Flow()> &Body,
+                      const ThreadLoopHooks &Host, ThreadPool &Pool);
   /// True when this invocation can run on real host threads.
   bool threadedEligible(unsigned LoopId, ParallelKind Kind,
                         const ThreadLoopHooks *Host) const;

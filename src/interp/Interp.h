@@ -28,6 +28,7 @@
 #include "interp/Guard.h"
 #include "interp/Memory.h"
 #include "ir/IR.h"
+#include "support/Resilience.h"
 
 #include <map>
 #include <memory>
@@ -134,6 +135,11 @@ struct InterpOptions {
   /// (pass "guard", severity Error in Check mode, Warning in Fallback where
   /// the run recovered). Violations are always recorded in RunResult.
   DiagnosticEngine *GuardDiags = nullptr;
+  /// Execution resilience: budgets (deadline / cycle cap / byte budget), the
+  /// DOACROSS watchdog, the degradation ladder, and fault injection. The
+  /// default (all zero, no injector) adds no observable behavior and near-zero
+  /// overhead (see bench/resilience_overhead).
+  ResilienceOptions Resilience;
 };
 
 /// Per-loop accounting, keyed by loop id.
@@ -155,6 +161,11 @@ struct LoopStats {
   uint64_t GuardChecks = 0;        ///< private-class accesses validated
   uint64_t GuardViolations = 0;    ///< violation occurrences (not deduped)
   uint64_t GuardFallbacks = 0;     ///< rollbacks + last-value recoveries
+  /// Resilience accounting: invocations the threads engine gave back to the
+  /// simulated serial-order path (pool unavailable, watchdog fire), and how
+  /// many of those were DOACROSS watchdog fires specifically.
+  uint64_t Degradations = 0;
+  uint64_t WatchdogFires = 0;
 };
 
 struct RunResult {
@@ -188,6 +199,11 @@ struct RunResult {
   /// occurrence's attribution, with Count totalling repeats. Empty in Off
   /// mode and on clean guarded runs.
   std::vector<DependenceViolation> Violations;
+  /// The trap is an engine-level fault (worker pool unavailable or watchdog
+  /// wedge with the in-loop ladder disabled) rather than a program error or
+  /// resource breach: runResilient() retries such a run on the next engine
+  /// down. Never set on clean runs or on budget/OOM/program traps.
+  bool EngineFault = false;
 
   bool ok() const { return !Trapped; }
 };
@@ -209,6 +225,17 @@ private:
   struct Impl;
   Impl *P;
 };
+
+/// Runs \p Entry under Opts, walking the degradation ladder on engine-level
+/// faults: a Threads run that ends with RunResult::EngineFault is retried on
+/// the serial Bytecode VM, and that on the TreeWalk engine as last resort.
+/// Each hop is reported as a warning through \p Diags (pass "resilience")
+/// when non-null. Budget breaches, OOM, and program traps are never retried
+/// (re-running would fail again); a shared FaultInjector keeps its counters
+/// across hops, so one-shot faults do not re-fire on the retry.
+RunResult runResilient(Module &M, InterpOptions Opts,
+                       const std::string &Entry = "main",
+                       DiagnosticEngine *Diags = nullptr);
 
 } // namespace gdse
 

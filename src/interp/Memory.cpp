@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
 
 using namespace gdse;
 
@@ -26,12 +27,8 @@ VMMemory::~VMMemory() {
 uint64_t VMMemory::allocate(uint64_t Size, AllocKind Kind, uint32_t SiteId) {
   // Zero-size allocations still get a distinct address.
   uint64_t HostSize = Size ? Size : 1;
-  void *P = ::operator new(HostSize);
-  std::memset(P, 0, HostSize);
-  uint64_t Base = reinterpret_cast<uint64_t>(P);
 
   Allocation A;
-  A.Base = Base;
   A.Size = Size;
   A.SiteId = SiteId;
   A.Kind = Kind;
@@ -39,6 +36,16 @@ uint64_t VMMemory::allocate(uint64_t Size, AllocKind Kind, uint32_t SiteId) {
 
   if (Concurrent) {
     std::lock_guard<std::mutex> Lock(Mu);
+    // Budget check under the same lock that owns CurBytes, so concurrent
+    // allocators cannot jointly overshoot the cap.
+    if (ByteBudget && CurBytes + Size > ByteBudget)
+      return 0;
+    void *P = ::operator new(HostSize, std::nothrow);
+    if (!P)
+      return 0;
+    std::memset(P, 0, HostSize);
+    uint64_t Base = reinterpret_cast<uint64_t>(P);
+    A.Base = Base;
     A.Generation = NextGeneration++;
     ByBase[Base] = A;
     CurBytes += Size;
@@ -50,6 +57,14 @@ uint64_t VMMemory::allocate(uint64_t Size, AllocKind Kind, uint32_t SiteId) {
     return Base;
   }
 
+  if (ByteBudget && CurBytes + Size > ByteBudget)
+    return 0;
+  void *P = ::operator new(HostSize, std::nothrow);
+  if (!P)
+    return 0;
+  std::memset(P, 0, HostSize);
+  uint64_t Base = reinterpret_cast<uint64_t>(P);
+  A.Base = Base;
   A.Generation = NextGeneration++;
   ByBase[Base] = A;
   CurBytes += Size;
@@ -132,8 +147,9 @@ void VMMemory::releaseUntracked(uint64_t Base) {
 void VMMemory::beginConcurrent() {
   if (Concurrent)
     reportFatalError("VMMemory: nested concurrent mode");
-  if (Speculating)
-    reportFatalError("VMMemory: concurrent mode during speculation");
+  // Running inside a speculation checkpoint is allowed: the watchdog
+  // recovery path checkpoints the arena, then fans iterations out to real
+  // threads. endConcurrent() keeps the checkpoint's invariants.
   // The cache slot must not be touched (even read) while workers run.
   LastHit = nullptr;
   Concurrent = true;
@@ -144,6 +160,15 @@ void VMMemory::endConcurrent() {
     return;
   Concurrent = false;
   for (uint64_t Base : ConcQuarantine) {
+    auto It = ByBase.find(Base);
+    if (It != ByBase.end() && Speculating &&
+        It->second.Generation < SpecBeginGeneration) {
+      // Pre-checkpoint block freed by a worker: the address must stay
+      // reserved (entry kept, marked dead by deallocate()) so a rollback can
+      // resurrect it — same deferral as the serial speculation path.
+      SpecQuarantine.push_back(Base);
+      continue;
+    }
     ::operator delete(reinterpret_cast<void *>(Base));
     ByBase.erase(Base);
   }

@@ -86,7 +86,17 @@ public:
   VMMemory &operator=(const VMMemory &) = delete;
 
   /// Allocates \p Size bytes (zero-initialized), registers the block.
+  /// Returns 0 when the host allocator fails (std::bad_alloc territory) or
+  /// the tracked byte budget would be exceeded — callers convert 0 into an
+  /// attributed out-of-memory trap instead of letting the process die. 0 is
+  /// an unambiguous failure sentinel: real blocks always have a non-null
+  /// host address (zero-size allocations get a 1-byte block).
   uint64_t allocate(uint64_t Size, AllocKind Kind, uint32_t SiteId);
+
+  /// Caps tracked live bytes (currentBytes()); an allocation that would push
+  /// past the cap fails like host OOM. 0 = unlimited.
+  void setByteBudget(uint64_t Bytes) { ByteBudget = Bytes; }
+  uint64_t byteBudget() const { return ByteBudget; }
 
   /// Frees the allocation whose base is \p Base. Returns false (and leaves
   /// memory untouched) when \p Base is not the base of a live allocation.
@@ -126,7 +136,10 @@ public:
   /// Enters concurrent mode: registry operations lock, the last-hit cache is
   /// bypassed, deallocation is quarantined, and peak accounting switches to
   /// the calling worker's MemDeltaSink (see setDeltaSink). Must not be
-  /// nested and must not overlap a speculation checkpoint.
+  /// nested. May run *inside* a speculation checkpoint (the watchdog
+  /// recovery path arms one around a threaded DOACROSS attempt);
+  /// endConcurrent() then keeps pre-checkpoint quarantined blocks resident
+  /// so rollbackSpeculation() can resurrect them.
   void beginConcurrent();
   /// Leaves concurrent mode and reclaims quarantined blocks. The caller is
   /// responsible for replaying the workers' deltas (notePeak) first if peak
@@ -202,6 +215,7 @@ private:
   mutable const Allocation *LastHit = nullptr;
   uint64_t CurBytes = 0;
   uint64_t PeakBytes = 0;
+  uint64_t ByteBudget = 0;
   uint32_t NextGeneration = 1;
   uint32_t NumLive = 0;
 

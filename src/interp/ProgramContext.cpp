@@ -8,8 +8,10 @@
 #include "interp/ProgramContext.h"
 
 #include "ir/AccessInfo.h"
+#include "support/Diagnostics.h"
 
 #include <algorithm>
+#include <system_error>
 
 using namespace gdse;
 
@@ -252,6 +254,20 @@ ProgramContext::ProgramContext(Module &M, InterpOptions O)
     T.RegionIds.assign(Folded.RegionIds.begin(), Folded.RegionIds.end());
     LoopTraitsOf.emplace(LoopId, std::move(T));
   }
+
+  // Fold the legacy cycle cap with the resilience budget: the smaller
+  // non-zero value wins, so either limit alone behaves exactly as before.
+  EffMaxCycles = Opts.MaxCycles;
+  uint64_t BudgetCycles = Opts.Resilience.Budget.MaxCycles;
+  if (BudgetCycles && (!EffMaxCycles || BudgetCycles < EffMaxCycles))
+    EffMaxCycles = BudgetCycles;
+  Mem.setByteBudget(Opts.Resilience.Budget.MaxBytes);
+}
+
+void ProgramContext::armDeadline() {
+  uint64_t Ms = Opts.Resilience.Budget.DeadlineMs;
+  DeadlineNs.store(Ms ? monotonicNowNs() + Ms * 1000000ull : 0,
+                   std::memory_order_relaxed);
 }
 
 ProgramContext::~ProgramContext() = default;
@@ -273,10 +289,32 @@ void ProgramContext::resetGlobals() {
   }
 }
 
-ThreadPool &ProgramContext::loopPool() {
-  std::call_once(LoopPoolOnce, [this] {
-    unsigned N = static_cast<unsigned>(std::max(1, Opts.NumThreads));
-    LoopPool.reset(new ThreadPool(N));
-  });
-  return *LoopPool;
+ThreadPool *ProgramContext::loopPoolOrNull() {
+  std::lock_guard<std::mutex> Lock(LoopPoolMu);
+  if (!LoopPoolTried) {
+    LoopPoolTried = true;
+    FaultInjector *FI = Opts.Resilience.Faults.get();
+    try {
+      if (FI && FI->shouldFire(FaultInjector::Point::WorkerStartFail))
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again),
+            "injected worker-start failure");
+      unsigned N = static_cast<unsigned>(std::max(1, Opts.NumThreads));
+      LoopPool.reset(new ThreadPool(N));
+    } catch (const std::system_error &E) {
+      // std::thread creation failed. Stay serial for the rest of this run
+      // (the failure is sticky; no retry storm) and say so exactly once.
+      LoopPoolFailed = true;
+      LoopPool.reset();
+      if (DiagnosticEngine *D = Opts.Resilience.Diags) {
+        Diagnostic Diag;
+        Diag.Severity = DiagSeverity::Warning;
+        Diag.Pass = "resilience";
+        Diag.Message = std::string("worker pool unavailable (") + E.what() +
+                       "); loops degrade to the simulated serial-order path";
+        D->report(Diag);
+      }
+    }
+  }
+  return LoopPoolFailed ? nullptr : LoopPool.get();
 }

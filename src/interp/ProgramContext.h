@@ -39,6 +39,7 @@
 #include "ir/IR.h"
 #include "support/ThreadPool.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -103,6 +104,19 @@ struct ProgramContext {
   };
   std::map<unsigned, LoopTraits> LoopTraitsOf;
 
+  /// The effective cycle cap: the smaller non-zero of Opts.MaxCycles and
+  /// Opts.Resilience.Budget.MaxCycles (0 = unlimited). Every engine's budget
+  /// check compares against this one folded value.
+  uint64_t EffMaxCycles = 0;
+
+  /// Absolute steady-clock expiry (monotonicNowNs() units) of the current
+  /// run's wall-clock deadline; 0 = no deadline armed. Re-armed by
+  /// armDeadline() at each run start, read concurrently by workers.
+  std::atomic<uint64_t> DeadlineNs{0};
+
+  /// Arms DeadlineNs from Opts.Resilience.Budget.DeadlineMs (run start).
+  void armDeadline();
+
   ProgramContext(Module &M, InterpOptions Opts);
   ~ProgramContext();
   ProgramContext(const ProgramContext &) = delete;
@@ -124,13 +138,19 @@ struct ProgramContext {
   /// The worker pool for host-threaded loops: Opts.NumThreads workers,
   /// created on first use. Loop chunks run under a TaskGroup whose waiter
   /// helps, so the pool being narrower than the request degrades gracefully
-  /// instead of deadlocking.
-  ThreadPool &loopPool();
+  /// instead of deadlocking. Returns null when thread creation failed
+  /// (std::system_error from std::thread, or an injected worker-start-fail
+  /// fault) — the caller degrades the loop to the simulated serial-order
+  /// path. The failure is sticky (no retry storm) and reported once as a
+  /// warning through Opts.Resilience.Diags.
+  ThreadPool *loopPoolOrNull();
 
 private:
   std::map<const Function *, FrameLayout> Layouts;
   std::unique_ptr<ThreadPool> LoopPool;
-  std::once_flag LoopPoolOnce;
+  std::mutex LoopPoolMu;
+  bool LoopPoolTried = false;
+  bool LoopPoolFailed = false;
 };
 
 } // namespace gdse

@@ -50,16 +50,19 @@
 
 #include "interp/ParallelTimeline.h"
 #include "support/Diagnostics.h"
+#include "support/Support.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <memory>
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
 
 namespace gdse {
 
@@ -68,6 +71,11 @@ namespace gdse {
 /// once every iteration < I has released it; NextIter is the smallest
 /// iteration that has not yet released, and Released holds out-of-order
 /// completions ahead of it.
+///
+/// With a non-zero watchdog window the wait is timed: a waiter that sees no
+/// release anywhere (Progress unchanged) for a full window declares the
+/// ticket frontier wedged, wakes every lane, and every waiter bails out —
+/// the loop invocation then degrades instead of hanging the process.
 struct DoacrossSync {
   struct Region {
     std::mutex Mu;
@@ -76,27 +84,71 @@ struct DoacrossSync {
     std::set<uint64_t> Released;
   };
   std::map<unsigned, Region> Regions;
+  /// Watchdog window in milliseconds; 0 = untimed waits (watchdog off).
+  const uint64_t WindowMs;
+  /// Bumped on every releaseAll — the "some lane made progress" signal the
+  /// watchdog distinguishes a slow frontier from a stalled one by.
+  std::atomic<uint64_t> Progress{0};
+  std::atomic<bool> Wedged{false};
 
-  explicit DoacrossSync(const std::vector<unsigned> &Ids) {
+  DoacrossSync(const std::vector<unsigned> &Ids, uint64_t WatchdogMs)
+      : WindowMs(WatchdogMs) {
     for (unsigned Id : Ids)
       Regions[Id];
   }
 
-  void enter(unsigned Id, uint64_t Iter) {
+  /// Blocks until iteration \p Iter holds region \p Id's ticket. Returns
+  /// false when the watchdog declared the frontier wedged — the caller must
+  /// abandon the iteration (never touch the region's data).
+  bool enter(unsigned Id, uint64_t Iter) {
     auto It = Regions.find(Id);
     if (It == Regions.end())
-      return;
+      return true;
     Region &R = It->second;
     std::unique_lock<std::mutex> Lock(R.Mu);
-    // A second entry by the same iteration sees NextIter == Iter and passes
-    // straight through: the ticket is held for the whole iteration.
-    R.Cv.wait(Lock, [&] { return R.NextIter >= Iter; });
+    if (!WindowMs) {
+      // A second entry by the same iteration sees NextIter == Iter and
+      // passes straight through: the ticket is held for the whole iteration.
+      R.Cv.wait(Lock, [&] { return R.NextIter >= Iter; });
+      return true;
+    }
+    for (;;) {
+      uint64_t P0 = Progress.load(std::memory_order_relaxed);
+      R.Cv.wait_for(Lock, std::chrono::milliseconds(WindowMs), [&] {
+        return R.NextIter >= Iter || Wedged.load(std::memory_order_relaxed);
+      });
+      // Holding the ticket always wins, even against a concurrent wedge
+      // declaration: proceeding is safe, and the iteration's releaseAll
+      // keeps the drain moving.
+      if (R.NextIter >= Iter)
+        return true;
+      if (Wedged.load(std::memory_order_relaxed))
+        return false;
+      if (Progress.load(std::memory_order_relaxed) != P0)
+        continue; // slow but alive: somebody released during the window
+      // No lane released anything for a full window: the frontier is
+      // wedged. Release the wedge — set the flag, then wake every lane
+      // (own lock dropped first; taking other lanes' locks while holding
+      // ours could deadlock against a symmetric waiter).
+      Wedged.store(true, std::memory_order_relaxed);
+      Lock.unlock();
+      wakeAllLanes();
+      return false;
+    }
+  }
+
+  void wakeAllLanes() {
+    for (auto &[Id, R] : Regions) {
+      std::lock_guard<std::mutex> Lock(R.Mu);
+      R.Cv.notify_all();
+    }
   }
 
   /// Called exactly once per grabbed iteration, at its end — normal exit,
   /// trap inside an ordered region, or abort-after-grab alike: liveness of
   /// the protocol depends on every grabbed ticket releasing every lane.
   void releaseAll(uint64_t Iter) {
+    Progress.fetch_add(1, std::memory_order_relaxed);
     for (auto &[Id, R] : Regions) {
       std::unique_lock<std::mutex> Lock(R.Mu);
       // A duplicate or stale release must be inert: inserting an iteration
@@ -120,8 +172,17 @@ struct DoacrossSync {
 using namespace gdse;
 
 void ThreadState::orderedRealEnter(unsigned RegionId) {
-  if (DX)
-    DX->enter(RegionId, DXIter);
+  if (!DX)
+    return;
+  // Fault injection: an artificial stall at a lane entry, long enough (with
+  // the right spec) to trip the watchdog deterministically.
+  if (injectFault(FaultInjector::Point::LaneDelay))
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Opts.Resilience.Faults->delayMillis()));
+  if (!DX->enter(RegionId, DXIter))
+    trap(formatString("DOACROSS watchdog: ordered-region frontier stalled "
+                      "for %llu ms",
+                      static_cast<unsigned long long>(DX->WindowMs)));
 }
 
 namespace {
@@ -155,7 +216,8 @@ struct WorkerCtx {
 Flow ThreadState::runForThreaded(
     unsigned LoopId, ParallelKind Kind, Type *IVType,
     const std::function<void(ForBounds &)> &EvalBounds,
-    const ThreadLoopHooks &Host) {
+    const std::function<Flow()> &Body, const ThreadLoopHooks &Host,
+    ThreadPool &Pool) {
   const unsigned N = static_cast<unsigned>(std::max(1, Opts.NumThreads));
   const bool DOALL = Kind == ParallelKind::DOALL;
 
@@ -166,6 +228,39 @@ Flow ThreadState::runForThreaded(
     auto GIt = P.GuardPlanOf.find(LoopId);
     if (GIt != P.GuardPlanOf.end())
       GP = GIt->second;
+  }
+
+  const ProgramContext::LoopTraits *Traits = P.loopTraits(LoopId);
+  const uint64_t WatchdogMs =
+      !DOALL && Traits && !Traits->RegionIds.empty()
+          ? Opts.Resilience.WatchdogMs
+          : 0;
+
+  // Watchdog recovery checkpoint: a wedged DOACROSS attempt must be able to
+  // roll back to the pre-invocation world and re-run on the simulated path,
+  // bit-identical to a clean serial-order run. Armed before any of this
+  // invocation's bookkeeping (stats, bounds evaluation) for exactly that
+  // reason. Eligibility already excludes observers, guard plans, rtpriv,
+  // and armed watches from threaded DOACROSS, so the scalar state below is
+  // the complete mutable set.
+  bool SpecArmed = false;
+  uint64_t SavedCycles = 0;
+  int64_t SavedTimeAdjust = 0;
+  std::string SavedOutput;
+  std::map<unsigned, LoopStats> SavedLoops;
+  int64_t SavedExitCode = 0;
+  VMValue SavedReturnValue;
+  bool SavedHalted = false;
+  if (WatchdogMs && Opts.Resilience.Ladder && !Mem.speculating()) {
+    Mem.beginSpeculation();
+    SpecArmed = true;
+    SavedCycles = Cycles;
+    SavedTimeAdjust = TimeAdjust;
+    SavedOutput = Output;
+    SavedLoops = Loops;
+    SavedExitCode = ExitCode;
+    SavedReturnValue = ReturnValue;
+    SavedHalted = Halted;
   }
 
   LoopStats &LS = Loops[LoopId];
@@ -181,10 +276,15 @@ Flow ThreadState::runForThreaded(
   uint64_t Before = Cycles;
   ForBounds B;
   EvalBounds(B);
-  if (dead())
+  if (dead()) {
+    if (SpecArmed)
+      Mem.commitSpeculation();
     return Flow::Halt;
+  }
   if (B.Step <= 0) {
     trap("parallel for loop with non-positive step");
+    if (SpecArmed)
+      Mem.commitSpeculation();
     return Flow::Halt;
   }
   uint64_t Total =
@@ -220,8 +320,7 @@ Flow ThreadState::runForThreaded(
     const uint64_t MemStart = Mem.currentBytes();
 
     static const std::vector<unsigned> NoRegions;
-    const ProgramContext::LoopTraits *Traits = P.loopTraits(LoopId);
-    DoacrossSync Sync(Traits ? Traits->RegionIds : NoRegions);
+    DoacrossSync Sync(Traits ? Traits->RegionIds : NoRegions, WatchdogMs);
     std::atomic<uint64_t> NextGrab{0};
     std::atomic<bool> Abort{false};
 
@@ -258,6 +357,17 @@ Flow ThreadState::runForThreaded(
       WS.LoopCtxStack.back().Iter = It;
       WS.GuardIter = It;
       WS.DXIter = It;
+      // Iteration-boundary budget poll, as on the serial drivers. Only the
+      // wall-clock deadline can be armed here (a cycle cap forces the
+      // simulated path), so a breach is an attributed trap, not a rung of
+      // the ladder — re-running would breach again.
+      if (!WS.checkBudget()) {
+        R.Worker = static_cast<int>(WS.CurTid);
+        R.Ran = true;
+        R.FL = Flow::Halt;
+        Abort.store(true, std::memory_order_relaxed);
+        return false;
+      }
       int64_t IVal = B.Lo + static_cast<int64_t>(It) * B.Step;
       WS.storeScalar(W.FrameBase + IVOff, IVType, VMValue::ofInt(IVal));
       WS.Output.clear();
@@ -293,7 +403,7 @@ Flow ThreadState::runForThreaded(
 
     Mem.beginConcurrent();
     {
-      TaskGroup TG(P.loopPool());
+      TaskGroup TG(Pool);
       if (DOALL) {
         for (unsigned T = 0; T != NumWorkers; ++T) {
           uint64_t LoIt = static_cast<uint64_t>(T) * Chunk;
@@ -331,6 +441,33 @@ Flow ThreadState::runForThreaded(
       TG.wait();
     }
     Mem.endConcurrent();
+
+    const bool WedgeFired = Sync.Wedged.load(std::memory_order_relaxed);
+    if (WedgeFired && SpecArmed) {
+      // Watchdog recovery: the frontier wedged, every worker has drained.
+      // Abandon the whole attempt — no merge, no trap transfer — roll the
+      // world back to the pre-invocation checkpoint and re-run the
+      // invocation on the simulated serial-order path, which cannot wedge.
+      // Worker frames must go first: they carry post-checkpoint generations
+      // the rollback would otherwise reclaim behind releaseUntracked's back.
+      for (WorkerCtx &W : Workers)
+        Mem.releaseUntracked(W.FrameBase);
+      Mem.rollbackSpeculation();
+      Cycles = SavedCycles;
+      TimeAdjust = SavedTimeAdjust;
+      Output = std::move(SavedOutput);
+      Loops = std::move(SavedLoops);
+      ExitCode = SavedExitCode;
+      ReturnValue = SavedReturnValue;
+      Halted = SavedHalted;
+      noteDegradation(
+          LoopId, /*Watchdog=*/true,
+          formatString("DOACROSS watchdog fired (no lane progress within "
+                       "%llu ms); re-running the invocation on the "
+                       "simulated serial-order path",
+                       static_cast<unsigned long long>(WatchdogMs)));
+      return runForParallel(LoopId, Kind, IVType, EvalBounds, Body);
+    }
 
     //===------------------------------------------------------------------===//
     // Deterministic post-join merge, in serial iteration order.
@@ -399,6 +536,8 @@ Flow ThreadState::runForThreaded(
         D.GuardChecks += S.GuardChecks;
         D.GuardViolations += S.GuardViolations;
         D.GuardFallbacks += S.GuardFallbacks;
+        D.Degradations += S.Degradations;
+        D.WatchdogFires += S.WatchdogFires;
       }
     }
 
@@ -513,9 +652,23 @@ Flow ThreadState::runForThreaded(
         Halted = true; // defensive: a faulting iteration must end the run
     }
 
+    // A wedge with the in-loop ladder unavailable (disabled, or the arena
+    // was already speculating) ends the run with the worker's watchdog trap
+    // transferred above — marked as an engine fault so runResilient() can
+    // retry the whole run on a serial engine.
+    if (WedgeFired) {
+      EngineFault = true;
+      ++LS.WatchdogFires;
+    }
+
     for (WorkerCtx &W : Workers)
       Mem.releaseUntracked(W.FrameBase);
   }
+
+  // The attempt stands (clean, or a real program trap/halt/budget breach):
+  // keep its state and drop the recovery checkpoint.
+  if (SpecArmed)
+    Mem.commitSpeculation();
 
   if (GP) {
     // Same epilogue as a simulated guarded invocation: the commit scan over
